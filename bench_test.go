@@ -1,0 +1,285 @@
+// Per-figure reproduction benchmarks: each BenchmarkFigN regenerates the
+// corresponding table of the paper's evaluation end to end (workload
+// generation, simulation sweeps, model building, BINLP solving,
+// validation), so `go test -bench=.` both times the harness and exercises
+// every experiment. Micro-benchmarks cover the substrates, and the
+// Ablation benchmarks quantify the design choices DESIGN.md calls out.
+package liquidarch_test
+
+import (
+	"testing"
+
+	"liquidarch/internal/asm"
+	"liquidarch/internal/binlp"
+	"liquidarch/internal/cache"
+	"liquidarch/internal/config"
+	"liquidarch/internal/core"
+	"liquidarch/internal/exhaustive"
+	"liquidarch/internal/experiments"
+	"liquidarch/internal/fpga"
+	"liquidarch/internal/platform"
+	"liquidarch/internal/progs"
+	"liquidarch/internal/workload"
+)
+
+// benchScale keeps the per-figure benchmarks on the default experiment
+// scale; the shapes are scale-stable by design.
+const benchScale = workload.Small
+
+func newRunner() *experiments.Runner {
+	return experiments.NewRunner(experiments.Options{Scale: benchScale})
+}
+
+// ---- One benchmark per paper table/figure ----
+
+func BenchmarkFig1ParameterSpace(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if experiments.Figure1() == nil {
+			b.Fatal("nil table")
+		}
+	}
+}
+
+func BenchmarkSpaceSizeArgument(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if experiments.SpaceSize() == nil {
+			b.Fatal("nil table")
+		}
+	}
+}
+
+func BenchmarkFig2DcacheExhaustiveBLASTN(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := newRunner().Figure2(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig3DcacheOptimizerBLASTN(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := newRunner().Figure3(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4DcacheOtherBenchmarks(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := newRunner().Figure4(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5RuntimeOptimization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := newRunner().Figure5(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6BLASTNPerturbations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := newRunner().Figure6(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7ResourceOptimization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := newRunner().Figure7(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Substrate micro-benchmarks ----
+
+// benchmarkSimulator measures raw simulation speed for one application.
+func benchmarkSimulator(b *testing.B, app string) {
+	bench, _ := progs.ByName(app)
+	prog, err := bench.Assemble(benchScale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := config.Default()
+	var instructions uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := platform.Run(prog, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		instructions = rep.Stats.Instructions
+	}
+	b.ReportMetric(float64(instructions)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Minstr/s")
+}
+
+func BenchmarkSimulatorBLASTN(b *testing.B) { benchmarkSimulator(b, "blastn") }
+func BenchmarkSimulatorDRR(b *testing.B)    { benchmarkSimulator(b, "drr") }
+func BenchmarkSimulatorFRAG(b *testing.B)   { benchmarkSimulator(b, "frag") }
+func BenchmarkSimulatorArith(b *testing.B)  { benchmarkSimulator(b, "arith") }
+
+func BenchmarkCacheAccess(b *testing.B) {
+	c, err := cache.New(config.CacheConfig{Sets: 2, SetSizeKB: 4, LineWords: 8, Replacement: config.LRU})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Read(uint32(i*36) & 0xFFFF)
+	}
+}
+
+func BenchmarkSynthesize(b *testing.B) {
+	cfg := config.Default()
+	cfg.DCache.Sets = 2
+	cfg.DCache.SetSizeKB = 16
+	for i := 0; i < b.N; i++ {
+		if _, err := fpga.Synthesize(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAssembleBLASTN(b *testing.B) {
+	bench, _ := progs.ByName("blastn")
+	src, err := bench.Source(benchScale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := asm.Assemble(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolverFullSpace times the BINLP solve alone on a prebuilt
+// 52-variable model (the step the paper reports Tomlab solving "in
+// seconds").
+func BenchmarkSolverFullSpace(b *testing.B) {
+	bench, _ := progs.ByName("blastn")
+	tuner := core.NewTuner(workload.Tiny)
+	model, err := tuner.BuildModel(bench)
+	if err != nil {
+		b.Fatal(err)
+	}
+	problem := model.Formulate(core.RuntimeWeights())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sol, err := binlp.Solve(problem, binlp.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !sol.Proven {
+			b.Fatal("not proven")
+		}
+	}
+}
+
+// ---- Ablation benchmarks (design choices called out in DESIGN.md) ----
+
+// BenchmarkAblationLinearLUT compares the paper's linear-LUT simplification
+// against the nonlinear form on the runtime-weighted recommendation,
+// reporting both predictions' absolute error against actual synthesis.
+func BenchmarkAblationLinearLUT(b *testing.B) {
+	bench, _ := progs.ByName("blastn")
+	tuner := core.NewTuner(benchScale)
+	model, err := tuner.BuildModel(bench)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var linErr, nlErr float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec, err := tuner.RecommendFromModel(model, core.RuntimeWeights())
+		if err != nil {
+			b.Fatal(err)
+		}
+		actual := fpga.MustSynthesize(rec.Config)
+		linErr = float64(rec.Predicted.LUTPctLinear - actual.LUTPercent())
+		nlErr = float64(rec.Predicted.LUTPctNonlinear - actual.LUTPercent())
+	}
+	b.ReportMetric(abs(linErr), "linearLUTerr%")
+	b.ReportMetric(abs(nlErr), "nonlinLUTerr%")
+}
+
+// BenchmarkAblationIndependence quantifies the parameter-independence
+// assumption: predicted combined runtime gain (sum of solo deltas) vs the
+// actual combined run, per application.
+func BenchmarkAblationIndependence(b *testing.B) {
+	var gap float64
+	for i := 0; i < b.N; i++ {
+		gap = 0
+		for _, app := range []string{"blastn", "drr", "frag", "arith"} {
+			bench, _ := progs.ByName(app)
+			tuner := core.NewTuner(benchScale)
+			model, err := tuner.BuildModel(bench)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rec, err := tuner.RecommendFromModel(model, core.RuntimeWeights())
+			if err != nil {
+				b.Fatal(err)
+			}
+			val, err := tuner.Validate(bench, model, rec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			g := abs(rec.Predicted.RuntimePct - val.RuntimePct)
+			if g > gap {
+				gap = g
+			}
+		}
+	}
+	b.ReportMetric(gap, "maxPredGap%")
+}
+
+// BenchmarkAblationSolverBruteForce compares branch-and-bound against
+// exhaustive enumeration on the Section 5 dcache sub-space.
+func BenchmarkAblationSolverBruteForce(b *testing.B) {
+	bench, _ := progs.ByName("blastn")
+	tuner := &core.Tuner{Space: config.DcacheGeometrySpace(), Scale: workload.Tiny}
+	model, err := tuner.BuildModel(bench)
+	if err != nil {
+		b.Fatal(err)
+	}
+	problem := model.Formulate(core.RuntimeOnlyWeights())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bb, err := binlp.Solve(problem, binlp.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		bf, err := binlp.BruteForce(problem)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if abs(bb.Objective-bf.Objective) > 1e-9 {
+			b.Fatalf("solver %f != brute force %f", bb.Objective, bf.Objective)
+		}
+	}
+}
+
+// BenchmarkExhaustiveDcacheSweep times the 19-configuration exhaustive
+// baseline itself.
+func BenchmarkExhaustiveDcacheSweep(b *testing.B) {
+	bench, _ := progs.ByName("blastn")
+	for i := 0; i < b.N; i++ {
+		if _, err := exhaustive.DcacheGeometry(bench, benchScale, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,126 @@
+// Command autoarch is the paper's technique as a tool: automatic
+// application-specific microarchitecture reconfiguration. It builds the
+// one-change-at-a-time cost model for an application, formulates and
+// solves the Section 4 BINLP, prints the recommended configuration, and
+// validates it with an actual build and run.
+//
+// Usage:
+//
+//	autoarch -app blastn [-w1 100 -w2 1] [-scale small] [-space full|dcache] [-model]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"liquidarch/internal/config"
+	"liquidarch/internal/core"
+	"liquidarch/internal/progs"
+	"liquidarch/internal/workload"
+)
+
+func main() {
+	var (
+		app       = flag.String("app", "", "benchmark to tune (blastn, drr, frag, arith)")
+		w1        = flag.Float64("w1", 100, "runtime weight (paper: 100 for runtime optimization)")
+		w2        = flag.Float64("w2", 1, "chip resource weight (paper: 1, or 100 for resource optimization)")
+		scale     = flag.String("scale", "small", "workload scale: tiny, small, medium, paper")
+		spaceName = flag.String("space", "full", "decision space: full (52 vars) or dcache (Section 5 sub-space)")
+		showModel = flag.Bool("model", false, "print every measured perturbation")
+		workers   = flag.Int("workers", 0, "parallel measurement runs (0 = NumCPU)")
+		saveModel = flag.String("save-model", "", "write the measured model to a JSON file")
+		loadModel = flag.String("load-model", "", "reuse a previously saved model instead of measuring")
+	)
+	flag.Parse()
+
+	b, ok := progs.ByName(*app)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "autoarch: unknown app %q\n", *app)
+		os.Exit(2)
+	}
+	sc, ok := workload.ParseScale(*scale)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "autoarch: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	var space *config.Space
+	switch *spaceName {
+	case "full":
+		space = config.FullSpace()
+	case "dcache":
+		space = config.DcacheGeometrySpace()
+	default:
+		fmt.Fprintf(os.Stderr, "autoarch: unknown space %q\n", *spaceName)
+		os.Exit(2)
+	}
+
+	tuner := &core.Tuner{Space: space, Scale: sc, Workers: *workers}
+	weights := core.Weights{W1: *w1, W2: *w2}
+
+	var model *core.Model
+	if *loadModel != "" {
+		var err error
+		model, err = core.LoadModel(*loadModel)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "autoarch: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("loaded model for %s (%d variables, %s scale)\n",
+			model.App, model.Space.Len(), model.Scale)
+	} else {
+		fmt.Printf("building cost model for %s (%d variables, %s scale)...\n", b.Name, space.Len(), sc)
+		start := time.Now()
+		var err error
+		model, err = tuner.BuildModel(b)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "autoarch: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("model built in %v: base %d cycles (%.6f s), %v\n",
+			time.Since(start).Round(time.Millisecond), model.BaseCycles,
+			float64(model.BaseCycles)/25e6, model.BaseResources)
+	}
+	if *saveModel != "" {
+		if err := core.SaveModel(model, *saveModel); err != nil {
+			fmt.Fprintf(os.Stderr, "autoarch: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("model saved to %s\n", *saveModel)
+	}
+
+	if *showModel {
+		fmt.Printf("\n%-22s %12s %9s %6s %6s\n", "variable", "cycles", "rho%", "lam", "beta")
+		for _, e := range model.Entries {
+			fmt.Printf("%-22s %12d %+9.3f %+6d %+6d\n", e.Var.Name, e.Cycles, e.Rho, e.Lambda, e.Beta)
+		}
+		fmt.Println()
+	}
+
+	rec, err := tuner.RecommendFromModel(model, weights)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "autoarch: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nsolved BINLP (w1=%g, w2=%g): %d nodes, proven=%t, objective %.3f\n",
+		*w1, *w2, rec.SolverNodes, rec.Proven, rec.Objective)
+	if len(rec.Changes) == 0 {
+		fmt.Println("recommendation: keep the base configuration")
+	} else {
+		fmt.Printf("recommendation: %s\n", strings.Join(rec.Changes, " "))
+	}
+	fmt.Printf("predicted: runtime %.6f s (%+.2f%%), LUTs %d%% (nonlin %d%%), BRAM %d%% (lin %d%%)\n",
+		rec.Predicted.RuntimeCycles/25e6, rec.Predicted.RuntimePct,
+		rec.Predicted.LUTPctLinear, rec.Predicted.LUTPctNonlinear,
+		rec.Predicted.BRAMPctNonlinear, rec.Predicted.BRAMPctLinear)
+
+	val, err := tuner.Validate(b, model, rec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "autoarch: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("actual:    runtime %.6f s (%+.2f%%), %v\n",
+		float64(val.Cycles)/25e6, val.RuntimePct, val.Resources)
+}

@@ -1,0 +1,77 @@
+// Command leonasm assembles SPARC V8 source for the simulated LEON2 and
+// prints a listing, or disassembles the benchmark programs.
+//
+// Usage:
+//
+//	leonasm -in program.s [-listing]
+//	leonasm -app blastn [-scale tiny]   # disassemble a benchmark
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"liquidarch/internal/asm"
+	"liquidarch/internal/isa"
+	"liquidarch/internal/progs"
+	"liquidarch/internal/workload"
+)
+
+func main() {
+	var (
+		in      = flag.String("in", "", "assembly source file")
+		app     = flag.String("app", "", "disassemble a benchmark program instead")
+		scale   = flag.String("scale", "tiny", "workload scale for -app")
+		listing = flag.Bool("listing", true, "print the disassembly listing")
+		symbols = flag.Bool("symbols", false, "print the symbol table")
+	)
+	flag.Parse()
+
+	var src string
+	switch {
+	case *in != "":
+		data, err := os.ReadFile(*in)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "leonasm: %v\n", err)
+			os.Exit(1)
+		}
+		src = string(data)
+	case *app != "":
+		b, ok := progs.ByName(*app)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "leonasm: unknown app %q\n", *app)
+			os.Exit(2)
+		}
+		sc, ok := workload.ParseScale(*scale)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "leonasm: unknown scale %q\n", *scale)
+			os.Exit(2)
+		}
+		var err error
+		src, err = b.Source(sc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "leonasm: %v\n", err)
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "leonasm: pass -in FILE or -app NAME")
+		os.Exit(2)
+	}
+
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "leonasm: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("text: %d words at %#08x; data: %d bytes at %#08x; entry %#08x\n",
+		prog.TextWords(), prog.TextBase, len(prog.Data), prog.DataBase, prog.Entry)
+	if *listing {
+		fmt.Print(isa.DisassembleRange(prog.Text, prog.TextBase))
+	}
+	if *symbols {
+		for name, addr := range prog.Symbols {
+			fmt.Printf("%#08x %s\n", addr, name)
+		}
+	}
+}

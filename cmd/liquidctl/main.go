@@ -1,0 +1,132 @@
+// Command liquidctl is the reproduction of the Liquid Architecture
+// platform's control interface: run an application on a chosen processor
+// configuration and print its cycle-accurate profile — what the paper's
+// web interface and hardware statistics module provided.
+//
+// Usage:
+//
+//	liquidctl -app blastn [-scale small] [-set dcachsetsz=32 -set multiplier=m32x32 ...] [-profile] [-caches]
+//	liquidctl -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"liquidarch/internal/config"
+	"liquidarch/internal/fpga"
+	"liquidarch/internal/platform"
+	"liquidarch/internal/progs"
+	"liquidarch/internal/workload"
+)
+
+type setFlags []string
+
+func (s *setFlags) String() string { return strings.Join(*s, ",") }
+func (s *setFlags) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
+
+func main() {
+	var (
+		app     = flag.String("app", "", "benchmark to run (blastn, drr, frag, arith)")
+		scale   = flag.String("scale", "small", "workload scale: tiny, small, medium, paper")
+		profile = flag.Bool("profile", false, "print the full stall-budget profile")
+		caches  = flag.Bool("caches", false, "print cache event counters")
+		list    = flag.Bool("list", false, "list available benchmarks")
+		trace   = flag.Uint64("trace", 0, "disassemble the first N executed instructions")
+		sets    setFlags
+	)
+	flag.Var(&sets, "set", "configuration change, e.g. dcachsetsz=32 (repeatable)")
+	flag.Parse()
+
+	if *list {
+		for _, b := range progs.All() {
+			fmt.Printf("%-8s %s\n", b.Name, b.Description)
+		}
+		return
+	}
+
+	b, ok := progs.ByName(*app)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "liquidctl: unknown app %q (use -list)\n", *app)
+		os.Exit(2)
+	}
+	sc, ok := workload.ParseScale(*scale)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "liquidctl: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+
+	cfg := config.Default()
+	for _, assignment := range sets {
+		if err := cfg.Set(assignment); err != nil {
+			fmt.Fprintf(os.Stderr, "liquidctl: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "liquidctl: %v\n", err)
+		os.Exit(2)
+	}
+
+	res, err := fpga.Synthesize(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "liquidctl: %v\n", err)
+		os.Exit(1)
+	}
+	if !res.FitsDevice() {
+		fmt.Fprintf(os.Stderr, "liquidctl: configuration does not fit the XCV2000E: %v\n", res)
+		os.Exit(1)
+	}
+
+	prog, err := b.Assemble(sc)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "liquidctl: %v\n", err)
+		os.Exit(1)
+	}
+	var runOpts platform.Options
+	if *trace > 0 {
+		runOpts.TraceWriter = os.Stdout
+		runOpts.TraceLimit = *trace
+	}
+	start := time.Now()
+	rep, err := platform.RunWith(prog, cfg, runOpts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "liquidctl: %v\n", err)
+		os.Exit(1)
+	}
+	wall := time.Since(start)
+
+	if diff := cfg.DiffBase(); len(diff) > 0 {
+		fmt.Printf("configuration: %s\n", strings.Join(diff, " "))
+	} else {
+		fmt.Println("configuration: base (out-of-the-box)")
+	}
+	fmt.Printf("synthesis:     %v\n", res)
+	fmt.Printf("app:           %s (%s scale)\n", b.Name, sc)
+	fmt.Printf("cycles:        %d (%.6f s @ 25 MHz)\n", rep.Cycles(), rep.Seconds())
+	fmt.Printf("instructions:  %d (CPI %.3f)\n", rep.Stats.Instructions, rep.Stats.CPI())
+	fmt.Printf("exit code:     %d  checksum: %#x", rep.ExitCode, rep.Checksum)
+	if want := b.Golden(sc); rep.Checksum == want {
+		fmt.Printf("  (matches golden model)\n")
+	} else {
+		fmt.Printf("  (GOLDEN MISMATCH: want %#x)\n", want)
+	}
+	fmt.Printf("simulated at:  %.1f M instructions/s (%v wall)\n",
+		float64(rep.Stats.Instructions)/1e6/wall.Seconds(), wall.Round(time.Millisecond))
+	if *profile {
+		fmt.Println("\nprofile:")
+		fmt.Println(rep.Stats.String())
+	}
+	if *caches {
+		fmt.Printf("\nicache: %+v\ndcache: %+v\n", rep.ICache, rep.DCache)
+	}
+	if rep.Console != "" {
+		fmt.Printf("\nconsole:\n%s", rep.Console)
+	}
+}

@@ -1,0 +1,59 @@
+// Command paperrepro regenerates the tables and figures of the paper's
+// evaluation on the reproduction's substrate.
+//
+// Usage:
+//
+//	paperrepro [-scale tiny|small|medium|paper] [-workers N] -figure ID
+//	paperrepro -all
+//
+// IDs: figure1 space figure2 figure3 figure4 figure5 figure6 figure7.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"liquidarch/internal/experiments"
+	"liquidarch/internal/workload"
+)
+
+func main() {
+	var (
+		figure  = flag.String("figure", "", "experiment id to regenerate (figure1..figure7, space)")
+		all     = flag.Bool("all", false, "regenerate every table")
+		scale   = flag.String("scale", "small", "workload scale: tiny, small, medium, paper")
+		workers = flag.Int("workers", 0, "parallel measurement runs (0 = NumCPU)")
+	)
+	flag.Parse()
+
+	sc, ok := workload.ParseScale(*scale)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "paperrepro: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	runner := experiments.NewRunner(experiments.Options{Scale: sc, Workers: *workers})
+
+	ids := []string{}
+	switch {
+	case *all:
+		ids = experiments.IDs()
+	case *figure != "":
+		ids = append(ids, *figure)
+	default:
+		fmt.Fprintln(os.Stderr, "paperrepro: pass -figure ID or -all; IDs:", experiments.IDs())
+		os.Exit(2)
+	}
+
+	for _, id := range ids {
+		start := time.Now()
+		table, err := runner.ByID(id)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paperrepro: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Println(table)
+		fmt.Printf("[%s regenerated in %v at scale %s]\n\n", id, time.Since(start).Round(time.Millisecond), sc)
+	}
+}

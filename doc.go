@@ -1,0 +1,15 @@
+// Package liquidarch is a from-scratch Go reproduction of Padmanabhan,
+// Cytron, Chamberlain and Lockwood, "Automatic Application-Specific
+// Microarchitecture Reconfiguration" (IPPS 2006): automatic per-application
+// tuning of a LEON2-like soft-core processor's microarchitecture by
+// one-change-at-a-time cost measurement and constrained Binary Integer
+// Nonlinear Programming.
+//
+// The implementation lives under internal/ (see DESIGN.md for the system
+// inventory); cmd/ holds the tools (autoarch, liquidctl, leonasm,
+// paperrepro), examples/ the runnable scenarios, and bench_test.go the
+// per-figure reproduction benchmarks.
+package liquidarch
+
+// Version identifies the reproduction release.
+const Version = "1.0.0"

@@ -1,0 +1,57 @@
+// Network-processing tradeoff: sweep the paper's objective weights for the
+// two CommBench kernels (DRR scheduling and FRAG fragmentation) and print
+// the runtime-vs-resources frontier an embedded designer would choose
+// from — the scenario the paper's introduction motivates.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"liquidarch/internal/core"
+	"liquidarch/internal/progs"
+	"liquidarch/internal/workload"
+)
+
+func main() {
+	weightings := []core.Weights{
+		{W1: 100, W2: 0}, // pure runtime
+		{W1: 100, W2: 1}, // the paper's runtime optimization
+		{W1: 10, W2: 10}, // balanced
+		{W1: 1, W2: 100}, // the paper's resource optimization
+	}
+
+	for _, app := range []string{"drr", "frag"} {
+		b, _ := progs.ByName(app)
+		tuner := core.NewTuner(workload.Small)
+		model, err := tuner.BuildModel(b)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("=== %s (base %.4f s, %v) ===\n",
+			strings.ToUpper(app), float64(model.BaseCycles)/25e6, model.BaseResources)
+		fmt.Printf("%-12s %-12s %-10s %-8s %s\n", "w1/w2", "runtime(s)", "Δruntime", "BRAM%", "changes")
+		for _, w := range weightings {
+			rec, err := tuner.RecommendFromModel(model, w)
+			if err != nil {
+				log.Fatal(err)
+			}
+			val, err := tuner.Validate(b, model, rec)
+			if err != nil {
+				log.Fatal(err)
+			}
+			changes := strings.Join(rec.Changes, " ")
+			if changes == "" {
+				changes = "(keep base)"
+			}
+			fmt.Printf("%-12s %-12.4f %-10s %-8d %s\n",
+				fmt.Sprintf("%g/%g", w.W1, w.W2),
+				float64(val.Cycles)/25e6,
+				fmt.Sprintf("%+.2f%%", val.RuntimePct),
+				val.Resources.BRAMPercent(),
+				changes)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,49 @@
+// Quickstart: run one of the paper's benchmarks on the out-of-the-box
+// LEON2 configuration and read its cycle-accurate profile — the minimal
+// use of the platform (paper Section 2).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"liquidarch/internal/config"
+	"liquidarch/internal/fpga"
+	"liquidarch/internal/platform"
+	"liquidarch/internal/progs"
+	"liquidarch/internal/workload"
+)
+
+func main() {
+	// Pick the application and workload size.
+	blastn, _ := progs.ByName("blastn")
+	prog, err := blastn.Assemble(workload.Small)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The base configuration is the paper's starting point.
+	cfg := config.Default()
+	res := fpga.MustSynthesize(cfg)
+	fmt.Printf("base configuration synthesizes to %v\n", res)
+
+	// Execute directly on the simulated processor (no OS), exactly as the
+	// paper runs its benchmarks, and read the hardware profiler.
+	rep, err := platform.Run(prog, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("BLASTN: %d cycles = %.4f s at 25 MHz (CPI %.3f)\n",
+		rep.Cycles(), rep.Seconds(), rep.Stats.CPI())
+	fmt.Printf("result checksum %#x (golden model: %#x)\n",
+		rep.Checksum, blastn.Golden(workload.Small))
+
+	// Any Figure 1 parameter can be changed before a run.
+	cfg.DCache.SetSizeKB = 32
+	rep32, err := platform.Run(prog, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gain := 100 * (float64(rep.Cycles()) - float64(rep32.Cycles())) / float64(rep.Cycles())
+	fmt.Printf("with a 32 KB dcache: %d cycles (%.2f%% faster)\n", rep32.Cycles(), gain)
+}

@@ -1,0 +1,338 @@
+// Package asm is a two-pass assembler for the SPARC V8 subset of package
+// isa. It supports the classic SPARC assembly dialect the paper's
+// benchmarks would have been written in: sections (.text/.data), labels,
+// data directives (.word/.half/.byte/.space/.align/.ascii/.asciz/.equ),
+// %hi/%lo relocations, branch annul suffixes (",a"), and the standard
+// pseudo-instructions (set, mov, cmp, tst, clr, inc, dec, neg, not, nop,
+// ret, retl, jmp, b, halt).
+//
+// Delay slots are the programmer's responsibility, as on real SPARC.
+package asm
+
+import (
+	"fmt"
+	"strings"
+
+	"liquidarch/internal/mem"
+)
+
+// Program is the result of assembling a source file.
+type Program struct {
+	// TextBase is the load address of the first instruction.
+	TextBase uint32
+	// Text holds the encoded instruction words.
+	Text []uint32
+	// DataBase is the load address of the data image (after text,
+	// 64-byte aligned).
+	DataBase uint32
+	// Data is the initialised data image.
+	Data []byte
+	// Entry is the execution entry point: the `start` symbol if defined,
+	// otherwise TextBase.
+	Entry uint32
+	// Symbols maps every label and .equ constant to its value.
+	Symbols map[string]uint32
+}
+
+// TextWords returns the number of instruction words.
+func (p *Program) TextWords() int { return len(p.Text) }
+
+// Load writes the text and data images into memory.
+func (p *Program) Load(m *mem.Memory) error {
+	for i, w := range p.Text {
+		if err := m.Write32(p.TextBase+uint32(i)*4, w); err != nil {
+			return fmt.Errorf("asm: loading text word %d: %w", i, err)
+		}
+	}
+	if len(p.Data) > 0 {
+		if err := m.LoadImage(p.DataBase, p.Data); err != nil {
+			return fmt.Errorf("asm: loading data image: %w", err)
+		}
+	}
+	return nil
+}
+
+// Options configures assembly.
+type Options struct {
+	// TextBase is the load address of the text section; defaults to the
+	// base of RAM.
+	TextBase uint32
+	// DataAlign aligns the start of the data section; defaults to 64.
+	DataAlign uint32
+}
+
+// Assemble assembles src with default options.
+func Assemble(src string) (*Program, error) {
+	return AssembleWith(src, Options{})
+}
+
+const (
+	secText = iota
+	secData
+)
+
+// item is one instruction or data directive scheduled for pass 2.
+type item struct {
+	line     int
+	section  int
+	offset   uint32 // offset within its section
+	mnemonic string
+	annul    bool
+	operands [][]token
+	size     uint32
+}
+
+type assembler struct {
+	opts     Options
+	symbols  map[string]uint32
+	equs     map[string]int64
+	textOff  uint32
+	dataOff  uint32
+	items    []item
+	dataBase uint32
+}
+
+// AssembleWith assembles src with explicit options.
+func AssembleWith(src string, opts Options) (*Program, error) {
+	if opts.TextBase == 0 {
+		opts.TextBase = mem.RAMBase
+	}
+	if opts.TextBase%4 != 0 {
+		return nil, fmt.Errorf("asm: text base %#x not word aligned", opts.TextBase)
+	}
+	if opts.DataAlign == 0 {
+		opts.DataAlign = 64
+	}
+	a := &assembler{
+		opts:    opts,
+		symbols: make(map[string]uint32),
+		equs:    make(map[string]int64),
+	}
+	// symbolSection remembers which section each label was defined in so
+	// addresses can be fixed up once section bases are known.
+	symSection := make(map[string]int)
+
+	// ---- Pass 1: sizing, label collection ----
+	lines := strings.Split(src, "\n")
+	section := secText
+	for ln, raw := range lines {
+		lineNo := ln + 1
+		toks, err := tokenize(raw)
+		if err != nil {
+			return nil, fmt.Errorf("asm: line %d: %v", lineNo, err)
+		}
+		// Labels: ident ':' (repeatable).
+		for len(toks) >= 2 && toks[0].kind == tokIdent && toks[1].kind == tokPunct && toks[1].s == ":" {
+			name := toks[0].s
+			if _, dup := a.symbols[name]; dup {
+				return nil, fmt.Errorf("asm: line %d: duplicate label %q", lineNo, name)
+			}
+			if _, dup := a.equs[name]; dup {
+				return nil, fmt.Errorf("asm: line %d: label %q collides with .equ", lineNo, name)
+			}
+			a.symbols[name] = a.offsetIn(section)
+			symSection[name] = section
+			toks = toks[2:]
+		}
+		if len(toks) == 0 {
+			continue
+		}
+		if toks[0].kind != tokIdent {
+			return nil, fmt.Errorf("asm: line %d: expected mnemonic or directive, got %s", lineNo, toks[0])
+		}
+		mnemonic := strings.ToLower(toks[0].s)
+		rest := toks[1:]
+
+		// Branch annul suffix: "be,a target".
+		annul := false
+		if len(rest) >= 2 && rest[0].kind == tokPunct && rest[0].s == "," &&
+			rest[1].kind == tokIdent && strings.EqualFold(rest[1].s, "a") && isBranchMnemonic(mnemonic) {
+			annul = true
+			rest = rest[2:]
+		}
+		operands := splitOperands(rest)
+
+		switch mnemonic {
+		case ".text":
+			section = secText
+			continue
+		case ".data":
+			section = secData
+			continue
+		case ".global", ".globl":
+			continue // labels are all visible; accepted for compatibility
+		case ".equ":
+			if len(operands) != 2 || len(operands[0]) != 1 || operands[0][0].kind != tokIdent {
+				return nil, fmt.Errorf("asm: line %d: .equ needs `name, value`", lineNo)
+			}
+			v, err := a.evalConst(operands[1])
+			if err != nil {
+				return nil, fmt.Errorf("asm: line %d: .equ value: %v", lineNo, err)
+			}
+			name := operands[0][0].s
+			if _, dup := a.equs[name]; dup {
+				return nil, fmt.Errorf("asm: line %d: duplicate .equ %q", lineNo, name)
+			}
+			a.equs[name] = v
+			continue
+		}
+
+		size, err := a.sizeOf(mnemonic, operands, section)
+		if err != nil {
+			return nil, fmt.Errorf("asm: line %d: %v", lineNo, err)
+		}
+		a.items = append(a.items, item{
+			line: lineNo, section: section, offset: a.offsetIn(section),
+			mnemonic: mnemonic, annul: annul, operands: operands, size: size,
+		})
+		a.addSize(section, size)
+	}
+
+	if a.textOff%4 != 0 {
+		return nil, fmt.Errorf("asm: text section size %d not a multiple of 4", a.textOff)
+	}
+
+	// Fix up symbol addresses now that section bases are known.
+	align := a.opts.DataAlign
+	a.dataBase = (a.opts.TextBase + a.textOff + align - 1) &^ (align - 1)
+	for name, off := range a.symbols {
+		if symSection[name] == secText {
+			a.symbols[name] = a.opts.TextBase + off
+		} else {
+			a.symbols[name] = a.dataBase + off
+		}
+	}
+	for name, v := range a.equs {
+		if _, dup := a.symbols[name]; dup {
+			return nil, fmt.Errorf("asm: .equ %q collides with a label", name)
+		}
+		a.symbols[name] = uint32(v)
+	}
+
+	// ---- Pass 2: emission ----
+	prog := &Program{
+		TextBase: a.opts.TextBase,
+		Text:     make([]uint32, a.textOff/4),
+		DataBase: a.dataBase,
+		Data:     make([]byte, a.dataOff),
+		Symbols:  a.symbols,
+	}
+	for i := range a.items {
+		it := &a.items[i]
+		if err := a.emit(prog, it); err != nil {
+			return nil, fmt.Errorf("asm: line %d: %v", it.line, err)
+		}
+	}
+	prog.Entry = prog.TextBase
+	if e, ok := a.symbols["start"]; ok {
+		prog.Entry = e
+	}
+	return prog, nil
+}
+
+func (a *assembler) offsetIn(section int) uint32 {
+	if section == secText {
+		return a.textOff
+	}
+	return a.dataOff
+}
+
+func (a *assembler) addSize(section int, n uint32) {
+	if section == secText {
+		a.textOff += n
+	} else {
+		a.dataOff += n
+	}
+}
+
+// sizeOf computes the byte size an item will occupy (pass 1).
+func (a *assembler) sizeOf(mnemonic string, operands [][]token, section int) (uint32, error) {
+	switch mnemonic {
+	case ".word", ".half", ".byte", ".space", ".skip", ".ascii", ".asciz":
+		if section == secText {
+			return 0, fmt.Errorf("%s is only allowed in the data section", mnemonic)
+		}
+	}
+	switch mnemonic {
+	case ".word":
+		return uint32(4 * max(1, len(operands))), nil
+	case ".half":
+		return uint32(2 * max(1, len(operands))), nil
+	case ".byte":
+		return uint32(max(1, len(operands))), nil
+	case ".space", ".skip":
+		if len(operands) < 1 {
+			return 0, fmt.Errorf(".space needs a size")
+		}
+		v, err := a.evalConst(operands[0])
+		if err != nil {
+			return 0, fmt.Errorf(".space size: %v", err)
+		}
+		if v < 0 || v > 1<<24 {
+			return 0, fmt.Errorf(".space size %d out of range", v)
+		}
+		return uint32(v), nil
+	case ".align":
+		if len(operands) != 1 {
+			return 0, fmt.Errorf(".align needs an alignment")
+		}
+		v, err := a.evalConst(operands[0])
+		if err != nil {
+			return 0, err
+		}
+		if v <= 0 || v&(v-1) != 0 {
+			return 0, fmt.Errorf(".align %d not a power of two", v)
+		}
+		off := a.offsetIn(section)
+		pad := (uint32(v) - off%uint32(v)) % uint32(v)
+		if section == secText && pad%4 != 0 {
+			return 0, fmt.Errorf(".align %d in text not word-aligned", v)
+		}
+		return pad, nil
+	case ".ascii", ".asciz":
+		if len(operands) != 1 || len(operands[0]) != 1 || operands[0][0].kind != tokStr {
+			return 0, fmt.Errorf("%s needs one string", mnemonic)
+		}
+		n := uint32(len(operands[0][0].s))
+		if mnemonic == ".asciz" {
+			n++
+		}
+		return n, nil
+	}
+	if strings.HasPrefix(mnemonic, ".") {
+		return 0, fmt.Errorf("unknown directive %s", mnemonic)
+	}
+	if section != secText {
+		return 0, fmt.Errorf("instruction %s in data section", mnemonic)
+	}
+	words, ok := instrWords(mnemonic)
+	if !ok {
+		return 0, fmt.Errorf("unknown instruction %s", mnemonic)
+	}
+	return words * 4, nil
+}
+
+// evalConst evaluates an expression using only .equ constants (pass 1).
+func (a *assembler) evalConst(toks []token) (int64, error) {
+	return evalExpr(toks, func(name string) (int64, bool) {
+		v, ok := a.equs[name]
+		return v, ok
+	})
+}
+
+// evalSym evaluates an expression with the full symbol table (pass 2).
+func (a *assembler) evalSym(toks []token) (int64, error) {
+	return evalExpr(toks, func(name string) (int64, bool) {
+		if v, ok := a.symbols[name]; ok {
+			return int64(v), true
+		}
+		return 0, false
+	})
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,533 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"liquidarch/internal/isa"
+	"liquidarch/internal/mem"
+)
+
+func assemble(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	return p
+}
+
+func decodeAt(t *testing.T, p *Program, i int) isa.Instr {
+	t.Helper()
+	in, err := isa.Decode(p.Text[i])
+	if err != nil {
+		t.Fatalf("decode word %d (%#08x): %v", i, p.Text[i], err)
+	}
+	return in
+}
+
+func TestSimpleInstructionForms(t *testing.T) {
+	p := assemble(t, `
+start:
+        add     %g1, %g2, %g3
+        add     %g1, 42, %g3
+        sub     %o0, -5, %o1
+        sll     %l0, 3, %l1
+        umul    %i0, %i1, %i2
+        ld      [%g1], %g2
+        ld      [%g1+8], %g2
+        ld      [%g1-4], %g2
+        ld      [%g1+%g2], %g3
+        st      %g2, [%g1+12]
+        ldub    [%fp-1], %o0
+        halt
+`)
+	checks := []isa.Instr{
+		{Op: isa.OpAdd, Rd: 3, Rs1: 1, Rs2: 2},
+		{Op: isa.OpAdd, Rd: 3, Rs1: 1, UseImm: true, Imm: 42},
+		{Op: isa.OpSub, Rd: 9, Rs1: 8, UseImm: true, Imm: -5},
+		{Op: isa.OpSll, Rd: 17, Rs1: 16, UseImm: true, Imm: 3},
+		{Op: isa.OpUMul, Rd: 26, Rs1: 24, Rs2: 25},
+		{Op: isa.OpLd, Rd: 2, Rs1: 1, UseImm: true, Imm: 0},
+		{Op: isa.OpLd, Rd: 2, Rs1: 1, UseImm: true, Imm: 8},
+		{Op: isa.OpLd, Rd: 2, Rs1: 1, UseImm: true, Imm: -4},
+		{Op: isa.OpLd, Rd: 3, Rs1: 1, Rs2: 2},
+		{Op: isa.OpSt, Rd: 2, Rs1: 1, UseImm: true, Imm: 12},
+		{Op: isa.OpLdUB, Rd: 8, Rs1: 30, UseImm: true, Imm: -1},
+		{Op: isa.OpTicc, Cond: isa.CondA, UseImm: true, Imm: 0},
+	}
+	if len(p.Text) != len(checks) {
+		t.Fatalf("text words = %d, want %d", len(p.Text), len(checks))
+	}
+	for i, want := range checks {
+		if got := decodeAt(t, p, i); got != want {
+			t.Errorf("instr %d:\n got %+v\nwant %+v", i, got, want)
+		}
+	}
+}
+
+func TestPseudoOps(t *testing.T) {
+	p := assemble(t, `
+        mov     7, %g1
+        mov     %g2, %g3
+        cmp     %g1, 10
+        tst     %g4
+        clr     %g5
+        inc     %g6
+        dec     2, %g7
+        neg     %o0
+        not     %o1, %o2
+        ret
+        retl
+        nop
+`)
+	checks := []isa.Instr{
+		{Op: isa.OpOr, Rd: 1, Rs1: 0, UseImm: true, Imm: 7},
+		{Op: isa.OpOr, Rd: 3, Rs1: 0, Rs2: 2},
+		{Op: isa.OpSubCC, Rd: 0, Rs1: 1, UseImm: true, Imm: 10},
+		{Op: isa.OpOrCC, Rd: 0, Rs1: 0, Rs2: 4},
+		{Op: isa.OpOr, Rd: 5, Rs1: 0, Rs2: 0},
+		{Op: isa.OpAdd, Rd: 6, Rs1: 6, UseImm: true, Imm: 1},
+		{Op: isa.OpSub, Rd: 7, Rs1: 7, UseImm: true, Imm: 2},
+		{Op: isa.OpSub, Rd: 8, Rs1: 0, Rs2: 8},
+		{Op: isa.OpXnor, Rd: 10, Rs1: 9, Rs2: 0},
+		{Op: isa.OpJmpl, Rd: 0, Rs1: isa.RegI7, UseImm: true, Imm: 8},
+		{Op: isa.OpJmpl, Rd: 0, Rs1: isa.RegO7, UseImm: true, Imm: 8},
+		{Op: isa.OpSethi, Rd: 0, Imm: 0},
+	}
+	for i, want := range checks {
+		if got := decodeAt(t, p, i); got != want {
+			t.Errorf("instr %d:\n got %+v\nwant %+v", i, got, want)
+		}
+	}
+}
+
+func TestSetExpandsToSethiOr(t *testing.T) {
+	p := assemble(t, `
+        set     0x40001234, %g1
+        set     5, %g2
+`)
+	if len(p.Text) != 4 {
+		t.Fatalf("set must always expand to 2 words, text=%d", len(p.Text))
+	}
+	in0 := decodeAt(t, p, 0)
+	in1 := decodeAt(t, p, 1)
+	if in0.Op != isa.OpSethi || uint32(in0.Imm) != 0x40001234>>10 {
+		t.Errorf("set hi part wrong: %+v", in0)
+	}
+	if in1.Op != isa.OpOr || in1.Rs1 != 1 || in1.Rd != 1 || uint32(in1.Imm) != 0x40001234&0x3FF {
+		t.Errorf("set lo part wrong: %+v", in1)
+	}
+}
+
+func TestBranchesAndTargets(t *testing.T) {
+	p := assemble(t, `
+start:  cmp     %g1, 0
+        be      done
+        nop
+        ba,a    start
+done:   halt
+`)
+	be := decodeAt(t, p, 1)
+	if be.Op != isa.OpBicc || be.Cond != isa.CondE || be.Annul {
+		t.Errorf("be: %+v", be)
+	}
+	if be.Disp != 3 { // from word 1 to word 4
+		t.Errorf("be disp = %d, want 3", be.Disp)
+	}
+	ba := decodeAt(t, p, 3)
+	if ba.Cond != isa.CondA || !ba.Annul || ba.Disp != -3 {
+		t.Errorf("ba,a: %+v", ba)
+	}
+}
+
+func TestCallAndSymbols(t *testing.T) {
+	p := assemble(t, `
+start:  call    f
+        nop
+        halt
+f:      retl
+        nop
+`)
+	call := decodeAt(t, p, 0)
+	if call.Op != isa.OpCall || call.Disp != 3 {
+		t.Errorf("call: %+v", call)
+	}
+	if got := p.Symbols["f"]; got != p.TextBase+12 {
+		t.Errorf("symbol f = %#x, want %#x", got, p.TextBase+12)
+	}
+	if p.Entry != p.TextBase {
+		t.Errorf("entry = %#x", p.Entry)
+	}
+}
+
+func TestDataDirectivesAndLayout(t *testing.T) {
+	p := assemble(t, `
+        .equ    MAGIC, 0xBEEF
+        .text
+start:  set     table, %g1
+        halt
+        .data
+table:  .word   1, 2, MAGIC
+half:   .half   0x1234, 0x5678
+bytes:  .byte   1, 2, 3
+        .align  4
+aligned: .word  7
+str:    .asciz  "hi\n"
+buf:    .space  16
+end_:   .word   end_
+`)
+	if p.DataBase%64 != 0 {
+		t.Errorf("data base %#x not 64-byte aligned", p.DataBase)
+	}
+	if p.DataBase < p.TextBase+uint32(len(p.Text))*4 {
+		t.Error("data overlaps text")
+	}
+	sym := func(name string) uint32 {
+		v, ok := p.Symbols[name]
+		if !ok {
+			t.Fatalf("symbol %s missing", name)
+		}
+		return v
+	}
+	if sym("table") != p.DataBase {
+		t.Errorf("table at %#x, want data base %#x", sym("table"), p.DataBase)
+	}
+	if sym("half") != p.DataBase+12 {
+		t.Errorf("half at +%d, want +12", sym("half")-p.DataBase)
+	}
+	if sym("bytes") != p.DataBase+16 {
+		t.Errorf("bytes at +%d", sym("bytes")-p.DataBase)
+	}
+	if sym("aligned")%4 != 0 || sym("aligned") != p.DataBase+20 {
+		t.Errorf("aligned at +%d", sym("aligned")-p.DataBase)
+	}
+	// Word content, big-endian.
+	if got := p.Data[8:12]; got[0] != 0 || got[1] != 0 || got[2] != 0xBE || got[3] != 0xEF {
+		t.Errorf("MAGIC word = % x", got)
+	}
+	// Self-referential word: end_ contains its own address.
+	endOff := sym("end_") - p.DataBase
+	got := uint32(p.Data[endOff])<<24 | uint32(p.Data[endOff+1])<<16 |
+		uint32(p.Data[endOff+2])<<8 | uint32(p.Data[endOff+3])
+	if got != sym("end_") {
+		t.Errorf("end_ = %#x, want %#x", got, sym("end_"))
+	}
+	// String content with terminator.
+	strOff := sym("str") - p.DataBase
+	if string(p.Data[strOff:strOff+3]) != "hi\n" || p.Data[strOff+3] != 0 {
+		t.Errorf("asciz = % x", p.Data[strOff:strOff+4])
+	}
+}
+
+func TestHiLoRelocations(t *testing.T) {
+	p := assemble(t, `
+        sethi   %hi(target), %g1
+        or      %g1, %lo(target), %g1
+        halt
+        .data
+        .space  100
+target: .word   0
+`)
+	addr := p.Symbols["target"]
+	hi := decodeAt(t, p, 0)
+	lo := decodeAt(t, p, 1)
+	if uint32(hi.Imm) != addr>>10 {
+		t.Errorf("%%hi = %#x, want %#x", hi.Imm, addr>>10)
+	}
+	if uint32(lo.Imm) != addr&0x3FF {
+		t.Errorf("%%lo = %#x, want %#x", lo.Imm, addr&0x3FF)
+	}
+}
+
+func TestEquAndExpressions(t *testing.T) {
+	p := assemble(t, `
+        .equ    BASE, 0x100
+        .equ    SIZE, 32
+        mov     BASE+SIZE, %g1
+        mov     BASE-SIZE+4, %g2
+        mov     -(SIZE), %g3
+`)
+	if in := decodeAt(t, p, 0); in.Imm != 0x120 {
+		t.Errorf("BASE+SIZE = %d", in.Imm)
+	}
+	if in := decodeAt(t, p, 1); in.Imm != 0x100-32+4 {
+		t.Errorf("BASE-SIZE+4 = %d", in.Imm)
+	}
+	if in := decodeAt(t, p, 2); in.Imm != -32 {
+		t.Errorf("-(SIZE) = %d", in.Imm)
+	}
+}
+
+func TestYRegisterForms(t *testing.T) {
+	p := assemble(t, `
+        wr      %g0, %y
+        wr      %g1, 0, %y
+        rd      %y, %g2
+        mov     %g3, %y
+        mov     %y, %g4
+`)
+	checks := []isa.Instr{
+		{Op: isa.OpWrY, Rs1: 0, UseImm: true, Imm: 0},
+		{Op: isa.OpWrY, Rs1: 1, UseImm: true, Imm: 0},
+		{Op: isa.OpRdY, Rd: 2},
+		{Op: isa.OpWrY, Rs1: 0, Rs2: 3},
+		{Op: isa.OpRdY, Rd: 4},
+	}
+	for i, want := range checks {
+		if got := decodeAt(t, p, i); got != want {
+			t.Errorf("instr %d:\n got %+v\nwant %+v", i, got, want)
+		}
+	}
+}
+
+func TestSaveRestoreForms(t *testing.T) {
+	p := assemble(t, `
+        save    %sp, -96, %sp
+        restore
+        restore %o0, 0, %g1
+`)
+	checks := []isa.Instr{
+		{Op: isa.OpSave, Rd: isa.RegSP, Rs1: isa.RegSP, UseImm: true, Imm: -96},
+		{Op: isa.OpRestore},
+		{Op: isa.OpRestore, Rd: 1, Rs1: 8, UseImm: true, Imm: 0},
+	}
+	for i, want := range checks {
+		if got := decodeAt(t, p, i); got != want {
+			t.Errorf("instr %d:\n got %+v\nwant %+v", i, got, want)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := map[string]string{
+		"dup label":           "x:\nx:\n  nop",
+		"unknown instr":       "  frobnicate %g1",
+		"unknown directive":   "  .bogus 1",
+		"bad operand count":   "  add %g1, %g2",
+		"undefined symbol":    "  mov nothere, %g1",
+		"imm out of range":    "  add %g1, 9999, %g2",
+		"branch bad target":   "  be 0x40000002",
+		"data instr":          "  .data\n  add %g1, %g2, %g3",
+		"word in text":        "  .text\n  .word 5",
+		"space negative":      "  .data\n  .space -4",
+		"align not power":     "  .data\n  .align 3",
+		"equ dup":             "  .equ A, 1\n  .equ A, 2",
+		"label equ collision": "A:\n  nop\n  .equ A, 2",
+		"bad register":        "  add %q1, %g2, %g3",
+		"wr to non-y":         "  wr %g1, %g2",
+		"unterminated string": "  .data\n  .ascii \"abc",
+		"stray characters":    "  add %g1, $, %g2",
+	}
+	for name, src := range cases {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("%s: expected error for:\n%s", name, src)
+		}
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	p := assemble(t, `
+! full line comment
+        nop           ! trailing comment
+        # hash comment
+        nop
+`)
+	if len(p.Text) != 2 {
+		t.Errorf("text = %d words, want 2", len(p.Text))
+	}
+}
+
+func TestLoadIntoMemory(t *testing.T) {
+	p := assemble(t, `
+start:  set     value, %g1
+        ld      [%g1], %g2
+        halt
+        .data
+value:  .word   0xCAFED00D
+`)
+	m := mem.New(1 << 16)
+	if err := p.Load(m); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	w, err := m.Read32(p.TextBase)
+	if err != nil || w != p.Text[0] {
+		t.Errorf("text word 0 in memory = %#x, %v", w, err)
+	}
+	v, err := m.Read32(p.Symbols["value"])
+	if err != nil || v != 0xCAFED00D {
+		t.Errorf("data word = %#x, %v", v, err)
+	}
+}
+
+func TestEntryPointsAtStart(t *testing.T) {
+	p := assemble(t, `
+        nop
+start:  nop
+        halt
+`)
+	if p.Entry != p.TextBase+4 {
+		t.Errorf("entry = %#x, want %#x", p.Entry, p.TextBase+4)
+	}
+}
+
+func TestCustomTextBase(t *testing.T) {
+	p, err := AssembleWith("  nop\n  halt\n", Options{TextBase: mem.RAMBase + 0x1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.TextBase != mem.RAMBase+0x1000 {
+		t.Errorf("text base = %#x", p.TextBase)
+	}
+	if _, err := AssembleWith("  nop\n", Options{TextBase: mem.RAMBase + 2}); err == nil {
+		t.Error("unaligned text base should error")
+	}
+}
+
+func TestLineNumbersInErrors(t *testing.T) {
+	_, err := Assemble("  nop\n  nop\n  frobnicate\n")
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("error should cite line 3: %v", err)
+	}
+}
+
+func TestBranchAnnulOnlyForBranches(t *testing.T) {
+	// ",a" after a non-branch mnemonic must not parse as an annul flag.
+	if _, err := Assemble("  add,a %g1, %g2, %g3\n"); err == nil {
+		t.Error("',a' on add should be rejected")
+	}
+}
+
+func TestAllBranchAliases(t *testing.T) {
+	src := `
+t0: ba t0
+    nop
+    bn t0
+    nop
+    be t0
+    nop
+    bz t0
+    nop
+    bne t0
+    nop
+    bnz t0
+    nop
+    bg t0
+    nop
+    ble t0
+    nop
+    bge t0
+    nop
+    bl t0
+    nop
+    bgu t0
+    nop
+    bleu t0
+    nop
+    bcc t0
+    nop
+    bgeu t0
+    nop
+    bcs t0
+    nop
+    blu t0
+    nop
+    bpos t0
+    nop
+    bneg t0
+    nop
+    bvc t0
+    nop
+    bvs t0
+    nop
+`
+	p := assemble(t, src)
+	conds := []isa.Cond{
+		isa.CondA, isa.CondN, isa.CondE, isa.CondE, isa.CondNE, isa.CondNE,
+		isa.CondG, isa.CondLE, isa.CondGE, isa.CondL, isa.CondGU, isa.CondLEU,
+		isa.CondCC, isa.CondCC, isa.CondCS, isa.CondCS, isa.CondPos, isa.CondNeg,
+		isa.CondVC, isa.CondVS,
+	}
+	for i, want := range conds {
+		in := decodeAt(t, p, i*2)
+		if in.Op != isa.OpBicc || in.Cond != want {
+			t.Errorf("branch %d: %+v, want cond %v", i, in, want)
+		}
+	}
+}
+
+func TestTrapConditionVariants(t *testing.T) {
+	p := assemble(t, "  ta 0\n  te 1\n  tne 2\n  tgu 3\n")
+	conds := []isa.Cond{isa.CondA, isa.CondE, isa.CondNE, isa.CondGU}
+	for i, want := range conds {
+		in := decodeAt(t, p, i)
+		if in.Op != isa.OpTicc || in.Cond != want || in.Imm != int32(i) {
+			t.Errorf("trap %d: %+v", i, in)
+		}
+	}
+}
+
+func TestNegatedAndParenthesisedExpressions(t *testing.T) {
+	p := assemble(t, `
+        .equ    A, 10
+        mov     -(A+2), %g1
+        mov     (A)-(2+3), %g2
+`)
+	if in := decodeAt(t, p, 0); in.Imm != -12 {
+		t.Errorf("-(A+2) = %d", in.Imm)
+	}
+	if in := decodeAt(t, p, 1); in.Imm != 5 {
+		t.Errorf("(A)-(2+3) = %d", in.Imm)
+	}
+}
+
+func TestCharLiterals(t *testing.T) {
+	p := assemble(t, "  mov 'x', %g1\n  mov '\\n', %g2\n")
+	if in := decodeAt(t, p, 0); in.Imm != 'x' {
+		t.Errorf("'x' = %d", in.Imm)
+	}
+	if in := decodeAt(t, p, 1); in.Imm != '\n' {
+		t.Errorf("'\\n' = %d", in.Imm)
+	}
+}
+
+func TestMultipleLabelsOneAddress(t *testing.T) {
+	p := assemble(t, "a: b: c: nop\n")
+	for _, l := range []string{"a", "b", "c"} {
+		if p.Symbols[l] != p.TextBase {
+			t.Errorf("label %s = %#x, want %#x", l, p.Symbols[l], p.TextBase)
+		}
+	}
+}
+
+func TestDataAlignTo64(t *testing.T) {
+	p := assemble(t, `
+        .data
+x:      .byte   1
+        .align  64
+y:      .word   2
+`)
+	if p.Symbols["y"]%64 != 0 {
+		t.Errorf("y at %#x, not 64-aligned", p.Symbols["y"])
+	}
+}
+
+func TestJmpAddressForms(t *testing.T) {
+	p := assemble(t, `
+        jmp     %g1
+        jmp     %g1+8
+        jmp     %g1+%g2
+        jmpl    %g3-4, %o7
+`)
+	checks := []isa.Instr{
+		{Op: isa.OpJmpl, Rd: 0, Rs1: 1, UseImm: true, Imm: 0},
+		{Op: isa.OpJmpl, Rd: 0, Rs1: 1, UseImm: true, Imm: 8},
+		{Op: isa.OpJmpl, Rd: 0, Rs1: 1, Rs2: 2},
+		{Op: isa.OpJmpl, Rd: 15, Rs1: 3, UseImm: true, Imm: -4},
+	}
+	for i, want := range checks {
+		if got := decodeAt(t, p, i); got != want {
+			t.Errorf("jmp %d: %+v want %+v", i, got, want)
+		}
+	}
+}

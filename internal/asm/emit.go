@@ -1,0 +1,596 @@
+package asm
+
+import (
+	"fmt"
+	"strings"
+
+	"liquidarch/internal/isa"
+)
+
+// aluOps maps three-operand ALU mnemonics to opcodes.
+var aluOps = map[string]isa.Opcode{
+	"add": isa.OpAdd, "addcc": isa.OpAddCC,
+	"sub": isa.OpSub, "subcc": isa.OpSubCC,
+	"and": isa.OpAnd, "andcc": isa.OpAndCC,
+	"or": isa.OpOr, "orcc": isa.OpOrCC,
+	"xor": isa.OpXor, "xorcc": isa.OpXorCC,
+	"andn": isa.OpAndN, "orn": isa.OpOrN, "xnor": isa.OpXnor,
+	"sll": isa.OpSll, "srl": isa.OpSrl, "sra": isa.OpSra,
+	"umul": isa.OpUMul, "smul": isa.OpSMul,
+	"umulcc": isa.OpUMulCC, "smulcc": isa.OpSMulCC,
+	"udiv": isa.OpUDiv, "sdiv": isa.OpSDiv,
+	"save": isa.OpSave, "restore": isa.OpRestore,
+}
+
+// loadOps and storeOps map memory mnemonics to opcodes.
+var loadOps = map[string]isa.Opcode{
+	"ld": isa.OpLd, "ldub": isa.OpLdUB, "ldsb": isa.OpLdSB,
+	"lduh": isa.OpLdUH, "ldsh": isa.OpLdSH,
+}
+var storeOps = map[string]isa.Opcode{
+	"st": isa.OpSt, "stb": isa.OpStB, "sth": isa.OpStH,
+}
+
+// branchConds maps branch mnemonics to conditions (with aliases).
+var branchConds = map[string]isa.Cond{
+	"ba": isa.CondA, "b": isa.CondA, "bn": isa.CondN,
+	"be": isa.CondE, "bz": isa.CondE,
+	"bne": isa.CondNE, "bnz": isa.CondNE,
+	"bg": isa.CondG, "ble": isa.CondLE,
+	"bge": isa.CondGE, "bl": isa.CondL,
+	"bgu": isa.CondGU, "bleu": isa.CondLEU,
+	"bcc": isa.CondCC, "bgeu": isa.CondCC,
+	"bcs": isa.CondCS, "blu": isa.CondCS,
+	"bpos": isa.CondPos, "bneg": isa.CondNeg,
+	"bvc": isa.CondVC, "bvs": isa.CondVS,
+}
+
+// trapConds maps trap mnemonics to conditions.
+var trapConds = map[string]isa.Cond{
+	"ta": isa.CondA, "tn": isa.CondN, "te": isa.CondE, "tne": isa.CondNE,
+	"tg": isa.CondG, "tle": isa.CondLE, "tge": isa.CondGE, "tl": isa.CondL,
+	"tgu": isa.CondGU, "tleu": isa.CondLEU, "tcc": isa.CondCC, "tcs": isa.CondCS,
+	"tpos": isa.CondPos, "tneg": isa.CondNeg, "tvc": isa.CondVC, "tvs": isa.CondVS,
+}
+
+// pseudo1 lists single-word pseudo/real mnemonics outside the tables.
+var otherMnemonics = map[string]bool{
+	"sethi": true, "call": true, "jmpl": true, "jmp": true,
+	"ret": true, "retl": true, "nop": true, "halt": true,
+	"mov": true, "cmp": true, "tst": true, "clr": true,
+	"inc": true, "dec": true, "neg": true, "not": true,
+	"rd": true, "wr": true,
+}
+
+func isBranchMnemonic(m string) bool {
+	_, ok := branchConds[m]
+	return ok
+}
+
+// instrWords returns the number of instruction words a mnemonic expands to.
+func instrWords(m string) (uint32, bool) {
+	if m == "set" {
+		return 2, true
+	}
+	if _, ok := aluOps[m]; ok {
+		return 1, true
+	}
+	if _, ok := loadOps[m]; ok {
+		return 1, true
+	}
+	if _, ok := storeOps[m]; ok {
+		return 1, true
+	}
+	if _, ok := branchConds[m]; ok {
+		return 1, true
+	}
+	if _, ok := trapConds[m]; ok {
+		return 1, true
+	}
+	if otherMnemonics[m] {
+		return 1, true
+	}
+	return 0, false
+}
+
+// parseReg expects a single register token.
+func parseReg(op []token) (uint8, error) {
+	if len(op) != 1 || op[0].kind != tokPct {
+		return 0, fmt.Errorf("expected register, got %q", tokensString(op))
+	}
+	return isa.ParseReg(op[0].s)
+}
+
+func isRegToken(op []token) bool {
+	if len(op) != 1 || op[0].kind != tokPct {
+		return false
+	}
+	_, err := isa.ParseReg(op[0].s)
+	return err == nil
+}
+
+// parseRegOrImm resolves the reg-or-immediate second ALU operand.
+func (a *assembler) parseRegOrImm(op []token) (rs2 uint8, imm int32, useImm bool, err error) {
+	if isRegToken(op) {
+		r, err := isa.ParseReg(op[0].s)
+		return r, 0, false, err
+	}
+	v, err := a.evalSym(op)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	return 0, int32(v), true, nil
+}
+
+// parseAddress parses `%reg`, `%reg + expr`, `%reg - expr` or
+// `%reg + %reg` (no brackets).
+func (a *assembler) parseAddress(op []token) (rs1, rs2 uint8, imm int32, useImm bool, err error) {
+	if len(op) == 0 || op[0].kind != tokPct {
+		return 0, 0, 0, false, fmt.Errorf("address must start with a register")
+	}
+	rs1, err = isa.ParseReg(op[0].s)
+	if err != nil {
+		return 0, 0, 0, false, err
+	}
+	rest := op[1:]
+	if len(rest) == 0 {
+		return rs1, 0, 0, true, nil // [%reg] == [%reg + 0]
+	}
+	if rest[0].kind != tokPunct || (rest[0].s != "+" && rest[0].s != "-") {
+		return 0, 0, 0, false, fmt.Errorf("expected + or - in address")
+	}
+	if rest[0].s == "+" && isRegToken(rest[1:]) {
+		rs2, err = isa.ParseReg(rest[1].s)
+		return rs1, rs2, 0, false, err
+	}
+	v, err := a.evalSym(rest[1:])
+	if err != nil {
+		return 0, 0, 0, false, err
+	}
+	if rest[0].s == "-" {
+		v = -v
+	}
+	return rs1, 0, int32(v), true, nil
+}
+
+// parseMem parses a bracketed memory operand.
+func (a *assembler) parseMem(op []token) (rs1, rs2 uint8, imm int32, useImm bool, err error) {
+	if len(op) < 3 || op[0].kind != tokPunct || op[0].s != "[" ||
+		op[len(op)-1].kind != tokPunct || op[len(op)-1].s != "]" {
+		return 0, 0, 0, false, fmt.Errorf("expected [address], got %q", tokensString(op))
+	}
+	return a.parseAddress(op[1 : len(op)-1])
+}
+
+func tokensString(toks []token) string {
+	parts := make([]string, len(toks))
+	for i, t := range toks {
+		parts[i] = t.String()
+	}
+	return strings.Join(parts, " ")
+}
+
+// emit assembles one item into the program image (pass 2).
+func (a *assembler) emit(prog *Program, it *item) error {
+	if strings.HasPrefix(it.mnemonic, ".") {
+		return a.emitDirective(prog, it)
+	}
+	instrs, err := a.assembleInstr(it)
+	if err != nil {
+		return err
+	}
+	if uint32(len(instrs))*4 != it.size {
+		return fmt.Errorf("internal: %s sized %d bytes but expanded to %d instructions", it.mnemonic, it.size, len(instrs))
+	}
+	for k, in := range instrs {
+		w, err := isa.Encode(in)
+		if err != nil {
+			return fmt.Errorf("%s: %v", it.mnemonic, err)
+		}
+		prog.Text[int(it.offset/4)+k] = w
+	}
+	return nil
+}
+
+func (a *assembler) emitDirective(prog *Program, it *item) error {
+	put8 := func(off uint32, v uint8) {
+		prog.Data[off] = v
+	}
+	switch it.mnemonic {
+	case ".word":
+		for i, op := range it.operands {
+			v, err := a.evalSym(op)
+			if err != nil {
+				return fmt.Errorf(".word: %v", err)
+			}
+			off := it.offset + uint32(i*4)
+			u := uint32(v)
+			put8(off, uint8(u>>24))
+			put8(off+1, uint8(u>>16))
+			put8(off+2, uint8(u>>8))
+			put8(off+3, uint8(u))
+		}
+	case ".half":
+		for i, op := range it.operands {
+			v, err := a.evalSym(op)
+			if err != nil {
+				return fmt.Errorf(".half: %v", err)
+			}
+			off := it.offset + uint32(i*2)
+			put8(off, uint8(uint32(v)>>8))
+			put8(off+1, uint8(v))
+		}
+	case ".byte":
+		for i, op := range it.operands {
+			v, err := a.evalSym(op)
+			if err != nil {
+				return fmt.Errorf(".byte: %v", err)
+			}
+			put8(it.offset+uint32(i), uint8(v))
+		}
+	case ".ascii", ".asciz":
+		s := it.operands[0][0].s
+		for i := 0; i < len(s); i++ {
+			put8(it.offset+uint32(i), s[i])
+		}
+		if it.mnemonic == ".asciz" {
+			put8(it.offset+uint32(len(s)), 0)
+		}
+	case ".space", ".skip":
+		// Zero-initialised by construction.
+	case ".align":
+		if it.section == secText {
+			// Pad with NOPs.
+			for k := uint32(0); k < it.size; k += 4 {
+				prog.Text[(it.offset+k)/4] = isa.NopWord
+			}
+		}
+	default:
+		return fmt.Errorf("unknown directive %s", it.mnemonic)
+	}
+	return nil
+}
+
+// assembleInstr expands one mnemonic into concrete instructions.
+func (a *assembler) assembleInstr(it *item) ([]isa.Instr, error) {
+	pc := a.opts.TextBase + it.offset
+	ops := it.operands
+	need := func(n int) error {
+		if len(ops) != n {
+			return fmt.Errorf("%s needs %d operands, got %d", it.mnemonic, n, len(ops))
+		}
+		return nil
+	}
+	one := func(in isa.Instr) ([]isa.Instr, error) { return []isa.Instr{in}, nil }
+
+	if op, ok := aluOps[it.mnemonic]; ok {
+		// restore may be bare.
+		if op == isa.OpRestore && len(ops) == 0 {
+			return one(isa.Instr{Op: op, Rd: 0, Rs1: 0, Rs2: 0})
+		}
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		rs1, err := parseReg(ops[0])
+		if err != nil {
+			return nil, err
+		}
+		rs2, imm, useImm, err := a.parseRegOrImm(ops[1])
+		if err != nil {
+			return nil, err
+		}
+		rd, err := parseReg(ops[2])
+		if err != nil {
+			return nil, err
+		}
+		return one(isa.Instr{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2, Imm: imm, UseImm: useImm})
+	}
+
+	if op, ok := loadOps[it.mnemonic]; ok {
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rs1, rs2, imm, useImm, err := a.parseMem(ops[0])
+		if err != nil {
+			return nil, err
+		}
+		rd, err := parseReg(ops[1])
+		if err != nil {
+			return nil, err
+		}
+		return one(isa.Instr{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2, Imm: imm, UseImm: useImm})
+	}
+
+	if op, ok := storeOps[it.mnemonic]; ok {
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := parseReg(ops[0])
+		if err != nil {
+			return nil, err
+		}
+		rs1, rs2, imm, useImm, err := a.parseMem(ops[1])
+		if err != nil {
+			return nil, err
+		}
+		return one(isa.Instr{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2, Imm: imm, UseImm: useImm})
+	}
+
+	if cond, ok := branchConds[it.mnemonic]; ok {
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		target, err := a.evalSym(ops[0])
+		if err != nil {
+			return nil, err
+		}
+		delta := int64(target) - int64(pc)
+		if delta%4 != 0 {
+			return nil, fmt.Errorf("branch target %#x not word aligned", target)
+		}
+		return one(isa.Instr{Op: isa.OpBicc, Cond: cond, Annul: it.annul, Disp: int32(delta / 4)})
+	}
+
+	if cond, ok := trapConds[it.mnemonic]; ok {
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		v, err := a.evalSym(ops[0])
+		if err != nil {
+			return nil, err
+		}
+		return one(isa.Instr{Op: isa.OpTicc, Cond: cond, Rs1: 0, UseImm: true, Imm: int32(v)})
+	}
+
+	switch it.mnemonic {
+	case "sethi":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		v, err := a.evalSym(ops[0])
+		if err != nil {
+			return nil, err
+		}
+		rd, err := parseReg(ops[1])
+		if err != nil {
+			return nil, err
+		}
+		return one(isa.Instr{Op: isa.OpSethi, Rd: rd, Imm: int32(v)})
+
+	case "set":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		v, err := a.evalSym(ops[0])
+		if err != nil {
+			return nil, err
+		}
+		rd, err := parseReg(ops[1])
+		if err != nil {
+			return nil, err
+		}
+		u := uint32(v)
+		return []isa.Instr{
+			{Op: isa.OpSethi, Rd: rd, Imm: int32(u >> 10)},
+			{Op: isa.OpOr, Rd: rd, Rs1: rd, UseImm: true, Imm: int32(u & 0x3FF)},
+		}, nil
+
+	case "call":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		target, err := a.evalSym(ops[0])
+		if err != nil {
+			return nil, err
+		}
+		delta := int64(target) - int64(pc)
+		if delta%4 != 0 {
+			return nil, fmt.Errorf("call target %#x not word aligned", target)
+		}
+		return one(isa.Instr{Op: isa.OpCall, Disp: int32(delta / 4)})
+
+	case "jmpl":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rs1, rs2, imm, useImm, err := a.parseAddress(ops[0])
+		if err != nil {
+			return nil, err
+		}
+		rd, err := parseReg(ops[1])
+		if err != nil {
+			return nil, err
+		}
+		return one(isa.Instr{Op: isa.OpJmpl, Rd: rd, Rs1: rs1, Rs2: rs2, Imm: imm, UseImm: useImm})
+
+	case "jmp":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		rs1, rs2, imm, useImm, err := a.parseAddress(ops[0])
+		if err != nil {
+			return nil, err
+		}
+		return one(isa.Instr{Op: isa.OpJmpl, Rd: 0, Rs1: rs1, Rs2: rs2, Imm: imm, UseImm: useImm})
+
+	case "ret":
+		if len(ops) != 0 {
+			return nil, fmt.Errorf("ret takes no operands")
+		}
+		return one(isa.Instr{Op: isa.OpJmpl, Rd: 0, Rs1: isa.RegI7, UseImm: true, Imm: 8})
+
+	case "retl":
+		if len(ops) != 0 {
+			return nil, fmt.Errorf("retl takes no operands")
+		}
+		return one(isa.Instr{Op: isa.OpJmpl, Rd: 0, Rs1: isa.RegO7, UseImm: true, Imm: 8})
+
+	case "nop":
+		return one(isa.Instr{Op: isa.OpSethi, Rd: 0, Imm: 0})
+
+	case "halt":
+		return one(isa.Instr{Op: isa.OpTicc, Cond: isa.CondA, Rs1: 0, UseImm: true, Imm: 0})
+
+	case "mov":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		// mov to %y is a wr; mov from %y is a rd.
+		if len(ops[1]) == 1 && ops[1][0].kind == tokPct && ops[1][0].s == "y" {
+			rs2, imm, useImm, err := a.parseRegOrImm(ops[0])
+			if err != nil {
+				return nil, err
+			}
+			return one(isa.Instr{Op: isa.OpWrY, Rs1: 0, Rs2: rs2, Imm: imm, UseImm: useImm})
+		}
+		if len(ops[0]) == 1 && ops[0][0].kind == tokPct && ops[0][0].s == "y" {
+			rd, err := parseReg(ops[1])
+			if err != nil {
+				return nil, err
+			}
+			return one(isa.Instr{Op: isa.OpRdY, Rd: rd})
+		}
+		rs2, imm, useImm, err := a.parseRegOrImm(ops[0])
+		if err != nil {
+			return nil, err
+		}
+		rd, err := parseReg(ops[1])
+		if err != nil {
+			return nil, err
+		}
+		return one(isa.Instr{Op: isa.OpOr, Rd: rd, Rs1: 0, Rs2: rs2, Imm: imm, UseImm: useImm})
+
+	case "cmp":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rs1, err := parseReg(ops[0])
+		if err != nil {
+			return nil, err
+		}
+		rs2, imm, useImm, err := a.parseRegOrImm(ops[1])
+		if err != nil {
+			return nil, err
+		}
+		return one(isa.Instr{Op: isa.OpSubCC, Rd: 0, Rs1: rs1, Rs2: rs2, Imm: imm, UseImm: useImm})
+
+	case "tst":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		rs, err := parseReg(ops[0])
+		if err != nil {
+			return nil, err
+		}
+		return one(isa.Instr{Op: isa.OpOrCC, Rd: 0, Rs1: 0, Rs2: rs})
+
+	case "clr":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		if len(ops[0]) > 0 && ops[0][0].kind == tokPunct && ops[0][0].s == "[" {
+			rs1, rs2, imm, useImm, err := a.parseMem(ops[0])
+			if err != nil {
+				return nil, err
+			}
+			return one(isa.Instr{Op: isa.OpSt, Rd: 0, Rs1: rs1, Rs2: rs2, Imm: imm, UseImm: useImm})
+		}
+		rd, err := parseReg(ops[0])
+		if err != nil {
+			return nil, err
+		}
+		return one(isa.Instr{Op: isa.OpOr, Rd: rd, Rs1: 0, Rs2: 0})
+
+	case "inc", "dec":
+		if len(ops) != 1 && len(ops) != 2 {
+			return nil, fmt.Errorf("%s needs 1 or 2 operands", it.mnemonic)
+		}
+		var amount int32 = 1
+		regOp := ops[len(ops)-1]
+		if len(ops) == 2 {
+			v, err := a.evalSym(ops[0])
+			if err != nil {
+				return nil, err
+			}
+			amount = int32(v)
+		}
+		rd, err := parseReg(regOp)
+		if err != nil {
+			return nil, err
+		}
+		op := isa.OpAdd
+		if it.mnemonic == "dec" {
+			op = isa.OpSub
+		}
+		return one(isa.Instr{Op: op, Rd: rd, Rs1: rd, UseImm: true, Imm: amount})
+
+	case "neg":
+		if len(ops) != 1 && len(ops) != 2 {
+			return nil, fmt.Errorf("neg needs 1 or 2 operands")
+		}
+		rs, err := parseReg(ops[0])
+		if err != nil {
+			return nil, err
+		}
+		rd := rs
+		if len(ops) == 2 {
+			if rd, err = parseReg(ops[1]); err != nil {
+				return nil, err
+			}
+		}
+		return one(isa.Instr{Op: isa.OpSub, Rd: rd, Rs1: 0, Rs2: rs})
+
+	case "not":
+		if len(ops) != 1 && len(ops) != 2 {
+			return nil, fmt.Errorf("not needs 1 or 2 operands")
+		}
+		rs, err := parseReg(ops[0])
+		if err != nil {
+			return nil, err
+		}
+		rd := rs
+		if len(ops) == 2 {
+			if rd, err = parseReg(ops[1]); err != nil {
+				return nil, err
+			}
+		}
+		return one(isa.Instr{Op: isa.OpXnor, Rd: rd, Rs1: rs, Rs2: 0})
+
+	case "rd":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		if len(ops[0]) != 1 || ops[0][0].kind != tokPct || ops[0][0].s != "y" {
+			return nil, fmt.Errorf("rd reads %%y only")
+		}
+		rdReg, err := parseReg(ops[1])
+		if err != nil {
+			return nil, err
+		}
+		return one(isa.Instr{Op: isa.OpRdY, Rd: rdReg})
+
+	case "wr":
+		if len(ops) != 2 && len(ops) != 3 {
+			return nil, fmt.Errorf("wr needs 2 or 3 operands")
+		}
+		last := ops[len(ops)-1]
+		if len(last) != 1 || last[0].kind != tokPct || last[0].s != "y" {
+			return nil, fmt.Errorf("wr writes %%y only")
+		}
+		rs1, err := parseReg(ops[0])
+		if err != nil {
+			return nil, err
+		}
+		in := isa.Instr{Op: isa.OpWrY, Rs1: rs1, UseImm: true, Imm: 0}
+		if len(ops) == 3 {
+			rs2, imm, useImm, err := a.parseRegOrImm(ops[1])
+			if err != nil {
+				return nil, err
+			}
+			in.Rs2, in.Imm, in.UseImm = rs2, imm, useImm
+		}
+		return one(in)
+	}
+
+	return nil, fmt.Errorf("unknown instruction %s", it.mnemonic)
+}

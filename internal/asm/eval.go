@@ -1,0 +1,120 @@
+package asm
+
+import "fmt"
+
+// evalExpr evaluates an integer expression over tokens:
+//
+//	expr := term (('+'|'-') term)*
+//	term := number | ident | '-' term | '(' expr ')' | %hi(expr) | %lo(expr)
+//
+// lookup resolves identifiers (labels or .equ constants).
+func evalExpr(toks []token, lookup func(string) (int64, bool)) (int64, error) {
+	p := &exprParser{toks: toks, lookup: lookup}
+	v, err := p.expr()
+	if err != nil {
+		return 0, err
+	}
+	if p.pos != len(p.toks) {
+		return 0, fmt.Errorf("unexpected %s in expression", p.toks[p.pos])
+	}
+	return v, nil
+}
+
+type exprParser struct {
+	toks   []token
+	pos    int
+	lookup func(string) (int64, bool)
+}
+
+func (p *exprParser) peek() (token, bool) {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos], true
+	}
+	return token{}, false
+}
+
+func (p *exprParser) expr() (int64, error) {
+	v, err := p.term()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		t, ok := p.peek()
+		if !ok || t.kind != tokPunct || (t.s != "+" && t.s != "-") {
+			return v, nil
+		}
+		p.pos++
+		rhs, err := p.term()
+		if err != nil {
+			return 0, err
+		}
+		if t.s == "+" {
+			v += rhs
+		} else {
+			v -= rhs
+		}
+	}
+}
+
+func (p *exprParser) term() (int64, error) {
+	t, ok := p.peek()
+	if !ok {
+		return 0, fmt.Errorf("unexpected end of expression")
+	}
+	switch {
+	case t.kind == tokNum:
+		p.pos++
+		return t.n, nil
+	case t.kind == tokIdent:
+		p.pos++
+		v, found := p.lookup(t.s)
+		if !found {
+			return 0, fmt.Errorf("undefined symbol %q", t.s)
+		}
+		return v, nil
+	case t.kind == tokPunct && t.s == "-":
+		p.pos++
+		v, err := p.term()
+		if err != nil {
+			return 0, err
+		}
+		return -v, nil
+	case t.kind == tokPunct && t.s == "(":
+		p.pos++
+		v, err := p.expr()
+		if err != nil {
+			return 0, err
+		}
+		if err := p.expect(")"); err != nil {
+			return 0, err
+		}
+		return v, nil
+	case t.kind == tokPct && (t.s == "hi" || t.s == "lo"):
+		p.pos++
+		if err := p.expect("("); err != nil {
+			return 0, err
+		}
+		v, err := p.expr()
+		if err != nil {
+			return 0, err
+		}
+		if err := p.expect(")"); err != nil {
+			return 0, err
+		}
+		if t.s == "hi" {
+			return int64(uint32(v) >> 10), nil
+		}
+		return int64(uint32(v) & 0x3FF), nil
+	default:
+		return 0, fmt.Errorf("unexpected %s in expression", t)
+	}
+}
+
+func (p *exprParser) expect(punct string) error {
+	t, ok := p.peek()
+	if !ok || t.kind != tokPunct || t.s != punct {
+		return fmt.Errorf("expected %q", punct)
+	}
+	p.pos++
+	return nil
+}

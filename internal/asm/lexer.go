@@ -1,0 +1,190 @@
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+type tokKind int
+
+const (
+	tokIdent tokKind = iota // bare identifier or directive (.word)
+	tokPct                  // %-prefixed name: register, %hi, %lo, %y
+	tokNum                  // integer literal
+	tokPunct                // single punctuation: , [ ] + - ( ) :
+	tokStr                  // quoted string (for .ascii/.asciz)
+)
+
+type token struct {
+	kind tokKind
+	s    string
+	n    int64
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokNum:
+		return strconv.FormatInt(t.n, 10)
+	case tokPct:
+		return "%" + t.s
+	case tokStr:
+		return strconv.Quote(t.s)
+	default:
+		return t.s
+	}
+}
+
+// tokenize splits one source line into tokens. Comments start with '!' or
+// '#' and run to end of line.
+func tokenize(line string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(line)
+	for i < n {
+		c := line[i]
+		switch {
+		case c == '!' || c == '#':
+			return toks, nil // comment
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '"':
+			j := i + 1
+			var sb strings.Builder
+			for j < n && line[j] != '"' {
+				if line[j] == '\\' && j+1 < n {
+					j++
+					switch line[j] {
+					case 'n':
+						sb.WriteByte('\n')
+					case 't':
+						sb.WriteByte('\t')
+					case '0':
+						sb.WriteByte(0)
+					case '\\', '"':
+						sb.WriteByte(line[j])
+					default:
+						return nil, fmt.Errorf("unknown escape \\%c", line[j])
+					}
+				} else {
+					sb.WriteByte(line[j])
+				}
+				j++
+			}
+			if j >= n {
+				return nil, fmt.Errorf("unterminated string")
+			}
+			toks = append(toks, token{kind: tokStr, s: sb.String()})
+			i = j + 1
+		case c == '\'':
+			// Character literal 'x' or '\n'.
+			j := i + 1
+			if j >= n {
+				return nil, fmt.Errorf("unterminated character literal")
+			}
+			var v byte
+			if line[j] == '\\' && j+1 < n {
+				j++
+				switch line[j] {
+				case 'n':
+					v = '\n'
+				case 't':
+					v = '\t'
+				case '0':
+					v = 0
+				case '\\', '\'':
+					v = line[j]
+				default:
+					return nil, fmt.Errorf("unknown escape \\%c", line[j])
+				}
+			} else {
+				v = line[j]
+			}
+			j++
+			if j >= n || line[j] != '\'' {
+				return nil, fmt.Errorf("unterminated character literal")
+			}
+			toks = append(toks, token{kind: tokNum, n: int64(v)})
+			i = j + 1
+		case c == '%':
+			j := i + 1
+			for j < n && (isIdentChar(line[j])) {
+				j++
+			}
+			if j == i+1 {
+				return nil, fmt.Errorf("lone %% at column %d", i+1)
+			}
+			toks = append(toks, token{kind: tokPct, s: strings.ToLower(line[i+1 : j])})
+			i = j
+		case isDigit(c) || (c == '0' && i+1 < n):
+			j := i
+			base := 10
+			if c == '0' && i+2 < n && (line[i+1] == 'x' || line[i+1] == 'X') {
+				base = 16
+				j = i + 2
+				for j < n && isHexDigit(line[j]) {
+					j++
+				}
+			} else {
+				for j < n && isDigit(line[j]) {
+					j++
+				}
+			}
+			v, err := strconv.ParseInt(strings.TrimPrefix(strings.TrimPrefix(line[i:j], "0x"), "0X"), base, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad number %q: %v", line[i:j], err)
+			}
+			toks = append(toks, token{kind: tokNum, n: v})
+			i = j
+		case isIdentStart(c):
+			j := i
+			for j < n && isIdentChar(line[j]) {
+				j++
+			}
+			toks = append(toks, token{kind: tokIdent, s: line[i:j]})
+			i = j
+		case strings.ContainsRune(",[]+-():", rune(c)):
+			toks = append(toks, token{kind: tokPunct, s: string(c)})
+			i++
+		default:
+			return nil, fmt.Errorf("unexpected character %q at column %d", c, i+1)
+		}
+	}
+	return toks, nil
+}
+
+func isDigit(c byte) bool    { return c >= '0' && c <= '9' }
+func isHexDigit(c byte) bool { return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F') }
+func isIdentStart(c byte) bool {
+	return c == '_' || c == '.' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+func isIdentChar(c byte) bool { return isIdentStart(c) || isDigit(c) }
+
+// splitOperands divides tokens into comma-separated operand groups,
+// respecting bracket and parenthesis nesting.
+func splitOperands(toks []token) [][]token {
+	var out [][]token
+	depth := 0
+	start := 0
+	for i, t := range toks {
+		if t.kind == tokPunct {
+			switch t.s {
+			case "[", "(":
+				depth++
+			case "]", ")":
+				depth--
+			case ",":
+				if depth == 0 {
+					out = append(out, toks[start:i])
+					start = i + 1
+				}
+			}
+		}
+	}
+	if start < len(toks) {
+		out = append(out, toks[start:])
+	} else if start > 0 && start == len(toks) {
+		out = append(out, nil)
+	}
+	return out
+}

@@ -1,0 +1,382 @@
+// Package binlp solves the constrained Binary Integer Nonlinear Programs
+// of the paper's Section 4: minimize a linear objective over binary
+// decision variables subject to at-most-one group constraints, linear
+// inequality constraints, and nonlinear constraints built from products of
+// linear forms (the paper's cache sets x set-size resource terms).
+//
+// The solver is an exact branch-and-bound: it branches over groups,
+// bounds the objective with per-group minima, and prunes infeasible
+// subtrees with interval lower bounds on every constraint. It replaces the
+// commercial Tomlab/MINLP solver the paper used; on the paper's 52-variable
+// instances it proves optimality in well under a millisecond.
+package binlp
+
+import (
+	"fmt"
+	"math"
+)
+
+// LinearForm is Const + Σ Coeffs[i]*x[i].
+type LinearForm struct {
+	Coeffs map[int]float64
+	Const  float64
+}
+
+// NewLinearForm creates an empty linear form.
+func NewLinearForm() LinearForm {
+	return LinearForm{Coeffs: make(map[int]float64)}
+}
+
+// Add accumulates a coefficient for variable i.
+func (f *LinearForm) Add(i int, c float64) {
+	if f.Coeffs == nil {
+		f.Coeffs = make(map[int]float64)
+	}
+	f.Coeffs[i] += c
+}
+
+// Eval computes the form on a complete assignment.
+func (f LinearForm) Eval(x []bool) float64 {
+	v := f.Const
+	for i, c := range f.Coeffs {
+		if x[i] {
+			v += c
+		}
+	}
+	return v
+}
+
+// interval returns the attainable [lo, hi] of the form given a partial
+// assignment: decided variables contribute their value, undecided ones
+// contribute their sign-appropriate extremes.
+func (f LinearForm) interval(x, decided []bool) (lo, hi float64) {
+	lo, hi = f.Const, f.Const
+	for i, c := range f.Coeffs {
+		switch {
+		case decided[i] && x[i]:
+			lo += c
+			hi += c
+		case decided[i]:
+			// contributes nothing
+		case c < 0:
+			lo += c
+		default:
+			hi += c
+		}
+	}
+	return lo, hi
+}
+
+// ProductTerm is the nonlinear building block A(x) * B(x).
+type ProductTerm struct {
+	A, B LinearForm
+}
+
+// Constraint is Linear(x) + Σ ProductTerms(x) <= Bound.
+type Constraint struct {
+	Name     string
+	Linear   LinearForm
+	Products []ProductTerm
+	Bound    float64
+}
+
+// Eval computes the left-hand side on a complete assignment.
+func (c *Constraint) Eval(x []bool) float64 {
+	v := c.Linear.Eval(x)
+	for _, p := range c.Products {
+		v += p.A.Eval(x) * p.B.Eval(x)
+	}
+	return v
+}
+
+// Satisfied reports whether the constraint holds on a complete assignment.
+func (c *Constraint) Satisfied(x []bool) bool {
+	return c.Eval(x) <= c.Bound+1e-9
+}
+
+// lowerBound computes a valid lower bound of the left-hand side over all
+// completions of the partial assignment, using interval arithmetic on each
+// product term.
+func (c *Constraint) lowerBound(x, decided []bool) float64 {
+	lo, _ := c.Linear.interval(x, decided)
+	v := lo
+	for _, p := range c.Products {
+		alo, ahi := p.A.interval(x, decided)
+		blo, bhi := p.B.interval(x, decided)
+		v += math.Min(math.Min(alo*blo, alo*bhi), math.Min(ahi*blo, ahi*bhi))
+	}
+	return v
+}
+
+// Problem is a complete BINLP instance.
+type Problem struct {
+	// N is the number of binary variables.
+	N int
+	// Cost holds the objective coefficients (minimized).
+	Cost []float64
+	// Groups are at-most-one sets of variable indices. Variables not in
+	// any group are free binaries. A variable may appear in one group
+	// only.
+	Groups [][]int
+	// Constraints are the linear and nonlinear inequality constraints.
+	Constraints []*Constraint
+}
+
+// Validate checks structural soundness.
+func (p *Problem) Validate() error {
+	if len(p.Cost) != p.N {
+		return fmt.Errorf("binlp: %d costs for %d variables", len(p.Cost), p.N)
+	}
+	seen := make([]bool, p.N)
+	for gi, g := range p.Groups {
+		if len(g) == 0 {
+			return fmt.Errorf("binlp: group %d is empty", gi)
+		}
+		for _, i := range g {
+			if i < 0 || i >= p.N {
+				return fmt.Errorf("binlp: group %d has variable %d out of range", gi, i)
+			}
+			if seen[i] {
+				return fmt.Errorf("binlp: variable %d appears in two groups", i)
+			}
+			seen[i] = true
+		}
+	}
+	return nil
+}
+
+// Solution is the solver's result.
+type Solution struct {
+	// X is the optimal assignment.
+	X []bool
+	// Objective is the achieved objective value.
+	Objective float64
+	// Nodes is the number of branch-and-bound nodes explored.
+	Nodes int
+	// Proven is true when the search ran to completion (the solution is a
+	// global optimum of the model), false when the node limit cut it off.
+	Proven bool
+}
+
+// Options tunes the solver.
+type Options struct {
+	// MaxNodes caps the search (0 means the 10-million default).
+	MaxNodes int
+}
+
+type solver struct {
+	p        *Problem
+	groups   [][]int // normalised: every variable in exactly one group
+	minCost  []float64
+	suffix   []float64 // suffix[k]: lower bound of groups k..end
+	x        []bool
+	decided  []bool
+	nsel     int
+	best     []bool
+	bestObj  float64
+	bestSel  int
+	nodes    int
+	maxNodes int
+	complete bool
+}
+
+// Solve finds a minimum-cost feasible assignment. The all-zero assignment
+// must be feasible (it is for the paper's formulation — the base
+// configuration); if it is not, Solve returns an error.
+func Solve(p *Problem, opts Options) (*Solution, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	s := &solver{
+		p:        p,
+		x:        make([]bool, p.N),
+		decided:  make([]bool, p.N),
+		maxNodes: opts.MaxNodes,
+		complete: true,
+	}
+	if s.maxNodes == 0 {
+		s.maxNodes = 10_000_000
+	}
+
+	// Normalise groups: ungrouped variables become singleton groups.
+	inGroup := make([]bool, p.N)
+	for _, g := range p.Groups {
+		s.groups = append(s.groups, g)
+		for _, i := range g {
+			inGroup[i] = true
+		}
+	}
+	for i := 0; i < p.N; i++ {
+		if !inGroup[i] {
+			s.groups = append(s.groups, []int{i})
+		}
+	}
+
+	// Per-group objective lower bound: selecting nothing costs 0, so the
+	// group bound is min(0, min cost).
+	s.minCost = make([]float64, len(s.groups))
+	for gi, g := range s.groups {
+		m := 0.0
+		for _, i := range g {
+			if p.Cost[i] < m {
+				m = p.Cost[i]
+			}
+		}
+		s.minCost[gi] = m
+	}
+	// Branch on promising groups first: most negative potential.
+	orderGroups(s.groups, s.minCost)
+	s.suffix = make([]float64, len(s.groups)+1)
+	for k := len(s.groups) - 1; k >= 0; k-- {
+		s.suffix[k] = s.suffix[k+1] + s.minCost[k]
+	}
+
+	// Incumbent: the all-zero assignment.
+	zero := make([]bool, p.N)
+	for _, c := range p.Constraints {
+		if !c.Satisfied(zero) {
+			return nil, fmt.Errorf("binlp: base assignment violates constraint %q", c.Name)
+		}
+	}
+	s.best = zero
+	s.bestObj = 0
+	s.bestSel = 0
+
+	s.branch(0, 0)
+
+	return &Solution{
+		X:         s.best,
+		Objective: s.bestObj,
+		Nodes:     s.nodes,
+		Proven:    s.complete,
+	}, nil
+}
+
+// orderGroups sorts groups (and their bounds) by ascending bound, i.e.
+// most promising first. Stable insertion keeps determinism.
+func orderGroups(groups [][]int, minCost []float64) {
+	for i := 1; i < len(groups); i++ {
+		g, m := groups[i], minCost[i]
+		j := i - 1
+		for j >= 0 && minCost[j] > m {
+			groups[j+1], minCost[j+1] = groups[j], minCost[j]
+			j--
+		}
+		groups[j+1], minCost[j+1] = g, m
+	}
+}
+
+func (s *solver) branch(gi int, partial float64) {
+	if s.nodes >= s.maxNodes {
+		s.complete = false
+		return
+	}
+	s.nodes++
+
+	// Objective bound (epsilon-relaxed so equal-objective assignments
+	// with fewer selections are still reachable for the tie-break).
+	if partial+s.suffix[gi] > s.bestObj+1e-12 {
+		return
+	}
+	// Feasibility bounds.
+	for _, c := range s.p.Constraints {
+		if c.lowerBound(s.x, s.decided) > c.Bound+1e-9 {
+			return
+		}
+	}
+	if gi == len(s.groups) {
+		// Complete assignment; constraints were bounded above with all
+		// variables decided, so it is feasible. Ties prefer fewer
+		// selections (stay closer to the base configuration).
+		better := partial < s.bestObj-1e-12 ||
+			(partial < s.bestObj+1e-12 && s.nsel < s.bestSel)
+		if better {
+			s.bestObj = partial
+			s.bestSel = s.nsel
+			copy(s.best, s.x)
+		}
+		return
+	}
+
+	group := s.groups[gi]
+	for _, i := range group {
+		s.decided[i] = true
+	}
+	// Try each member, cheapest first for better incumbents.
+	order := make([]int, len(group))
+	copy(order, group)
+	for a := 1; a < len(order); a++ {
+		v := order[a]
+		b := a - 1
+		for b >= 0 && s.p.Cost[order[b]] > s.p.Cost[v] {
+			order[b+1] = order[b]
+			b--
+		}
+		order[b+1] = v
+	}
+	for _, i := range order {
+		s.x[i] = true
+		s.nsel++
+		s.branch(gi+1, partial+s.p.Cost[i])
+		s.nsel--
+		s.x[i] = false
+	}
+	// The "select nothing" branch.
+	s.branch(gi+1, partial)
+	for _, i := range group {
+		s.decided[i] = false
+	}
+}
+
+// BruteForce enumerates every feasible assignment (for testing the solver
+// on small instances). It returns the optimum and the number of complete
+// assignments examined.
+func BruteForce(p *Problem) (*Solution, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	inGroup := make([]bool, p.N)
+	var groups [][]int
+	for _, g := range p.Groups {
+		groups = append(groups, g)
+		for _, i := range g {
+			inGroup[i] = true
+		}
+	}
+	for i := 0; i < p.N; i++ {
+		if !inGroup[i] {
+			groups = append(groups, []int{i})
+		}
+	}
+	x := make([]bool, p.N)
+	best := make([]bool, p.N)
+	bestObj := math.Inf(1)
+	count := 0
+	var rec func(gi int, obj float64)
+	rec = func(gi int, obj float64) {
+		if gi == len(groups) {
+			count++
+			for _, c := range p.Constraints {
+				if !c.Satisfied(x) {
+					return
+				}
+			}
+			if obj < bestObj {
+				bestObj = obj
+				copy(best, x)
+			}
+			return
+		}
+		rec(gi+1, obj) // none selected
+		for _, i := range groups[gi] {
+			x[i] = true
+			rec(gi+1, obj+p.Cost[i])
+			x[i] = false
+		}
+	}
+	rec(0, 0)
+	if math.IsInf(bestObj, 1) {
+		return nil, fmt.Errorf("binlp: no feasible assignment")
+	}
+	return &Solution{X: best, Objective: bestObj, Nodes: count, Proven: true}, nil
+}

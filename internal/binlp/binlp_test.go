@@ -1,0 +1,313 @@
+package binlp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func linear(coeffs map[int]float64, bound float64, name string) *Constraint {
+	return &Constraint{Name: name, Linear: LinearForm{Coeffs: coeffs}, Bound: bound}
+}
+
+func TestUnconstrainedPicksAllNegatives(t *testing.T) {
+	p := &Problem{
+		N:    4,
+		Cost: []float64{-3, 2, -1, 0},
+	}
+	sol, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []bool{true, false, true, false}
+	for i, w := range want {
+		if sol.X[i] != w {
+			t.Errorf("x[%d] = %t, want %t", i, sol.X[i], w)
+		}
+	}
+	if sol.Objective != -4 {
+		t.Errorf("objective = %f, want -4", sol.Objective)
+	}
+	if !sol.Proven {
+		t.Error("tiny problem should be proven optimal")
+	}
+}
+
+func TestGroupAtMostOne(t *testing.T) {
+	p := &Problem{
+		N:      3,
+		Cost:   []float64{-1, -5, -3},
+		Groups: [][]int{{0, 1, 2}},
+	}
+	sol, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.X[1] || sol.X[0] || sol.X[2] {
+		t.Errorf("should pick only the cheapest group member: %v", sol.X)
+	}
+	if sol.Objective != -5 {
+		t.Errorf("objective = %f", sol.Objective)
+	}
+}
+
+func TestGroupPrefersNoneWhenAllPositive(t *testing.T) {
+	p := &Problem{
+		N:      2,
+		Cost:   []float64{2, 3},
+		Groups: [][]int{{0, 1}},
+	}
+	sol, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.X[0] || sol.X[1] {
+		t.Errorf("all-positive group should select nothing: %v", sol.X)
+	}
+	if sol.Objective != 0 {
+		t.Errorf("objective = %f", sol.Objective)
+	}
+}
+
+func TestLinearConstraintKnapsack(t *testing.T) {
+	// Pick at most 10 units of weight; items (value, weight):
+	// x0 (-6, 7), x1 (-5, 5), x2 (-4, 5), x3 (-1, 1).
+	p := &Problem{
+		N:    4,
+		Cost: []float64{-6, -5, -4, -1},
+		Constraints: []*Constraint{
+			linear(map[int]float64{0: 7, 1: 5, 2: 5, 3: 1}, 10, "weight"),
+		},
+	}
+	sol, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Optimum: x1+x2 (value 9, weight 10) beats x0+x3 (7, 8).
+	if !sol.X[1] || !sol.X[2] || sol.X[0] {
+		t.Errorf("x = %v", sol.X)
+	}
+	if sol.Objective != -9 {
+		t.Errorf("objective = %f, want -9", sol.Objective)
+	}
+}
+
+func TestCouplingConstraint(t *testing.T) {
+	// x0 is attractive but requires x1 (x0 - x1 <= 0), and x1 is costly
+	// enough to flip the decision.
+	p := &Problem{
+		N:    2,
+		Cost: []float64{-2, 3},
+		Constraints: []*Constraint{
+			linear(map[int]float64{0: 1, 1: -1}, 0, "requires"),
+		},
+	}
+	sol, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.X[0] || sol.X[1] {
+		t.Errorf("selecting x0 costs net +1; expected empty, got %v", sol.X)
+	}
+
+	// Make x0 worth it.
+	p.Cost = []float64{-5, 3}
+	sol, err = Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.X[0] || !sol.X[1] {
+		t.Errorf("x0 now worth its dependency: %v", sol.X)
+	}
+}
+
+func TestNonlinearProductConstraint(t *testing.T) {
+	// The paper's cache form: (1 + x0) * (4 + 8*x1) <= 9.
+	// x1 alone: 1*12 = 12 > 9 infeasible. x0 alone: 2*4 = 8 ok.
+	a := LinearForm{Coeffs: map[int]float64{0: 1}, Const: 1}
+	b := LinearForm{Coeffs: map[int]float64{1: 8}, Const: 4}
+	p := &Problem{
+		N:    2,
+		Cost: []float64{-1, -10},
+		Constraints: []*Constraint{
+			{Name: "bram", Products: []ProductTerm{{A: a, B: b}}, Bound: 9},
+		},
+	}
+	sol, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.X[0] || sol.X[1] {
+		t.Errorf("x1 must be excluded by the nonlinear constraint: %v", sol.X)
+	}
+}
+
+func TestInfeasibleBaseErrors(t *testing.T) {
+	p := &Problem{
+		N:    1,
+		Cost: []float64{-1},
+		Constraints: []*Constraint{
+			{Name: "broken", Linear: LinearForm{Const: 5}, Bound: 0},
+		},
+	}
+	if _, err := Solve(p, Options{}); err == nil {
+		t.Error("infeasible base assignment should error")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []*Problem{
+		{N: 2, Cost: []float64{1}},
+		{N: 2, Cost: []float64{1, 2}, Groups: [][]int{{}}},
+		{N: 2, Cost: []float64{1, 2}, Groups: [][]int{{0, 5}}},
+		{N: 2, Cost: []float64{1, 2}, Groups: [][]int{{0}, {0}}},
+	}
+	for i, p := range bad {
+		if _, err := Solve(p, Options{}); err == nil {
+			t.Errorf("problem %d should fail validation", i)
+		}
+	}
+}
+
+func TestNodeLimitReportsUnproven(t *testing.T) {
+	p := &Problem{N: 30, Cost: make([]float64, 30)}
+	for i := range p.Cost {
+		p.Cost[i] = -1
+	}
+	// A constraint that keeps the solver from proving instantly.
+	coeffs := map[int]float64{}
+	for i := 0; i < 30; i++ {
+		coeffs[i] = 1
+	}
+	p.Constraints = []*Constraint{linear(coeffs, 15, "cap")}
+	sol, err := Solve(p, Options{MaxNodes: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Proven {
+		t.Error("10-node budget cannot prove a 30-variable problem")
+	}
+}
+
+// TestSolverMatchesBruteForce is the core property test: on random small
+// instances, branch-and-bound and exhaustive enumeration agree on the
+// optimal objective.
+func TestSolverMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(2006))
+	for trial := 0; trial < 300; trial++ {
+		n := 6 + r.Intn(5)
+		p := &Problem{N: n, Cost: make([]float64, n)}
+		for i := range p.Cost {
+			p.Cost[i] = math.Round(r.Float64()*20-12) / 2
+		}
+		// One or two groups.
+		i := 0
+		for g := 0; g < 1+r.Intn(2) && i+2 <= n; g++ {
+			size := 2 + r.Intn(2)
+			if i+size > n {
+				size = n - i
+			}
+			var grp []int
+			for k := 0; k < size; k++ {
+				grp = append(grp, i)
+				i++
+			}
+			p.Groups = append(p.Groups, grp)
+		}
+		// A linear budget over everything.
+		coeffs := map[int]float64{}
+		for v := 0; v < n; v++ {
+			coeffs[v] = math.Round(r.Float64() * 6)
+		}
+		p.Constraints = append(p.Constraints, linear(coeffs, float64(2+r.Intn(8)), "budget"))
+		// A product constraint over two slices of variables, with mixed
+		// signs in the second factor.
+		a := LinearForm{Coeffs: map[int]float64{}, Const: 1}
+		b := LinearForm{Coeffs: map[int]float64{}, Const: float64(r.Intn(3))}
+		for v := 0; v < n/2; v++ {
+			a.Coeffs[v] = float64(r.Intn(3))
+		}
+		for v := n / 2; v < n; v++ {
+			b.Coeffs[v] = math.Round(r.Float64()*8 - 3)
+		}
+		p.Constraints = append(p.Constraints, &Constraint{
+			Name: "prod", Products: []ProductTerm{{A: a, B: b}}, Bound: float64(3 + r.Intn(10)),
+		})
+		// Keep the base feasible: both constraints allow x=0 by
+		// construction (non-negative bounds, product at x=0 is
+		// 1*Const <= bound when Const <= bound).
+		if b.Const > 3 {
+			b.Const = 0
+		}
+
+		got, err := Solve(p, Options{})
+		if err != nil {
+			t.Fatalf("trial %d: solve: %v", trial, err)
+		}
+		want, err := BruteForce(p)
+		if err != nil {
+			t.Fatalf("trial %d: brute force: %v", trial, err)
+		}
+		if math.Abs(got.Objective-want.Objective) > 1e-9 {
+			t.Fatalf("trial %d: solver %f != brute force %f\nproblem: %+v",
+				trial, got.Objective, want.Objective, p)
+		}
+		if !got.Proven {
+			t.Fatalf("trial %d: small instance should be proven", trial)
+		}
+		// The returned assignment must actually be feasible and achieve
+		// the objective.
+		obj := 0.0
+		for i, on := range got.X {
+			if on {
+				obj += p.Cost[i]
+			}
+		}
+		if math.Abs(obj-got.Objective) > 1e-9 {
+			t.Fatalf("trial %d: reported objective %f but assignment costs %f", trial, got.Objective, obj)
+		}
+		for _, c := range p.Constraints {
+			if !c.Satisfied(got.X) {
+				t.Fatalf("trial %d: returned assignment violates %q", trial, c.Name)
+			}
+		}
+	}
+}
+
+func TestConstraintEvalAndBounds(t *testing.T) {
+	a := LinearForm{Coeffs: map[int]float64{0: 2, 1: -1}, Const: 1}
+	b := LinearForm{Coeffs: map[int]float64{2: 3}, Const: 2}
+	c := &Constraint{
+		Linear:   LinearForm{Coeffs: map[int]float64{0: 1}},
+		Products: []ProductTerm{{A: a, B: b}},
+		Bound:    100,
+	}
+	x := []bool{true, false, true}
+	// 1*1 + (1+2)*(2+3) = 1 + 15 = 16.
+	if got := c.Eval(x); got != 16 {
+		t.Errorf("Eval = %f, want 16", got)
+	}
+	// With nothing decided, the lower bound must not exceed any
+	// achievable value.
+	decided := []bool{false, false, false}
+	lb := c.lowerBound(make([]bool, 3), decided)
+	for mask := 0; mask < 8; mask++ {
+		y := []bool{mask&1 != 0, mask&2 != 0, mask&4 != 0}
+		if v := c.Eval(y); lb > v+1e-9 {
+			t.Errorf("lower bound %f exceeds achievable %f at %v", lb, v, y)
+		}
+	}
+}
+
+func TestBruteForceInfeasible(t *testing.T) {
+	p := &Problem{
+		N:    1,
+		Cost: []float64{-1},
+		Constraints: []*Constraint{
+			{Name: "broken", Linear: LinearForm{Const: 5}, Bound: 0},
+		},
+	}
+	if _, err := BruteForce(p); err == nil {
+		t.Error("infeasible problem should error in brute force")
+	}
+}

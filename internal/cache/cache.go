@@ -1,0 +1,214 @@
+// Package cache implements the configurable first-level caches of the
+// LEON2-like processor: 1-4 ways ("sets" in LEON terminology), 1-64 KB per
+// way, 4- or 8-word lines, and random / LRR / LRU replacement.
+//
+// The cache is a timing model: data lives in the flat RAM (package mem) and
+// the cache tracks only tags, so coherence holds by construction. The data
+// cache is write-through with no write-allocate, matching LEON2.
+package cache
+
+import (
+	"fmt"
+
+	"liquidarch/internal/config"
+)
+
+// Stats counts cache events.
+type Stats struct {
+	ReadAccesses  uint64
+	ReadMisses    uint64
+	WriteAccesses uint64
+	WriteMisses   uint64
+	Fills         uint64
+}
+
+// ReadHits returns the number of read accesses that hit.
+func (s Stats) ReadHits() uint64 { return s.ReadAccesses - s.ReadMisses }
+
+// MissRate returns the read miss ratio, or 0 for an idle cache.
+func (s Stats) MissRate() float64 {
+	if s.ReadAccesses == 0 {
+		return 0
+	}
+	return float64(s.ReadMisses) / float64(s.ReadAccesses)
+}
+
+// Cache is one set-associative timing cache.
+type Cache struct {
+	ways      int
+	lineBytes uint32
+	numLines  uint32 // lines per way
+	lineShift uint32
+	policy    config.ReplacementPolicy
+
+	// tags[way*numLines+line] with valid bit folded in (tagValid flag).
+	tags  []uint32
+	valid []bool
+	// age[way*numLines+line] for LRU: higher is more recent.
+	age []uint32
+	// rrPtr[line] for LRR: next way to replace.
+	rrPtr []uint8
+	clock uint32
+	rng   uint32
+	stats Stats
+}
+
+func log2u32(v uint32) uint32 {
+	var n uint32
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// New builds a cache from the LEON cache configuration.
+func New(cfg config.CacheConfig) (*Cache, error) {
+	if cfg.Sets < 1 || cfg.Sets > 4 {
+		return nil, fmt.Errorf("cache: %d ways out of range", cfg.Sets)
+	}
+	lineBytes := uint32(cfg.LineWords * 4)
+	if cfg.LineWords != 4 && cfg.LineWords != 8 {
+		return nil, fmt.Errorf("cache: %d-word lines unsupported", cfg.LineWords)
+	}
+	setBytes := uint32(cfg.SetSizeKB) * 1024
+	if setBytes == 0 || setBytes%lineBytes != 0 {
+		return nil, fmt.Errorf("cache: set size %dKB invalid", cfg.SetSizeKB)
+	}
+	numLines := setBytes / lineBytes
+	if numLines&(numLines-1) != 0 {
+		return nil, fmt.Errorf("cache: %d lines per way not a power of two", numLines)
+	}
+	c := &Cache{
+		ways:      cfg.Sets,
+		lineBytes: lineBytes,
+		numLines:  numLines,
+		lineShift: log2u32(lineBytes),
+		policy:    cfg.Replacement,
+		tags:      make([]uint32, cfg.Sets*int(numLines)),
+		valid:     make([]bool, cfg.Sets*int(numLines)),
+		age:       make([]uint32, cfg.Sets*int(numLines)),
+		rrPtr:     make([]uint8, numLines),
+		rng:       0x2545F491,
+	}
+	return c, nil
+}
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+// LineBytes returns the line length in bytes.
+func (c *Cache) LineBytes() int { return int(c.lineBytes) }
+
+// LinesPerWay returns the number of lines in each way.
+func (c *Cache) LinesPerWay() int { return int(c.numLines) }
+
+// Stats returns a copy of the event counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Flush invalidates every line and clears replacement state (counters are
+// preserved).
+func (c *Cache) Flush() {
+	for i := range c.valid {
+		c.valid[i] = false
+		c.age[i] = 0
+	}
+	for i := range c.rrPtr {
+		c.rrPtr[i] = 0
+	}
+	c.clock = 0
+}
+
+func (c *Cache) index(addr uint32) (line, tag uint32) {
+	line = (addr >> c.lineShift) & (c.numLines - 1)
+	tag = (addr >> c.lineShift) / c.numLines
+	return line, tag
+}
+
+// lookup returns the way holding addr, or -1.
+func (c *Cache) lookup(line, tag uint32) int {
+	for w := 0; w < c.ways; w++ {
+		i := uint32(w)*c.numLines + line
+		if c.valid[i] && c.tags[i] == tag {
+			return w
+		}
+	}
+	return -1
+}
+
+func (c *Cache) touch(way int, line uint32) {
+	if c.policy == config.LRU && c.ways > 1 {
+		c.clock++
+		c.age[uint32(way)*c.numLines+line] = c.clock
+	}
+}
+
+func (c *Cache) victim(line uint32) int {
+	if c.ways == 1 {
+		return 0
+	}
+	// Prefer an invalid way.
+	for w := 0; w < c.ways; w++ {
+		if !c.valid[uint32(w)*c.numLines+line] {
+			return w
+		}
+	}
+	switch c.policy {
+	case config.LRU:
+		best, bestAge := 0, c.age[line]
+		for w := 1; w < c.ways; w++ {
+			if a := c.age[uint32(w)*c.numLines+line]; a < bestAge {
+				best, bestAge = w, a
+			}
+		}
+		return best
+	case config.LRR:
+		w := int(c.rrPtr[line])
+		c.rrPtr[line] = uint8((w + 1) % c.ways)
+		return w
+	default: // Random
+		c.rng ^= c.rng << 13
+		c.rng ^= c.rng >> 17
+		c.rng ^= c.rng << 5
+		return int(c.rng % uint32(c.ways))
+	}
+}
+
+// Read performs a read access for addr and reports whether it hit. On a
+// miss the line is filled.
+func (c *Cache) Read(addr uint32) (hit bool) {
+	c.stats.ReadAccesses++
+	line, tag := c.index(addr)
+	if w := c.lookup(line, tag); w >= 0 {
+		c.touch(w, line)
+		return true
+	}
+	c.stats.ReadMisses++
+	w := c.victim(line)
+	i := uint32(w)*c.numLines + line
+	c.tags[i] = tag
+	c.valid[i] = true
+	c.stats.Fills++
+	c.touch(w, line)
+	return false
+}
+
+// Write performs a write access (write-through, no-allocate) and reports
+// whether it hit. Misses do not fill.
+func (c *Cache) Write(addr uint32) (hit bool) {
+	c.stats.WriteAccesses++
+	line, tag := c.index(addr)
+	if w := c.lookup(line, tag); w >= 0 {
+		c.touch(w, line)
+		return true
+	}
+	c.stats.WriteMisses++
+	return false
+}
+
+// Contains reports whether addr is currently cached (no statistics or
+// replacement side effects).
+func (c *Cache) Contains(addr uint32) bool {
+	line, tag := c.index(addr)
+	return c.lookup(line, tag) >= 0
+}

@@ -1,0 +1,244 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+
+	"liquidarch/internal/config"
+)
+
+func mustNew(t *testing.T, cfg config.CacheConfig) *Cache {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New(%+v): %v", cfg, err)
+	}
+	return c
+}
+
+func TestGeometry(t *testing.T) {
+	c := mustNew(t, config.CacheConfig{Sets: 2, SetSizeKB: 4, LineWords: 8, Replacement: config.LRU})
+	if c.Ways() != 2 {
+		t.Errorf("ways = %d", c.Ways())
+	}
+	if c.LineBytes() != 32 {
+		t.Errorf("line bytes = %d", c.LineBytes())
+	}
+	if c.LinesPerWay() != 128 {
+		t.Errorf("lines per way = %d", c.LinesPerWay())
+	}
+}
+
+func TestNewRejectsBadGeometry(t *testing.T) {
+	bad := []config.CacheConfig{
+		{Sets: 0, SetSizeKB: 4, LineWords: 8},
+		{Sets: 5, SetSizeKB: 4, LineWords: 8},
+		{Sets: 1, SetSizeKB: 4, LineWords: 6},
+		{Sets: 1, SetSizeKB: 0, LineWords: 8},
+	}
+	for _, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("New(%+v) should error", cfg)
+		}
+	}
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	c := mustNew(t, config.CacheConfig{Sets: 1, SetSizeKB: 1, LineWords: 8, Replacement: config.Random})
+	if c.Read(0x1000) {
+		t.Error("cold read should miss")
+	}
+	if !c.Read(0x1000) {
+		t.Error("second read should hit")
+	}
+	if !c.Read(0x101C) {
+		t.Error("same-line read should hit")
+	}
+	if c.Read(0x1020) {
+		t.Error("next line should miss")
+	}
+	s := c.Stats()
+	if s.ReadAccesses != 4 || s.ReadMisses != 2 || s.ReadHits() != 2 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestDirectMappedConflict(t *testing.T) {
+	// 1 KB direct-mapped, 32-byte lines: addresses 1 KB apart collide.
+	c := mustNew(t, config.CacheConfig{Sets: 1, SetSizeKB: 1, LineWords: 8, Replacement: config.Random})
+	c.Read(0x0000)
+	c.Read(0x0400) // evicts 0x0000
+	if c.Contains(0x0000) {
+		t.Error("conflicting line should have been evicted")
+	}
+	if !c.Contains(0x0400) {
+		t.Error("new line should be resident")
+	}
+	if c.Read(0x0000) {
+		t.Error("evicted line should miss")
+	}
+}
+
+func TestTwoWayAvoidsConflict(t *testing.T) {
+	c := mustNew(t, config.CacheConfig{Sets: 2, SetSizeKB: 1, LineWords: 8, Replacement: config.LRU})
+	c.Read(0x0000)
+	c.Read(0x0400)
+	if !c.Read(0x0000) || !c.Read(0x0400) {
+		t.Error("two conflicting lines should both fit in a 2-way cache")
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	c := mustNew(t, config.CacheConfig{Sets: 2, SetSizeKB: 1, LineWords: 8, Replacement: config.LRU})
+	c.Read(0x0000) // way A
+	c.Read(0x0400) // way B
+	c.Read(0x0000) // touch A: B is now LRU
+	c.Read(0x0800) // evicts B
+	if !c.Contains(0x0000) {
+		t.Error("recently used line evicted by LRU")
+	}
+	if c.Contains(0x0400) {
+		t.Error("LRU line survived")
+	}
+}
+
+func TestLRRReplacementCycles(t *testing.T) {
+	c := mustNew(t, config.CacheConfig{Sets: 2, SetSizeKB: 1, LineWords: 8, Replacement: config.LRR})
+	c.Read(0x0000) // fills way 0 (invalid preferred)
+	c.Read(0x0400) // fills way 1
+	c.Read(0x0800) // LRR pointer at way 0: evicts 0x0000
+	if c.Contains(0x0000) {
+		t.Error("LRR should have evicted the first-filled way")
+	}
+	c.Read(0x0C00) // pointer advanced: evicts way 1 (0x0400)
+	if c.Contains(0x0400) {
+		t.Error("LRR should cycle to the next way")
+	}
+	if !c.Contains(0x0800) || !c.Contains(0x0C00) {
+		t.Error("latest lines should be resident")
+	}
+}
+
+func TestRandomReplacementStaysLegal(t *testing.T) {
+	c := mustNew(t, config.CacheConfig{Sets: 4, SetSizeKB: 1, LineWords: 4, Replacement: config.Random})
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 10000; i++ {
+		c.Read(uint32(r.Intn(1<<16)) &^ 3)
+	}
+	// After the storm, a freshly-filled line must be resident.
+	c.Read(0xABC0)
+	if !c.Contains(0xABC0) {
+		t.Error("just-filled line missing")
+	}
+}
+
+func TestWriteThroughNoAllocate(t *testing.T) {
+	c := mustNew(t, config.CacheConfig{Sets: 1, SetSizeKB: 1, LineWords: 8, Replacement: config.Random})
+	if c.Write(0x2000) {
+		t.Error("write to empty cache should miss")
+	}
+	if c.Contains(0x2000) {
+		t.Error("write miss must not allocate")
+	}
+	c.Read(0x2000)
+	if !c.Write(0x2000) {
+		t.Error("write to resident line should hit")
+	}
+	s := c.Stats()
+	if s.WriteAccesses != 2 || s.WriteMisses != 1 {
+		t.Errorf("write stats = %+v", s)
+	}
+}
+
+func TestFlushInvalidatesEverything(t *testing.T) {
+	c := mustNew(t, config.CacheConfig{Sets: 2, SetSizeKB: 1, LineWords: 8, Replacement: config.LRU})
+	for a := uint32(0); a < 2048; a += 32 {
+		c.Read(a)
+	}
+	c.Flush()
+	for a := uint32(0); a < 2048; a += 32 {
+		if c.Contains(a) {
+			t.Fatalf("address %#x survived flush", a)
+		}
+	}
+}
+
+// TestWorkingSetCapacityEffect is the invariant the whole paper leans on: a
+// working set that thrashes a small cache fits in a bigger one.
+func TestWorkingSetCapacityEffect(t *testing.T) {
+	run := func(setKB int) float64 {
+		c := mustNew(t, config.CacheConfig{Sets: 1, SetSizeKB: setKB, LineWords: 8, Replacement: config.Random})
+		// 8 KB working set, scanned repeatedly.
+		for pass := 0; pass < 8; pass++ {
+			for a := uint32(0); a < 8*1024; a += 4 {
+				c.Read(a)
+			}
+		}
+		return c.Stats().MissRate()
+	}
+	small, large := run(4), run(16)
+	if small <= large {
+		t.Errorf("4KB miss rate %.4f should exceed 16KB miss rate %.4f", small, large)
+	}
+	// The only misses in the large cache should be the cold first pass:
+	// 256 line fills over 8 passes x 2048 reads = 1/64.
+	if large > 1.0/64+1e-9 {
+		t.Errorf("16KB cache should capture an 8KB working set after warmup, miss rate %.4f", large)
+	}
+}
+
+// TestLineSizeTradeoff: sequential scans favour long lines; strided access
+// with poor spatial locality favours short lines (fewer fetched words is a
+// timing property, but miss *counts* halve with 8-word lines on sequential
+// scans).
+func TestLineSizeTradeoff(t *testing.T) {
+	misses := func(lineWords int) uint64 {
+		c := mustNew(t, config.CacheConfig{Sets: 1, SetSizeKB: 4, LineWords: lineWords, Replacement: config.Random})
+		for a := uint32(0); a < 64*1024; a += 4 {
+			c.Read(a)
+		}
+		return c.Stats().ReadMisses
+	}
+	m4, m8 := misses(4), misses(8)
+	if m4 != 2*m8 {
+		t.Errorf("sequential scan: 4-word lines should miss exactly twice as often (got %d vs %d)", m4, m8)
+	}
+}
+
+func TestAssociativityReducesConflictMisses(t *testing.T) {
+	// Two streams 4 KB apart thrash a 4 KB direct-mapped cache but
+	// coexist in 2-way.
+	run := func(sets int, repl config.ReplacementPolicy) uint64 {
+		c := mustNew(t, config.CacheConfig{Sets: sets, SetSizeKB: 4, LineWords: 8, Replacement: repl})
+		for i := 0; i < 4096; i += 4 {
+			c.Read(uint32(i))
+			c.Read(uint32(i + 4096))
+		}
+		return c.Stats().ReadMisses
+	}
+	direct := run(1, config.Random)
+	twoWay := run(2, config.LRU)
+	if twoWay >= direct {
+		t.Errorf("2-way LRU (%d misses) should beat direct-mapped (%d) on a ping-pong conflict pattern", twoWay, direct)
+	}
+}
+
+func TestStatsMissRateZeroWhenIdle(t *testing.T) {
+	c := mustNew(t, config.CacheConfig{Sets: 1, SetSizeKB: 1, LineWords: 4, Replacement: config.Random})
+	if c.Stats().MissRate() != 0 {
+		t.Error("idle cache miss rate should be 0")
+	}
+}
+
+// TestTagDisambiguation guards against tag-aliasing bugs: two addresses
+// mapping to the same line with different tags must not be confused.
+func TestTagDisambiguation(t *testing.T) {
+	c := mustNew(t, config.CacheConfig{Sets: 1, SetSizeKB: 1, LineWords: 4, Replacement: config.Random})
+	c.Read(0x00010000)
+	if c.Contains(0x00020000) || c.Contains(0x00000000) {
+		t.Error("distinct tags reported resident")
+	}
+	if !c.Contains(0x00010004) {
+		t.Error("same line should be resident")
+	}
+}

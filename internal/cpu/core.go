@@ -1,0 +1,257 @@
+// Package cpu implements the LEON2-like integer unit: a functional SPARC V8
+// subset interpreter with a cycle-accurate-style timing model whose
+// sensitivities follow the reconfigurable parameters of the paper's
+// Figure 1 (caches, ICC hold, fast jump/decode, load delay, register
+// windows, multiplier and divider options).
+//
+// The timing semantics are documented in DESIGN.md §6. Every cycle the
+// model charges is attributed to a profiler category, and the profile
+// balances exactly (profiler.Stats.ConsistencyError).
+package cpu
+
+import (
+	"fmt"
+	"io"
+
+	"liquidarch/internal/cache"
+	"liquidarch/internal/config"
+	"liquidarch/internal/isa"
+	"liquidarch/internal/mem"
+	"liquidarch/internal/profiler"
+)
+
+// Core is one LEON2-like processor instance bound to a memory.
+type Core struct {
+	cfg    config.Config
+	memory *mem.Memory
+	icache *cache.Cache
+	dcache *cache.Cache
+	wbuf   *mem.WriteBuffer
+	timing mem.Timing
+
+	// Architectural state.
+	globals [8]uint32
+	window  []uint32 // nwindows*16 circular windowed registers
+	cwp     int
+	resid   int // live consecutive windows, 1..nwindows-1
+	y       uint32
+	icc     isa.ICC
+	pc, npc uint32
+
+	// Predecoded text segment.
+	text     []isa.Instr
+	textBase uint32
+
+	// Hazard bookkeeping.
+	loadHazardReg int  // physical register index of a just-loaded value, -1 if none
+	iccJustSet    bool // previous instruction set the condition codes
+
+	// Precomputed latencies.
+	mulExtra      uint64
+	divExtra      uint64
+	imissPenalty  uint64
+	dmissPenalty  uint64
+	jumpExtra     uint64 // extra cycles for JMPL without fast jump
+	decodeExtra   uint64 // extra cycles per taken CTI without fast decode
+	loadInterlock uint64
+
+	stats  profiler.Stats
+	halted bool
+	exit   uint32
+
+	traceW     io.Writer
+	traceLimit uint64
+}
+
+// Latency tables for the multiplier and divider options (cycles per
+// operation, including the issue cycle).
+var mulLatency = map[config.MultiplierOption]uint64{
+	config.MulNone:      44, // software emulation, microcoded
+	config.MulIterative: 35,
+	config.Mul16x16:     4,
+	config.Mul16x16Pipe: 2,
+	config.Mul32x8:      4,
+	config.Mul32x16:     2,
+	config.Mul32x32:     1,
+}
+
+var divLatency = map[config.DividerOption]uint64{
+	config.DivNone:   120, // software emulation, microcoded
+	config.DivRadix2: 35,
+}
+
+// Window trap cost model: fixed overhead plus 16 word transfers that go
+// through the data cache / write buffer.
+const windowTrapOverhead = 8
+
+// New builds a core for the given configuration. The configuration must
+// validate.
+func New(cfg config.Config, memory *mem.Memory) (*Core, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	ic, err := cache.New(cfg.ICache)
+	if err != nil {
+		return nil, fmt.Errorf("cpu: icache: %w", err)
+	}
+	dc, err := cache.New(cfg.DCache)
+	if err != nil {
+		return nil, fmt.Errorf("cpu: dcache: %w", err)
+	}
+	timing := mem.DefaultTiming()
+	c := &Core{
+		cfg:           cfg,
+		memory:        memory,
+		icache:        ic,
+		dcache:        dc,
+		wbuf:          mem.NewWriteBuffer(timing),
+		timing:        timing,
+		window:        make([]uint32, cfg.IU.RegWindows*16),
+		resid:         1,
+		loadHazardReg: noHazard,
+		mulExtra:      mulLatency[cfg.IU.Multiplier] - 1,
+		divExtra:      divLatency[cfg.IU.Divider] - 1,
+		imissPenalty:  uint64(timing.BurstReadCycles(cfg.ICache.LineWords)),
+		dmissPenalty:  uint64(timing.BurstReadCycles(cfg.DCache.LineWords)),
+		loadInterlock: uint64(cfg.IU.LoadDelay),
+	}
+	if !cfg.IU.FastJump {
+		c.jumpExtra = 1
+	}
+	if !cfg.IU.FastDecode {
+		c.decodeExtra = 1
+	}
+	return c, nil
+}
+
+// Config returns the configuration the core was built with.
+func (c *Core) Config() config.Config { return c.cfg }
+
+// Memory returns the attached memory.
+func (c *Core) Memory() *mem.Memory { return c.memory }
+
+// Stats returns the profile accumulated so far.
+func (c *Core) Stats() profiler.Stats { return c.stats }
+
+// ICacheStats and DCacheStats expose the cache event counters.
+func (c *Core) ICacheStats() cache.Stats { return c.icache.Stats() }
+func (c *Core) DCacheStats() cache.Stats { return c.dcache.Stats() }
+
+// Halted reports whether the program has executed the halt trap.
+func (c *Core) Halted() bool { return c.halted }
+
+// ExitCode returns %o0 at the halt trap.
+func (c *Core) ExitCode() uint32 { return c.exit }
+
+// PC returns the current program counter.
+func (c *Core) PC() uint32 { return c.pc }
+
+// LoadText predecodes the text segment (already resident in memory) so
+// execution can index instructions directly. Programs are not
+// self-modifying; stores into the text range do not re-decode.
+func (c *Core) LoadText(base uint32, words int) error {
+	if base%4 != 0 {
+		return fmt.Errorf("cpu: text base %#x not word aligned", base)
+	}
+	text := make([]isa.Instr, words)
+	for i := 0; i < words; i++ {
+		w, err := c.memory.Read32(base + uint32(i)*4)
+		if err != nil {
+			return fmt.Errorf("cpu: reading text word %d: %w", i, err)
+		}
+		in, err := isa.Decode(w)
+		if err != nil {
+			// Tolerate undecodable words (e.g. literal pools): they only
+			// fault if control flow reaches them.
+			in = isa.Instr{Op: isa.OpInvalid}
+		}
+		text[i] = in
+	}
+	c.text = text
+	c.textBase = base
+	return nil
+}
+
+// Reset rewinds architectural state and the profile, sets the entry point,
+// and initialises the stack pointer to the top of RAM.
+func (c *Core) Reset(entry uint32) {
+	c.globals = [8]uint32{}
+	for i := range c.window {
+		c.window[i] = 0
+	}
+	c.cwp = 0
+	c.resid = 1
+	c.y = 0
+	c.icc = isa.ICC{}
+	c.pc = entry
+	c.npc = entry + 4
+	c.loadHazardReg = noHazard
+	c.iccJustSet = false
+	c.stats = profiler.Stats{}
+	c.halted = false
+	c.exit = 0
+	c.icache.Flush()
+	c.dcache.Flush()
+	c.wbuf.Reset()
+	// ABI: %sp at top of RAM, 64-byte save area reserved.
+	c.setReg(isa.RegSP, mem.RAMBase+uint32(c.memory.Size())-64)
+}
+
+// windowCount returns the configured number of register windows.
+func (c *Core) windowCount() int { return c.cfg.IU.RegWindows }
+
+// physIndex maps an architectural register in the current window to its
+// physical index in c.window (windowed registers only; r >= 8).
+func (c *Core) physIndex(r uint8) int {
+	n := len(c.window)
+	switch {
+	case r < 16: // outs
+		return (c.cwp*16 + int(r) - 8) % n
+	case r < 24: // locals
+		return (c.cwp*16 + 8 + int(r) - 16) % n
+	default: // ins
+		return (c.cwp*16 + 16 + int(r) - 24) % n
+	}
+}
+
+// getReg reads architectural register r; %g0 is hardwired to zero.
+func (c *Core) getReg(r uint8) uint32 {
+	if r < 8 {
+		if r == 0 {
+			return 0
+		}
+		return c.globals[r]
+	}
+	return c.window[c.physIndex(r)]
+}
+
+// setReg writes architectural register r; writes to %g0 are discarded.
+func (c *Core) setReg(r uint8, v uint32) {
+	if r < 8 {
+		if r != 0 {
+			c.globals[r] = v
+		}
+		return
+	}
+	c.window[c.physIndex(r)] = v
+}
+
+// Reg exposes register values for tests and the platform's result
+// extraction.
+func (c *Core) Reg(r uint8) uint32 { return c.getReg(r) }
+
+// SetReg pokes a register; used by tests and loaders.
+func (c *Core) SetReg(r uint8, v uint32) { c.setReg(r, v) }
+
+// SetTrace enables an execution trace: the first limit instructions are
+// disassembled to w as they execute. Pass nil to disable.
+func (c *Core) SetTrace(w io.Writer, limit uint64) {
+	c.traceW = w
+	c.traceLimit = limit
+}
+
+// ICC exposes the integer condition codes (read-only, for tests).
+func (c *Core) ICC() isa.ICC { return c.icc }
+
+// Y exposes the Y register (read-only, for tests).
+func (c *Core) Y() uint32 { return c.y }

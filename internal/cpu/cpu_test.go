@@ -1,0 +1,620 @@
+package cpu_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"liquidarch/internal/config"
+	"liquidarch/internal/cpu"
+	"liquidarch/internal/isa"
+	"liquidarch/internal/mem"
+)
+
+const textBase = mem.RAMBase
+
+// buildCore assembles a program of decoded instructions into memory and
+// returns a core ready to run it.
+func buildCore(t *testing.T, cfg config.Config, prog []isa.Instr) *cpu.Core {
+	t.Helper()
+	m := mem.New(1 << 20)
+	for i, in := range prog {
+		w, err := isa.Encode(in)
+		if err != nil {
+			t.Fatalf("encode instr %d (%+v): %v", i, in, err)
+		}
+		if err := m.Write32(textBase+uint32(i)*4, w); err != nil {
+			t.Fatalf("write instr %d: %v", i, err)
+		}
+	}
+	c, err := cpu.New(cfg, m)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := c.LoadText(textBase, len(prog)); err != nil {
+		t.Fatalf("LoadText: %v", err)
+	}
+	c.Reset(textBase)
+	return c
+}
+
+func run(t *testing.T, c *cpu.Core) {
+	t.Helper()
+	if err := c.Run(1_000_000); err != nil {
+		t.Fatalf("Run: %v (pc=%#x)", err, c.PC())
+	}
+	if err := c.Stats().ConsistencyError(); err != nil {
+		t.Fatalf("profile imbalance: %v", err)
+	}
+}
+
+// Shorthand instruction constructors.
+func movImm(rd uint8, v int32) isa.Instr {
+	return isa.Instr{Op: isa.OpOr, Rd: rd, Rs1: 0, UseImm: true, Imm: v}
+}
+func alu(op isa.Opcode, rd, rs1, rs2 uint8) isa.Instr {
+	return isa.Instr{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2}
+}
+func aluImm(op isa.Opcode, rd, rs1 uint8, imm int32) isa.Instr {
+	return isa.Instr{Op: op, Rd: rd, Rs1: rs1, UseImm: true, Imm: imm}
+}
+func nop() isa.Instr { return isa.Instr{Op: isa.OpSethi, Rd: 0, Imm: 0} }
+func halt() isa.Instr {
+	return isa.Instr{Op: isa.OpTicc, Cond: isa.CondA, UseImm: true, Imm: 0}
+}
+
+// set32 materialises a full 32-bit constant with sethi+or.
+func set32(rd uint8, v uint32) []isa.Instr {
+	return []isa.Instr{
+		{Op: isa.OpSethi, Rd: rd, Imm: int32(v >> 10)},
+		aluImm(isa.OpOr, rd, rd, int32(v&0x3FF)),
+	}
+}
+
+func TestALUBasics(t *testing.T) {
+	prog := []isa.Instr{
+		movImm(1, 100),                 // %g1 = 100
+		aluImm(isa.OpAdd, 2, 1, 23),    // %g2 = 123
+		alu(isa.OpSub, 3, 2, 1),        // %g3 = 23
+		aluImm(isa.OpSll, 4, 1, 3),     // %g4 = 800
+		aluImm(isa.OpSrl, 5, 4, 2),     // %g5 = 200
+		aluImm(isa.OpXor, 6, 1, 0x55),  // %g6 = 100^0x55
+		aluImm(isa.OpAndN, 7, 1, 0x0F), // %g7 = 100 &^ 15 = 96
+		movImm(8, 77),                  // %o0 = exit code 77
+		halt(),
+	}
+	c := buildCore(t, config.Default(), prog)
+	run(t, c)
+	checks := map[uint8]uint32{1: 100, 2: 123, 3: 23, 4: 800, 5: 200, 6: 100 ^ 0x55, 7: 96}
+	for r, want := range checks {
+		if got := c.Reg(r); got != want {
+			t.Errorf("reg %s = %d, want %d", isa.RegName(r), got, want)
+		}
+	}
+	if !c.Halted() || c.ExitCode() != 77 {
+		t.Errorf("halted=%t exit=%d", c.Halted(), c.ExitCode())
+	}
+}
+
+func TestSraAndNegativeValues(t *testing.T) {
+	prog := []isa.Instr{
+		movImm(1, -64),
+		aluImm(isa.OpSra, 2, 1, 2), // -16
+		aluImm(isa.OpSrl, 3, 1, 28),
+		halt(),
+	}
+	c := buildCore(t, config.Default(), prog)
+	run(t, c)
+	if got := int32(c.Reg(2)); got != -16 {
+		t.Errorf("sra: %d, want -16", got)
+	}
+	if got := c.Reg(3); got != 0xF {
+		t.Errorf("srl of negative: %#x, want 0xf", got)
+	}
+}
+
+// TestICCAgainstReference checks addcc/subcc condition codes against a
+// 64-bit arithmetic reference over random operands.
+func TestICCAgainstReference(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for i := 0; i < 300; i++ {
+		a, b := r.Uint32(), r.Uint32()
+		for _, sub := range []bool{false, true} {
+			op := isa.OpAddCC
+			if sub {
+				op = isa.OpSubCC
+			}
+			prog := []isa.Instr{
+				// Build full 32-bit constants with sethi+or.
+				{Op: isa.OpSethi, Rd: 1, Imm: int32(a >> 10)},
+				aluImm(isa.OpOr, 1, 1, int32(a&0x3FF)),
+				{Op: isa.OpSethi, Rd: 2, Imm: int32(b >> 10)},
+				aluImm(isa.OpOr, 2, 2, int32(b&0x3FF)),
+				alu(op, 3, 1, 2),
+				halt(),
+			}
+			c := buildCore(t, config.Default(), prog)
+			run(t, c)
+
+			var res uint32
+			var wantV, wantC bool
+			if sub {
+				res = a - b
+				wantV = ((a^b)&(a^res))>>31 != 0
+				wantC = b > a
+			} else {
+				res = a + b
+				wantV = (^(a^b)&(a^res))>>31 != 0
+				wantC = uint64(a)+uint64(b) > 0xFFFFFFFF
+			}
+			icc := c.ICC()
+			if c.Reg(3) != res {
+				t.Fatalf("op=%v a=%#x b=%#x result %#x want %#x", op, a, b, c.Reg(3), res)
+			}
+			if icc.N != (int32(res) < 0) || icc.Z != (res == 0) || icc.V != wantV || icc.C != wantC {
+				t.Fatalf("op=%v a=%#x b=%#x icc=%+v want N=%t Z=%t V=%t C=%t",
+					op, a, b, icc, int32(res) < 0, res == 0, wantV, wantC)
+			}
+		}
+	}
+}
+
+func TestMulDivSemantics(t *testing.T) {
+	var prog []isa.Instr
+	prog = append(prog, set32(1, 100000)...)
+	prog = append(prog, set32(2, 70000)...)
+	prog = append(prog, []isa.Instr{
+		alu(isa.OpUMul, 3, 1, 2), // 7e9: low in %g3, high in %y
+		{Op: isa.OpRdY, Rd: 4},
+		movImm(5, -7),
+		alu(isa.OpSMul, 6, 5, 1), // -700000
+		{Op: isa.OpWrY, Rs1: 0, UseImm: true, Imm: 0},
+		movImm(7, 1000),
+		aluImm(isa.OpUDiv, 8, 7, 6), // %o0 = 1000 / 6 = 166
+		halt(),
+	}...)
+	c := buildCore(t, config.Default(), prog)
+	run(t, c)
+	p := uint64(100000) * uint64(70000)
+	if got := c.Reg(3); got != uint32(p) {
+		t.Errorf("umul low = %#x, want %#x", got, uint32(p))
+	}
+	if got := c.Reg(4); got != uint32(p>>32) {
+		t.Errorf("umul high (Y) = %#x, want %#x", got, uint32(p>>32))
+	}
+	if got := int32(c.Reg(6)); got != -700000 {
+		t.Errorf("smul = %d, want -700000", got)
+	}
+	if got := c.Reg(8); got != 166 {
+		t.Errorf("udiv = %d, want 166", got)
+	}
+}
+
+func TestSDivNegativeAndClamp(t *testing.T) {
+	prog := []isa.Instr{
+		{Op: isa.OpWrY, Rs1: 0, UseImm: true, Imm: -1}, // Y = sign extension of a negative dividend
+		movImm(1, -100),
+		aluImm(isa.OpSDiv, 2, 1, 7), // -14
+		halt(),
+	}
+	c := buildCore(t, config.Default(), prog)
+	run(t, c)
+	if got := int32(c.Reg(2)); got != -14 {
+		t.Errorf("sdiv(-100,7) = %d, want -14", got)
+	}
+}
+
+func TestDivByZeroErrors(t *testing.T) {
+	prog := []isa.Instr{
+		movImm(1, 5),
+		aluImm(isa.OpUDiv, 2, 1, 0),
+		halt(),
+	}
+	c := buildCore(t, config.Default(), prog)
+	if err := c.Run(100); err == nil || !strings.Contains(err.Error(), "division by zero") {
+		t.Errorf("want division-by-zero error, got %v", err)
+	}
+}
+
+func TestLoadStoreWidths(t *testing.T) {
+	data := int32(0xF00) // offset from textBase used as scratch, within RAM and simm13
+	prog := []isa.Instr{
+		{Op: isa.OpSethi, Rd: 1, Imm: int32(textBase >> 10)}, // %g1 = textBase
+		aluImm(isa.OpAdd, 1, 1, data),                        // %g1 = scratch
+		{Op: isa.OpSethi, Rd: 2, Imm: int32(0x89ABCDEF>>10) & 0x3FFFFF},
+		aluImm(isa.OpOr, 2, 2, int32(0x89ABCDEF&0x3FF)),
+		{Op: isa.OpSt, Rd: 2, Rs1: 1, UseImm: true, Imm: 0},
+		{Op: isa.OpLd, Rd: 3, Rs1: 1, UseImm: true, Imm: 0},
+		{Op: isa.OpLdUB, Rd: 4, Rs1: 1, UseImm: true, Imm: 0}, // big-endian: 0x89
+		{Op: isa.OpLdSB, Rd: 5, Rs1: 1, UseImm: true, Imm: 0}, // sign-extended
+		{Op: isa.OpLdUH, Rd: 6, Rs1: 1, UseImm: true, Imm: 2}, // 0xCDEF
+		{Op: isa.OpLdSH, Rd: 7, Rs1: 1, UseImm: true, Imm: 2},
+		{Op: isa.OpStB, Rd: 2, Rs1: 1, UseImm: true, Imm: 4}, // low byte 0xEF
+		{Op: isa.OpLdUB, Rd: 8, Rs1: 1, UseImm: true, Imm: 4},
+		{Op: isa.OpStH, Rd: 2, Rs1: 1, UseImm: true, Imm: 6}, // low half 0xCDEF
+		{Op: isa.OpLdUH, Rd: 9, Rs1: 1, UseImm: true, Imm: 6},
+		halt(),
+	}
+	c := buildCore(t, config.Default(), prog)
+	run(t, c)
+	if got := c.Reg(3); got != 0x89ABCDEF {
+		t.Errorf("ld = %#x", got)
+	}
+	if got := c.Reg(4); got != 0x89 {
+		t.Errorf("ldub = %#x, want 0x89", got)
+	}
+	if got := int32(c.Reg(5)); got != -119 { // sign-extended 0x89
+		t.Errorf("ldsb = %d, want -119", got)
+	}
+	if got := c.Reg(6); got != 0xCDEF {
+		t.Errorf("lduh = %#x", got)
+	}
+	if got := int32(c.Reg(7)); got != -12817 { // sign-extended 0xCDEF
+		t.Errorf("ldsh = %d", got)
+	}
+	if got := c.Reg(8); got != 0xEF {
+		t.Errorf("stb/ldub = %#x", got)
+	}
+	if got := c.Reg(9); got != 0xCDEF {
+		t.Errorf("sth/lduh = %#x", got)
+	}
+}
+
+func TestBranchTakenAndDelaySlot(t *testing.T) {
+	prog := []isa.Instr{
+		movImm(1, 1),
+		aluImm(isa.OpSubCC, 0, 1, 1),               // cmp %g1,1 -> Z
+		{Op: isa.OpBicc, Cond: isa.CondE, Disp: 3}, // be +3 (to idx 5)
+		movImm(2, 42),                              // delay slot: executes
+		movImm(3, 99),                              // skipped
+		halt(),
+	}
+	c := buildCore(t, config.Default(), prog)
+	run(t, c)
+	if c.Reg(2) != 42 {
+		t.Error("delay slot of taken branch must execute")
+	}
+	if c.Reg(3) != 0 {
+		t.Error("branch target skipped the fall-through instruction")
+	}
+}
+
+func TestBranchUntakenFallsThrough(t *testing.T) {
+	prog := []isa.Instr{
+		movImm(1, 1),
+		aluImm(isa.OpSubCC, 0, 1, 2), // cmp %g1,2 -> not equal
+		{Op: isa.OpBicc, Cond: isa.CondE, Disp: 3},
+		movImm(2, 42), // delay slot executes
+		movImm(3, 99), // fall-through executes
+		halt(),
+	}
+	c := buildCore(t, config.Default(), prog)
+	run(t, c)
+	if c.Reg(2) != 42 || c.Reg(3) != 99 {
+		t.Errorf("untaken branch flow wrong: g2=%d g3=%d", c.Reg(2), c.Reg(3))
+	}
+}
+
+func TestAnnulledDelaySlotUntaken(t *testing.T) {
+	prog := []isa.Instr{
+		movImm(1, 1),
+		aluImm(isa.OpSubCC, 0, 1, 2), // not equal
+		{Op: isa.OpBicc, Cond: isa.CondE, Annul: true, Disp: 3},
+		movImm(2, 42), // annulled: must NOT execute
+		movImm(3, 99),
+		halt(),
+	}
+	c := buildCore(t, config.Default(), prog)
+	run(t, c)
+	if c.Reg(2) != 0 {
+		t.Error("untaken annulled delay slot executed")
+	}
+	if c.Reg(3) != 99 {
+		t.Error("execution did not continue after annulled slot")
+	}
+	if c.Stats().AnnulledSlots != 1 {
+		t.Errorf("annulled slots = %d, want 1", c.Stats().AnnulledSlots)
+	}
+}
+
+func TestAnnulledDelaySlotTakenConditional(t *testing.T) {
+	// Taken conditional with annul bit: delay slot still executes.
+	prog := []isa.Instr{
+		movImm(1, 1),
+		aluImm(isa.OpSubCC, 0, 1, 1), // equal
+		{Op: isa.OpBicc, Cond: isa.CondE, Annul: true, Disp: 3},
+		movImm(2, 42), // executes (taken conditional ignores annul)
+		movImm(3, 99), // skipped
+		halt(),
+	}
+	c := buildCore(t, config.Default(), prog)
+	run(t, c)
+	if c.Reg(2) != 42 {
+		t.Error("taken annulled conditional must still execute its delay slot")
+	}
+	if c.Reg(3) != 0 {
+		t.Error("branch did not skip")
+	}
+}
+
+func TestBaAnnulSkipsSlot(t *testing.T) {
+	prog := []isa.Instr{
+		{Op: isa.OpBicc, Cond: isa.CondA, Annul: true, Disp: 3}, // ba,a +3
+		movImm(2, 42), // annulled
+		nop(),
+		movImm(3, 99), // target
+		halt(),
+	}
+	c := buildCore(t, config.Default(), prog)
+	run(t, c)
+	if c.Reg(2) != 0 {
+		t.Error("ba,a delay slot executed")
+	}
+	if c.Reg(3) != 99 {
+		t.Error("ba,a did not reach target")
+	}
+}
+
+func TestCallAndReturn(t *testing.T) {
+	prog := []isa.Instr{
+		{Op: isa.OpCall, Disp: 4}, // call idx 4
+		nop(),                     // delay slot
+		movImm(3, 7),              // executed after return
+		halt(),
+		// callee at idx 4:
+		movImm(2, 55),
+		{Op: isa.OpJmpl, Rd: 0, Rs1: isa.RegO7, UseImm: true, Imm: 8}, // retl
+		nop(),
+	}
+	c := buildCore(t, config.Default(), prog)
+	run(t, c)
+	if c.Reg(2) != 55 || c.Reg(3) != 7 {
+		t.Errorf("call/return flow wrong: g2=%d g3=%d", c.Reg(2), c.Reg(3))
+	}
+	if c.Stats().Calls != 1 || c.Stats().Jumps != 1 {
+		t.Errorf("stats calls=%d jumps=%d", c.Stats().Calls, c.Stats().Jumps)
+	}
+}
+
+func TestSaveRestoreWindowSharing(t *testing.T) {
+	prog := []isa.Instr{
+		movImm(8, 111), // %o0 = 111
+		{Op: isa.OpSave, Rd: isa.RegSP, Rs1: isa.RegSP, UseImm: true, Imm: -96},
+		// After save, the caller's %o0 is our %i0 (r24).
+		aluImm(isa.OpAdd, 8, 24, 1),                              // %o0 = %i0+1 = 112
+		{Op: isa.OpRestore, Rd: 1, Rs1: 8, UseImm: true, Imm: 0}, // %g1 = callee %o0; back to caller window
+		halt(),
+	}
+	c := buildCore(t, config.Default(), prog)
+	run(t, c)
+	if got := c.Reg(1); got != 112 {
+		t.Errorf("restore result = %d, want 112 (callee saw caller's out as in)", got)
+	}
+	if got := c.Reg(8); got != 111 {
+		t.Errorf("caller %%o0 = %d, want 111 (restored window)", got)
+	}
+}
+
+// TestDeepRecursionSpillsAndFills drives call depth far past the register
+// file capacity and checks that locals survive via overflow/underflow traps.
+func TestDeepRecursionSpillsAndFills(t *testing.T) {
+	const depth = 29 // depth+1=30 saves: many spills at 8 windows, none at 32
+	// Program: recursive descent; each level stores its depth in %l0 and
+	// checks it on the way back.
+	//   entry: mov depth, %o0; call down; nop; halt
+	//   down:  save %sp,-96,%sp
+	//          mov %i0, %l0               ; remember my value
+	//          cmp %i0, 0; be base; nop
+	//          sub %i0, 1, %o0
+	//          call down; nop
+	//   base:  ; check %l0 == %i0, trap 1 (error) if not
+	//          cmp %l0, %i0; be ok; nop
+	//          t 1 (unhandled -> error)
+	//   ok:    ret; restore %g0,%g0,%g0
+	prog := []isa.Instr{
+		movImm(8, depth),          // %o0 = depth
+		{Op: isa.OpCall, Disp: 3}, // call down (idx 3)
+		nop(),
+		halt(), // unreachable? no: after outermost return, pc lands here? call writes o7=pc(idx1); retl -> idx1+8 = idx3 -> halt. But down returns with ret (i7). The outer call's o7 = idx 1, so callee's ret (jmpl i7+8) -> idx 3: halt. Good.
+		// down (idx 4... careful: call disp must point here)
+	}
+	// Fix call target: "down" starts at index 4 (after halt at 3). CALL at
+	// idx 1 with disp 3 -> idx 4. Adjust:
+	prog[1].Disp = 3
+	down := []isa.Instr{
+		{Op: isa.OpSave, Rd: isa.RegSP, Rs1: isa.RegSP, UseImm: true, Imm: -96},
+		alu(isa.OpOr, 16, 0, 24),                   // mov %i0, %l0
+		aluImm(isa.OpSubCC, 0, 24, 0),              // cmp %i0, 0
+		{Op: isa.OpBicc, Cond: isa.CondE, Disp: 4}, // be base (idx +4)
+		nop(),
+		aluImm(isa.OpSub, 8, 24, 1), // %o0 = %i0-1
+		{Op: isa.OpCall, Disp: -6},  // call down (back to save)
+		nop(),
+		// base: check %l0 == %i0
+		alu(isa.OpSubCC, 0, 16, 24),
+		{Op: isa.OpBicc, Cond: isa.CondE, Disp: 3}, // be ok
+		nop(),
+		{Op: isa.OpTicc, Cond: isa.CondA, UseImm: true, Imm: 1}, // error trap
+		// ok: ret; restore
+		{Op: isa.OpJmpl, Rd: 0, Rs1: isa.RegI7, UseImm: true, Imm: 8},
+		{Op: isa.OpRestore, Rd: 0, Rs1: 0, Rs2: 0},
+	}
+	prog = append(prog, down...)
+	for _, windows := range []int{8, 16, 32} {
+		cfg := config.Default()
+		cfg.IU.RegWindows = windows
+		c := buildCore(t, cfg, prog)
+		run(t, c)
+		st := c.Stats()
+		if windows == 8 && st.WindowOverflows == 0 {
+			t.Errorf("depth %d with 8 windows should overflow, got %d", depth, st.WindowOverflows)
+		}
+		if st.WindowOverflows != st.WindowUnderflows {
+			t.Errorf("windows=%d: overflows %d != underflows %d", windows, st.WindowOverflows, st.WindowUnderflows)
+		}
+		if windows == 32 && st.WindowOverflows != 0 {
+			t.Errorf("depth %d fits in 32 windows, got %d overflows", depth, st.WindowOverflows)
+		}
+	}
+}
+
+// TestMoreWindowsReduceTrapCycles is the paper's register-window
+// sensitivity: deep call chains run faster with more windows.
+func TestMoreWindowsReduceTrapCycles(t *testing.T) {
+	cycles := func(windows int) uint64 {
+		cfg := config.Default()
+		cfg.IU.RegWindows = windows
+		c := buildCore(t, cfg, recursionProgram(25))
+		run(t, c)
+		return c.Stats().Cycles
+	}
+	c8, c32 := cycles(8), cycles(32)
+	if c32 >= c8 {
+		t.Errorf("32 windows (%d cycles) should beat 8 windows (%d) on deep recursion", c32, c8)
+	}
+}
+
+func recursionProgram(depth int32) []isa.Instr {
+	prog := []isa.Instr{
+		movImm(8, depth),
+		{Op: isa.OpCall, Disp: 3},
+		nop(),
+		halt(),
+	}
+	down := []isa.Instr{
+		{Op: isa.OpSave, Rd: isa.RegSP, Rs1: isa.RegSP, UseImm: true, Imm: -96},
+		aluImm(isa.OpSubCC, 0, 24, 0),
+		{Op: isa.OpBicc, Cond: isa.CondE, Disp: 4},
+		nop(),
+		aluImm(isa.OpSub, 8, 24, 1),
+		{Op: isa.OpCall, Disp: -5},
+		nop(),
+		{Op: isa.OpJmpl, Rd: 0, Rs1: isa.RegI7, UseImm: true, Imm: 8},
+		{Op: isa.OpRestore, Rd: 0, Rs1: 0, Rs2: 0},
+	}
+	return append(prog, down...)
+}
+
+func TestRunInstructionLimit(t *testing.T) {
+	prog := []isa.Instr{
+		{Op: isa.OpBicc, Cond: isa.CondA, Disp: 0}, // ba . (infinite loop)
+		nop(),
+	}
+	c := buildCore(t, config.Default(), prog)
+	if err := c.Run(1000); err == nil || !strings.Contains(err.Error(), "instruction limit") {
+		t.Errorf("want instruction-limit error, got %v", err)
+	}
+}
+
+func TestPCOutsideTextErrors(t *testing.T) {
+	prog := []isa.Instr{nop(), nop()} // runs off the end
+	c := buildCore(t, config.Default(), prog)
+	if err := c.Run(100); err == nil || !strings.Contains(err.Error(), "outside text") {
+		t.Errorf("want outside-text error, got %v", err)
+	}
+}
+
+func TestUnhandledTrapErrors(t *testing.T) {
+	prog := []isa.Instr{{Op: isa.OpTicc, Cond: isa.CondA, UseImm: true, Imm: 5}}
+	c := buildCore(t, config.Default(), prog)
+	if err := c.Run(10); err == nil || !strings.Contains(err.Error(), "trap 5") {
+		t.Errorf("want trap error, got %v", err)
+	}
+}
+
+func TestMisalignedJmplErrors(t *testing.T) {
+	prog := []isa.Instr{
+		movImm(1, 2),
+		{Op: isa.OpJmpl, Rd: 0, Rs1: 1, UseImm: true, Imm: 0},
+		nop(),
+	}
+	c := buildCore(t, config.Default(), prog)
+	if err := c.Run(10); err == nil || !strings.Contains(err.Error(), "misaligned") {
+		t.Errorf("want misaligned error, got %v", err)
+	}
+}
+
+func TestStepAfterHalt(t *testing.T) {
+	c := buildCore(t, config.Default(), []isa.Instr{halt()})
+	run(t, c)
+	if err := c.Step(); err != cpu.ErrHalted {
+		t.Errorf("Step after halt = %v, want ErrHalted", err)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	mk := func() uint64 {
+		c := buildCore(t, config.Default(), recursionProgram(20))
+		run(t, c)
+		return c.Stats().Cycles
+	}
+	if a, b := mk(), mk(); a != b {
+		t.Errorf("two identical runs differ: %d vs %d cycles", a, b)
+	}
+}
+
+// TestWindowSpillWritesToStackFrame verifies the overflow trap stores the
+// spilled window's locals and ins to that window's own stack save area,
+// SPARC ABI layout: locals at [%sp], ins at [%sp+32].
+func TestWindowSpillWritesToStackFrame(t *testing.T) {
+	// 8 windows hold 7 resident frames: the 7th save spills the main
+	// window, the 8th spills the first marked frame. Each frame stores a
+	// recognisable value in %l0 before descending.
+	var prog []isa.Instr
+	for depth := 0; depth < 8; depth++ {
+		prog = append(prog,
+			isa.Instr{Op: isa.OpSave, Rd: isa.RegSP, Rs1: isa.RegSP, UseImm: true, Imm: -96},
+			movImm(16, int32(0x100+depth)), // %l0 = marker
+		)
+	}
+	prog = append(prog, halt())
+	cfg := config.Default() // 8 windows
+	c := buildCore(t, cfg, prog)
+	run(t, c)
+	st := c.Stats()
+	if st.WindowOverflows != 2 {
+		t.Fatalf("overflows = %d, want 2 (main window, then frame 0)", st.WindowOverflows)
+	}
+	// The second spill evicts the outermost marked frame (depth 0). Its
+	// %sp was set by its own save: initialSP - 96. Its %l0 marker (0x100)
+	// must land at [its_sp + 0] per the SPARC save-area layout.
+	initialSP := mem.RAMBase + uint32(1<<20) - 64 // buildCore uses 1 MiB RAM
+	frame0SP := initialSP - 96
+	v, err := c.Memory().Read32(frame0SP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0x100 {
+		t.Errorf("spilled %%l0 at [%#x] = %#x, want 0x100", frame0SP, v)
+	}
+}
+
+// TestWindowFillRestoresSpilledValues drives past capacity and back,
+// checking every frame's marker survives the spill/fill round trip.
+func TestWindowFillRestoresSpilledValues(t *testing.T) {
+	const depth = 12 // > 7 resident frames on 8 windows
+	var prog []isa.Instr
+	for d := 0; d < depth; d++ {
+		prog = append(prog,
+			isa.Instr{Op: isa.OpSave, Rd: isa.RegSP, Rs1: isa.RegSP, UseImm: true, Imm: -96},
+			movImm(16, int32(0x200+d)),
+		)
+	}
+	// Unwind, verifying %l0 at each level: cmp %l0, marker; trap 1 if not.
+	for d := depth - 1; d >= 0; d-- {
+		prog = append(prog,
+			aluImm(isa.OpSubCC, 0, 16, int32(0x200+d)),
+			isa.Instr{Op: isa.OpBicc, Cond: isa.CondE, Disp: 3},
+			nop(),
+			isa.Instr{Op: isa.OpTicc, Cond: isa.CondA, UseImm: true, Imm: 1}, // mismatch
+			isa.Instr{Op: isa.OpRestore},
+		)
+	}
+	prog = append(prog, halt())
+	c := buildCore(t, config.Default(), prog)
+	run(t, c)
+	st := c.Stats()
+	if st.WindowOverflows == 0 || st.WindowUnderflows == 0 {
+		t.Fatalf("expected spills and fills: %d/%d", st.WindowOverflows, st.WindowUnderflows)
+	}
+}

@@ -1,0 +1,442 @@
+package cpu
+
+import (
+	"fmt"
+
+	"liquidarch/internal/isa"
+)
+
+// ErrHalted is returned by Step after the program has halted.
+var ErrHalted = fmt.Errorf("cpu: program has halted")
+
+// deviceBase marks the start of the uncached device address space (the APB
+// UART lives there); accesses above it bypass the data cache.
+const deviceBase uint32 = 0x80000000
+
+// haltTrap is the software trap number that stops the simulator ("ta 0").
+const haltTrap = 0
+
+// hazardIndex maps an architectural register to a unique scoreboard index:
+// globals occupy the negative space so they never collide with physical
+// windowed registers.
+func (c *Core) hazardIndex(r uint8) int {
+	if r < 8 {
+		return -int(r) - 1
+	}
+	return c.physIndex(r)
+}
+
+// readsReg reports whether instruction in reads the register with hazard
+// index idx in the current window.
+func (c *Core) readsReg(in *isa.Instr, idx int) bool {
+	switch in.Op {
+	case isa.OpSethi, isa.OpBicc, isa.OpCall, isa.OpRdY:
+		return false
+	}
+	if c.hazardIndex(in.Rs1) == idx {
+		return true
+	}
+	if !in.UseImm && c.hazardIndex(in.Rs2) == idx {
+		return true
+	}
+	// Stores read their data register rd.
+	if in.Op.IsStore() && c.hazardIndex(in.Rd) == idx {
+		return true
+	}
+	return false
+}
+
+// operand2 resolves the second ALU operand (register or sign-extended
+// immediate).
+func (c *Core) operand2(in *isa.Instr) uint32 {
+	if in.UseImm {
+		return uint32(in.Imm)
+	}
+	return c.getReg(in.Rs2)
+}
+
+// fetch charges the instruction fetch at addr through the icache.
+func (c *Core) fetch(addr uint32) {
+	if !c.icache.Read(addr) {
+		c.stats.ICacheStall += c.imissPenalty
+		c.stats.Cycles += c.imissPenalty
+	}
+}
+
+// annulSlot consumes the (annulled) delay slot at addr: it is fetched and
+// occupies a pipeline slot but does not execute.
+func (c *Core) annulSlot(addr uint32) {
+	c.fetch(addr)
+	c.stats.Cycles++
+	c.stats.AnnulledSlots++
+	c.loadHazardReg = noHazard
+	c.iccJustSet = false
+}
+
+// takenCTI charges the penalties common to every taken control transfer.
+func (c *Core) takenCTI() {
+	c.stats.BranchPenalty++
+	c.stats.Cycles++
+	if c.decodeExtra != 0 {
+		c.stats.DecodeStall += c.decodeExtra
+		c.stats.Cycles += c.decodeExtra
+	}
+}
+
+// Step executes one instruction (plus any annulled delay slot it skips).
+func (c *Core) Step() error {
+	if c.halted {
+		return ErrHalted
+	}
+	if c.pc&3 != 0 {
+		return fmt.Errorf("cpu: misaligned pc %#08x", c.pc)
+	}
+	idx := (c.pc - c.textBase) >> 2
+	if uint64(idx) >= uint64(len(c.text)) {
+		return fmt.Errorf("cpu: pc %#08x outside text [%#08x,%#08x)",
+			c.pc, c.textBase, c.textBase+uint32(len(c.text))*4)
+	}
+	in := &c.text[idx]
+
+	c.fetch(c.pc)
+	c.stats.Cycles++
+	c.stats.Instructions++
+	if c.traceW != nil && c.stats.Instructions <= c.traceLimit {
+		fmt.Fprintf(c.traceW, "%10d  %08x:  %s\n", c.stats.Cycles, c.pc, isa.Disassemble(*in, c.pc))
+	}
+
+	// Load-use interlock: the previous instruction was a load whose
+	// destination this instruction reads.
+	if c.loadHazardReg != noHazard && c.readsReg(in, c.loadHazardReg) {
+		c.stats.LoadInterlock += c.loadInterlock
+		c.stats.Cycles += c.loadInterlock
+	}
+	hadICC := c.iccJustSet
+	c.loadHazardReg = noHazard
+	c.iccJustSet = false
+
+	// Default sequential flow.
+	nextPC, nextNPC := c.npc, c.npc+4
+
+	switch in.Op {
+	case isa.OpAdd, isa.OpAddCC:
+		a, b := c.getReg(in.Rs1), c.operand2(in)
+		r := a + b
+		c.setReg(in.Rd, r)
+		if in.Op == isa.OpAddCC {
+			c.icc = isa.ICC{
+				N: int32(r) < 0,
+				Z: r == 0,
+				V: (^(a^b)&(a^r))>>31 != 0,
+				C: r < a,
+			}
+			c.iccJustSet = true
+		}
+
+	case isa.OpSub, isa.OpSubCC:
+		a, b := c.getReg(in.Rs1), c.operand2(in)
+		r := a - b
+		c.setReg(in.Rd, r)
+		if in.Op == isa.OpSubCC {
+			c.icc = isa.ICC{
+				N: int32(r) < 0,
+				Z: r == 0,
+				V: ((a^b)&(a^r))>>31 != 0,
+				C: b > a,
+			}
+			c.iccJustSet = true
+		}
+
+	case isa.OpAnd, isa.OpAndCC:
+		r := c.getReg(in.Rs1) & c.operand2(in)
+		c.setReg(in.Rd, r)
+		if in.Op == isa.OpAndCC {
+			c.setLogicICC(r)
+		}
+
+	case isa.OpOr, isa.OpOrCC:
+		r := c.getReg(in.Rs1) | c.operand2(in)
+		c.setReg(in.Rd, r)
+		if in.Op == isa.OpOrCC {
+			c.setLogicICC(r)
+		}
+
+	case isa.OpXor, isa.OpXorCC:
+		r := c.getReg(in.Rs1) ^ c.operand2(in)
+		c.setReg(in.Rd, r)
+		if in.Op == isa.OpXorCC {
+			c.setLogicICC(r)
+		}
+
+	case isa.OpAndN:
+		c.setReg(in.Rd, c.getReg(in.Rs1)&^c.operand2(in))
+	case isa.OpOrN:
+		c.setReg(in.Rd, c.getReg(in.Rs1)|^c.operand2(in))
+	case isa.OpXnor:
+		c.setReg(in.Rd, ^(c.getReg(in.Rs1) ^ c.operand2(in)))
+
+	case isa.OpSll:
+		c.setReg(in.Rd, c.getReg(in.Rs1)<<(c.operand2(in)&31))
+	case isa.OpSrl:
+		c.setReg(in.Rd, c.getReg(in.Rs1)>>(c.operand2(in)&31))
+	case isa.OpSra:
+		c.setReg(in.Rd, uint32(int32(c.getReg(in.Rs1))>>(c.operand2(in)&31)))
+
+	case isa.OpUMul, isa.OpUMulCC:
+		p := uint64(c.getReg(in.Rs1)) * uint64(c.operand2(in))
+		c.y = uint32(p >> 32)
+		r := uint32(p)
+		c.setReg(in.Rd, r)
+		if in.Op == isa.OpUMulCC {
+			c.setLogicICC(r)
+		}
+		c.stats.Mults++
+		c.stats.MulStall += c.mulExtra
+		c.stats.Cycles += c.mulExtra
+
+	case isa.OpSMul, isa.OpSMulCC:
+		p := int64(int32(c.getReg(in.Rs1))) * int64(int32(c.operand2(in)))
+		c.y = uint32(uint64(p) >> 32)
+		r := uint32(p)
+		c.setReg(in.Rd, r)
+		if in.Op == isa.OpSMulCC {
+			c.setLogicICC(r)
+		}
+		c.stats.Mults++
+		c.stats.MulStall += c.mulExtra
+		c.stats.Cycles += c.mulExtra
+
+	case isa.OpUDiv:
+		divisor := c.operand2(in)
+		if divisor == 0 {
+			return fmt.Errorf("cpu: division by zero at %#08x", c.pc)
+		}
+		dividend := uint64(c.y)<<32 | uint64(c.getReg(in.Rs1))
+		q := dividend / uint64(divisor)
+		if q > 0xFFFFFFFF {
+			q = 0xFFFFFFFF // SPARC overflow clamp
+		}
+		c.setReg(in.Rd, uint32(q))
+		c.stats.Divs++
+		c.stats.DivStall += c.divExtra
+		c.stats.Cycles += c.divExtra
+
+	case isa.OpSDiv:
+		divisor := int64(int32(c.operand2(in)))
+		if divisor == 0 {
+			return fmt.Errorf("cpu: division by zero at %#08x", c.pc)
+		}
+		dividend := int64(uint64(c.y)<<32 | uint64(c.getReg(in.Rs1)))
+		q := dividend / divisor
+		if q > 0x7FFFFFFF {
+			q = 0x7FFFFFFF
+		} else if q < -0x80000000 {
+			q = -0x80000000
+		}
+		c.setReg(in.Rd, uint32(int32(q)))
+		c.stats.Divs++
+		c.stats.DivStall += c.divExtra
+		c.stats.Cycles += c.divExtra
+
+	case isa.OpRdY:
+		c.setReg(in.Rd, c.y)
+	case isa.OpWrY:
+		c.y = c.getReg(in.Rs1) ^ c.operand2(in)
+
+	case isa.OpSethi:
+		c.setReg(in.Rd, uint32(in.Imm)<<10)
+
+	case isa.OpLd, isa.OpLdUB, isa.OpLdSB, isa.OpLdUH, isa.OpLdSH:
+		if err := c.execLoad(in); err != nil {
+			return fmt.Errorf("%w at %#08x", err, c.pc)
+		}
+
+	case isa.OpSt, isa.OpStB, isa.OpStH:
+		if err := c.execStore(in); err != nil {
+			return fmt.Errorf("%w at %#08x", err, c.pc)
+		}
+
+	case isa.OpBicc:
+		c.stats.Branches++
+		if hadICC && c.cfg.IU.ICCHold {
+			c.stats.ICCHoldStall++
+			c.stats.Cycles++
+		}
+		target := c.pc + uint32(in.Disp)*4
+		taken := in.Cond.Holds(c.icc)
+		switch {
+		case taken && in.Cond == isa.CondA && in.Annul:
+			// ba,a: delay slot annulled even though taken.
+			c.stats.TakenBranches++
+			c.takenCTI()
+			c.annulSlot(c.npc)
+			nextPC, nextNPC = target, target+4
+		case taken:
+			c.stats.TakenBranches++
+			c.takenCTI()
+			nextPC, nextNPC = c.npc, target
+		case in.Annul:
+			// Untaken with annul: skip the delay slot.
+			c.annulSlot(c.npc)
+			nextPC, nextNPC = c.npc+4, c.npc+8
+		}
+
+	case isa.OpCall:
+		c.stats.Calls++
+		c.setReg(isa.RegO7, c.pc)
+		c.takenCTI()
+		target := c.pc + uint32(in.Disp)*4
+		nextPC, nextNPC = c.npc, target
+
+	case isa.OpJmpl:
+		c.stats.Jumps++
+		target := c.getReg(in.Rs1) + c.operand2(in)
+		if target&3 != 0 {
+			return fmt.Errorf("cpu: jmpl to misaligned %#08x at %#08x", target, c.pc)
+		}
+		c.setReg(in.Rd, c.pc)
+		c.takenCTI()
+		if c.jumpExtra != 0 {
+			c.stats.JumpPenalty += c.jumpExtra
+			c.stats.Cycles += c.jumpExtra
+		}
+		nextPC, nextNPC = c.npc, target
+
+	case isa.OpSave:
+		if err := c.execSave(in); err != nil {
+			return fmt.Errorf("%w at %#08x", err, c.pc)
+		}
+
+	case isa.OpRestore:
+		if err := c.execRestore(in); err != nil {
+			return fmt.Errorf("%w at %#08x", err, c.pc)
+		}
+
+	case isa.OpTicc:
+		if in.Cond.Holds(c.icc) {
+			trap := (c.getReg(in.Rs1) + c.operand2(in)) & 0x7F
+			if trap == haltTrap {
+				c.halted = true
+				c.exit = c.getReg(8) // %o0
+				c.pc, c.npc = nextPC, nextNPC
+				return nil
+			}
+			return fmt.Errorf("cpu: unhandled software trap %d at %#08x", trap, c.pc)
+		}
+
+	default:
+		return fmt.Errorf("cpu: unimplemented opcode %s at %#08x", in.Op, c.pc)
+	}
+
+	c.pc, c.npc = nextPC, nextNPC
+	return nil
+}
+
+const noHazard = -1 << 20
+
+func (c *Core) setLogicICC(r uint32) {
+	c.icc = isa.ICC{N: int32(r) < 0, Z: r == 0}
+	c.iccJustSet = true
+}
+
+func (c *Core) execLoad(in *isa.Instr) error {
+	addr := c.getReg(in.Rs1) + c.operand2(in)
+	c.stats.Loads++
+	c.stats.LoadCycles++
+	c.stats.Cycles++
+	if addr < deviceBase {
+		if !c.dcache.Read(addr) {
+			c.stats.DCacheStall += c.dmissPenalty
+			c.stats.Cycles += c.dmissPenalty
+		}
+	}
+	var v uint32
+	switch in.Op {
+	case isa.OpLd:
+		w, err := c.memory.Read32(addr)
+		if err != nil {
+			return err
+		}
+		v = w
+	case isa.OpLdUB:
+		b, err := c.memory.Read8(addr)
+		if err != nil {
+			return err
+		}
+		v = uint32(b)
+	case isa.OpLdSB:
+		b, err := c.memory.Read8(addr)
+		if err != nil {
+			return err
+		}
+		v = uint32(int32(int8(b)))
+	case isa.OpLdUH:
+		h, err := c.memory.Read16(addr)
+		if err != nil {
+			return err
+		}
+		v = uint32(h)
+	case isa.OpLdSH:
+		h, err := c.memory.Read16(addr)
+		if err != nil {
+			return err
+		}
+		v = uint32(int32(int16(h)))
+	}
+	c.setReg(in.Rd, v)
+	if in.Rd != 0 {
+		c.loadHazardReg = c.hazardIndex(in.Rd)
+	}
+	return nil
+}
+
+func (c *Core) execStore(in *isa.Instr) error {
+	addr := c.getReg(in.Rs1) + c.operand2(in)
+	v := c.getReg(in.Rd)
+	c.stats.Stores++
+	c.stats.StoreCycles += 2
+	c.stats.Cycles += 2
+	if addr < deviceBase {
+		c.dcache.Write(addr)
+		stall := c.wbuf.Store(c.stats.Cycles)
+		c.stats.WriteBufStall += stall
+		c.stats.Cycles += stall
+	}
+	switch in.Op {
+	case isa.OpSt:
+		return c.memory.Write32(addr, v)
+	case isa.OpStB:
+		return c.memory.Write8(addr, uint8(v))
+	case isa.OpStH:
+		return c.memory.Write16(addr, uint16(v))
+	}
+	return nil
+}
+
+// Run executes until the program halts or maxInstr instructions retire.
+// Hitting the limit without halting is an error (runaway program).
+func (c *Core) Run(maxInstr uint64) error {
+	start := c.stats.Instructions
+	for !c.halted {
+		if c.stats.Instructions-start >= maxInstr {
+			return fmt.Errorf("cpu: instruction limit %d reached at pc %#08x", maxInstr, c.pc)
+		}
+		if err := c.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunFor executes until the program halts or n instructions retire,
+// whichever comes first — the truncated-run primitive behind the
+// runtime-sampling extension. It reports whether the program halted.
+func (c *Core) RunFor(n uint64) (halted bool, err error) {
+	start := c.stats.Instructions
+	for !c.halted && c.stats.Instructions-start < n {
+		if err := c.Step(); err != nil {
+			return false, err
+		}
+	}
+	return c.halted, nil
+}

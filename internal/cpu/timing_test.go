@@ -1,0 +1,305 @@
+package cpu_test
+
+import (
+	"testing"
+
+	"liquidarch/internal/config"
+	"liquidarch/internal/cpu"
+	"liquidarch/internal/isa"
+)
+
+// runCycles builds, runs and returns total cycles for prog under cfg.
+func runCycles(t *testing.T, cfg config.Config, prog []isa.Instr) uint64 {
+	t.Helper()
+	c := buildCore(t, cfg, prog)
+	run(t, c)
+	return c.Stats().Cycles
+}
+
+// straightLine returns n-1 ALU instructions followed by halt.
+func straightLine(n int) []isa.Instr {
+	prog := make([]isa.Instr, 0, n)
+	for i := 0; i < n-1; i++ {
+		prog = append(prog, aluImm(isa.OpAdd, 1, 1, 1))
+	}
+	return append(prog, halt())
+}
+
+func TestStraightLineExactCycles(t *testing.T) {
+	// 16 single-cycle instructions from a cold icache with 8-word lines:
+	// 2 line fills of 3+8=11 cycles each, plus 16 base cycles.
+	got := runCycles(t, config.Default(), straightLine(16))
+	if want := uint64(16 + 2*11); got != want {
+		t.Errorf("cycles = %d, want %d", got, want)
+	}
+}
+
+func TestICacheLineSizeTiming(t *testing.T) {
+	// 4-word lines: twice the fills at 3+4=7 cycles each.
+	cfg := config.Default()
+	cfg.ICache.LineWords = 4
+	got := runCycles(t, cfg, straightLine(16))
+	if want := uint64(16 + 4*7); got != want {
+		t.Errorf("cycles = %d, want %d", got, want)
+	}
+}
+
+func TestMultiplierLatencies(t *testing.T) {
+	// N muls: each option charges its documented latency.
+	const nMul = 32
+	prog := []isa.Instr{movImm(1, 7), movImm(2, 9)}
+	for i := 0; i < nMul; i++ {
+		prog = append(prog, alu(isa.OpUMul, 3, 1, 2))
+	}
+	prog = append(prog, halt())
+
+	base := config.Default() // m16x16: 4 cycles
+	cycles := map[config.MultiplierOption]uint64{}
+	for _, m := range []config.MultiplierOption{
+		config.MulNone, config.MulIterative, config.Mul16x16,
+		config.Mul16x16Pipe, config.Mul32x8, config.Mul32x16, config.Mul32x32,
+	} {
+		cfg := base
+		cfg.IU.Multiplier = m
+		cycles[m] = runCycles(t, cfg, prog)
+	}
+	// Exact pairwise deltas: latencies 44/35/4/2/4/2/1.
+	deltas := map[config.MultiplierOption]uint64{
+		config.MulNone:      44,
+		config.MulIterative: 35,
+		config.Mul16x16:     4,
+		config.Mul16x16Pipe: 2,
+		config.Mul32x8:      4,
+		config.Mul32x16:     2,
+		config.Mul32x32:     1,
+	}
+	ref := cycles[config.Mul32x32] - nMul*deltas[config.Mul32x32]
+	for m, lat := range deltas {
+		if got := cycles[m] - nMul*lat; got != ref {
+			t.Errorf("multiplier %v: non-multiplier cycles %d, want %d (total %d)", m, got, ref, cycles[m])
+		}
+	}
+	if cycles[config.Mul32x32] >= cycles[config.Mul16x16] {
+		t.Error("m32x32 must beat m16x16")
+	}
+}
+
+func TestDividerLatencies(t *testing.T) {
+	const nDiv = 16
+	prog := []isa.Instr{
+		{Op: isa.OpWrY, Rs1: 0, UseImm: true, Imm: 0},
+		movImm(1, 1000),
+	}
+	for i := 0; i < nDiv; i++ {
+		prog = append(prog, aluImm(isa.OpUDiv, 2, 1, 7))
+	}
+	prog = append(prog, halt())
+
+	radix2 := config.Default()
+	none := config.Default()
+	none.IU.Divider = config.DivNone
+	cR, cN := runCycles(t, radix2, prog), runCycles(t, none, prog)
+	if want := uint64(nDiv * (120 - 35)); cN-cR != want {
+		t.Errorf("divider none-radix2 delta = %d, want %d", cN-cR, want)
+	}
+}
+
+func TestICCHoldTiming(t *testing.T) {
+	// A branch immediately after its compare pays 1 cycle with ICC hold;
+	// separating them with a nop removes the penalty.
+	tight := []isa.Instr{
+		movImm(1, 1),
+		aluImm(isa.OpSubCC, 0, 1, 2),
+		{Op: isa.OpBicc, Cond: isa.CondE, Disp: 2},
+		nop(),
+		halt(),
+	}
+	spaced := []isa.Instr{
+		movImm(1, 1),
+		aluImm(isa.OpSubCC, 0, 1, 2),
+		nop(),
+		{Op: isa.OpBicc, Cond: isa.CondE, Disp: 2},
+		nop(),
+		halt(),
+	}
+	on := config.Default()
+	off := config.Default()
+	off.IU.ICCHold = false
+
+	tOn, tOff := runCycles(t, on, tight), runCycles(t, off, tight)
+	if tOn != tOff+1 {
+		t.Errorf("ICC hold should cost exactly 1 cycle on a tight compare+branch: on=%d off=%d", tOn, tOff)
+	}
+	sOn, sOff := runCycles(t, on, spaced), runCycles(t, off, spaced)
+	// The extra nop must be the only difference when spaced.
+	if sOn != sOff {
+		t.Errorf("spaced compare+branch should not pay ICC hold: on=%d off=%d", sOn, sOff)
+	}
+}
+
+func TestFastJumpTiming(t *testing.T) {
+	// JMPL costs one extra cycle without fast jump; CALL is unaffected.
+	prog := []isa.Instr{
+		{Op: isa.OpCall, Disp: 3},
+		nop(),
+		halt(),
+		// callee:
+		{Op: isa.OpJmpl, Rd: 0, Rs1: isa.RegO7, UseImm: true, Imm: 8},
+		nop(),
+	}
+	fast := config.Default()
+	slow := config.Default()
+	slow.IU.FastJump = false
+	cf, cs := runCycles(t, fast, prog), runCycles(t, slow, prog)
+	if cs != cf+1 {
+		t.Errorf("no-fastjump should cost exactly 1 cycle per jmpl: fast=%d slow=%d", cf, cs)
+	}
+}
+
+func TestFastDecodeTiming(t *testing.T) {
+	// Each taken control transfer costs one extra cycle without fast
+	// decode. Program has 2 taken CTIs (call + retl).
+	prog := []isa.Instr{
+		{Op: isa.OpCall, Disp: 3},
+		nop(),
+		halt(),
+		{Op: isa.OpJmpl, Rd: 0, Rs1: isa.RegO7, UseImm: true, Imm: 8},
+		nop(),
+	}
+	on := config.Default()
+	off := config.Default()
+	off.IU.FastDecode = false
+	cOn, cOff := runCycles(t, on, prog), runCycles(t, off, prog)
+	if cOff != cOn+2 {
+		t.Errorf("no-fastdecode should cost 1 cycle per taken CTI (2 here): on=%d off=%d", cOn, cOff)
+	}
+}
+
+func TestLoadDelayTiming(t *testing.T) {
+	scratch := int32(0xF00)
+	dependent := []isa.Instr{
+		{Op: isa.OpSethi, Rd: 1, Imm: int32(textBase >> 10)},
+		aluImm(isa.OpAdd, 1, 1, scratch),
+		{Op: isa.OpLd, Rd: 2, Rs1: 1, UseImm: true, Imm: 0},
+		aluImm(isa.OpAdd, 3, 2, 1), // immediately uses loaded value
+		halt(),
+	}
+	independent := []isa.Instr{
+		{Op: isa.OpSethi, Rd: 1, Imm: int32(textBase >> 10)},
+		aluImm(isa.OpAdd, 1, 1, scratch),
+		{Op: isa.OpLd, Rd: 2, Rs1: 1, UseImm: true, Imm: 0},
+		aluImm(isa.OpAdd, 3, 1, 1), // does not use loaded value
+		halt(),
+	}
+	ld1 := config.Default()
+	ld2 := config.Default()
+	ld2.IU.LoadDelay = 2
+
+	d1, i1 := runCycles(t, ld1, dependent), runCycles(t, ld1, independent)
+	if d1 != i1+1 {
+		t.Errorf("load-use with delay 1 should cost 1 cycle: dep=%d indep=%d", d1, i1)
+	}
+	d2, i2 := runCycles(t, ld2, dependent), runCycles(t, ld2, independent)
+	if d2 != i2+2 {
+		t.Errorf("load-use with delay 2 should cost 2 cycles: dep=%d indep=%d", d2, i2)
+	}
+}
+
+func TestDCacheMissPenaltyExact(t *testing.T) {
+	scratch := int32(0xF00)
+	prog := []isa.Instr{
+		{Op: isa.OpSethi, Rd: 1, Imm: int32(textBase >> 10)},
+		aluImm(isa.OpAdd, 1, 1, scratch),
+		{Op: isa.OpLd, Rd: 2, Rs1: 1, UseImm: true, Imm: 0}, // miss
+		{Op: isa.OpLd, Rd: 3, Rs1: 1, UseImm: true, Imm: 4}, // hit, same line
+		halt(),
+	}
+	c := buildCore(t, config.Default(), prog)
+	run(t, c)
+	st := c.Stats()
+	if st.DCacheStall != 11 {
+		t.Errorf("one 8-word line fill should stall 11 cycles, got %d", st.DCacheStall)
+	}
+	if ds := c.DCacheStats(); ds.ReadMisses != 1 || ds.ReadAccesses != 2 {
+		t.Errorf("dcache stats = %+v", ds)
+	}
+}
+
+func TestWriteBufferStallOnStoreBurst(t *testing.T) {
+	// Back-to-back stores outpace the 4-cycle drain and must stall;
+	// spaced stores must not.
+	burst := []isa.Instr{
+		{Op: isa.OpSethi, Rd: 1, Imm: int32(textBase >> 10)},
+		aluImm(isa.OpAdd, 1, 1, 0xF00),
+	}
+	for i := 0; i < 8; i++ {
+		burst = append(burst, isa.Instr{Op: isa.OpSt, Rd: 2, Rs1: 1, UseImm: true, Imm: int32(i * 4)})
+	}
+	burst = append(burst, halt())
+	c := buildCore(t, config.Default(), burst)
+	run(t, c)
+	if c.Stats().WriteBufStall == 0 {
+		t.Error("store burst should stall on the write buffer")
+	}
+
+	spaced := []isa.Instr{
+		{Op: isa.OpSethi, Rd: 1, Imm: int32(textBase >> 10)},
+		aluImm(isa.OpAdd, 1, 1, 0xF00),
+	}
+	for i := 0; i < 8; i++ {
+		spaced = append(spaced, isa.Instr{Op: isa.OpSt, Rd: 2, Rs1: 1, UseImm: true, Imm: int32(i * 4)})
+		for j := 0; j < 4; j++ {
+			spaced = append(spaced, aluImm(isa.OpAdd, 3, 3, 1))
+		}
+	}
+	spaced = append(spaced, halt())
+	c2 := buildCore(t, config.Default(), spaced)
+	run(t, c2)
+	if c2.Stats().WriteBufStall != 0 {
+		t.Errorf("spaced stores should not stall, got %d", c2.Stats().WriteBufStall)
+	}
+}
+
+func TestFastReadWriteAreCycleNeutral(t *testing.T) {
+	// Per DESIGN.md §6 these improve FPGA timing slack, not cycles.
+	prog := []isa.Instr{
+		{Op: isa.OpSethi, Rd: 1, Imm: int32(textBase >> 10)},
+		aluImm(isa.OpAdd, 1, 1, 0xF00),
+		{Op: isa.OpSt, Rd: 2, Rs1: 1, UseImm: true, Imm: 0},
+		{Op: isa.OpLd, Rd: 3, Rs1: 1, UseImm: true, Imm: 0},
+		halt(),
+	}
+	base := runCycles(t, config.Default(), prog)
+	cfg := config.Default()
+	cfg.DCache.FastRead = true
+	cfg.DCache.FastWrite = true
+	if got := runCycles(t, cfg, prog); got != base {
+		t.Errorf("fast read/write changed cycles: %d vs %d", got, base)
+	}
+}
+
+func TestProfileBalancesOnMixedProgram(t *testing.T) {
+	c := buildCore(t, config.Default(), recursionProgram(25))
+	run(t, c)
+	if err := c.Stats().ConsistencyError(); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.WindowTrapStall == 0 {
+		t.Error("deep recursion on 8 windows should charge window-trap cycles")
+	}
+	if st.Instructions == 0 || st.Cycles <= st.Instructions {
+		t.Errorf("implausible profile: %+v", st)
+	}
+}
+
+func TestHaltExitCode(t *testing.T) {
+	prog := []isa.Instr{movImm(8, 5), halt()}
+	c := buildCore(t, config.Default(), prog)
+	run(t, c)
+	if c.ExitCode() != 5 {
+		t.Errorf("exit = %d, want 5", c.ExitCode())
+	}
+}
+
+var _ = cpu.ErrHalted // keep the import referenced even if tests change

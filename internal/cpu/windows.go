@@ -1,0 +1,119 @@
+package cpu
+
+import (
+	"fmt"
+
+	"liquidarch/internal/isa"
+)
+
+// Register-window mechanics. SAVE rotates the current window pointer down,
+// RESTORE rotates it up; adjacent windows share registers (the caller's
+// outs are the callee's ins). One window's worth of the file is always kept
+// free, so at most RegWindows-1 frames are resident; exceeding that on SAVE
+// raises a window-overflow trap that spills the oldest resident window's
+// 16 local+in registers to its stack frame, and returning past the last
+// resident frame on RESTORE raises an underflow trap that fills them back.
+//
+// The traps are microcoded in the simulator: a fixed overhead plus 16 word
+// transfers priced through the data cache and write buffer, all charged to
+// the WindowTrapStall category.
+
+// spillBase returns the physical indices of window w's locals (8 registers
+// at w*16+8) followed by its ins (8 registers at (w+1)*16+0..7 mod size).
+func (c *Core) windowLocalsIns(w int) []int {
+	n := len(c.window)
+	idx := make([]int, 16)
+	for j := 0; j < 8; j++ {
+		idx[j] = (w*16 + 8 + j) % n
+	}
+	for j := 0; j < 8; j++ {
+		idx[8+j] = ((w+1)*16 + j) % n
+	}
+	return idx
+}
+
+// trapStore performs one spill store through the memory system, charging
+// all its cycles to the window-trap category.
+func (c *Core) trapStore(addr uint32, v uint32) error {
+	var cycles uint64 = 1
+	if addr < deviceBase {
+		c.dcache.Write(addr)
+		cycles += c.wbuf.Store(c.stats.Cycles + cycles)
+	}
+	c.stats.WindowTrapStall += cycles
+	c.stats.Cycles += cycles
+	return c.memory.Write32(addr, v)
+}
+
+// trapLoad performs one fill load through the memory system, charging all
+// its cycles to the window-trap category.
+func (c *Core) trapLoad(addr uint32) (uint32, error) {
+	var cycles uint64 = 1
+	if addr < deviceBase {
+		if !c.dcache.Read(addr) {
+			cycles += c.dmissPenalty
+		}
+	}
+	c.stats.WindowTrapStall += cycles
+	c.stats.Cycles += cycles
+	return c.memory.Read32(addr)
+}
+
+func (c *Core) execSave(in *isa.Instr) error {
+	c.stats.Saves++
+	nwin := c.windowCount()
+	a, b := c.getReg(in.Rs1), c.operand2(in)
+
+	if c.resid == nwin-1 {
+		// Window overflow: spill the oldest resident window.
+		c.stats.WindowOverflows++
+		c.stats.WindowTrapStall += windowTrapOverhead
+		c.stats.Cycles += windowTrapOverhead
+		oldest := (c.cwp + c.resid - 1) % nwin
+		sp := c.window[(oldest*16+6)%len(c.window)] // the window's %sp (%o6)
+		if sp&3 != 0 {
+			return fmt.Errorf("cpu: window overflow with misaligned %%sp %#08x", sp)
+		}
+		for j, phys := range c.windowLocalsIns(oldest) {
+			if err := c.trapStore(sp+uint32(j)*4, c.window[phys]); err != nil {
+				return fmt.Errorf("cpu: window overflow spill: %w", err)
+			}
+		}
+	} else {
+		c.resid++
+	}
+	c.cwp = (c.cwp - 1 + nwin) % nwin
+	c.setReg(in.Rd, a+b)
+	return nil
+}
+
+func (c *Core) execRestore(in *isa.Instr) error {
+	c.stats.Restores++
+	nwin := c.windowCount()
+	a, b := c.getReg(in.Rs1), c.operand2(in)
+	target := (c.cwp + 1) % nwin
+
+	if c.resid == 1 {
+		// Window underflow: refill the caller's window from its frame.
+		// The caller's %sp is the current window's %fp (shared register).
+		c.stats.WindowUnderflows++
+		c.stats.WindowTrapStall += windowTrapOverhead
+		c.stats.Cycles += windowTrapOverhead
+		fp := c.getReg(isa.RegFP)
+		if fp&3 != 0 {
+			return fmt.Errorf("cpu: window underflow with misaligned %%fp %#08x", fp)
+		}
+		for j, phys := range c.windowLocalsIns(target) {
+			v, err := c.trapLoad(fp + uint32(j)*4)
+			if err != nil {
+				return fmt.Errorf("cpu: window underflow fill: %w", err)
+			}
+			c.window[phys] = v
+		}
+	} else {
+		c.resid--
+	}
+	c.cwp = target
+	c.setReg(in.Rd, a+b)
+	return nil
+}

@@ -1,0 +1,132 @@
+// Package exhaustive is the brute-force baseline of the paper's Section 5:
+// enumerate a (restricted) configuration space outright, build and run
+// every feasible member, and sort for the optimum. On the full space this
+// is the 3.6-billion-configuration non-starter the paper argues against;
+// on the dcache sets × set-size sub-space it is the ground truth the
+// optimizer is judged near-optimal against.
+package exhaustive
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"liquidarch/internal/config"
+	"liquidarch/internal/fpga"
+	"liquidarch/internal/platform"
+	"liquidarch/internal/progs"
+	"liquidarch/internal/workload"
+)
+
+// Result is one enumerated configuration with its measured costs.
+type Result struct {
+	Config    config.Config
+	Cycles    uint64
+	Resources fpga.Resources
+}
+
+// Seconds converts the runtime to seconds at the platform clock.
+func (r Result) Seconds() float64 { return float64(r.Cycles) / 25e6 }
+
+// Sweep builds and runs every configuration in the list (skipping ones
+// that do not fit the device) in parallel and returns results in input
+// order. workers <= 0 uses NumCPU.
+func Sweep(b *progs.Benchmark, scale workload.Scale, cfgs []config.Config, workers int) ([]Result, error) {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	prog, err := b.Assemble(scale)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]Result, len(cfgs))
+	var mu sync.Mutex
+	var firstErr error
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, cfg := range cfgs {
+		i, cfg := i, cfg
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			res, err := fpga.Synthesize(cfg)
+			if err == nil && !res.FitsDevice() {
+				err = fmt.Errorf("exhaustive: %v does not fit the device", cfg.DiffBase())
+			}
+			var cycles uint64
+			if err == nil {
+				var rep *platform.RunReport
+				rep, err = platform.Run(prog, cfg)
+				if err == nil {
+					cycles = rep.Cycles()
+				}
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			results[i] = Result{Config: cfg, Cycles: cycles, Resources: res}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results, nil
+}
+
+// DcacheGeometryConfigs enumerates the Section 5 sub-space: dcache sets
+// 1-4 × set size {1,2,4,8,16,32} KB, keeping only configurations that fit
+// the device (19 of 24, exactly the rows of the paper's Figure 2).
+func DcacheGeometryConfigs() []config.Config {
+	var out []config.Config
+	for _, sets := range []int{1, 2, 3, 4} {
+		for _, kb := range []int{1, 2, 4, 8, 16, 32} {
+			cfg := config.Default()
+			cfg.DCache.Sets = sets
+			cfg.DCache.SetSizeKB = kb
+			if fpga.Feasible(cfg) {
+				out = append(out, cfg)
+			}
+		}
+	}
+	return out
+}
+
+// DcacheGeometry runs the full Section 5 exhaustive study for one
+// benchmark.
+func DcacheGeometry(b *progs.Benchmark, scale workload.Scale, workers int) ([]Result, error) {
+	return Sweep(b, scale, DcacheGeometryConfigs(), workers)
+}
+
+// BestByRuntime returns the result a runtime-optimizing sort selects:
+// minimum cycles, ties broken by BRAM, then LUTs, then fewer sets (the
+// "simple sort" of Section 5).
+func BestByRuntime(results []Result) (Result, error) {
+	if len(results) == 0 {
+		return Result{}, fmt.Errorf("exhaustive: no results")
+	}
+	sorted := make([]Result, len(results))
+	copy(sorted, results)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		a, b := sorted[i], sorted[j]
+		if a.Cycles != b.Cycles {
+			return a.Cycles < b.Cycles
+		}
+		if a.Resources.BRAM != b.Resources.BRAM {
+			return a.Resources.BRAM < b.Resources.BRAM
+		}
+		if a.Resources.LUTs != b.Resources.LUTs {
+			return a.Resources.LUTs < b.Resources.LUTs
+		}
+		return a.Config.DCache.Sets < b.Config.DCache.Sets
+	})
+	return sorted[0], nil
+}

@@ -1,0 +1,86 @@
+package exhaustive
+
+import (
+	"testing"
+
+	"liquidarch/internal/config"
+	"liquidarch/internal/progs"
+	"liquidarch/internal/workload"
+)
+
+func TestDcacheGeometryConfigsMatchPaperFeasibleSet(t *testing.T) {
+	cfgs := DcacheGeometryConfigs()
+	// The paper's Figure 2 lists exactly 19 feasible combinations.
+	if len(cfgs) != 19 {
+		t.Fatalf("feasible dcache geometries = %d, paper shows 19", len(cfgs))
+	}
+	// The infeasible five: 2x32, 3x16, 3x32, 4x16, 4x32.
+	infeasible := map[[2]int]bool{
+		{2, 32}: true, {3, 16}: true, {3, 32}: true, {4, 16}: true, {4, 32}: true,
+	}
+	for _, cfg := range cfgs {
+		key := [2]int{cfg.DCache.Sets, cfg.DCache.SetSizeKB}
+		if infeasible[key] {
+			t.Errorf("%dx%dKB should not fit the device", key[0], key[1])
+		}
+	}
+}
+
+func TestSweepRunsAndOrders(t *testing.T) {
+	b, _ := progs.ByName("arith")
+	cfgs := []config.Config{config.Default(), config.Default()}
+	cfgs[1].DCache.SetSizeKB = 8
+	results, err := Sweep(b, workload.Tiny, cfgs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results = %d", len(results))
+	}
+	if results[0].Config != cfgs[0] || results[1].Config != cfgs[1] {
+		t.Error("results not in input order")
+	}
+	// Arith is dcache-insensitive: equal cycles.
+	if results[0].Cycles != results[1].Cycles {
+		t.Errorf("arith cycles differ: %d vs %d", results[0].Cycles, results[1].Cycles)
+	}
+	if results[0].Seconds() <= 0 {
+		t.Error("seconds conversion broken")
+	}
+}
+
+func TestSweepRejectsInfeasible(t *testing.T) {
+	b, _ := progs.ByName("arith")
+	cfg := config.Default()
+	cfg.DCache.SetSizeKB = 64
+	if _, err := Sweep(b, workload.Tiny, []config.Config{cfg}, 1); err == nil {
+		t.Error("64KB dcache sweep should error (does not fit)")
+	}
+}
+
+func TestBestByRuntimeTieBreaks(t *testing.T) {
+	b, _ := progs.ByName("blastn")
+	results, err := DcacheGeometry(b, workload.Tiny, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err := BestByRuntime(results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Cycles < best.Cycles {
+			t.Errorf("best %d cycles but %v has %d", best.Cycles, r.Config.DiffBase(), r.Cycles)
+		}
+		if r.Cycles == best.Cycles && r.Resources.BRAM < best.Resources.BRAM {
+			t.Errorf("tie-break should prefer lower BRAM: best %d blocks, %v has %d",
+				best.Resources.BRAM, r.Config.DiffBase(), r.Resources.BRAM)
+		}
+	}
+}
+
+func TestBestByRuntimeEmpty(t *testing.T) {
+	if _, err := BestByRuntime(nil); err == nil {
+		t.Error("empty results should error")
+	}
+}

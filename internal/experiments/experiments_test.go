@@ -1,0 +1,252 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"liquidarch/internal/workload"
+)
+
+func tinyRunner() *Runner {
+	return NewRunner(Options{Scale: workload.Tiny})
+}
+
+func TestFigure1Static(t *testing.T) {
+	table := Figure1()
+	s := table.String()
+	for _, want := range []string{"Instruction cache", "Data cache", "Integer Unit", "m32x32", "radix2", "64KB requires"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("figure1 missing %q", want)
+		}
+	}
+}
+
+func TestSpaceSizeStatic(t *testing.T) {
+	s := SpaceSize().String()
+	for _, want := range []string{"910393344", "3641573376", "52", "56 days"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("space table missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestFigure2Structure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	table, err := tinyRunner().Figure2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 19 data rows + the optimal row.
+	var dataRows int
+	for _, row := range table.Rows {
+		if len(row) > 1 {
+			dataRows++
+		}
+	}
+	if dataRows != 20 {
+		t.Errorf("figure2 rows = %d, want 20 (19 feasible + optimal)", dataRows)
+	}
+	s := table.String()
+	if !strings.Contains(s, "Optimal runtime") {
+		t.Error("figure2 missing the optimal-runtime footer")
+	}
+	// The paper's BRAM column values must appear.
+	for _, bram := range []string{"47", "48", "51", "56", "68", "90", "79", "62", "55", "53", "58", "49"} {
+		if !strings.Contains(s, bram) {
+			t.Errorf("figure2 missing BRAM value %s", bram)
+		}
+	}
+}
+
+func TestFigure3Structure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	table, err := tinyRunner().Figure3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := table.String()
+	for _, want := range []string{"Base configuration", "Configurations evaluated", "Dcache optimization for BLASTN runtime"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("figure3 missing %q", want)
+		}
+	}
+}
+
+func TestFigure4Structure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	table, err := tinyRunner().Figure4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := table.String()
+	for _, want := range []string{"CommBench DRR", "CommBench FRAG", "BYTE Arith", "Exhaust", "Optimiz", "not data intensive"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("figure4 missing %q", want)
+		}
+	}
+}
+
+func TestFigure5And7ShareModels(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	r := tinyRunner()
+	f5, err := r.Figure5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.models) != 4 {
+		t.Errorf("figure5 should cache 4 full models, have %d", len(r.models))
+	}
+	f7, err := r.Figure7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.models) != 4 {
+		t.Errorf("figure7 must reuse the cached models, have %d", len(r.models))
+	}
+	for _, want := range []string{"Cost approximations by the optimizer", "Actual synthesis", "runtime(sec)", "LUTs%-nonlin", "BRAM%-lin"} {
+		if !strings.Contains(f5.String(), want) {
+			t.Errorf("figure5 missing %q", want)
+		}
+		if !strings.Contains(f7.String(), want) {
+			t.Errorf("figure7 missing %q", want)
+		}
+	}
+	// Figure 5 optimizes runtime: every app's actual runtime must not
+	// exceed base; the notes record the deltas.
+	if !strings.Contains(f5.String(), "runtime decrease across the applications") {
+		t.Error("figure5 missing the Section 6.1 summary note")
+	}
+}
+
+func TestFigure6Structure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	table, err := tinyRunner().Figure6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := table.String()
+	for _, want := range figure6PaperRows {
+		if !strings.Contains(s, want) {
+			t.Errorf("figure6 missing paper row %q", want)
+		}
+	}
+	if !strings.Contains(s, "Remaining measured perturbations") {
+		t.Error("figure6 missing the extended section")
+	}
+	// All 52 variables plus the 8 paper rows should appear as rows.
+	var rows int
+	for _, row := range table.Rows {
+		if len(row) > 1 {
+			rows++
+		}
+	}
+	if rows != 52 {
+		t.Errorf("figure6 rows = %d, want 52", rows)
+	}
+}
+
+func TestByIDAndIDs(t *testing.T) {
+	r := tinyRunner()
+	if _, err := r.ByID("nope"); err == nil {
+		t.Error("unknown id should error")
+	}
+	if _, err := r.ByID("figure1"); err != nil {
+		t.Error(err)
+	}
+	if _, err := r.ByID("space"); err != nil {
+		t.Error(err)
+	}
+	ids := IDs()
+	if len(ids) != 11 {
+		t.Errorf("IDs = %v", ids)
+	}
+}
+
+func TestEnergyExtensionTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	table, err := tinyRunner().Energy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := table.String()
+	for _, want := range []string{"energy(mJ)", "Optimized", "extension"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("energy table missing %q", want)
+		}
+	}
+}
+
+func TestInteractionExtensionTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	table, err := tinyRunner().Interaction()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := table.String()
+	for _, want := range []string{"interaction", "additive", "measured", "dcachsetsz=32 + dcachlinesz=4"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("interaction table missing %q", want)
+		}
+	}
+	// 6 pairs x 4 apps = 24 data rows.
+	var rows int
+	for _, row := range table.Rows {
+		if len(row) > 1 {
+			rows++
+		}
+	}
+	if rows != 24 {
+		t.Errorf("interaction rows = %d, want 24", rows)
+	}
+}
+
+// TestConformanceAuditAllPass is the reproduction's own acceptance test:
+// every check in the conformance audit must pass at the documented
+// experiment scale (Small — Tiny workloads distort the relative gain
+// ordering the audit checks).
+func TestConformanceAuditAllPass(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	table, err := NewRunner(Options{Scale: workload.Small}).Conformance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range table.Rows {
+		if len(row) == 4 && row[3] == "DIVERGENT" {
+			t.Errorf("conformance check %q diverged: paper=%q measured=%q", row[0], row[1], row[2])
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	table := &Table{
+		ID:      "t",
+		Title:   "demo",
+		Headers: []string{"a", "b"},
+	}
+	table.AddRow("1", "2")
+	table.AddSection("mid")
+	table.AddRow("3", "4")
+	table.AddNote("note %d", 7)
+	s := table.String()
+	for _, want := range []string{"T — demo", "a", "mid", "note: note 7"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendering missing %q:\n%s", want, s)
+		}
+	}
+}

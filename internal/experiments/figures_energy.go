@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+
+	"liquidarch/internal/config"
+	"liquidarch/internal/core"
+)
+
+// Energy regenerates the reproduction's extension table: energy-dominant
+// tuning (w3=100), the "power and energy optimizations" the paper lists as
+// future work. Layout follows Figures 5/7.
+func (r *Runner) Energy() (*Table, error) {
+	results, err := r.tuneAll(core.EnergyWeights())
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "energy",
+		Title:   "Energy optimization (w1=1, w2=1, w3=100) — extension beyond the paper",
+		Headers: []string{"Param", "Base", "BLAST", "DRR", "FRAG", "Arith"},
+	}
+
+	// Parameter rows (same filter as Figures 5/7).
+	base := config.Default()
+	for _, p := range paramDisplay {
+		baseVal := p.value(base)
+		cells := []string{p.name, baseVal}
+		differs := false
+		for _, res := range results {
+			v := p.value(res.rec.Config)
+			if v != baseVal {
+				differs = true
+			}
+			cells = append(cells, v)
+		}
+		if differs {
+			t.Rows = append(t.Rows, cells)
+		}
+	}
+
+	addRow := func(name, baseCell string, cell func(appResult) string) {
+		row := []string{name, baseCell}
+		for _, res := range results {
+			row = append(row, cell(res))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+
+	t.AddSection("Base configuration")
+	addRow("energy(mJ)", "N/A", func(r appResult) string {
+		return fmt.Sprintf("%.3f", r.m.BaseEnergy.TotalJ()*1e3)
+	})
+	addRow("runtime(sec)", "N/A", func(r appResult) string {
+		return seconds(r.m.BaseCycles)
+	})
+
+	t.AddSection("Optimized (actual build + run)")
+	addRow("energy(mJ)", "N/A", func(r appResult) string {
+		return fmt.Sprintf("%.3f", r.val.Energy.TotalJ()*1e3)
+	})
+	addRow("energy Δ%", "N/A", func(r appResult) string {
+		return fmt.Sprintf("%+.2f", r.val.EnergyPct)
+	})
+	addRow("runtime(sec)", "N/A", func(r appResult) string {
+		return seconds(r.val.Cycles)
+	})
+	addRow("BRAM%", fmt.Sprintf("%d", results[0].m.BaseResources.BRAMPercent()),
+		func(r appResult) string { return fmt.Sprintf("%d", r.val.Resources.BRAMPercent()) })
+
+	for _, res := range results {
+		t.AddNote("%s: energy %s -> %s (%+.2f%%), runtime %+.2f%%",
+			appLabels[res.app], res.m.BaseEnergy, res.val.Energy,
+			res.val.EnergyPct, res.val.RuntimePct)
+	}
+	t.AddNote("this experiment is the paper's future-work extension; no paper table exists to compare against")
+	return t, nil
+}

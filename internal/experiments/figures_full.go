@@ -1,0 +1,275 @@
+package experiments
+
+import (
+	"fmt"
+
+	"liquidarch/internal/config"
+	"liquidarch/internal/core"
+	"liquidarch/internal/progs"
+)
+
+// fullApps is the paper's benchmark order.
+var fullApps = []string{"blastn", "drr", "frag", "arith"}
+
+var appLabels = map[string]string{
+	"blastn": "BLAST", "drr": "DRR", "frag": "FRAG", "arith": "Arith",
+}
+
+// paramDisplay lists the Figure 5/7 parameter rows in paper order with a
+// value extractor.
+var paramDisplay = []struct {
+	name  string
+	value func(config.Config) string
+}{
+	{"icachsets", func(c config.Config) string { return fmt.Sprintf("%d", c.ICache.Sets) }},
+	{"icachsetsz", func(c config.Config) string { return fmt.Sprintf("%d", c.ICache.SetSizeKB) }},
+	{"icachlinesz", func(c config.Config) string { return fmt.Sprintf("%d", c.ICache.LineWords) }},
+	{"icachreplace", func(c config.Config) string { return c.ICache.Replacement.String() }},
+	{"dcachsets", func(c config.Config) string { return fmt.Sprintf("%d", c.DCache.Sets) }},
+	{"dcachsetsz", func(c config.Config) string { return fmt.Sprintf("%d", c.DCache.SetSizeKB) }},
+	{"dcachlinesz", func(c config.Config) string { return fmt.Sprintf("%d", c.DCache.LineWords) }},
+	{"dcachreplace", func(c config.Config) string { return c.DCache.Replacement.String() }},
+	{"fastread", func(c config.Config) string { return onOff(c.DCache.FastRead) }},
+	{"fastwrite", func(c config.Config) string { return onOff(c.DCache.FastWrite) }},
+	{"fastjump", func(c config.Config) string { return onOff(c.IU.FastJump) }},
+	{"icchold", func(c config.Config) string { return onOff(c.IU.ICCHold) }},
+	{"fastdecode", func(c config.Config) string { return onOff(c.IU.FastDecode) }},
+	{"loaddelay", func(c config.Config) string { return fmt.Sprintf("%d", c.IU.LoadDelay) }},
+	{"registers", func(c config.Config) string { return fmt.Sprintf("%d", c.IU.RegWindows) }},
+	{"divider", func(c config.Config) string { return c.IU.Divider.String() }},
+	{"multiplier", func(c config.Config) string { return c.IU.Multiplier.String() }},
+	{"infermultdiv", func(c config.Config) string { return onOff(c.Synth.InferMultDiv) }},
+}
+
+func onOff(b bool) string {
+	if b {
+		return "on"
+	}
+	return "off"
+}
+
+// appResult is one application's tuning outcome for Figures 5/7.
+type appResult struct {
+	app string
+	m   *core.Model
+	rec *core.Recommendation
+	val *core.Validation
+}
+
+func (r *Runner) tuneAll(w core.Weights) ([]appResult, error) {
+	out := make([]appResult, 0, len(fullApps))
+	for _, app := range fullApps {
+		m, err := r.model(app, "full")
+		if err != nil {
+			return nil, err
+		}
+		tuner := r.tuner(m.Space)
+		rec, err := tuner.RecommendFromModel(m, w)
+		if err != nil {
+			return nil, err
+		}
+		b, _ := progs.ByName(app)
+		val, err := tuner.Validate(b, m, rec)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, appResult{app: app, m: m, rec: rec, val: val})
+	}
+	return out, nil
+}
+
+// weightTable renders the shared Figure 5 / Figure 7 layout.
+func (r *Runner) weightTable(id, title string, w core.Weights) (*Table, error) {
+	results, err := r.tuneAll(w)
+	if err != nil {
+		return nil, err
+	}
+	base := config.Default()
+	t := &Table{
+		ID:      id,
+		Title:   title,
+		Headers: []string{"Param", "Base", "BLAST", "DRR", "FRAG", "Arith"},
+	}
+
+	// Parameter rows: only those some application reconfigures.
+	for _, p := range paramDisplay {
+		baseVal := p.value(base)
+		cells := []string{p.name, baseVal}
+		differs := false
+		for _, res := range results {
+			v := p.value(res.rec.Config)
+			if v != baseVal {
+				differs = true
+			}
+			cells = append(cells, v)
+		}
+		if differs {
+			t.Rows = append(t.Rows, cells)
+		}
+	}
+
+	t.AddSection("Base configuration")
+	baseRow := []string{"runtime(sec)", "N/A"}
+	for _, res := range results {
+		baseRow = append(baseRow, seconds(res.m.BaseCycles))
+	}
+	t.Rows = append(t.Rows, baseRow)
+
+	t.AddSection("Cost approximations by the optimizer")
+	predRows := map[string]func(appResult) string{
+		"runtime(sec)": func(r appResult) string { return secondsF(r.rec.Predicted.RuntimeCycles) },
+		"LUTs%":        func(r appResult) string { return fmt.Sprintf("%d", r.rec.Predicted.LUTPctLinear) },
+		"LUTs%-nonlin": func(r appResult) string { return fmt.Sprintf("%d", r.rec.Predicted.LUTPctNonlinear) },
+		"BRAM%":        func(r appResult) string { return fmt.Sprintf("%d", r.rec.Predicted.BRAMPctNonlinear) },
+		"BRAM%-lin":    func(r appResult) string { return fmt.Sprintf("%d", r.rec.Predicted.BRAMPctLinear) },
+	}
+	baseLUT := fmt.Sprintf("%d", results[0].m.BaseResources.LUTPercent())
+	baseBRAM := fmt.Sprintf("%d", results[0].m.BaseResources.BRAMPercent())
+	predBase := map[string]string{
+		"runtime(sec)": "N/A",
+		"LUTs%":        baseLUT, "LUTs%-nonlin": baseLUT,
+		"BRAM%": baseBRAM, "BRAM%-lin": baseBRAM,
+	}
+	for _, name := range []string{"runtime(sec)", "LUTs%", "LUTs%-nonlin", "BRAM%", "BRAM%-lin"} {
+		row := []string{name, predBase[name]}
+		for _, res := range results {
+			row = append(row, predRows[name](res))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+
+	t.AddSection("Actual synthesis")
+	actRows := map[string]func(appResult) string{
+		"runtime(sec)": func(r appResult) string { return seconds(r.val.Cycles) },
+		"LUTs%":        func(r appResult) string { return fmt.Sprintf("%d", r.val.Resources.LUTPercent()) },
+		"BRAM%":        func(r appResult) string { return fmt.Sprintf("%d", r.val.Resources.BRAMPercent()) },
+	}
+	actBase := map[string]string{"runtime(sec)": "N/A", "LUTs%": baseLUT, "BRAM%": baseBRAM}
+	for _, name := range []string{"runtime(sec)", "LUTs%", "BRAM%"} {
+		row := []string{name, actBase[name]}
+		for _, res := range results {
+			row = append(row, actRows[name](res))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+
+	for _, res := range results {
+		actualPct := -res.val.RuntimePct
+		predPct := -res.rec.Predicted.RuntimePct
+		t.AddNote("%s: actual runtime change %s, optimizer estimate %s; chip cost (ΔLUT%%, ΔBRAM%%) actual (%+d,%+d) estimate (%+d,%+d)",
+			appLabels[res.app], pct(-actualPct), pct(-predPct),
+			res.val.Resources.LUTPercent()-res.m.BaseResources.LUTPercent(),
+			res.val.Resources.BRAMPercent()-res.m.BaseResources.BRAMPercent(),
+			res.rec.Predicted.LUTPctLinear-res.m.BaseResources.LUTPercent(),
+			res.rec.Predicted.BRAMPctNonlinear-res.m.BaseResources.BRAMPercent())
+	}
+	return t, nil
+}
+
+// Figure5 regenerates the paper's Figure 5: application runtime
+// optimization with w1=100, w2=1.
+func (r *Runner) Figure5() (*Table, error) {
+	t, err := r.weightTable("figure5", "Application runtime optimization (w1=100, w2=1)", core.RuntimeWeights())
+	if err != nil {
+		return nil, err
+	}
+	results, err := r.tuneAll(core.RuntimeWeights()) // cached
+	if err != nil {
+		return nil, err
+	}
+	minGain, maxGain := 1e9, -1e9
+	var over []float64
+	for _, res := range results {
+		gain := -res.val.RuntimePct
+		if gain < minGain {
+			minGain = gain
+		}
+		if gain > maxGain {
+			maxGain = gain
+		}
+		over = append(over, (-res.rec.Predicted.RuntimePct)-gain)
+	}
+	t.AddNote("runtime decrease across the applications: %.2f%%-%.2f%% (paper: 6.15%%-19.39%%)", minGain, maxGain)
+	minO, maxO := over[0], over[0]
+	for _, o := range over {
+		if o < minO {
+			minO = o
+		}
+		if o > maxO {
+			maxO = o
+		}
+	}
+	t.AddNote("optimizer over/under-estimation of the gain: %.2f to %.2f percentage points (paper: 0-19.75)", minO, maxO)
+	return t, nil
+}
+
+// Figure7 regenerates the paper's Figure 7: chip resource optimization
+// with w1=1, w2=100.
+func (r *Runner) Figure7() (*Table, error) {
+	t, err := r.weightTable("figure7", "Chip resource optimization (w1=1, w2=100)", core.ResourceWeights())
+	if err != nil {
+		return nil, err
+	}
+	results, err := r.tuneAll(core.ResourceWeights())
+	if err != nil {
+		return nil, err
+	}
+	for _, res := range results {
+		t.AddNote("%s: runtime change %s for (ΔLUT%%, ΔBRAM%%) = (%+d,%+d)",
+			appLabels[res.app], pct(res.val.RuntimePct),
+			res.val.Resources.LUTPercent()-res.m.BaseResources.LUTPercent(),
+			res.val.Resources.BRAMPercent()-res.m.BaseResources.BRAMPercent())
+	}
+	return t, nil
+}
+
+// figure6PaperRows is the exact row set the paper prints (it omits the
+// other 44 perturbations "due to space constraints"; we print them in a
+// second section).
+var figure6PaperRows = []string{
+	"icachsetsz=2",
+	"icachlinesz=4",
+	"dcachsetsz=32",
+	"dcachlinesz=4",
+	"fastjump=false",
+	"icchold=false",
+	"divider=none",
+	"multiplier=m32x32",
+}
+
+// Figure6 regenerates the paper's Figure 6: BLASTN's measured
+// single-parameter perturbation costs.
+func (r *Runner) Figure6() (*Table, error) {
+	m, err := r.model("blastn", "full")
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "figure6",
+		Title:   "BLASTN runtime optimization costs (single-parameter perturbations)",
+		Headers: []string{"Param", "Runtime(sec)", "LUTs(%)", "BRAM(%)"},
+	}
+	inPaper := map[string]bool{}
+	for _, name := range figure6PaperRows {
+		inPaper[name] = true
+		e, ok := m.EntryByName(name)
+		if !ok {
+			return nil, fmt.Errorf("experiments: figure6 row %s missing", name)
+		}
+		t.AddRow(name, seconds(e.Cycles),
+			fmt.Sprintf("%d", e.Resources.LUTPercent()),
+			fmt.Sprintf("%d", e.Resources.BRAMPercent()))
+	}
+	t.AddSection("Remaining measured perturbations (the paper omits these for space)")
+	for _, e := range m.Entries {
+		if inPaper[e.Var.Name] {
+			continue
+		}
+		t.AddRow(e.Var.Name, seconds(e.Cycles),
+			fmt.Sprintf("%d", e.Resources.LUTPercent()),
+			fmt.Sprintf("%d", e.Resources.BRAMPercent()))
+	}
+	t.AddNote("base configuration: %s sec, %d%% LUTs, %d%% BRAM",
+		seconds(m.BaseCycles), m.BaseResources.LUTPercent(), m.BaseResources.BRAMPercent())
+	return t, nil
+}

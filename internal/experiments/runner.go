@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"liquidarch/internal/config"
+	"liquidarch/internal/core"
+	"liquidarch/internal/progs"
+	"liquidarch/internal/workload"
+)
+
+// Options configures the experiment harnesses.
+type Options struct {
+	// Scale selects the workload size (default Small; the paper's
+	// percentages are scale-stable by design).
+	Scale workload.Scale
+	// Workers bounds parallel measurement runs (default NumCPU).
+	Workers int
+}
+
+// Runner regenerates the paper's tables, caching the expensive
+// perturbation models so Figures 3-7 share measurements, exactly as the
+// paper reuses one model per application across weightings.
+type Runner struct {
+	opts Options
+
+	mu     sync.Mutex
+	models map[string]*core.Model
+}
+
+// NewRunner creates a runner; a zero Options value means Small scale.
+func NewRunner(opts Options) *Runner {
+	return &Runner{opts: opts, models: make(map[string]*core.Model)}
+}
+
+// Scale returns the configured workload scale.
+func (r *Runner) Scale() workload.Scale { return r.opts.Scale }
+
+func (r *Runner) tuner(space *config.Space) *core.Tuner {
+	return &core.Tuner{Space: space, Scale: r.opts.Scale, Workers: r.opts.Workers}
+}
+
+// model returns the cached perturbation model for app over the given
+// space ("full" or "dcache").
+func (r *Runner) model(app, spaceName string) (*core.Model, error) {
+	key := app + "/" + spaceName
+	r.mu.Lock()
+	if m, ok := r.models[key]; ok {
+		r.mu.Unlock()
+		return m, nil
+	}
+	r.mu.Unlock()
+
+	b, ok := progs.ByName(app)
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown benchmark %q", app)
+	}
+	var space *config.Space
+	switch spaceName {
+	case "full":
+		space = config.FullSpace()
+	case "dcache":
+		space = config.DcacheGeometrySpace()
+	default:
+		return nil, fmt.Errorf("experiments: unknown space %q", spaceName)
+	}
+	m, err := r.tuner(space).BuildModel(b)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: building %s model: %w", key, err)
+	}
+	r.mu.Lock()
+	r.models[key] = m
+	r.mu.Unlock()
+	return m, nil
+}
+
+// ByID regenerates a table by its identifier ("figure1" .. "figure7",
+// "space").
+func (r *Runner) ByID(id string) (*Table, error) {
+	switch id {
+	case "figure1", "1":
+		return Figure1(), nil
+	case "space":
+		return SpaceSize(), nil
+	case "figure2", "2":
+		return r.Figure2()
+	case "figure3", "3":
+		return r.Figure3()
+	case "figure4", "4":
+		return r.Figure4()
+	case "figure5", "5":
+		return r.Figure5()
+	case "figure6", "6":
+		return r.Figure6()
+	case "figure7", "7":
+		return r.Figure7()
+	case "energy", "8":
+		return r.Energy()
+	case "interaction", "9":
+		return r.Interaction()
+	case "conformance", "check":
+		return r.Conformance()
+	default:
+		return nil, fmt.Errorf("experiments: unknown experiment %q (use figure1..figure7, space or energy)", id)
+	}
+}
+
+// IDs lists every regenerable experiment.
+func IDs() []string {
+	return []string{"figure1", "space", "figure2", "figure3", "figure4", "figure5", "figure6", "figure7", "energy", "interaction", "conformance"}
+}

@@ -1,0 +1,115 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Figures 1-7 plus the Section 3 search-space argument) on the
+// reproduction's substrate. Each harness returns a Table that renders in
+// the layout of the corresponding figure; cmd/paperrepro prints them and
+// the top-level benchmarks time them.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one regenerated paper table/figure.
+type Table struct {
+	// ID is the experiment identifier, e.g. "figure2".
+	ID string
+	// Title mirrors the paper's caption.
+	Title string
+	// Headers label the columns.
+	Headers []string
+	// Rows hold the cell text. A row of a single empty cell renders as a
+	// separator; a row whose first cell starts with "--" renders as a
+	// section label.
+	Rows [][]string
+	// Notes are printed under the table.
+	Notes []string
+}
+
+// AddRow appends a data row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// AddSection appends a section label row (the paper's mid-table captions
+// like "Optimal runtime" or "Cost approximations by the optimizer").
+func (t *Table) AddSection(label string) {
+	t.Rows = append(t.Rows, []string{"--" + label})
+}
+
+// AddNote appends a footnote.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", strings.ToUpper(t.ID), t.Title)
+
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		if len(row) == 1 && strings.HasPrefix(row[0], "--") {
+			continue
+		}
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+
+	line := func(cells []string) string {
+		var sb strings.Builder
+		for i, c := range cells {
+			w := 8
+			if i < len(widths) {
+				w = widths[i]
+			}
+			fmt.Fprintf(&sb, "%-*s  ", w, c)
+		}
+		return strings.TrimRight(sb.String(), " ")
+	}
+
+	b.WriteString(strings.Repeat("=", total) + "\n")
+	b.WriteString(line(t.Headers) + "\n")
+	b.WriteString(strings.Repeat("-", total) + "\n")
+	lastWasSep := true
+	for _, row := range t.Rows {
+		if len(row) == 1 && strings.HasPrefix(row[0], "--") {
+			if !lastWasSep {
+				b.WriteString(strings.Repeat("-", total) + "\n")
+			}
+			b.WriteString(strings.TrimPrefix(row[0], "--") + "\n")
+			b.WriteString(strings.Repeat("-", total) + "\n")
+			lastWasSep = true
+			continue
+		}
+		b.WriteString(line(row) + "\n")
+		lastWasSep = false
+	}
+	b.WriteString(strings.Repeat("=", total) + "\n")
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// seconds renders a cycle count as seconds at the 25 MHz platform clock,
+// with the paper's 2-3 significant decimals.
+func seconds(cycles uint64) string {
+	return fmt.Sprintf("%.4f", float64(cycles)/25e6)
+}
+
+func secondsF(v float64) string {
+	return fmt.Sprintf("%.4f", v/25e6)
+}
+
+func pct(v float64) string {
+	return fmt.Sprintf("%+.2f%%", v)
+}

@@ -1,0 +1,245 @@
+package fpga
+
+import (
+	"testing"
+
+	"liquidarch/internal/config"
+)
+
+func TestDefaultConfigurationMatchesPaper(t *testing.T) {
+	// Paper Section 2.4: the default LEON uses 14,992 LUTs (39%) and 82
+	// BRAM (51%).
+	r := MustSynthesize(config.Default())
+	if r.LUTs != 14992 {
+		t.Errorf("default LUTs = %d, want 14992", r.LUTs)
+	}
+	if r.BRAM != 82 {
+		t.Errorf("default BRAM = %d, want 82", r.BRAM)
+	}
+	if r.LUTPercent() != 39 {
+		t.Errorf("default LUT%% = %d, want 39", r.LUTPercent())
+	}
+	if r.BRAMPercent() != 51 {
+		t.Errorf("default BRAM%% = %d, want 51", r.BRAMPercent())
+	}
+}
+
+// TestFigure2BRAMColumnExact pins the structural BRAM model to every row
+// of the paper's Figure 2 (dcache sets x set size sweep for BLASTN, with
+// everything else at defaults).
+func TestFigure2BRAMColumnExact(t *testing.T) {
+	rows := []struct {
+		sets, setKB int
+		wantBRAMPct int
+	}{
+		{1, 1, 47}, {1, 2, 48}, {1, 4, 51}, {1, 8, 56}, {1, 16, 68}, {1, 32, 90},
+		{2, 1, 49}, {2, 2, 51}, {2, 4, 56}, {2, 8, 68}, {2, 16, 90},
+		{3, 1, 51}, {3, 2, 55}, {3, 4, 62}, {3, 8, 79},
+		{4, 1, 53}, {4, 2, 58}, {4, 4, 68}, {4, 8, 90},
+	}
+	for _, row := range rows {
+		cfg := config.Default()
+		cfg.DCache.Sets = row.sets
+		cfg.DCache.SetSizeKB = row.setKB
+		r := MustSynthesize(cfg)
+		if got := r.BRAMPercent(); got != row.wantBRAMPct {
+			t.Errorf("dcache %dx%dKB: BRAM%% = %d, paper says %d (blocks=%d)",
+				row.sets, row.setKB, got, row.wantBRAMPct, r.BRAM)
+		}
+	}
+}
+
+// TestFigure2LUTColumnExact pins the LUT model to Figure 2's LUT column.
+func TestFigure2LUTColumnExact(t *testing.T) {
+	rows := []struct {
+		sets, setKB int
+		wantLUTPct  int
+	}{
+		{1, 1, 38}, {1, 2, 38}, {1, 4, 39}, {1, 8, 39}, {1, 16, 38}, {1, 32, 38},
+		{2, 1, 39}, {2, 2, 39}, {2, 4, 39}, {2, 8, 39}, {2, 16, 39},
+		{3, 1, 39}, {3, 2, 39}, {3, 4, 39}, {3, 8, 39},
+		{4, 1, 39}, {4, 2, 39}, {4, 4, 39}, {4, 8, 39},
+	}
+	for _, row := range rows {
+		cfg := config.Default()
+		cfg.DCache.Sets = row.sets
+		cfg.DCache.SetSizeKB = row.setKB
+		r := MustSynthesize(cfg)
+		if got := r.LUTPercent(); got != row.wantLUTPct {
+			t.Errorf("dcache %dx%dKB: LUT%% = %d, paper says %d (luts=%d)",
+				row.sets, row.setKB, got, row.wantLUTPct, r.LUTs)
+		}
+	}
+}
+
+// TestFigure6PerturbationCosts pins the single-parameter resource costs the
+// paper lists for BLASTN's perturbations (Figure 6: LUT%, BRAM%).
+func TestFigure6PerturbationCosts(t *testing.T) {
+	rows := []struct {
+		change            string
+		wantLUT, wantBRAM int
+	}{
+		{"icachsetsz=2", 39, 48},
+		{"icachlinesz=4", 38, 51},
+		{"dcachsetsz=32", 38, 90},
+		{"dcachlinesz=4", 39, 51},
+		{"fastjump=false", 38, 51},
+		{"icchold=false", 39, 51},
+		{"divider=none", 37, 51},
+		{"multiplier=m32x32", 40, 51},
+	}
+	for _, row := range rows {
+		cfg := config.Default()
+		if err := cfg.Set(row.change); err != nil {
+			t.Fatalf("%s: %v", row.change, err)
+		}
+		r := MustSynthesize(cfg)
+		if got := r.LUTPercent(); got != row.wantLUT {
+			t.Errorf("%s: LUT%% = %d, paper says %d", row.change, got, row.wantLUT)
+		}
+		if got := r.BRAMPercent(); got != row.wantBRAM {
+			t.Errorf("%s: BRAM%% = %d, paper says %d", row.change, got, row.wantBRAM)
+		}
+	}
+}
+
+// TestFigure5ActualSynthesisBRAM pins the combined-configuration BRAM of
+// the paper's Figure 5 "actual synthesis" rows.
+func TestFigure5ActualSynthesisBRAM(t *testing.T) {
+	apply := func(changes ...string) config.Config {
+		cfg := config.Default()
+		for _, ch := range changes {
+			if err := cfg.Set(ch); err != nil {
+				t.Fatalf("%s: %v", ch, err)
+			}
+		}
+		return cfg
+	}
+	// Note: the paper's BLAST column pairs LRU with a 1-way dcache, which
+	// violates its own LRU constraint; we synthesize the row as printed
+	// (the BRAM model charges the same replacement bits either way).
+	blast := apply("icachsetsz=2", "icachlinesz=4", "dcachsetsz=32", "dcachlinesz=4",
+		"fastjump=false", "icchold=false", "divider=none", "multiplier=m32x32")
+	drr := apply("icachsetsz=2", "icachlinesz=4", "dcachsets=2", "dcachsetsz=16", "dcachlinesz=4",
+		"dcachreplace=lrr", "fastjump=false", "icchold=false", "divider=none", "multiplier=m32x32")
+	frag := apply("icachlinesz=4", "dcachsets=2", "dcachsetsz=16", "dcachlinesz=4",
+		"dcachreplace=lru", "fastjump=false", "icchold=false", "divider=none", "multiplier=m32x32")
+	arith := apply("icachlinesz=4", "dcachsetsz=1",
+		"fastjump=false", "icchold=false", "multiplier=m32x32")
+
+	cases := []struct {
+		name     string
+		cfg      config.Config
+		wantBRAM int
+	}{
+		{"BLASTN", blast, 90},
+		{"DRR", drr, 90},
+		{"FRAG", frag, 93},
+		{"Arith", arith, 48},
+	}
+	for _, c := range cases {
+		r := MustSynthesize(c.cfg)
+		if got := r.BRAMPercent(); got != c.wantBRAM {
+			t.Errorf("%s: BRAM%% = %d, paper actual synthesis says %d (blocks=%d)",
+				c.name, got, c.wantBRAM, r.BRAM)
+		}
+	}
+}
+
+// TestFigure7ActualSynthesisBRAM pins the resource-optimized BRAM values.
+func TestFigure7ActualSynthesisBRAM(t *testing.T) {
+	apply := func(changes ...string) config.Config {
+		cfg := config.Default()
+		for _, ch := range changes {
+			if err := cfg.Set(ch); err != nil {
+				t.Fatalf("%s: %v", ch, err)
+			}
+		}
+		return cfg
+	}
+	blast := apply("icachsetsz=2", "icachlinesz=4", "dcachsetsz=2", "dcachlinesz=4",
+		"fastjump=false", "icchold=false", "divider=none", "registers=28", "multiplier=iter")
+	frag := apply("icachlinesz=4", "dcachsetsz=1", "dcachlinesz=4",
+		"fastjump=false", "icchold=false", "divider=none", "multiplier=iter")
+	arith := apply("icachsetsz=2", "icachlinesz=4", "dcachsetsz=2",
+		"fastjump=false", "icchold=false", "registers=30", "multiplier=iter")
+
+	cases := []struct {
+		name     string
+		cfg      config.Config
+		wantBRAM int
+	}{
+		{"BLASTN", blast, 48},
+		{"FRAG", frag, 48},
+		{"Arith", arith, 48},
+	}
+	for _, c := range cases {
+		r := MustSynthesize(c.cfg)
+		if got := r.BRAMPercent(); got != c.wantBRAM {
+			t.Errorf("%s: BRAM%% = %d, paper says %d (blocks=%d)", c.name, got, c.wantBRAM, r.BRAM)
+		}
+	}
+}
+
+// Test64KBCacheExceedsDevice reproduces the paper's Figure 1 note: a 64 KB
+// cache needs 213 blocks, 33% more than the device's 160.
+func Test64KBCacheExceedsDevice(t *testing.T) {
+	cfg := config.Default()
+	cfg.DCache.SetSizeKB = 64
+	r := MustSynthesize(cfg)
+	if r.FitsDevice() {
+		t.Errorf("64KB dcache should not fit: %v", r)
+	}
+	if r.BRAM < 205 || r.BRAM > 220 {
+		t.Errorf("64KB dcache BRAM = %d blocks, paper says ~213", r.BRAM)
+	}
+}
+
+func TestRegfileScalesWithWindows(t *testing.T) {
+	if RegfileBRAM(8) != 4 {
+		t.Errorf("8-window regfile = %d blocks, want 4", RegfileBRAM(8))
+	}
+	if RegfileBRAM(32) <= RegfileBRAM(8) {
+		t.Error("more windows must cost more BRAM")
+	}
+}
+
+func TestBRAMMonotoneInCacheSize(t *testing.T) {
+	prev := -1
+	for _, kb := range []int{1, 2, 4, 8, 16, 32, 64} {
+		cfg := config.Default()
+		cfg.DCache.SetSizeKB = kb
+		r := MustSynthesize(cfg)
+		if r.BRAM <= prev {
+			t.Errorf("BRAM not monotone at %dKB: %d <= %d", kb, r.BRAM, prev)
+		}
+		prev = r.BRAM
+	}
+}
+
+func TestSynthesizeRejectsInvalid(t *testing.T) {
+	cfg := config.Default()
+	cfg.DCache.Sets = 9
+	if _, err := Synthesize(cfg); err == nil {
+		t.Error("invalid configuration should not synthesize")
+	}
+	if Feasible(cfg) {
+		t.Error("invalid configuration should not be feasible")
+	}
+}
+
+func TestExhaustiveBuildTimeMatchesPaperEstimate(t *testing.T) {
+	// Paper Section 5: 2,688 dcache configurations "would take at least
+	// 56 days to generate".
+	d := ExhaustiveBuildTime(2688)
+	days := d.Hours() / 24
+	if days < 55 || days > 57 {
+		t.Errorf("2688 builds = %.1f days, paper says 56", days)
+	}
+}
+
+func TestFeasibleDefault(t *testing.T) {
+	if !Feasible(config.Default()) {
+		t.Error("default configuration must fit the device")
+	}
+}

@@ -1,0 +1,112 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Disassemble renders a decoded instruction in SPARC assembly syntax.
+// pc is the address of the instruction, used to resolve branch and call
+// targets to absolute addresses.
+func Disassemble(in Instr, pc uint32) string {
+	op2 := func() string {
+		if in.UseImm {
+			return fmt.Sprintf("%d", in.Imm)
+		}
+		return RegName(in.Rs2)
+	}
+	addr := func() string {
+		switch {
+		case in.UseImm && in.Imm == 0:
+			return fmt.Sprintf("[%s]", RegName(in.Rs1))
+		case in.UseImm:
+			return fmt.Sprintf("[%s%+d]", RegName(in.Rs1), in.Imm)
+		case in.Rs2 == RegG0:
+			return fmt.Sprintf("[%s]", RegName(in.Rs1))
+		default:
+			return fmt.Sprintf("[%s+%s]", RegName(in.Rs1), RegName(in.Rs2))
+		}
+	}
+
+	switch {
+	case in.Op == OpSethi:
+		if in.Rd == RegG0 && in.Imm == 0 {
+			return "nop"
+		}
+		return fmt.Sprintf("sethi %%hi(0x%x), %s", uint32(in.Imm)<<10, RegName(in.Rd))
+
+	case in.Op == OpBicc:
+		mn := "b" + in.Cond.String()
+		if in.Cond == CondA {
+			mn = "ba"
+		}
+		if in.Annul {
+			mn += ",a"
+		}
+		return fmt.Sprintf("%s 0x%x", mn, pc+uint32(in.Disp)*InstrBytes)
+
+	case in.Op == OpCall:
+		return fmt.Sprintf("call 0x%x", pc+uint32(in.Disp)*InstrBytes)
+
+	case in.Op == OpTicc:
+		return fmt.Sprintf("t%s %s", in.Cond, op2())
+
+	case in.Op == OpJmpl:
+		if in.Rd == RegG0 {
+			if in.Rs1 == RegI7 && in.UseImm && in.Imm == 8 {
+				return "ret"
+			}
+			if in.Rs1 == RegO7 && in.UseImm && in.Imm == 8 {
+				return "retl"
+			}
+			return fmt.Sprintf("jmp %s%+d", RegName(in.Rs1), in.Imm)
+		}
+		return fmt.Sprintf("jmpl %s%+d, %s", RegName(in.Rs1), in.Imm, RegName(in.Rd))
+
+	case in.Op == OpRdY:
+		return fmt.Sprintf("rd %%y, %s", RegName(in.Rd))
+
+	case in.Op == OpWrY:
+		return fmt.Sprintf("wr %s, %s, %%y", RegName(in.Rs1), op2())
+
+	case in.Op.IsLoad():
+		return fmt.Sprintf("%s %s, %s", in.Op, addr(), RegName(in.Rd))
+
+	case in.Op.IsStore():
+		return fmt.Sprintf("%s %s, %s", in.Op, RegName(in.Rd), addr())
+
+	default:
+		// Generic three-operand ALU form, with common pseudo-op sugar.
+		if in.Op == OpOr && in.Rs1 == RegG0 && !in.UseImm && in.Rs2 == RegG0 && in.Rd != RegG0 {
+			return fmt.Sprintf("clr %s", RegName(in.Rd))
+		}
+		if in.Op == OpOr && in.Rs1 == RegG0 {
+			return fmt.Sprintf("mov %s, %s", op2(), RegName(in.Rd))
+		}
+		if in.Op == OpSubCC && in.Rd == RegG0 {
+			return fmt.Sprintf("cmp %s, %s", RegName(in.Rs1), op2())
+		}
+		return fmt.Sprintf("%s %s, %s, %s", in.Op, RegName(in.Rs1), op2(), RegName(in.Rd))
+	}
+}
+
+// DisassembleWord decodes and disassembles a raw instruction word,
+// rendering undecodable words as .word directives.
+func DisassembleWord(word, pc uint32) string {
+	in, err := Decode(word)
+	if err != nil {
+		return fmt.Sprintf(".word 0x%08x", word)
+	}
+	return Disassemble(in, pc)
+}
+
+// DisassembleRange renders a sequence of instruction words starting at
+// base, one per line with addresses.
+func DisassembleRange(words []uint32, base uint32) string {
+	var b strings.Builder
+	for i, w := range words {
+		pc := base + uint32(i)*InstrBytes
+		fmt.Fprintf(&b, "%08x:  %08x  %s\n", pc, w, DisassembleWord(w, pc))
+	}
+	return b.String()
+}

@@ -1,0 +1,208 @@
+package isa
+
+import "fmt"
+
+// SPARC V8 op3 field values for format-3 instructions with op=10
+// (arithmetic) and op=11 (memory).
+const (
+	op3Add     = 0x00
+	op3And     = 0x01
+	op3Or      = 0x02
+	op3Xor     = 0x03
+	op3Sub     = 0x04
+	op3AndN    = 0x05
+	op3OrN     = 0x06
+	op3Xnor    = 0x07
+	op3UMul    = 0x0A
+	op3SMul    = 0x0B
+	op3UDiv    = 0x0E
+	op3SDiv    = 0x0F
+	op3AddCC   = 0x10
+	op3AndCC   = 0x11
+	op3OrCC    = 0x12
+	op3XorCC   = 0x13
+	op3SubCC   = 0x14
+	op3UMulCC  = 0x1A
+	op3SMulCC  = 0x1B
+	op3Sll     = 0x25
+	op3Srl     = 0x26
+	op3Sra     = 0x27
+	op3RdY     = 0x28
+	op3WrY     = 0x30
+	op3Jmpl    = 0x38
+	op3Ticc    = 0x3A
+	op3Save    = 0x3C
+	op3Restore = 0x3D
+
+	op3Ld   = 0x00
+	op3LdUB = 0x01
+	op3LdUH = 0x02
+	op3St   = 0x04
+	op3StB  = 0x05
+	op3StH  = 0x06
+	op3LdSB = 0x09
+	op3LdSH = 0x0A
+)
+
+var aluOp3 = map[Opcode]uint32{
+	OpAdd: op3Add, OpAnd: op3And, OpOr: op3Or, OpXor: op3Xor,
+	OpSub: op3Sub, OpAndN: op3AndN, OpOrN: op3OrN, OpXnor: op3Xnor,
+	OpUMul: op3UMul, OpSMul: op3SMul, OpUDiv: op3UDiv, OpSDiv: op3SDiv,
+	OpAddCC: op3AddCC, OpAndCC: op3AndCC, OpOrCC: op3OrCC, OpXorCC: op3XorCC,
+	OpSubCC: op3SubCC, OpUMulCC: op3UMulCC, OpSMulCC: op3SMulCC,
+	OpSll: op3Sll, OpSrl: op3Srl, OpSra: op3Sra,
+	OpRdY: op3RdY, OpWrY: op3WrY,
+	OpJmpl: op3Jmpl, OpTicc: op3Ticc, OpSave: op3Save, OpRestore: op3Restore,
+}
+
+var memOp3 = map[Opcode]uint32{
+	OpLd: op3Ld, OpLdUB: op3LdUB, OpLdUH: op3LdUH,
+	OpSt: op3St, OpStB: op3StB, OpStH: op3StH,
+	OpLdSB: op3LdSB, OpLdSH: op3LdSH,
+}
+
+var op3ToALU = invert(aluOp3)
+var op3ToMem = invert(memOp3)
+
+func invert(m map[Opcode]uint32) map[uint32]Opcode {
+	r := make(map[uint32]Opcode, len(m))
+	for k, v := range m {
+		r[v] = k
+	}
+	return r
+}
+
+const (
+	simm13Max = 1<<12 - 1
+	simm13Min = -(1 << 12)
+	disp22Max = 1<<21 - 1
+	disp22Min = -(1 << 21)
+	disp30Max = 1<<29 - 1
+	disp30Min = -(1 << 29)
+	imm22Max  = 1<<22 - 1
+)
+
+func signExtend(v uint32, bits uint) int32 {
+	shift := 32 - bits
+	return int32(v<<shift) >> shift
+}
+
+// Encode produces the 32-bit SPARC instruction word for in.
+func Encode(in Instr) (uint32, error) {
+	switch in.Op {
+	case OpCall:
+		if in.Disp < disp30Min || in.Disp > disp30Max {
+			return 0, fmt.Errorf("isa: call displacement %d out of disp30 range", in.Disp)
+		}
+		return 1<<30 | uint32(in.Disp)&0x3FFFFFFF, nil
+
+	case OpSethi:
+		if in.Imm < 0 || in.Imm > imm22Max {
+			return 0, fmt.Errorf("isa: sethi immediate %d out of imm22 range", in.Imm)
+		}
+		return uint32(in.Rd)<<25 | 0x4<<22 | uint32(in.Imm), nil
+
+	case OpBicc:
+		if in.Disp < disp22Min || in.Disp > disp22Max {
+			return 0, fmt.Errorf("isa: branch displacement %d out of disp22 range", in.Disp)
+		}
+		w := uint32(0x2)<<22 | uint32(in.Cond)<<25 | uint32(in.Disp)&0x3FFFFF
+		if in.Annul {
+			w |= 1 << 29
+		}
+		return w, nil
+	}
+
+	if in.Op == OpTicc {
+		// Ticc carries its condition in the rd field.
+		in.Rd = uint8(in.Cond)
+		return encodeFormat3(2, op3Ticc, in)
+	}
+	if op3, ok := memOp3[in.Op]; ok {
+		return encodeFormat3(3, op3, in)
+	}
+	if op3, ok := aluOp3[in.Op]; ok {
+		return encodeFormat3(2, op3, in)
+	}
+	return 0, fmt.Errorf("isa: cannot encode opcode %s", in.Op)
+}
+
+func encodeFormat3(op, op3 uint32, in Instr) (uint32, error) {
+	if in.Rd >= NumRegs || in.Rs1 >= NumRegs || in.Rs2 >= NumRegs {
+		return 0, fmt.Errorf("isa: register out of range in %s", in.Op)
+	}
+	w := op<<30 | uint32(in.Rd)<<25 | op3<<19 | uint32(in.Rs1)<<14
+	if in.UseImm {
+		if in.Imm < simm13Min || in.Imm > simm13Max {
+			return 0, fmt.Errorf("isa: immediate %d out of simm13 range in %s", in.Imm, in.Op)
+		}
+		w |= 1<<13 | uint32(in.Imm)&0x1FFF
+	} else {
+		w |= uint32(in.Rs2)
+	}
+	return w, nil
+}
+
+// Decode interprets a 32-bit SPARC instruction word.
+func Decode(word uint32) (Instr, error) {
+	op := word >> 30
+	switch op {
+	case 0: // format 2: SETHI / Bicc
+		op2 := word >> 22 & 0x7
+		switch op2 {
+		case 0x4: // SETHI
+			return Instr{
+				Op:  OpSethi,
+				Rd:  uint8(word >> 25 & 0x1F),
+				Imm: int32(word & 0x3FFFFF),
+			}, nil
+		case 0x2: // Bicc
+			return Instr{
+				Op:    OpBicc,
+				Cond:  Cond(word >> 25 & 0xF),
+				Annul: word>>29&1 == 1,
+				Disp:  signExtend(word&0x3FFFFF, 22),
+			}, nil
+		}
+		return Instr{}, fmt.Errorf("isa: unsupported format-2 op2 %#x in word %#08x", op2, word)
+
+	case 1: // format 1: CALL
+		return Instr{Op: OpCall, Disp: signExtend(word&0x3FFFFFFF, 30)}, nil
+
+	case 2, 3: // format 3
+		op3 := word >> 19 & 0x3F
+		var opcode Opcode
+		var ok bool
+		if op == 2 {
+			opcode, ok = op3ToALU[op3]
+		} else {
+			opcode, ok = op3ToMem[op3]
+		}
+		if !ok {
+			return Instr{}, fmt.Errorf("isa: unsupported op3 %#x (op=%d) in word %#08x", op3, op, word)
+		}
+		in := Instr{
+			Op:  opcode,
+			Rd:  uint8(word >> 25 & 0x1F),
+			Rs1: uint8(word >> 14 & 0x1F),
+		}
+		if opcode == OpTicc {
+			in.Cond = Cond(word >> 25 & 0xF)
+			in.Rd = 0
+		}
+		if word>>13&1 == 1 {
+			in.UseImm = true
+			in.Imm = signExtend(word&0x1FFF, 13)
+		} else {
+			in.Rs2 = uint8(word & 0x1F)
+		}
+		return in, nil
+	}
+	return Instr{}, fmt.Errorf("isa: unreachable op %d", op)
+}
+
+// NopWord is the canonical SPARC NOP encoding: sethi 0, %g0.
+const NopWord uint32 = 0x01000000
+
+// IsNop reports whether the word is the canonical NOP.
+func IsNop(word uint32) bool { return word == NopWord }

@@ -1,0 +1,261 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCondHoldsTruthTable(t *testing.T) {
+	// Exercise every condition against every ICC combination and check
+	// against the SPARC V8 manual's boolean definitions.
+	for n := 0; n < 16; n++ {
+		icc := ICC{N: n&8 != 0, Z: n&4 != 0, V: n&2 != 0, C: n&1 != 0}
+		checks := map[Cond]bool{
+			CondN:   false,
+			CondA:   true,
+			CondE:   icc.Z,
+			CondNE:  !icc.Z,
+			CondL:   icc.N != icc.V,
+			CondGE:  icc.N == icc.V,
+			CondLE:  icc.Z || (icc.N != icc.V),
+			CondG:   !icc.Z && (icc.N == icc.V),
+			CondCS:  icc.C,
+			CondCC:  !icc.C,
+			CondLEU: icc.C || icc.Z,
+			CondGU:  !icc.C && !icc.Z,
+			CondNeg: icc.N,
+			CondPos: !icc.N,
+			CondVS:  icc.V,
+			CondVC:  !icc.V,
+		}
+		for c, want := range checks {
+			if got := c.Holds(icc); got != want {
+				t.Errorf("cond %s with %+v = %t, want %t", c, icc, got, want)
+			}
+		}
+	}
+}
+
+func TestCondNegateIsComplement(t *testing.T) {
+	// Property: for every condition and every ICC state, c and c.Negate()
+	// disagree.
+	for c := Cond(0); c < 16; c++ {
+		for n := 0; n < 16; n++ {
+			icc := ICC{N: n&8 != 0, Z: n&4 != 0, V: n&2 != 0, C: n&1 != 0}
+			if c.Holds(icc) == c.Negate().Holds(icc) {
+				t.Fatalf("cond %s and its negation %s agree on %+v", c, c.Negate(), icc)
+			}
+		}
+	}
+}
+
+// randomInstr generates a random valid instruction for round-trip testing.
+func randomInstr(r *rand.Rand) Instr {
+	aluOps := []Opcode{
+		OpAdd, OpAddCC, OpSub, OpSubCC, OpAnd, OpAndCC, OpOr, OpOrCC,
+		OpXor, OpXorCC, OpAndN, OpOrN, OpXnor, OpSll, OpSrl, OpSra,
+		OpUMul, OpSMul, OpUMulCC, OpSMulCC, OpUDiv, OpSDiv,
+		OpJmpl, OpSave, OpRestore, OpRdY, OpWrY,
+	}
+	memOps := []Opcode{OpLd, OpLdUB, OpLdSB, OpLdUH, OpLdSH, OpSt, OpStB, OpStH}
+
+	switch r.Intn(5) {
+	case 0: // ALU
+		in := Instr{
+			Op:  aluOps[r.Intn(len(aluOps))],
+			Rd:  uint8(r.Intn(NumRegs)),
+			Rs1: uint8(r.Intn(NumRegs)),
+		}
+		if r.Intn(2) == 0 {
+			in.UseImm = true
+			in.Imm = int32(r.Intn(simm13Max-simm13Min+1) + simm13Min)
+		} else {
+			in.Rs2 = uint8(r.Intn(NumRegs))
+		}
+		return in
+	case 1: // memory
+		in := Instr{
+			Op:  memOps[r.Intn(len(memOps))],
+			Rd:  uint8(r.Intn(NumRegs)),
+			Rs1: uint8(r.Intn(NumRegs)),
+		}
+		if r.Intn(2) == 0 {
+			in.UseImm = true
+			in.Imm = int32(r.Intn(simm13Max-simm13Min+1) + simm13Min)
+		} else {
+			in.Rs2 = uint8(r.Intn(NumRegs))
+		}
+		return in
+	case 2: // sethi
+		return Instr{Op: OpSethi, Rd: uint8(r.Intn(NumRegs)), Imm: int32(r.Intn(imm22Max + 1))}
+	case 3: // branch
+		return Instr{
+			Op:    OpBicc,
+			Cond:  Cond(r.Intn(16)),
+			Annul: r.Intn(2) == 0,
+			Disp:  int32(r.Intn(disp22Max-disp22Min+1) + disp22Min),
+		}
+	default: // call
+		return Instr{Op: OpCall, Disp: int32(r.Intn(1<<20) - 1<<19)}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 20000; i++ {
+		in := randomInstr(r)
+		word, err := Encode(in)
+		if err != nil {
+			t.Fatalf("encode %+v: %v", in, err)
+		}
+		out, err := Decode(word)
+		if err != nil {
+			t.Fatalf("decode %#08x (%+v): %v", word, in, err)
+		}
+		if out != in {
+			t.Fatalf("round trip mismatch:\n in  %+v\n out %+v\n word %#08x", in, out, word)
+		}
+	}
+}
+
+func TestDecodeEncodeRoundTripQuick(t *testing.T) {
+	// Property: any word that decodes successfully re-encodes to itself
+	// (modulo fields the subset ignores, which Decode must zero).
+	f := func(word uint32) bool {
+		in, err := Decode(word)
+		if err != nil {
+			return true // undecodable words are out of scope
+		}
+		// Mask the don't-care bits our decoder ignores before comparing:
+		// the asi field (bits 5-12) of register-form format-3 words, the
+		// reserved bit 29 of Ticc, and rd of WrY-class and Ticc forms is
+		// meaningful, so only asi handling is lossy. Re-encode and
+		// re-decode instead: the semantic struct must be stable.
+		w2, err := Encode(in)
+		if err != nil {
+			return false
+		}
+		in2, err := Decode(w2)
+		if err != nil {
+			return false
+		}
+		return in2 == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTiccEncoding(t *testing.T) {
+	in := Instr{Op: OpTicc, Cond: CondA, UseImm: true, Imm: 0}
+	w, err := Encode(in)
+	if err != nil {
+		t.Fatalf("encode ta 0: %v", err)
+	}
+	out, err := Decode(w)
+	if err != nil {
+		t.Fatalf("decode ta 0: %v", err)
+	}
+	if out.Op != OpTicc || out.Cond != CondA || !out.UseImm || out.Imm != 0 {
+		t.Errorf("ta 0 round trip: %+v", out)
+	}
+}
+
+func TestEncodeRangeErrors(t *testing.T) {
+	cases := []Instr{
+		{Op: OpAdd, Rd: 1, Rs1: 1, UseImm: true, Imm: 5000},    // > simm13
+		{Op: OpAdd, Rd: 1, Rs1: 1, UseImm: true, Imm: -5000},   // < simm13
+		{Op: OpSethi, Rd: 1, Imm: 1 << 23},                     // > imm22
+		{Op: OpSethi, Rd: 1, Imm: -1},                          // negative imm22
+		{Op: OpBicc, Cond: CondE, Disp: 1 << 22},               // > disp22
+		{Op: OpCall, Disp: 1 << 30},                            // > disp30
+		{Op: OpAdd, Rd: 40, Rs1: 1, Rs2: 2},                    // bad register
+		{Op: OpInvalid},                                        // no encoding
+		{Op: Opcode(999), Rd: 1, Rs1: 1, UseImm: true, Imm: 1}, // unknown
+	}
+	for _, in := range cases {
+		if _, err := Encode(in); err == nil {
+			t.Errorf("expected encode error for %+v", in)
+		}
+	}
+}
+
+func TestDecodeRejectsUnsupported(t *testing.T) {
+	// op=00 with op2 other than branch/sethi (e.g. unimp = op2 0).
+	if _, err := Decode(0x00000000); err == nil {
+		t.Error("unimp should not decode")
+	}
+	// op=10 with an op3 outside the subset (e.g. 0x3F).
+	if _, err := Decode(2<<30 | 0x3F<<19); err == nil {
+		t.Error("unknown op3 should not decode")
+	}
+	// op=11 LDD (0x03) is outside the subset.
+	if _, err := Decode(3<<30 | 0x03<<19); err == nil {
+		t.Error("ldd should not decode")
+	}
+}
+
+func TestNop(t *testing.T) {
+	if !IsNop(NopWord) {
+		t.Error("NopWord must satisfy IsNop")
+	}
+	in, err := Decode(NopWord)
+	if err != nil {
+		t.Fatalf("decode nop: %v", err)
+	}
+	if in.Op != OpSethi || in.Rd != RegG0 || in.Imm != 0 {
+		t.Errorf("nop decodes to %+v", in)
+	}
+}
+
+func TestSignExtend(t *testing.T) {
+	cases := []struct {
+		v    uint32
+		bits uint
+		want int32
+	}{
+		{0xFFF, 12, -1}, {0x1FFF, 13, -1}, {0x1000, 13, -4096},
+		{0x0FFF, 13, 4095}, {0, 13, 0},
+		{0x3FFFFF, 22, -1}, {0x200000, 22, -2097152}, {0x1FFFFF, 22, 2097151},
+	}
+	for _, c := range cases {
+		if got := signExtend(c.v, c.bits); got != c.want {
+			t.Errorf("signExtend(%#x, %d) = %d, want %d", c.v, c.bits, got, c.want)
+		}
+	}
+}
+
+func TestOpcodePredicates(t *testing.T) {
+	if !OpLd.IsLoad() || OpSt.IsLoad() || OpAdd.IsLoad() {
+		t.Error("IsLoad misclassifies")
+	}
+	if !OpStB.IsStore() || OpLdUB.IsStore() {
+		t.Error("IsStore misclassifies")
+	}
+	if !OpSubCC.SetsICC() || OpSub.SetsICC() || !OpUMulCC.SetsICC() {
+		t.Error("SetsICC misclassifies")
+	}
+	if !OpUMul.IsMul() || !OpSMulCC.IsMul() || OpUDiv.IsMul() {
+		t.Error("IsMul misclassifies")
+	}
+	if !OpSDiv.IsDiv() || OpSMul.IsDiv() {
+		t.Error("IsDiv misclassifies")
+	}
+	for _, o := range []Opcode{OpBicc, OpCall, OpJmpl, OpTicc} {
+		if !o.IsControlTransfer() {
+			t.Errorf("%s should be a control transfer", o)
+		}
+	}
+	if OpAdd.IsControlTransfer() || OpLd.IsControlTransfer() {
+		t.Error("IsControlTransfer misclassifies")
+	}
+}
+
+func TestOpcodeStringsNamed(t *testing.T) {
+	for op := OpInvalid; op < numOpcodes; op++ {
+		if _, ok := opcodeNames[op]; !ok {
+			t.Errorf("opcode %d has no name", int(op))
+		}
+	}
+}

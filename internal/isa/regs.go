@@ -1,0 +1,66 @@
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// regNames maps architectural register numbers to the conventional SPARC
+// names: %g0-7 globals, %o0-7 outs, %l0-7 locals, %i0-7 ins.
+var regNames = [NumRegs]string{
+	"%g0", "%g1", "%g2", "%g3", "%g4", "%g5", "%g6", "%g7",
+	"%o0", "%o1", "%o2", "%o3", "%o4", "%o5", "%sp", "%o7",
+	"%l0", "%l1", "%l2", "%l3", "%l4", "%l5", "%l6", "%l7",
+	"%i0", "%i1", "%i2", "%i3", "%i4", "%i5", "%fp", "%i7",
+}
+
+// RegName returns the conventional assembly name of register r.
+func RegName(r uint8) string {
+	if int(r) < NumRegs {
+		return regNames[r]
+	}
+	return fmt.Sprintf("%%r%d", r)
+}
+
+// ParseReg converts an assembly register name (with or without the leading
+// %) into its architectural number. Accepted forms: g0-g7, o0-o7, l0-l7,
+// i0-i7, r0-r31, sp, fp.
+func ParseReg(name string) (uint8, error) {
+	s := strings.ToLower(strings.TrimPrefix(name, "%"))
+	switch s {
+	case "sp":
+		return RegSP, nil
+	case "fp":
+		return RegFP, nil
+	}
+	if len(s) < 2 {
+		return 0, fmt.Errorf("isa: invalid register %q", name)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil {
+		return 0, fmt.Errorf("isa: invalid register %q", name)
+	}
+	var base int
+	switch s[0] {
+	case 'g':
+		base = 0
+	case 'o':
+		base = 8
+	case 'l':
+		base = 16
+	case 'i':
+		base = 24
+	case 'r':
+		if n < 0 || n >= NumRegs {
+			return 0, fmt.Errorf("isa: register %q out of range", name)
+		}
+		return uint8(n), nil
+	default:
+		return 0, fmt.Errorf("isa: invalid register %q", name)
+	}
+	if n < 0 || n > 7 {
+		return 0, fmt.Errorf("isa: register %q out of range", name)
+	}
+	return uint8(base + n), nil
+}

@@ -1,0 +1,94 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseRegRoundTrip(t *testing.T) {
+	for r := uint8(0); r < NumRegs; r++ {
+		name := RegName(r)
+		got, err := ParseReg(name)
+		if err != nil {
+			t.Fatalf("ParseReg(%q): %v", name, err)
+		}
+		if got != r {
+			t.Errorf("ParseReg(%q) = %d, want %d", name, got, r)
+		}
+	}
+}
+
+func TestParseRegForms(t *testing.T) {
+	cases := map[string]uint8{
+		"%g0": 0, "g0": 0, "%G1": 1,
+		"%o0": 8, "%o6": 14, "%sp": 14, "sp": 14,
+		"%l0": 16, "%l7": 23,
+		"%i0": 24, "%i6": 30, "%fp": 30, "%i7": 31,
+		"%r0": 0, "%r31": 31, "r15": 15,
+	}
+	for name, want := range cases {
+		got, err := ParseReg(name)
+		if err != nil {
+			t.Errorf("ParseReg(%q): %v", name, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("ParseReg(%q) = %d, want %d", name, got, want)
+		}
+	}
+}
+
+func TestParseRegErrors(t *testing.T) {
+	for _, bad := range []string{"", "%", "%x3", "%g8", "%o9", "%r32", "%gg", "%g", "foo"} {
+		if _, err := ParseReg(bad); err == nil {
+			t.Errorf("ParseReg(%q) should error", bad)
+		}
+	}
+}
+
+func TestDisassembleSpotChecks(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		pc   uint32
+		want string
+	}{
+		{Instr{Op: OpAdd, Rd: 9, Rs1: 8, UseImm: true, Imm: 4}, 0, "add %o0, 4, %o1"},
+		{Instr{Op: OpSubCC, Rd: 0, Rs1: 9, UseImm: true, Imm: 100}, 0, "cmp %o1, 100"},
+		{Instr{Op: OpOr, Rd: 10, Rs1: 0, UseImm: true, Imm: 7}, 0, "mov 7, %o2"},
+		{Instr{Op: OpOr, Rd: 10, Rs1: 0, Rs2: 0}, 0, "clr %o2"},
+		{Instr{Op: OpLd, Rd: 9, Rs1: 16, UseImm: true, Imm: 8}, 0, "ld [%l0+8], %o1"},
+		{Instr{Op: OpSt, Rd: 9, Rs1: 16, UseImm: true, Imm: 0}, 0, "st %o1, [%l0]"},
+		{Instr{Op: OpBicc, Cond: CondNE, Disp: 4}, 0x100, "bne 0x110"},
+		{Instr{Op: OpBicc, Cond: CondA, Annul: true, Disp: -1}, 0x100, "ba,a 0xfc"},
+		{Instr{Op: OpCall, Disp: 16}, 0x1000, "call 0x1040"},
+		{Instr{Op: OpJmpl, Rd: 0, Rs1: RegI7, UseImm: true, Imm: 8}, 0, "ret"},
+		{Instr{Op: OpJmpl, Rd: 0, Rs1: RegO7, UseImm: true, Imm: 8}, 0, "retl"},
+		{Instr{Op: OpTicc, Cond: CondA, UseImm: true, Imm: 0}, 0, "ta 0"},
+		{Instr{Op: OpRdY, Rd: 1}, 0, "rd %y, %g1"},
+		{Instr{Op: OpSethi, Rd: 0, Imm: 0}, 0, "nop"},
+	}
+	for _, c := range cases {
+		if got := Disassemble(c.in, c.pc); got != c.want {
+			t.Errorf("Disassemble(%+v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestDisassembleWordFallback(t *testing.T) {
+	got := DisassembleWord(0x00000000, 0)
+	if !strings.HasPrefix(got, ".word") {
+		t.Errorf("undecodable word should render as .word, got %q", got)
+	}
+}
+
+func TestDisassembleRange(t *testing.T) {
+	words := []uint32{NopWord, NopWord}
+	out := DisassembleRange(words, 0x40000000)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 lines, got %d", len(lines))
+	}
+	if !strings.Contains(lines[0], "40000000") || !strings.Contains(lines[1], "40000004") {
+		t.Errorf("addresses wrong:\n%s", out)
+	}
+}

@@ -1,0 +1,196 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestReadWriteRoundTrip32(t *testing.T) {
+	m := New(1 << 16)
+	f := func(off uint16, v uint32) bool {
+		addr := RAMBase + uint32(off)&^3
+		if err := m.Write32(addr, v); err != nil {
+			return false
+		}
+		got, err := m.Read32(addr)
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadWriteRoundTrip16And8(t *testing.T) {
+	m := New(1 << 12)
+	if err := m.Write16(RAMBase+2, 0xBEEF); err != nil {
+		t.Fatal(err)
+	}
+	v16, err := m.Read16(RAMBase + 2)
+	if err != nil || v16 != 0xBEEF {
+		t.Errorf("Read16 = %#x, %v", v16, err)
+	}
+	if err := m.Write8(RAMBase+5, 0xA7); err != nil {
+		t.Fatal(err)
+	}
+	v8, err := m.Read8(RAMBase + 5)
+	if err != nil || v8 != 0xA7 {
+		t.Errorf("Read8 = %#x, %v", v8, err)
+	}
+}
+
+func TestBigEndianLayout(t *testing.T) {
+	m := New(1 << 12)
+	if err := m.Write32(RAMBase, 0x11223344); err != nil {
+		t.Fatal(err)
+	}
+	wantBytes := []uint8{0x11, 0x22, 0x33, 0x44}
+	for i, want := range wantBytes {
+		got, err := m.Read8(RAMBase + uint32(i))
+		if err != nil || got != want {
+			t.Errorf("byte %d = %#x (%v), want %#x", i, got, err, want)
+		}
+	}
+	h, err := m.Read16(RAMBase)
+	if err != nil || h != 0x1122 {
+		t.Errorf("high half = %#x, want 0x1122", h)
+	}
+}
+
+func TestMisalignedAccessErrors(t *testing.T) {
+	m := New(1 << 12)
+	if _, err := m.Read32(RAMBase + 2); err == nil {
+		t.Error("misaligned word read should error")
+	}
+	if err := m.Write32(RAMBase+1, 0); err == nil {
+		t.Error("misaligned word write should error")
+	}
+	if _, err := m.Read16(RAMBase + 1); err == nil {
+		t.Error("misaligned half read should error")
+	}
+	if err := m.Write16(RAMBase+3, 0); err == nil {
+		t.Error("misaligned half write should error")
+	}
+}
+
+func TestOutOfRangeAccessErrors(t *testing.T) {
+	m := New(1 << 12)
+	for _, addr := range []uint32{0, RAMBase - 4, RAMBase + 1<<12, 0xFFFFFFFC} {
+		if _, err := m.Read32(addr); err == nil {
+			t.Errorf("read at %#x should error", addr)
+		}
+		if err := m.Write8(addr, 0); err == nil && addr != UARTData {
+			t.Errorf("write at %#x should error", addr)
+		}
+	}
+	// Last valid word must work; one past must not.
+	last := RAMBase + 1<<12 - 4
+	if err := m.Write32(last, 1); err != nil {
+		t.Errorf("write at last word: %v", err)
+	}
+}
+
+func TestUARTConsole(t *testing.T) {
+	m := New(1 << 12)
+	for _, ch := range []byte("hi\n") {
+		if err := m.Write32(UARTData, uint32(ch)); err != nil {
+			t.Fatalf("uart store: %v", err)
+		}
+	}
+	if err := m.Write8(UARTData+3, '!'); err != nil {
+		t.Fatalf("uart byte store: %v", err)
+	}
+	if got := m.Console(); got != "hi\n!" {
+		t.Errorf("console = %q", got)
+	}
+	status, err := m.Read32(UARTStatus)
+	if err != nil || status&uartStatusReady == 0 {
+		t.Errorf("uart status = %#x, %v", status, err)
+	}
+	m.ResetConsole()
+	if m.Console() != "" {
+		t.Error("ResetConsole did not clear output")
+	}
+}
+
+func TestLoadImage(t *testing.T) {
+	m := New(1 << 12)
+	img := []byte{1, 2, 3, 4, 5}
+	if err := m.LoadImage(RAMBase+8, img); err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range img {
+		got, err := m.Read8(RAMBase + 8 + uint32(i))
+		if err != nil || got != want {
+			t.Errorf("image byte %d = %d, want %d", i, got, want)
+		}
+	}
+	if err := m.LoadImage(RAMBase+1<<12-2, img); err == nil {
+		t.Error("image overflowing RAM should error")
+	}
+}
+
+func TestSizeRounding(t *testing.T) {
+	if got := New(1001).Size(); got != 1004 {
+		t.Errorf("size = %d, want 1004", got)
+	}
+	if got := New(0).Size(); got != DefaultRAMBytes {
+		t.Errorf("default size = %d", got)
+	}
+}
+
+func TestBurstReadCycles(t *testing.T) {
+	tm := Timing{LeadCycles: 3, WordCycles: 1, WriteCycles: 4}
+	if got := tm.BurstReadCycles(8); got != 11 {
+		t.Errorf("8-word burst = %d cycles, want 11", got)
+	}
+	if got := tm.BurstReadCycles(4); got != 7 {
+		t.Errorf("4-word burst = %d cycles, want 7", got)
+	}
+}
+
+func TestWriteBufferNoStallWhenIdle(t *testing.T) {
+	wb := NewWriteBuffer(DefaultTiming())
+	if stall := wb.Store(100); stall != 0 {
+		t.Errorf("idle buffer should not stall, got %d", stall)
+	}
+	if wb.Stores() != 1 {
+		t.Errorf("stores = %d", wb.Stores())
+	}
+}
+
+func TestWriteBufferBackToBackStalls(t *testing.T) {
+	wb := NewWriteBuffer(Timing{WriteCycles: 4})
+	wb.Store(10) // drains at 14
+	if stall := wb.Store(11); stall != 3 {
+		t.Errorf("second store should stall 3, got %d", stall)
+	}
+	// Third store issued at 12 waits for drain at 14+4=18.
+	if stall := wb.Store(12); stall != 6 {
+		t.Errorf("third store should stall 6, got %d", stall)
+	}
+	if wb.Stalls() != 9 {
+		t.Errorf("total stalls = %d, want 9", wb.Stalls())
+	}
+}
+
+func TestWriteBufferSpacedStoresFree(t *testing.T) {
+	wb := NewWriteBuffer(Timing{WriteCycles: 4})
+	for now := uint64(0); now < 100; now += 10 {
+		if stall := wb.Store(now); stall != 0 {
+			t.Fatalf("spaced store at %d stalled %d", now, stall)
+		}
+	}
+}
+
+func TestWriteBufferReset(t *testing.T) {
+	wb := NewWriteBuffer(Timing{WriteCycles: 4})
+	wb.Store(0)
+	wb.Store(1)
+	wb.Reset()
+	if wb.Stalls() != 0 || wb.Stores() != 0 {
+		t.Error("reset did not clear counters")
+	}
+	if stall := wb.Store(0); stall != 0 {
+		t.Error("reset buffer should accept a store at cycle 0 without stall")
+	}
+}

@@ -1,0 +1,127 @@
+// Package platform is the reproduction of the Liquid Architecture
+// platform: it instantiates the LEON2-like processor with a chosen
+// microarchitecture configuration, loads an application, executes it
+// directly (no OS), and returns the cycle-accurate profile that the paper's
+// hardware statistics module would report.
+package platform
+
+import (
+	"fmt"
+	"io"
+
+	"liquidarch/internal/asm"
+	"liquidarch/internal/cache"
+	"liquidarch/internal/config"
+	"liquidarch/internal/cpu"
+	"liquidarch/internal/mem"
+	"liquidarch/internal/profiler"
+)
+
+// DefaultMaxInstructions bounds a single run; the scaled-down workloads
+// stay far below it.
+const DefaultMaxInstructions = 2_000_000_000
+
+// Options configures a run.
+type Options struct {
+	// RAMBytes sizes main memory (default 8 MiB).
+	RAMBytes int
+	// MaxInstructions aborts runaway programs (default 2e9).
+	MaxInstructions uint64
+	// SampleInstructions, when nonzero, stops the run cleanly after that
+	// many instructions instead of waiting for the halt trap — the
+	// paper's future-work "runtime sampling" for long applications. The
+	// report's Sampled flag records a truncated run; exit code and
+	// checksum are only meaningful for completed runs.
+	SampleInstructions uint64
+	// TraceWriter, when non-nil, receives a disassembled execution trace
+	// of the first TraceLimit instructions.
+	TraceWriter io.Writer
+	// TraceLimit bounds the trace length (default 0 = no trace).
+	TraceLimit uint64
+}
+
+// RunReport is the outcome of executing an application on a configuration.
+type RunReport struct {
+	// Config is the microarchitecture the application ran on.
+	Config config.Config
+	// Stats is the cycle-accurate profile.
+	Stats profiler.Stats
+	// ICache and DCache are the cache event counters.
+	ICache, DCache cache.Stats
+	// ExitCode is %o0 at the halt trap (0 = success by convention).
+	ExitCode uint32
+	// Checksum is %o1 at the halt trap; benchmark programs leave their
+	// result digest there for golden-model validation.
+	Checksum uint32
+	// Console is everything the program wrote to the UART.
+	Console string
+	// Sampled is true when the run was truncated by
+	// Options.SampleInstructions before the program halted.
+	Sampled bool
+}
+
+// Cycles returns the total cycle count.
+func (r *RunReport) Cycles() uint64 { return r.Stats.Cycles }
+
+// Seconds converts cycles to seconds at the platform's 25 MHz clock.
+func (r *RunReport) Seconds() float64 { return r.Stats.Seconds(0) }
+
+// Run executes an assembled program on the given configuration with
+// default options.
+func Run(prog *asm.Program, cfg config.Config) (*RunReport, error) {
+	return RunWith(prog, cfg, Options{})
+}
+
+// RunWith executes an assembled program with explicit options.
+func RunWith(prog *asm.Program, cfg config.Config, opts Options) (*RunReport, error) {
+	if opts.RAMBytes == 0 {
+		opts.RAMBytes = mem.DefaultRAMBytes
+	}
+	if opts.MaxInstructions == 0 {
+		opts.MaxInstructions = DefaultMaxInstructions
+	}
+	m := mem.New(opts.RAMBytes)
+	if err := prog.Load(m); err != nil {
+		return nil, fmt.Errorf("platform: %w", err)
+	}
+	core, err := cpu.New(cfg, m)
+	if err != nil {
+		return nil, fmt.Errorf("platform: %w", err)
+	}
+	if err := core.LoadText(prog.TextBase, prog.TextWords()); err != nil {
+		return nil, fmt.Errorf("platform: %w", err)
+	}
+	core.Reset(prog.Entry)
+	if opts.TraceWriter != nil {
+		core.SetTrace(opts.TraceWriter, opts.TraceLimit)
+	}
+	sampled := false
+	if opts.SampleInstructions > 0 {
+		halted, err := core.RunFor(opts.SampleInstructions)
+		if err != nil {
+			return nil, fmt.Errorf("platform: %w", err)
+		}
+		sampled = !halted
+	} else if err := core.Run(opts.MaxInstructions); err != nil {
+		return nil, fmt.Errorf("platform: %w", err)
+	}
+	return &RunReport{
+		Config:   cfg,
+		Stats:    core.Stats(),
+		ICache:   core.ICacheStats(),
+		DCache:   core.DCacheStats(),
+		ExitCode: core.ExitCode(),
+		Checksum: core.Reg(9), // %o1
+		Console:  m.Console(),
+		Sampled:  sampled,
+	}, nil
+}
+
+// RunSource assembles and executes source text in one step.
+func RunSource(src string, cfg config.Config) (*RunReport, error) {
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		return nil, fmt.Errorf("platform: %w", err)
+	}
+	return Run(prog, cfg)
+}

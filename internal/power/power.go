@@ -1,0 +1,94 @@
+// Package power implements the energy extension the paper lists as future
+// work ("As extensions to our model, we can include power and energy
+// optimizations"). It estimates the energy one application run consumes on
+// a given configuration from the cycle-accurate profile: an activity-based
+// dynamic component (per-event charge for instruction issue, cache
+// accesses and fills, BRAM reads, multiplier/divider active cycles, bus
+// transfers) plus a static component proportional to the configured
+// resources and the run's duration.
+//
+// The per-event energies are calibrated to plausible 180 nm-era FPGA
+// magnitudes (the paper's XCV2000E); as with the resource model, the
+// optimizer only consumes relative percentages, so the shape — bigger
+// caches cost static power but save miss energy; slow multipliers burn
+// active cycles — is what matters.
+package power
+
+import (
+	"fmt"
+
+	"liquidarch/internal/cache"
+	"liquidarch/internal/fpga"
+	"liquidarch/internal/profiler"
+)
+
+// Per-event dynamic energies, in nanojoules.
+const (
+	issueNJ    = 1.0 // base instruction issue
+	icacheNJ   = 0.8 // icache read (per fetch)
+	dcacheNJ   = 1.0 // dcache access
+	lineFillNJ = 6.0 // per line fill (burst from SRAM)
+	busWriteNJ = 4.0 // write-through store reaching memory
+	mulCycleNJ = 2.5 // multiplier active cycle
+	divCycleNJ = 2.0 // divider active cycle
+	windowNJ   = 1.2 // per window-trap transfer cycle
+	stallNJ    = 0.3 // pipeline stall cycle (clock tree + control)
+)
+
+// Static power coefficients.
+const (
+	baseStaticWatts    = 0.35   // clock tree, configuration fabric
+	lutStaticWatts     = 8e-6   // per configured LUT
+	bramStaticWatts    = 1.5e-3 // per BRAM block
+	clockHz            = profiler.DefaultClockHz
+	nanojoulesPerJoule = 1e9
+)
+
+// Estimate is the energy breakdown of one run.
+type Estimate struct {
+	// DynamicJ is the activity-based energy in joules.
+	DynamicJ float64
+	// StaticJ is duration × static power in joules.
+	StaticJ float64
+}
+
+// TotalJ returns the total energy in joules.
+func (e Estimate) TotalJ() float64 { return e.DynamicJ + e.StaticJ }
+
+// String renders the estimate in millijoules.
+func (e Estimate) String() string {
+	return fmt.Sprintf("%.3f mJ (dynamic %.3f + static %.3f)",
+		e.TotalJ()*1e3, e.DynamicJ*1e3, e.StaticJ*1e3)
+}
+
+// Model computes an energy estimate from a run profile, the cache event
+// counters, and the synthesized resources.
+func Model(stats profiler.Stats, icache, dcache cache.Stats, res fpga.Resources) Estimate {
+	var nj float64
+	nj += issueNJ * float64(stats.Instructions)
+	nj += icacheNJ * float64(icache.ReadAccesses)
+	nj += dcacheNJ * float64(dcache.ReadAccesses+dcache.WriteAccesses)
+	nj += lineFillNJ * float64(icache.Fills+dcache.Fills)
+	nj += busWriteNJ * float64(stats.Stores)
+	nj += mulCycleNJ * float64(stats.MulStall+stats.Mults) // active cycles incl. issue
+	nj += divCycleNJ * float64(stats.DivStall+stats.Divs)
+	nj += windowNJ * float64(stats.WindowTrapStall)
+	stalls := stats.StallTotal()
+	nj += stallNJ * float64(stalls)
+
+	staticWatts := baseStaticWatts +
+		lutStaticWatts*float64(res.LUTs) +
+		bramStaticWatts*float64(res.BRAM)
+	seconds := float64(stats.Cycles) / clockHz
+
+	return Estimate{
+		DynamicJ: nj / nanojoulesPerJoule,
+		StaticJ:  staticWatts * seconds,
+	}
+}
+
+// DeltaPercent returns the percentage energy difference of e over base —
+// the εᵢ coefficient the energy-aware objective uses.
+func DeltaPercent(e, base Estimate) float64 {
+	return 100 * (e.TotalJ() - base.TotalJ()) / base.TotalJ()
+}

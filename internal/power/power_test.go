@@ -1,0 +1,93 @@
+package power
+
+import (
+	"strings"
+	"testing"
+
+	"liquidarch/internal/cache"
+	"liquidarch/internal/config"
+	"liquidarch/internal/fpga"
+	"liquidarch/internal/profiler"
+)
+
+func baseInputs() (profiler.Stats, cache.Stats, cache.Stats, fpga.Resources) {
+	stats := profiler.Stats{
+		Cycles:       1_000_000,
+		Instructions: 700_000,
+		Loads:        100_000,
+		Stores:       50_000,
+		Mults:        10_000,
+	}
+	ic := cache.Stats{ReadAccesses: 700_000, ReadMisses: 1_000, Fills: 1_000}
+	dc := cache.Stats{ReadAccesses: 100_000, ReadMisses: 5_000, Fills: 5_000, WriteAccesses: 50_000}
+	res := fpga.MustSynthesize(config.Default())
+	return stats, ic, dc, res
+}
+
+func TestEstimatePositiveAndDecomposed(t *testing.T) {
+	stats, ic, dc, res := baseInputs()
+	e := Model(stats, ic, dc, res)
+	if e.DynamicJ <= 0 || e.StaticJ <= 0 {
+		t.Fatalf("estimate components must be positive: %+v", e)
+	}
+	if e.TotalJ() != e.DynamicJ+e.StaticJ {
+		t.Error("total must be the sum of components")
+	}
+	if !strings.Contains(e.String(), "mJ") {
+		t.Errorf("string rendering: %s", e)
+	}
+}
+
+func TestMoreMissesCostMoreEnergy(t *testing.T) {
+	stats, ic, dc, res := baseInputs()
+	base := Model(stats, ic, dc, res)
+	dc.Fills *= 10
+	worse := Model(stats, ic, dc, res)
+	if worse.TotalJ() <= base.TotalJ() {
+		t.Errorf("10x line fills should cost energy: %f vs %f", worse.TotalJ(), base.TotalJ())
+	}
+}
+
+func TestBiggerConfigurationCostsStaticPower(t *testing.T) {
+	stats, ic, dc, res := baseInputs()
+	base := Model(stats, ic, dc, res)
+	big := config.Default()
+	big.DCache.SetSizeKB = 32
+	bigRes := fpga.MustSynthesize(big)
+	withBig := Model(stats, ic, dc, bigRes)
+	if withBig.StaticJ <= base.StaticJ {
+		t.Errorf("32KB dcache should leak more: %f vs %f", withBig.StaticJ, base.StaticJ)
+	}
+}
+
+func TestLongerRunsCostMoreStatic(t *testing.T) {
+	stats, ic, dc, res := baseInputs()
+	base := Model(stats, ic, dc, res)
+	stats.Cycles *= 2
+	longer := Model(stats, ic, dc, res)
+	if longer.StaticJ <= base.StaticJ {
+		t.Error("double the cycles should double static energy")
+	}
+}
+
+func TestMultiplierStallsCostEnergy(t *testing.T) {
+	stats, ic, dc, res := baseInputs()
+	base := Model(stats, ic, dc, res)
+	stats.MulStall = 300_000 // slow iterative multiplier
+	stats.Cycles += 300_000
+	slow := Model(stats, ic, dc, res)
+	if slow.TotalJ() <= base.TotalJ() {
+		t.Error("multiplier active cycles should cost energy")
+	}
+}
+
+func TestDeltaPercent(t *testing.T) {
+	a := Estimate{DynamicJ: 1.0, StaticJ: 1.0}
+	b := Estimate{DynamicJ: 1.1, StaticJ: 1.1}
+	if got := DeltaPercent(b, a); got < 9.99 || got > 10.01 {
+		t.Errorf("delta = %f, want 10", got)
+	}
+	if got := DeltaPercent(a, a); got != 0 {
+		t.Errorf("self delta = %f", got)
+	}
+}

@@ -1,0 +1,116 @@
+// Package profiler is the reproduction's analogue of the Liquid
+// Architecture platform's statistics module: a cycle-accurate,
+// non-intrusive profile of an application run, with the stall budget
+// broken down by cause.
+package profiler
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DefaultClockHz is the processor clock the paper's board runs at; it is
+// used only to convert cycles into the "seconds" the paper's tables print.
+const DefaultClockHz = 25_000_000
+
+// Stats is the profile of one run. Cycle counters are exact; the sum of
+// the stall categories plus one cycle per instruction equals Cycles.
+type Stats struct {
+	Cycles       uint64
+	Instructions uint64
+
+	// Instruction mix.
+	Loads, Stores    uint64
+	Branches         uint64
+	TakenBranches    uint64
+	AnnulledSlots    uint64
+	Calls, Jumps     uint64
+	Mults, Divs      uint64
+	Saves, Restores  uint64
+	WindowOverflows  uint64
+	WindowUnderflows uint64
+
+	// Stall/latency budget, in cycles.
+	ICacheStall     uint64
+	DCacheStall     uint64
+	WriteBufStall   uint64
+	StoreCycles     uint64 // extra non-stall cycles of store instructions
+	LoadCycles      uint64 // extra non-stall cycles of load instructions
+	LoadInterlock   uint64
+	ICCHoldStall    uint64
+	BranchPenalty   uint64
+	JumpPenalty     uint64
+	MulStall        uint64
+	DivStall        uint64
+	WindowTrapStall uint64
+	DecodeStall     uint64
+	HaltCycles      uint64
+}
+
+// CPI returns cycles per instruction, or 0 for an empty profile.
+func (s Stats) CPI() float64 {
+	if s.Instructions == 0 {
+		return 0
+	}
+	return float64(s.Cycles) / float64(s.Instructions)
+}
+
+// Seconds converts the cycle count to seconds at the given clock; a
+// non-positive clock selects DefaultClockHz.
+func (s Stats) Seconds(clockHz float64) float64 {
+	if clockHz <= 0 {
+		clockHz = DefaultClockHz
+	}
+	return float64(s.Cycles) / clockHz
+}
+
+// StallTotal sums every stall/latency category.
+func (s Stats) StallTotal() uint64 {
+	return s.ICacheStall + s.DCacheStall + s.WriteBufStall + s.StoreCycles +
+		s.LoadCycles + s.LoadInterlock + s.ICCHoldStall + s.BranchPenalty +
+		s.JumpPenalty + s.MulStall + s.DivStall + s.WindowTrapStall +
+		s.DecodeStall + s.HaltCycles
+}
+
+// ConsistencyError verifies the internal invariant that every cycle is
+// either the base cycle of an instruction or attributed to exactly one
+// stall category. It returns nil when the profile balances.
+func (s Stats) ConsistencyError() error {
+	want := s.Instructions + s.AnnulledSlots + s.StallTotal()
+	if s.Cycles != want {
+		return fmt.Errorf("profiler: %d cycles but %d attributed (%d instructions + %d annulled + %d stalls)",
+			s.Cycles, want, s.Instructions, s.AnnulledSlots, s.StallTotal())
+	}
+	return nil
+}
+
+// String renders a human-readable profile report.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cycles        %12d  (%.6f s @ 25 MHz)\n", s.Cycles, s.Seconds(0))
+	fmt.Fprintf(&b, "instructions  %12d  (CPI %.3f)\n", s.Instructions, s.CPI())
+	fmt.Fprintf(&b, "mix: loads %d stores %d branches %d (taken %d) calls %d jumps %d mults %d divs %d save/restore %d/%d\n",
+		s.Loads, s.Stores, s.Branches, s.TakenBranches, s.Calls, s.Jumps, s.Mults, s.Divs, s.Saves, s.Restores)
+	fmt.Fprintf(&b, "window traps: overflow %d underflow %d\n", s.WindowOverflows, s.WindowUnderflows)
+	row := func(name string, v uint64) {
+		if v == 0 {
+			return
+		}
+		fmt.Fprintf(&b, "  %-18s %12d  (%5.2f%%)\n", name, v, 100*float64(v)/float64(s.Cycles))
+	}
+	b.WriteString("stall budget:\n")
+	row("icache", s.ICacheStall)
+	row("dcache", s.DCacheStall)
+	row("write buffer", s.WriteBufStall)
+	row("load cycles", s.LoadCycles)
+	row("store cycles", s.StoreCycles)
+	row("load interlock", s.LoadInterlock)
+	row("icc hold", s.ICCHoldStall)
+	row("branch penalty", s.BranchPenalty)
+	row("jump penalty", s.JumpPenalty)
+	row("mul", s.MulStall)
+	row("div", s.DivStall)
+	row("window traps", s.WindowTrapStall)
+	row("decode", s.DecodeStall)
+	return b.String()
+}

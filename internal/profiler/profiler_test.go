@@ -1,0 +1,75 @@
+package profiler
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCPI(t *testing.T) {
+	s := Stats{Cycles: 300, Instructions: 200}
+	if got := s.CPI(); got != 1.5 {
+		t.Errorf("CPI = %f", got)
+	}
+	if (Stats{}).CPI() != 0 {
+		t.Error("empty profile CPI should be 0")
+	}
+}
+
+func TestSeconds(t *testing.T) {
+	s := Stats{Cycles: 25_000_000}
+	if got := s.Seconds(0); got != 1.0 {
+		t.Errorf("1 second at default clock, got %f", got)
+	}
+	if got := s.Seconds(50e6); got != 0.5 {
+		t.Errorf("0.5 s at 50 MHz, got %f", got)
+	}
+}
+
+func TestConsistency(t *testing.T) {
+	ok := Stats{
+		Cycles:        110,
+		Instructions:  100,
+		AnnulledSlots: 2,
+		ICacheStall:   5,
+		MulStall:      3,
+	}
+	if err := ok.ConsistencyError(); err != nil {
+		t.Errorf("balanced profile flagged: %v", err)
+	}
+	bad := ok
+	bad.Cycles = 200
+	if err := bad.ConsistencyError(); err == nil {
+		t.Error("imbalanced profile not flagged")
+	}
+}
+
+func TestStallTotalSumsEverything(t *testing.T) {
+	s := Stats{
+		ICacheStall: 1, DCacheStall: 2, WriteBufStall: 3, StoreCycles: 4,
+		LoadCycles: 5, LoadInterlock: 6, ICCHoldStall: 7, BranchPenalty: 8,
+		JumpPenalty: 9, MulStall: 10, DivStall: 11, WindowTrapStall: 12,
+		DecodeStall: 13, HaltCycles: 14,
+	}
+	if got := s.StallTotal(); got != 105 {
+		t.Errorf("StallTotal = %d, want 105", got)
+	}
+}
+
+func TestStringReport(t *testing.T) {
+	s := Stats{
+		Cycles: 1000, Instructions: 700,
+		Loads: 100, Stores: 50, Branches: 80, TakenBranches: 60,
+		Mults: 10, Divs: 5,
+		ICacheStall: 100, DCacheStall: 80, MulStall: 30,
+	}
+	out := s.String()
+	for _, want := range []string{"cycles", "CPI", "icache", "dcache", "mul", "stall budget"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	// Zero categories must be omitted.
+	if strings.Contains(out, "window traps:") && strings.Contains(out, "  window traps") {
+		t.Error("zero stall category printed in budget")
+	}
+}

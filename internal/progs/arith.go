@@ -1,0 +1,100 @@
+package progs
+
+import "liquidarch/internal/workload"
+
+// Arith reproduces the paper's Benchmark IV: the BYTE-style arithmetic
+// kernel — addition, multiplication and division in a tight register-only
+// loop. It is deliberately not memory intensive (the paper's Figure 4
+// shows the data cache has no effect on it), so its runtime is governed by
+// the multiplier and divider options.
+var Arith = register(&Benchmark{
+	Name:        "arith",
+	Description: "BYTE arithmetic kernel: add/multiply/divide, register-only",
+	source:      arithSource,
+	params:      arithParams,
+	golden:      arithGolden,
+})
+
+type arithConfig struct {
+	iters uint32
+}
+
+func arithConfigFor(scale workload.Scale) arithConfig {
+	switch scale {
+	case workload.Tiny:
+		return arithConfig{iters: 2000}
+	case workload.Small:
+		return arithConfig{iters: 100_000}
+	case workload.Medium:
+		return arithConfig{iters: 500_000}
+	default: // Paper
+		return arithConfig{iters: 15_000_000}
+	}
+}
+
+func arithParams(scale workload.Scale) map[string]uint32 {
+	return map[string]uint32{"ITERS": arithConfigFor(scale).iters}
+}
+
+// arithGolden mirrors the assembly exactly.
+func arithGolden(scale workload.Scale) uint32 {
+	c := arithConfigFor(scale)
+	b := uint32(7)
+	cc := uint32(13)
+	a := uint32(5)
+	d := uint32(0x12345)
+	e := uint32(9)
+	var csum uint32
+	for n := c.iters; n != 0; n-- {
+		a += b * cc
+		d += a
+		q := d / e
+		csum ^= q
+		csum += b
+		b = (b + 3) & 255
+		b |= 1
+		e = (e + 7) & 63
+		e |= 5
+		d = q
+	}
+	return csum
+}
+
+const arithSource = `
+! BYTE Arith: arithmetic throughput kernel.
+! Register-only loop of multiply, accumulate and divide; operand registers
+! are perturbed each iteration (kept odd/nonzero) so no operation folds to
+! a constant. Digest in %o1 at halt.
+
+        .text
+start:
+        mov     7, %l0               ! b
+        mov     13, %l1              ! c
+        mov     5, %l2               ! a
+        set     0x12345, %l3         ! d
+        mov     9, %l4               ! e
+        clr     %l5                  ! csum
+        set     @ITERS@, %i1
+loop:
+        umul    %l0, %l1, %o0        ! b*c
+        add     %l2, %o0, %l2        ! a += b*c
+        add     %l3, %l2, %l3        ! d += a
+        wr      %g0, %y              ! clear Y for the 32-bit divide
+        udiv    %l3, %l4, %o1        ! q = d / e
+        xor     %l5, %o1, %l5        ! csum ^= q
+        add     %l5, %l0, %l5        ! csum += b
+        add     %l0, 3, %l0          ! perturb b
+        and     %l0, 255, %l0
+        or      %l0, 1, %l0
+        add     %l4, 7, %l4          ! perturb e
+        and     %l4, 63, %l4
+        or      %l4, 5, %l4
+        mov     %o1, %l3             ! d = q
+        subcc   %i1, 1, %i1
+        bne     loop
+        nop
+
+        clr     %o0
+        mov     %l5, %o1
+        halt
+`

@@ -1,0 +1,271 @@
+package progs
+
+import "liquidarch/internal/workload"
+
+// DRR reproduces the paper's Benchmark II: the CommBench deficit round
+// robin fair scheduler. 32 flows hold circular queues of packet lengths;
+// each round a flow's deficit grows by the quantum and head packets are
+// served while they fit, the freed slot being refilled with a new
+// LCG-generated packet. Serving a packet also prices its transmission
+// (multiply) and digests its 64-byte record from a large record ring —
+// the ring's reuse distance is what makes DRR reward a large data cache,
+// and the two multiplies per packet are what make it reward the m32x32
+// multiplier, matching the paper's Figure 5 selections.
+var DRR = register(&Benchmark{
+	Name:        "drr",
+	Description: "CommBench deficit round robin scheduler (compute, multiply-heavy)",
+	source:      drrSource,
+	params:      drrParams,
+	golden:      drrGolden,
+})
+
+type drrConfig struct {
+	nflows, qcap, npkt, quantum, poolRecs, seed uint32
+}
+
+func drrConfigFor(scale workload.Scale) drrConfig {
+	switch scale {
+	case workload.Tiny:
+		return drrConfig{nflows: 8, qcap: 16, npkt: 2000, quantum: 1500, poolRecs: 64, seed: 777}
+	case workload.Small:
+		return drrConfig{nflows: 32, qcap: 128, npkt: 50000, quantum: 1500, poolRecs: 384, seed: 777}
+	case workload.Medium:
+		return drrConfig{nflows: 32, qcap: 128, npkt: 250000, quantum: 1500, poolRecs: 384, seed: 777}
+	default: // Paper
+		return drrConfig{nflows: 32, qcap: 128, npkt: 3_200_000, quantum: 1500, poolRecs: 384, seed: 777}
+	}
+}
+
+func log2u(v uint32) uint32 {
+	var n uint32
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+func drrParams(scale workload.Scale) map[string]uint32 {
+	c := drrConfigFor(scale)
+	return map[string]uint32{
+		"NFLOWS":     c.nflows,
+		"FLOWMASK":   c.nflows - 1,
+		"QCAP":       c.qcap,
+		"QMASK":      c.qcap - 1,
+		"QSHIFTB":    log2u(c.qcap * 4), // f -> byte offset of its queue
+		"NPKT":       c.npkt,
+		"QUANTUM":    c.quantum,
+		"POOLRECS":   c.poolRecs,
+		"SEED":       c.seed,
+		"QUEUEBYTES": c.nflows * c.qcap * 4,
+		"FLOWBYTES":  c.nflows * 16,
+		"POOLBYTES":  c.poolRecs * 64,
+		"QWORDS":     c.nflows * c.qcap,
+		"POOLWORDS":  c.poolRecs * 16,
+	}
+}
+
+// drrGolden mirrors the assembly exactly.
+func drrGolden(scale workload.Scale) uint32 {
+	c := drrConfigFor(scale)
+	g := workload.NewLCG(c.seed)
+
+	queues := make([]uint32, c.nflows*c.qcap)
+	for i := range queues {
+		queues[i] = 64 + (g.Next()>>8)&0x3FF
+	}
+	pool := make([]uint32, c.poolRecs*16)
+	for i := range pool {
+		pool[i] = g.Next()
+	}
+	deficit := make([]uint32, c.nflows)
+	head := make([]uint32, c.nflows)
+
+	var csum uint32
+	served := uint32(0)
+	poolIdx := uint32(0)
+	f := uint32(0)
+	for {
+		d := deficit[f] + c.quantum
+		for {
+			h := head[f]
+			size := queues[f*c.qcap+h]
+			if size > d {
+				break
+			}
+			d -= size
+			served++
+			csum += size
+			queues[f*c.qcap+h] = 64 + (g.Next()>>8)&0x3FF
+			head[f] = (h + 1) & (c.qcap - 1)
+			csum += size * 13 // transmission cost
+			for k := uint32(0); k < 16; k++ {
+				csum ^= pool[poolIdx*16+k]
+			}
+			poolIdx++
+			if poolIdx == c.poolRecs {
+				poolIdx = 0
+			}
+			if served >= c.npkt {
+				return csum
+			}
+		}
+		deficit[f] = d
+		f = (f + 1) & (c.nflows - 1)
+	}
+}
+
+const drrSource = `
+! CommBench DRR: deficit round robin packet scheduler.
+! NFLOWS circular queues of packet lengths, QUANTUM added per visit, head
+! packets served while they fit the deficit. Serving a packet refills the
+! slot from the LCG, prices transmission (umul) and digests the packet's
+! 64-byte record from the record ring. Digest in %o1 at halt.
+
+        .equ    LCG_A, 1103515245
+        .equ    LCG_C, 12345
+        .equ    LCG_MASK, 0x7FFFFFFF
+
+        .text
+start:
+        set     LCG_A, %g1
+        set     LCG_MASK, %g2
+        set     LCG_C, %g7
+        set     @SEED@, %l7
+        set     flows, %g3
+        set     queues, %g4
+        set     pool, %g5
+
+! ---- fill every queue with initial packet lengths ----
+        mov     %g4, %o2
+        set     @QWORDS@, %o3
+qfill:
+        umul    %l7, %g1, %l7
+        add     %l7, %g7, %l7
+        and     %l7, %g2, %l7
+        srl     %l7, 8, %o0
+        and     %o0, 0x3FF, %o0
+        add     %o0, 64, %o0
+        st      %o0, [%o2]
+        add     %o2, 4, %o2
+        subcc   %o3, 1, %o3
+        bne     qfill
+        nop
+
+! ---- fill the record ring ----
+        mov     %g5, %o2
+        set     @POOLWORDS@, %o3
+pfill:
+        umul    %l7, %g1, %l7
+        add     %l7, %g7, %l7
+        and     %l7, %g2, %l7
+        st      %l7, [%o2]
+        add     %o2, 4, %o2
+        subcc   %o3, 1, %o3
+        bne     pfill
+        nop
+
+! ---- scheduler main loop ----
+        set     @NPKT@, %i0
+        set     @QUANTUM@, %i1
+        set     @QMASK@, %i2
+        set     @POOLRECS@, %i3
+        set     @FLOWMASK@, %i4
+        clr     %l0                  ! flow index
+        clr     %l1                  ! packets served
+        clr     %l2                  ! csum
+        clr     %l3                  ! record ring index
+round:
+        sll     %l0, 4, %o0
+        add     %g3, %o0, %l5        ! flow struct
+        ld      [%l5], %l4           ! deficit
+        sll     %l0, @QSHIFTB@, %o0
+        add     %g4, %o0, %l6        ! this flow's queue base
+        add     %l4, %i1, %l4        ! deficit += quantum
+serve:
+        ld      [%l5+4], %o1         ! head index
+        sll     %o1, 2, %o2
+        add     %l6, %o2, %o2        ! &queue[head]
+        ld      [%o2], %o3           ! head packet size
+        cmp     %o3, %l4
+        bgu     flowdone             ! does not fit the deficit
+        nop
+        sub     %l4, %o3, %l4
+        add     %l1, 1, %l1          ! served++
+        add     %l2, %o3, %l2        ! csum += size
+! refill the freed slot with a new packet
+        umul    %l7, %g1, %l7
+        add     %l7, %g7, %l7
+        and     %l7, %g2, %l7
+        srl     %l7, 8, %o4
+        and     %o4, 0x3FF, %o4
+        add     %o4, 64, %o4
+        st      %o4, [%o2]
+        add     %o1, 1, %o1
+        and     %o1, %i2, %o1
+        st      %o1, [%l5+4]         ! head = (head+1) & QMASK
+! transmission cost
+        umul    %o3, 13, %o5
+        add     %l2, %o5, %l2
+! digest the packet record (64 bytes, sequential)
+        sll     %l3, 6, %o5
+        add     %g5, %o5, %o5
+        ld      [%o5], %g6
+        xor     %l2, %g6, %l2
+        ld      [%o5+4], %g6
+        xor     %l2, %g6, %l2
+        ld      [%o5+8], %g6
+        xor     %l2, %g6, %l2
+        ld      [%o5+12], %g6
+        xor     %l2, %g6, %l2
+        ld      [%o5+16], %g6
+        xor     %l2, %g6, %l2
+        ld      [%o5+20], %g6
+        xor     %l2, %g6, %l2
+        ld      [%o5+24], %g6
+        xor     %l2, %g6, %l2
+        ld      [%o5+28], %g6
+        xor     %l2, %g6, %l2
+        ld      [%o5+32], %g6
+        xor     %l2, %g6, %l2
+        ld      [%o5+36], %g6
+        xor     %l2, %g6, %l2
+        ld      [%o5+40], %g6
+        xor     %l2, %g6, %l2
+        ld      [%o5+44], %g6
+        xor     %l2, %g6, %l2
+        ld      [%o5+48], %g6
+        xor     %l2, %g6, %l2
+        ld      [%o5+52], %g6
+        xor     %l2, %g6, %l2
+        ld      [%o5+56], %g6
+        xor     %l2, %g6, %l2
+        ld      [%o5+60], %g6
+        xor     %l2, %g6, %l2
+        add     %l3, 1, %l3
+        cmp     %l3, %i3
+        bne     poolok
+        nop
+        clr     %l3
+poolok:
+        cmp     %l1, %i0
+        bl      serve                ! more packets to serve on this flow
+        nop
+        ba      done
+        nop
+flowdone:
+        st      %l4, [%l5]           ! save the deficit
+        add     %l0, 1, %l0
+        and     %l0, %i4, %l0
+        ba      round
+        nop
+done:
+        clr     %o0
+        mov     %l2, %o1
+        halt
+
+        .data
+flows:  .space  @FLOWBYTES@
+queues: .space  @QUEUEBYTES@
+pool:   .space  @POOLBYTES@
+`

@@ -1,0 +1,217 @@
+package progs
+
+import "liquidarch/internal/workload"
+
+// FRAG reproduces the paper's Benchmark III: the CommBench IP packet
+// fragmentation kernel. Input packets live in a ring of pre-filled slots;
+// each packet is split into 576-byte fragments, and for every fragment the
+// 20-byte header is checksummed (16-bit ones-complement, adjusted with the
+// packet id and fragment offset) and the payload is copied word-by-word to
+// the output buffer. The input ring's reuse distance drives the data-cache
+// sensitivity; the copy loop drives write-buffer traffic.
+var FRAG = register(&Benchmark{
+	Name:        "frag",
+	Description: "CommBench IP fragmentation with header checksums (copy-heavy)",
+	source:      fragSource,
+	params:      fragParams,
+	golden:      fragGolden,
+})
+
+type fragConfig struct {
+	npkt, poolPkts, slotBytes, seed uint32
+}
+
+func fragConfigFor(scale workload.Scale) fragConfig {
+	switch scale {
+	case workload.Tiny:
+		return fragConfig{npkt: 80, poolPkts: 4, slotBytes: 2048, seed: 4242}
+	case workload.Small:
+		return fragConfig{npkt: 1400, poolPkts: 8, slotBytes: 2048, seed: 4242}
+	case workload.Medium:
+		return fragConfig{npkt: 7000, poolPkts: 8, slotBytes: 2048, seed: 4242}
+	default: // Paper
+		return fragConfig{npkt: 90000, poolPkts: 8, slotBytes: 2048, seed: 4242}
+	}
+}
+
+func fragParams(scale workload.Scale) map[string]uint32 {
+	c := fragConfigFor(scale)
+	return map[string]uint32{
+		"NPKT":      c.npkt,
+		"POOLMASK":  c.poolPkts - 1,
+		"SLOTSHIFT": log2u(c.slotBytes),
+		"SEED":      c.seed,
+		"POOLBYTES": c.poolPkts * c.slotBytes,
+		"POOLWORDS": c.poolPkts * c.slotBytes / 4,
+	}
+}
+
+// fragGolden mirrors the assembly exactly, operating on the same
+// word-granular view of the input ring.
+func fragGolden(scale workload.Scale) uint32 {
+	c := fragConfigFor(scale)
+	g := workload.NewLCG(c.seed)
+
+	poolWords := c.poolPkts * c.slotBytes / 4
+	pool := make([]uint32, poolWords)
+	for i := range pool {
+		pool[i] = g.Next()
+	}
+	// lduh from a big-endian word array: offset 0 is the high half.
+	half := func(byteOff uint32) uint32 {
+		w := pool[byteOff>>2]
+		if byteOff&2 == 0 {
+			return w >> 16
+		}
+		return w & 0xFFFF
+	}
+
+	var csum uint32
+	for p := uint32(0); p < c.npkt; p++ {
+		slot := (p & (c.poolPkts - 1)) << log2u(c.slotBytes) // byte offset of the slot
+		pktLen := 1024 + (g.Next()>>7)&0x3FF
+		remaining := pktLen
+		off := uint32(0)
+		for {
+			fragLen := uint32(576)
+			if remaining <= 576 {
+				fragLen = remaining
+			}
+			// Header checksum: 10 halfwords at the slot start, plus the
+			// packet id and the fragment offset, folded to 16 bits and
+			// complemented.
+			var sum uint32
+			for h := uint32(0); h < 10; h++ {
+				sum += half(slot + 2*h)
+			}
+			sum += p
+			sum += off
+			sum = (sum & 0xFFFF) + sum>>16
+			sum = (sum & 0xFFFF) + sum>>16
+			sum ^= 0xFFFF
+			csum += sum
+			// Payload copy, word at a time, digesting each word.
+			n := (fragLen + 3) >> 2
+			src := (slot + off) >> 2
+			for k := uint32(0); k < n; k++ {
+				csum ^= pool[src+k]
+			}
+			off += fragLen
+			remaining -= fragLen
+			if remaining == 0 {
+				break
+			}
+		}
+	}
+	return csum
+}
+
+const fragSource = `
+! CommBench FRAG: IP packet fragmentation.
+! Packets are drawn from a ring of input slots; each is split into
+! 576-byte fragments. Per fragment: 16-bit ones-complement header checksum
+! over 10 halfwords (+id +offset, folded, complemented) and a word-by-word
+! payload copy into the output buffer. Digest in %o1 at halt.
+
+        .equ    LCG_A, 1103515245
+        .equ    LCG_C, 12345
+        .equ    LCG_MASK, 0x7FFFFFFF
+
+        .text
+start:
+        set     LCG_A, %g1
+        set     LCG_MASK, %g2
+        set     LCG_C, %g7
+        set     @SEED@, %l7
+        set     inpool, %g3
+        set     outbuf, %g4
+        set     0xFFFF, %g5
+
+! ---- pre-fill the input ring ----
+        mov     %g3, %o2
+        set     @POOLWORDS@, %o3
+pfill:
+        umul    %l7, %g1, %l7
+        add     %l7, %g7, %l7
+        and     %l7, %g2, %l7
+        st      %l7, [%o2]
+        add     %o2, 4, %o2
+        subcc   %o3, 1, %o3
+        bne     pfill
+        nop
+
+! ---- fragment NPKT packets ----
+        set     @NPKT@, %i0
+        clr     %l0                  ! packet id p
+        clr     %l3                  ! csum
+pkt:
+        and     %l0, @POOLMASK@, %o0
+        sll     %o0, @SLOTSHIFT@, %o0
+        add     %g3, %o0, %l4        ! slot address
+        umul    %l7, %g1, %l7        ! packet length from the LCG
+        add     %l7, %g7, %l7
+        and     %l7, %g2, %l7
+        srl     %l7, 7, %l1
+        and     %l1, 0x3FF, %l1
+        set     1024, %o0
+        add     %l1, %o0, %l1        ! remaining = 1024..2047
+        clr     %l2                  ! off
+frag:
+        set     576, %l5             ! fragLen = min(576, remaining)
+        cmp     %l1, %l5
+        bgu     fragsz
+        nop
+        mov     %l1, %l5
+fragsz:
+! header checksum: 10 halfwords at the slot start
+        clr     %o4
+        mov     %l4, %o0
+        mov     10, %o2
+hsum:
+        lduh    [%o0], %o3
+        add     %o0, 2, %o0
+        subcc   %o2, 1, %o2
+        bne     hsum
+        add     %o4, %o3, %o4        ! delay slot: accumulate
+        add     %o4, %l0, %o4        ! + packet id
+        add     %o4, %l2, %o4        ! + fragment offset
+        srl     %o4, 16, %o5
+        and     %o4, %g5, %o4
+        add     %o4, %o5, %o4
+        srl     %o4, 16, %o5
+        and     %o4, %g5, %o4
+        add     %o4, %o5, %o4
+        xor     %o4, %g5, %o4        ! ones complement
+        add     %l3, %o4, %l3        ! csum += header checksum
+! copy the payload words to the output buffer
+        add     %l4, %l2, %o0        ! src = slot + off
+        mov     %g4, %o1             ! dst = outbuf
+        add     %l5, 3, %o2
+        srl     %o2, 2, %o2          ! word count
+copy:
+        ld      [%o0], %o3
+        st      %o3, [%o1]
+        xor     %l3, %o3, %l3
+        add     %o0, 4, %o0
+        subcc   %o2, 1, %o2
+        bne     copy
+        add     %o1, 4, %o1          ! delay slot: advance dst
+! advance to the next fragment
+        add     %l2, %l5, %l2        ! off += fragLen
+        subcc   %l1, %l5, %l1        ! remaining -= fragLen
+        bne     frag
+        nop
+! next packet
+        add     %l0, 1, %l0
+        cmp     %l0, %i0
+        bl      pkt
+        nop
+
+        clr     %o0
+        mov     %l3, %o1
+        halt
+
+        .data
+inpool: .space  @POOLBYTES@
+outbuf: .space  640
+`

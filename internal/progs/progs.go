@@ -1,0 +1,124 @@
+// Package progs contains the paper's four benchmark applications
+// implemented in SPARC V8 assembly for direct execution on the simulated
+// LEON2 (no operating system, no stdio — exactly as the paper describes),
+// together with behaviour-equivalent Go golden models used to validate the
+// assembly bit-for-bit.
+//
+// Benchmarks (paper Section 2.5):
+//
+//   - BLASTN — seed-and-extend DNA word matching (computation and
+//     memory-access intensive)
+//   - DRR — CommBench deficit round robin fair scheduler (computation
+//     intensive, multiply-heavy)
+//   - FRAG — CommBench IP packet fragmentation with header checksums
+//   - Arith — BYTE arithmetic kernel (add/multiply/divide, not memory
+//     intensive)
+//
+// Every program finishes with %o0 = 0 and its result digest in %o1; the
+// golden model computes the same digest in Go over the same LCG input
+// stream (package workload).
+package progs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"liquidarch/internal/asm"
+	"liquidarch/internal/workload"
+)
+
+// Benchmark is one application: parameterised assembly source plus its
+// golden model.
+type Benchmark struct {
+	// Name is the short identifier: blastn, drr, frag, arith.
+	Name string
+	// Description is a one-line summary for tool output.
+	Description string
+
+	source string
+	params func(workload.Scale) map[string]uint32
+	golden func(workload.Scale) uint32
+
+	mu    sync.Mutex
+	cache map[workload.Scale]*asm.Program
+}
+
+// Source returns the assembly text for the given scale, with all @PARAM@
+// placeholders substituted.
+func (b *Benchmark) Source(scale workload.Scale) (string, error) {
+	src := b.source
+	for name, value := range b.params(scale) {
+		src = strings.ReplaceAll(src, "@"+name+"@", fmt.Sprintf("%d", value))
+	}
+	if i := strings.Index(src, "@"); i >= 0 {
+		end := i + 20
+		if end > len(src) {
+			end = len(src)
+		}
+		return "", fmt.Errorf("progs: %s: unsubstituted parameter near %q", b.Name, src[i:end])
+	}
+	return src, nil
+}
+
+// Assemble returns the assembled program for the given scale, cached.
+func (b *Benchmark) Assemble(scale workload.Scale) (*asm.Program, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if p, ok := b.cache[scale]; ok {
+		return p, nil
+	}
+	src, err := b.Source(scale)
+	if err != nil {
+		return nil, err
+	}
+	p, err := asm.Assemble(src)
+	if err != nil {
+		return nil, fmt.Errorf("progs: assembling %s: %w", b.Name, err)
+	}
+	if b.cache == nil {
+		b.cache = make(map[workload.Scale]*asm.Program)
+	}
+	b.cache[scale] = p
+	return p, nil
+}
+
+// Golden computes the expected checksum (%o1 at halt) for the given scale
+// using the Go reference implementation.
+func (b *Benchmark) Golden(scale workload.Scale) uint32 { return b.golden(scale) }
+
+// registry of all benchmarks, populated by the per-benchmark files.
+var registry = map[string]*Benchmark{}
+
+func register(b *Benchmark) *Benchmark {
+	registry[b.Name] = b
+	return b
+}
+
+// ByName looks a benchmark up by its short name.
+func ByName(name string) (*Benchmark, bool) {
+	b, ok := registry[strings.ToLower(name)]
+	return b, ok
+}
+
+// All returns the benchmarks in the paper's order: BLASTN, DRR, FRAG,
+// Arith.
+func All() []*Benchmark {
+	order := map[string]int{"blastn": 0, "drr": 1, "frag": 2, "arith": 3}
+	out := make([]*Benchmark, 0, len(registry))
+	for _, b := range registry {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return order[out[i].Name] < order[out[j].Name] })
+	return out
+}
+
+// Names returns the benchmark names in paper order.
+func Names() []string {
+	var names []string
+	for _, b := range All() {
+		names = append(names, b.Name)
+	}
+	return names
+}

@@ -1,0 +1,236 @@
+package progs_test
+
+import (
+	"testing"
+
+	"liquidarch/internal/config"
+	"liquidarch/internal/platform"
+	"liquidarch/internal/progs"
+	"liquidarch/internal/workload"
+)
+
+// TestGoldenChecksums is the central validation of the benchmark suite:
+// every assembly program, run on the simulated processor, must produce
+// exactly the digest its Go golden model computes.
+func TestGoldenChecksums(t *testing.T) {
+	for _, b := range progs.All() {
+		for _, scale := range []workload.Scale{workload.Tiny, workload.Small} {
+			b, scale := b, scale
+			t.Run(b.Name+"/"+scale.String(), func(t *testing.T) {
+				if testing.Short() && scale == workload.Small {
+					t.Skip("short mode")
+				}
+				t.Parallel()
+				prog, err := b.Assemble(scale)
+				if err != nil {
+					t.Fatalf("assemble: %v", err)
+				}
+				rep, err := platform.Run(prog, config.Default())
+				if err != nil {
+					t.Fatalf("run: %v", err)
+				}
+				if rep.ExitCode != 0 {
+					t.Fatalf("exit code = %d", rep.ExitCode)
+				}
+				want := b.Golden(scale)
+				if rep.Checksum != want {
+					t.Fatalf("checksum = %#x, golden model says %#x", rep.Checksum, want)
+				}
+				if err := rep.Stats.ConsistencyError(); err != nil {
+					t.Errorf("profile imbalance: %v", err)
+				}
+			})
+		}
+	}
+}
+
+// TestChecksumStableAcrossConfigurations: the microarchitecture changes
+// timing, never results. This is the paper's implicit correctness
+// assumption — every configuration must compute the same answer.
+func TestChecksumStableAcrossConfigurations(t *testing.T) {
+	configs := []func(*config.Config){
+		func(c *config.Config) { c.DCache.SetSizeKB = 1 },
+		func(c *config.Config) { c.DCache.Sets = 4; c.DCache.SetSizeKB = 8; c.DCache.Replacement = config.LRU },
+		func(c *config.Config) { c.DCache.Sets = 2; c.DCache.Replacement = config.LRR; c.DCache.LineWords = 4 },
+		func(c *config.Config) { c.ICache.SetSizeKB = 1; c.ICache.LineWords = 4 },
+		func(c *config.Config) { c.IU.Multiplier = config.MulIterative; c.IU.Divider = config.DivNone },
+		func(c *config.Config) { c.IU.Multiplier = config.Mul32x32 },
+		func(c *config.Config) { c.IU.ICCHold = false; c.IU.FastJump = false; c.IU.FastDecode = false },
+		func(c *config.Config) { c.IU.LoadDelay = 2; c.IU.RegWindows = 32 },
+	}
+	for _, b := range progs.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			t.Parallel()
+			prog, err := b.Assemble(workload.Tiny)
+			if err != nil {
+				t.Fatalf("assemble: %v", err)
+			}
+			want := b.Golden(workload.Tiny)
+			for i, mutate := range configs {
+				cfg := config.Default()
+				mutate(&cfg)
+				rep, err := platform.Run(prog, cfg)
+				if err != nil {
+					t.Fatalf("config %d: %v", i, err)
+				}
+				if rep.Checksum != want {
+					t.Errorf("config %d (%v): checksum %#x, want %#x", i, cfg.DiffBase(), rep.Checksum, want)
+				}
+			}
+		})
+	}
+}
+
+// TestWorkloadSensitivities verifies each benchmark has the memory/compute
+// character the paper describes (Section 2.5).
+func TestWorkloadSensitivities(t *testing.T) {
+	t.Parallel()
+	cycles := func(t *testing.T, name string, mutate func(*config.Config)) uint64 {
+		t.Helper()
+		b, ok := progs.ByName(name)
+		if !ok {
+			t.Fatalf("unknown benchmark %s", name)
+		}
+		prog, err := b.Assemble(workload.Tiny)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := config.Default()
+		if mutate != nil {
+			mutate(&cfg)
+		}
+		rep, err := platform.Run(prog, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Cycles()
+	}
+
+	t.Run("arith is not data intensive", func(t *testing.T) {
+		base := cycles(t, "arith", nil)
+		big := cycles(t, "arith", func(c *config.Config) { c.DCache.SetSizeKB = 32 })
+		if base != big {
+			t.Errorf("arith cycles changed with dcache size: %d vs %d (paper Figure 4: no effect)", base, big)
+		}
+	})
+	t.Run("arith needs the divider", func(t *testing.T) {
+		base := cycles(t, "arith", nil)
+		nodiv := cycles(t, "arith", func(c *config.Config) { c.IU.Divider = config.DivNone })
+		if nodiv <= base {
+			t.Errorf("arith without a divider should be much slower: %d vs %d", nodiv, base)
+		}
+	})
+	t.Run("blastn gains from m32x32", func(t *testing.T) {
+		base := cycles(t, "blastn", nil)
+		fast := cycles(t, "blastn", func(c *config.Config) { c.IU.Multiplier = config.Mul32x32 })
+		if fast >= base {
+			t.Errorf("m32x32 should speed up blastn: %d vs %d", fast, base)
+		}
+	})
+	t.Run("drr gains from m32x32", func(t *testing.T) {
+		base := cycles(t, "drr", nil)
+		fast := cycles(t, "drr", func(c *config.Config) { c.IU.Multiplier = config.Mul32x32 })
+		if fast >= base {
+			t.Errorf("m32x32 should speed up drr: %d vs %d", fast, base)
+		}
+	})
+	t.Run("blastn and drr do not divide", func(t *testing.T) {
+		for _, name := range []string{"blastn", "drr", "frag"} {
+			base := cycles(t, name, nil)
+			nodiv := cycles(t, name, func(c *config.Config) { c.IU.Divider = config.DivNone })
+			if base != nodiv {
+				t.Errorf("%s should not use the divider: %d vs %d", name, base, nodiv)
+			}
+		}
+	})
+	t.Run("icc hold off helps", func(t *testing.T) {
+		for _, name := range []string{"blastn", "arith"} {
+			base := cycles(t, name, nil)
+			off := cycles(t, name, func(c *config.Config) { c.IU.ICCHold = false })
+			if off >= base {
+				t.Errorf("%s: disabling ICC hold should help: %d vs %d", name, off, base)
+			}
+		}
+	})
+}
+
+// TestDCacheSensitivityAtScale needs the Small working sets; it checks the
+// capacity crossover the paper's Figure 2/4 dcache study rests on.
+func TestDCacheSensitivityAtScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	t.Parallel()
+	run := func(t *testing.T, name string, setKB int) uint64 {
+		t.Helper()
+		b, _ := progs.ByName(name)
+		prog, err := b.Assemble(workload.Small)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := config.Default()
+		cfg.DCache.SetSizeKB = setKB
+		rep, err := platform.Run(prog, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Cycles()
+	}
+	for _, name := range []string{"blastn", "drr", "frag"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			small, large := run(t, name, 4), run(t, name, 32)
+			if large >= small {
+				t.Errorf("%s: 32KB dcache (%d cycles) should beat 4KB (%d)", name, large, small)
+			}
+		})
+	}
+}
+
+func TestSourceSubstitution(t *testing.T) {
+	for _, b := range progs.All() {
+		src, err := b.Source(workload.Tiny)
+		if err != nil {
+			t.Errorf("%s: %v", b.Name, err)
+		}
+		if len(src) == 0 {
+			t.Errorf("%s: empty source", b.Name)
+		}
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	names := progs.Names()
+	want := []string{"blastn", "drr", "frag", "arith"}
+	if len(names) != len(want) {
+		t.Fatalf("names = %v", names)
+	}
+	for i, n := range want {
+		if names[i] != n {
+			t.Errorf("names[%d] = %s, want %s", i, names[i], n)
+		}
+	}
+	if _, ok := progs.ByName("BLASTN"); !ok {
+		t.Error("ByName should be case-insensitive")
+	}
+	if _, ok := progs.ByName("nope"); ok {
+		t.Error("ByName should miss unknown benchmarks")
+	}
+}
+
+func TestAssembleCaching(t *testing.T) {
+	b, _ := progs.ByName("arith")
+	p1, err := b.Assemble(workload.Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := b.Assemble(workload.Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Error("Assemble should cache per scale")
+	}
+}

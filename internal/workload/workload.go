@@ -1,0 +1,110 @@
+// Package workload provides the deterministic synthetic inputs that stand
+// in for the paper's benchmark data (genomic sequences for BLASTN, packet
+// traces for the CommBench kernels). The same linear congruential generator
+// is implemented in SPARC assembly inside each benchmark and here in Go, so
+// golden models can replay a benchmark's data stream bit-for-bit.
+package workload
+
+// LCG constants (classic glibc-style parameters, 31-bit state). The
+// assembly implementation is:
+//
+//	umul %state, A, %state
+//	add  %state, C, %state
+//	and  %state, MASK, %state
+const (
+	LCGMultiplier uint32 = 1103515245
+	LCGIncrement  uint32 = 12345
+	LCGMask       uint32 = 0x7FFFFFFF
+)
+
+// LCG is the shared pseudo-random generator.
+type LCG struct {
+	state uint32
+}
+
+// NewLCG seeds a generator. The seed is masked to 31 bits, matching the
+// assembly implementation.
+func NewLCG(seed uint32) *LCG {
+	return &LCG{state: seed & LCGMask}
+}
+
+// Next advances the generator and returns the new 31-bit state — exactly
+// the value the assembly sequence leaves in the state register.
+func (l *LCG) Next() uint32 {
+	l.state = (l.state*LCGMultiplier + LCGIncrement) & LCGMask
+	return l.state
+}
+
+// State returns the current state without advancing.
+func (l *LCG) State() uint32 { return l.state }
+
+// Scale selects the workload size. The paper runs full-length workloads
+// (10 s - 9 min at 25 MHz); the reproduction's default is Small, which
+// preserves the loop-dominated percentage behaviour at a fraction of the
+// simulation cost. See DESIGN.md §2.
+type Scale int
+
+const (
+	// Tiny is for unit tests: sub-millisecond simulations.
+	Tiny Scale = iota
+	// Small is the default experiment scale (roughly 1-20 M cycles).
+	Small
+	// Medium is for higher-fidelity experiment runs.
+	Medium
+	// Paper approximates the paper's full workload sizes.
+	Paper
+)
+
+func (s Scale) String() string {
+	switch s {
+	case Tiny:
+		return "tiny"
+	case Small:
+		return "small"
+	case Medium:
+		return "medium"
+	case Paper:
+		return "paper"
+	default:
+		return "unknown"
+	}
+}
+
+// ParseScale converts a name into a Scale.
+func ParseScale(name string) (Scale, bool) {
+	switch name {
+	case "tiny":
+		return Tiny, true
+	case "small":
+		return Small, true
+	case "medium":
+		return Medium, true
+	case "paper":
+		return Paper, true
+	}
+	return Tiny, false
+}
+
+// DNABases generates n bases (values 0-3) the same way the BLASTN
+// program's generator loop does: one LCG step per base, using bits 16..17.
+func DNABases(seed uint32, n int) []uint8 {
+	g := NewLCG(seed)
+	out := make([]uint8, n)
+	for i := range out {
+		out[i] = uint8(g.Next() >> 16 & 3)
+	}
+	return out
+}
+
+// PacketSizes generates n packet lengths in [64, 1087] the same way the
+// CommBench programs' generator loops do: one LCG step per packet, ten bits
+// starting at bit 8 plus the 64-byte minimum (Ethernet-like size range,
+// computed without division so the assembly needs no divider).
+func PacketSizes(seed uint32, n int) []uint32 {
+	g := NewLCG(seed)
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = 64 + (g.Next()>>8)&0x3FF
+	}
+	return out
+}

@@ -1,0 +1,88 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLCGMatchesSpec(t *testing.T) {
+	g := NewLCG(12345)
+	// First values of x' = (x*1103515245 + 12345) & 0x7FFFFFFF.
+	x := uint32(12345)
+	for i := 0; i < 1000; i++ {
+		x = (x*LCGMultiplier + LCGIncrement) & LCGMask
+		if got := g.Next(); got != x {
+			t.Fatalf("step %d: %d, want %d", i, got, x)
+		}
+	}
+}
+
+func TestLCGSeedMasked(t *testing.T) {
+	a := NewLCG(5)
+	b := NewLCG(5 | 0x80000000) // high bit must be ignored
+	if a.Next() != b.Next() {
+		t.Error("seed should be masked to 31 bits")
+	}
+}
+
+func TestLCGStateStaysIn31Bits(t *testing.T) {
+	f := func(seed uint32) bool {
+		g := NewLCG(seed)
+		for i := 0; i < 100; i++ {
+			if g.Next() > LCGMask {
+				return false
+			}
+		}
+		return g.State() == g.State() // State must not advance
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDNABasesRangeAndDeterminism(t *testing.T) {
+	a := DNABases(42, 500)
+	b := DNABases(42, 500)
+	for i := range a {
+		if a[i] > 3 {
+			t.Fatalf("base %d out of range: %d", i, a[i])
+		}
+		if a[i] != b[i] {
+			t.Fatal("DNABases not deterministic")
+		}
+	}
+	// All four bases should occur in 500 draws.
+	var seen [4]bool
+	for _, base := range a {
+		seen[base] = true
+	}
+	for v, ok := range seen {
+		if !ok {
+			t.Errorf("base %d never generated", v)
+		}
+	}
+}
+
+func TestPacketSizesRange(t *testing.T) {
+	sizes := PacketSizes(7, 2000)
+	for i, s := range sizes {
+		if s < 64 || s > 64+0x3FF {
+			t.Fatalf("packet %d size %d outside [64,1087]", i, s)
+		}
+	}
+}
+
+func TestScaleParseAndString(t *testing.T) {
+	for _, s := range []Scale{Tiny, Small, Medium, Paper} {
+		got, ok := ParseScale(s.String())
+		if !ok || got != s {
+			t.Errorf("round trip failed for %s", s)
+		}
+	}
+	if _, ok := ParseScale("huge"); ok {
+		t.Error("unknown scale should not parse")
+	}
+	if Scale(99).String() != "unknown" {
+		t.Error("out-of-range scale should stringify as unknown")
+	}
+}
