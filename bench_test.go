@@ -99,6 +99,9 @@ func BenchmarkFig7ResourceOptimization(b *testing.B) {
 // ---- Substrate micro-benchmarks ----
 
 // benchmarkSimulator measures raw simulation speed for one application.
+// Instructions are accumulated across iterations (not last-run × b.N), so
+// the Minstr/s metric stays correct even if per-run instruction counts
+// ever diverge.
 func benchmarkSimulator(b *testing.B, app string) {
 	bench, _ := progs.ByName(app)
 	prog, err := bench.Assemble(benchScale)
@@ -113,9 +116,9 @@ func benchmarkSimulator(b *testing.B, app string) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		instructions = rep.Stats.Instructions
+		instructions += rep.Stats.Instructions
 	}
-	b.ReportMetric(float64(instructions)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Minstr/s")
+	b.ReportMetric(float64(instructions)/b.Elapsed().Seconds()/1e6, "Minstr/s")
 }
 
 func BenchmarkSimulatorBLASTN(b *testing.B) { benchmarkSimulator(b, "blastn") }

@@ -7,31 +7,73 @@
 //	paperrepro -all
 //
 // IDs: figure1 space figure2 figure3 figure4 figure5 figure6 figure7.
+//
+// -cpuprofile and -memprofile write pprof profiles of the figure harness,
+// so simulation-engine performance work can profile the real measurement
+// workload directly (DESIGN.md §8).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"liquidarch/internal/experiments"
 	"liquidarch/internal/workload"
 )
 
+// main defers to run so profile-flushing defers execute before the
+// process exits with run's status code.
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
-		figure  = flag.String("figure", "", "experiment id to regenerate (figure1..figure7, space)")
-		all     = flag.Bool("all", false, "regenerate every table")
-		scale   = flag.String("scale", "small", "workload scale: tiny, small, medium, paper")
-		workers = flag.Int("workers", 0, "parallel measurement runs (0 = NumCPU)")
+		figure     = flag.String("figure", "", "experiment id to regenerate (figure1..figure7, space)")
+		all        = flag.Bool("all", false, "regenerate every table")
+		scale      = flag.String("scale", "small", "workload scale: tiny, small, medium, paper")
+		workers    = flag.Int("workers", 0, "parallel measurement runs (0 = NumCPU)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paperrepro: cpuprofile: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "paperrepro: cpuprofile: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "paperrepro: memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "paperrepro: memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	sc, ok := workload.ParseScale(*scale)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "paperrepro: unknown scale %q\n", *scale)
-		os.Exit(2)
+		return 2
 	}
 	runner := experiments.NewRunner(experiments.Options{Scale: sc, Workers: *workers})
 
@@ -43,7 +85,7 @@ func main() {
 		ids = append(ids, *figure)
 	default:
 		fmt.Fprintln(os.Stderr, "paperrepro: pass -figure ID or -all; IDs:", experiments.IDs())
-		os.Exit(2)
+		return 2
 	}
 
 	for _, id := range ids {
@@ -51,9 +93,10 @@ func main() {
 		table, err := runner.ByID(id)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "paperrepro: %s: %v\n", id, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Println(table)
 		fmt.Printf("[%s regenerated in %v at scale %s]\n\n", id, time.Since(start).Round(time.Millisecond), sc)
 	}
+	return 0
 }

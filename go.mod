@@ -1,0 +1,3 @@
+module liquidarch
+
+go 1.24

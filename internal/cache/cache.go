@@ -5,6 +5,11 @@
 // The cache is a timing model: data lives in the flat RAM (package mem) and
 // the cache tracks only tags, so coherence holds by construction. The data
 // cache is write-through with no write-allocate, matching LEON2.
+//
+// The tag store folds the valid bit into a sentinel tag value (DESIGN.md §7):
+// no reachable address produces invalidTag, so a hit check is a single load
+// and compare. The 1-way (direct-mapped) case — the LEON default for both
+// caches — takes a dedicated single-probe fast path with no way loop.
 package cache
 
 import (
@@ -33,17 +38,21 @@ func (s Stats) MissRate() float64 {
 	return float64(s.ReadMisses) / float64(s.ReadAccesses)
 }
 
+// invalidTag marks an empty line. Tags are addr >> tagShift with
+// tagShift >= 6, so no 32-bit address can produce it.
+const invalidTag uint32 = ^uint32(0)
+
 // Cache is one set-associative timing cache.
 type Cache struct {
 	ways      int
 	lineBytes uint32
 	numLines  uint32 // lines per way
 	lineShift uint32
+	tagShift  uint32 // lineShift + log2(numLines)
 	policy    config.ReplacementPolicy
 
-	// tags[way*numLines+line] with valid bit folded in (tagValid flag).
-	tags  []uint32
-	valid []bool
+	// tags[way*numLines+line]; invalidTag folds in the valid bit.
+	tags []uint32
 	// age[way*numLines+line] for LRU: higher is more recent.
 	age []uint32
 	// rrPtr[line] for LRR: next way to replace.
@@ -52,6 +61,9 @@ type Cache struct {
 	rng   uint32
 	stats Stats
 }
+
+// rngSeed is the reset state of the xorshift random-replacement generator.
+const rngSeed uint32 = 0x2545F491
 
 func log2u32(v uint32) uint32 {
 	var n uint32
@@ -84,12 +96,15 @@ func New(cfg config.CacheConfig) (*Cache, error) {
 		lineBytes: lineBytes,
 		numLines:  numLines,
 		lineShift: log2u32(lineBytes),
+		tagShift:  log2u32(lineBytes) + log2u32(numLines),
 		policy:    cfg.Replacement,
 		tags:      make([]uint32, cfg.Sets*int(numLines)),
-		valid:     make([]bool, cfg.Sets*int(numLines)),
 		age:       make([]uint32, cfg.Sets*int(numLines)),
 		rrPtr:     make([]uint8, numLines),
-		rng:       0x2545F491,
+		rng:       rngSeed,
+	}
+	for i := range c.tags {
+		c.tags[i] = invalidTag
 	}
 	return c, nil
 }
@@ -100,17 +115,66 @@ func (c *Cache) Ways() int { return c.ways }
 // LineBytes returns the line length in bytes.
 func (c *Cache) LineBytes() int { return int(c.lineBytes) }
 
+// LineShift returns log2 of the line length in bytes; addresses with equal
+// addr>>LineShift() fall on the same line (and therefore the same set and
+// tag), which the CPU's fast fetch loop exploits.
+func (c *Cache) LineShift() uint32 { return c.lineShift }
+
 // LinesPerWay returns the number of lines in each way.
 func (c *Cache) LinesPerWay() int { return int(c.numLines) }
 
 // Stats returns a copy of the event counters.
 func (c *Cache) Stats() Stats { return c.stats }
 
+// AddReadHits credits n read accesses that are known hits without probing
+// the tag store. The CPU's fast fetch path uses it for back-to-back fetches
+// from the line it just accessed: such an access is a guaranteed hit and
+// cannot change any replacement decision (the line is already the most
+// recent in its set, and the random/LRR state only advances on misses), so
+// only the counters need updating.
+func (c *Cache) AddReadHits(n uint64) { c.stats.ReadAccesses += n }
+
+// AddWriteHits credits n write accesses that are known hits without
+// probing the tag store (the write-through no-allocate data cache changes
+// no state on a write hit outside LRU aging; the CPU only uses this when
+// the skip is sound).
+func (c *Cache) AddWriteHits(n uint64) { c.stats.WriteAccesses += n }
+
+// AddDirectReadMisses credits n read misses whose fills were applied
+// directly to the tag store returned by Direct (every direct-mapped read
+// miss fills).
+func (c *Cache) AddDirectReadMisses(n uint64) {
+	c.stats.ReadAccesses += n
+	c.stats.ReadMisses += n
+	c.stats.Fills += n
+}
+
+// AddDirectWriteMisses credits n write misses observed against the tag
+// store returned by Direct (write misses do not fill).
+func (c *Cache) AddDirectWriteMisses(n uint64) {
+	c.stats.WriteAccesses += n
+	c.stats.WriteMisses += n
+}
+
+// Direct exposes the raw tag store of a direct-mapped cache so the CPU's
+// fast path can probe and fill inline: a hit is
+// tags[(addr>>lineShift)&mask] == addr>>tagShift, and a read-miss fill
+// stores the tag back. ok is false for multi-way caches, which keep their
+// replacement bookkeeping behind Read/Write. Counters for inline probes
+// are credited in bulk via AddReadHits/AddDirectReadMisses/
+// AddWriteHits/AddDirectWriteMisses.
+func (c *Cache) Direct() (tags []uint32, lineShift, tagShift, mask uint32, ok bool) {
+	if c.ways != 1 {
+		return nil, 0, 0, 0, false
+	}
+	return c.tags, c.lineShift, c.tagShift, c.numLines - 1, true
+}
+
 // Flush invalidates every line and clears replacement state (counters are
 // preserved).
 func (c *Cache) Flush() {
-	for i := range c.valid {
-		c.valid[i] = false
+	for i := range c.tags {
+		c.tags[i] = invalidTag
 		c.age[i] = 0
 	}
 	for i := range c.rrPtr {
@@ -119,17 +183,26 @@ func (c *Cache) Flush() {
 	c.clock = 0
 }
 
+// Reset restores the cache to its as-built state: flushed, zero counters,
+// and the replacement RNG reseeded. Reusing a core across runs requires
+// Reset (not just Flush) so a reused cache makes bit-identical replacement
+// decisions to a freshly constructed one.
+func (c *Cache) Reset() {
+	c.Flush()
+	c.rng = rngSeed
+	c.stats = Stats{}
+}
+
 func (c *Cache) index(addr uint32) (line, tag uint32) {
 	line = (addr >> c.lineShift) & (c.numLines - 1)
-	tag = (addr >> c.lineShift) / c.numLines
+	tag = addr >> c.tagShift
 	return line, tag
 }
 
 // lookup returns the way holding addr, or -1.
 func (c *Cache) lookup(line, tag uint32) int {
 	for w := 0; w < c.ways; w++ {
-		i := uint32(w)*c.numLines + line
-		if c.valid[i] && c.tags[i] == tag {
+		if c.tags[uint32(w)*c.numLines+line] == tag {
 			return w
 		}
 	}
@@ -149,7 +222,7 @@ func (c *Cache) victim(line uint32) int {
 	}
 	// Prefer an invalid way.
 	for w := 0; w < c.ways; w++ {
-		if !c.valid[uint32(w)*c.numLines+line] {
+		if c.tags[uint32(w)*c.numLines+line] == invalidTag {
 			return w
 		}
 	}
@@ -178,6 +251,19 @@ func (c *Cache) victim(line uint32) int {
 // miss the line is filled.
 func (c *Cache) Read(addr uint32) (hit bool) {
 	c.stats.ReadAccesses++
+	if c.ways == 1 {
+		// Direct-mapped fast path: one load + compare, no way loop, no
+		// replacement state.
+		i := (addr >> c.lineShift) & (c.numLines - 1)
+		tag := addr >> c.tagShift
+		if c.tags[i] == tag {
+			return true
+		}
+		c.stats.ReadMisses++
+		c.tags[i] = tag
+		c.stats.Fills++
+		return false
+	}
 	line, tag := c.index(addr)
 	if w := c.lookup(line, tag); w >= 0 {
 		c.touch(w, line)
@@ -185,9 +271,7 @@ func (c *Cache) Read(addr uint32) (hit bool) {
 	}
 	c.stats.ReadMisses++
 	w := c.victim(line)
-	i := uint32(w)*c.numLines + line
-	c.tags[i] = tag
-	c.valid[i] = true
+	c.tags[uint32(w)*c.numLines+line] = tag
 	c.stats.Fills++
 	c.touch(w, line)
 	return false
@@ -197,6 +281,14 @@ func (c *Cache) Read(addr uint32) (hit bool) {
 // whether it hit. Misses do not fill.
 func (c *Cache) Write(addr uint32) (hit bool) {
 	c.stats.WriteAccesses++
+	if c.ways == 1 {
+		i := (addr >> c.lineShift) & (c.numLines - 1)
+		if c.tags[i] == addr>>c.tagShift {
+			return true
+		}
+		c.stats.WriteMisses++
+		return false
+	}
 	line, tag := c.index(addr)
 	if w := c.lookup(line, tag); w >= 0 {
 		c.touch(w, line)

@@ -250,6 +250,20 @@ func (c Config) String() string {
 		c.IU.Divider, c.IU.Multiplier, c.Synth.InferMultDiv)
 }
 
+// TimingKey returns a copy of the configuration with every parameter that
+// cannot affect simulated timing normalised to the base value: the data
+// cache fast-read/fast-write options are cycle-neutral at a fixed clock
+// (they cost LUTs only) and InferMultDiv is a synthesis-resource choice.
+// Two configurations with equal TimingKeys produce bit-identical runs, so
+// the measurement cache uses it as the simulation identity.
+func (c Config) TimingKey() Config {
+	base := Default()
+	c.DCache.FastRead = base.DCache.FastRead
+	c.DCache.FastWrite = base.DCache.FastWrite
+	c.Synth.InferMultDiv = base.Synth.InferMultDiv
+	return c
+}
+
 // DiffBase lists the parameters on which c differs from the base
 // configuration, in the "param=value" notation the paper's result tables
 // use. An empty slice means c is the base configuration.

@@ -61,7 +61,11 @@ type measurement struct {
 	energy power.Estimate
 }
 
-// measure runs the application once on cfg and synthesizes it.
+// measure runs the application once on cfg and synthesizes it. The
+// assembled program is memoized per (benchmark, scale) by package progs,
+// and the simulation goes through the process-wide measurement cache, so
+// the ~52 single-change jobs of BuildModel, the figure harnesses and
+// validation all share identical (program, timing-config) runs.
 func (t *Tuner) measure(b *progs.Benchmark, cfg config.Config) (measurement, error) {
 	prog, err := b.Assemble(t.Scale)
 	if err != nil {
@@ -72,7 +76,7 @@ func (t *Tuner) measure(b *progs.Benchmark, cfg config.Config) (measurement, err
 		return measurement{}, err
 	}
 	opts := platform.Options{SampleInstructions: t.SampleInstructions}
-	rep, err := platform.RunWith(prog, cfg, opts)
+	rep, err := platform.CachedRunWith(prog, cfg, opts)
 	if err != nil {
 		return measurement{}, err
 	}

@@ -29,17 +29,36 @@ type Core struct {
 	wbuf   *mem.WriteBuffer
 	timing mem.Timing
 
-	// Architectural state.
-	globals [8]uint32
-	window  []uint32 // nwindows*16 circular windowed registers
+	// Architectural state. The register file is one flat slice: the 8
+	// globals at [0:8], the nwindows*16 circular windowed registers at
+	// [8:8+nwin], and a write sink for %g0 in the final slot. The view
+	// tables map an architectural register number to its regfile index
+	// for the current window; they are rebuilt only when cwp changes
+	// (SAVE/RESTORE/Reset), which makes every register access in the hot
+	// loop a branch-free double index. Reads of %g0 map to regfile[0],
+	// which is never written because writes to %g0 map to the sink.
+	// regfile is a fixed 1024-slot array so the fast path's 10-bit
+	// masked indices are provably in range (no bounds checks); only the
+	// first 8+nwin+1 slots are used.
+	regfile [1024]uint32
+	viewR   [32]int32 // architectural reg -> regfile index, reads
+	viewW   [32]int32 // same for writes (%g0 diverts to the sink)
+	viewHz  [32]int32 // hazard scoreboard index (globals negative)
+	nwin    int       // windowed register count, RegWindows*16
+	fastCwp int       // window pointer fastRI is resolved for
 	cwp     int
 	resid   int // live consecutive windows, 1..nwindows-1
 	y       uint32
 	icc     isa.ICC
 	pc, npc uint32
 
-	// Predecoded text segment.
+	// Predecoded text segment. text is the architectural decode used by
+	// the reference Step path; fast is the flattened fast-path form with
+	// pre-extended immediates, absolute CTI targets and per-op dispatch
+	// flags (see fast.go).
 	text     []isa.Instr
+	fast     []fastInstr
+	fastRI   []uint32 // per-instruction packed register-file indices (patchFastRI)
 	textBase uint32
 
 	// Hazard bookkeeping.
@@ -54,6 +73,10 @@ type Core struct {
 	jumpExtra     uint64 // extra cycles for JMPL without fast jump
 	decodeExtra   uint64 // extra cycles per taken CTI without fast decode
 	loadInterlock uint64
+	iccHold       bool   // cfg.IU.ICCHold, hoisted for the fast loop
+	icLineShift   uint32 // log2 of the icache line bytes, for fetch batching
+	dcLineShift   uint32 // log2 of the dcache line bytes
+	dcLineSkip    bool   // known-resident-line probe skip is sound (non-LRU)
 
 	stats  profiler.Stats
 	halted bool
@@ -106,7 +129,7 @@ func New(cfg config.Config, memory *mem.Memory) (*Core, error) {
 		dcache:        dc,
 		wbuf:          mem.NewWriteBuffer(timing),
 		timing:        timing,
-		window:        make([]uint32, cfg.IU.RegWindows*16),
+		nwin:          cfg.IU.RegWindows * 16,
 		resid:         1,
 		loadHazardReg: noHazard,
 		mulExtra:      mulLatency[cfg.IU.Multiplier] - 1,
@@ -114,6 +137,14 @@ func New(cfg config.Config, memory *mem.Memory) (*Core, error) {
 		imissPenalty:  uint64(timing.BurstReadCycles(cfg.ICache.LineWords)),
 		dmissPenalty:  uint64(timing.BurstReadCycles(cfg.DCache.LineWords)),
 		loadInterlock: uint64(cfg.IU.LoadDelay),
+		iccHold:       cfg.IU.ICCHold,
+		icLineShift:   ic.LineShift(),
+		dcLineShift:   dc.LineShift(),
+		// Skipping a probe of the line probed last is only sound when a
+		// hit has no replacement side effects: under LRU a hit re-ages
+		// the way, so interleaved writes to the set could change later
+		// victim choices. 1-way caches have no replacement state at all.
+		dcLineSkip: cfg.DCache.Sets == 1 || cfg.DCache.Replacement != config.LRU,
 	}
 	if !cfg.IU.FastJump {
 		c.jumpExtra = 1
@@ -121,6 +152,7 @@ func New(cfg config.Config, memory *mem.Memory) (*Core, error) {
 	if !cfg.IU.FastDecode {
 		c.decodeExtra = 1
 	}
+	c.rebuildViews()
 	return c, nil
 }
 
@@ -149,11 +181,17 @@ func (c *Core) PC() uint32 { return c.pc }
 // LoadText predecodes the text segment (already resident in memory) so
 // execution can index instructions directly. Programs are not
 // self-modifying; stores into the text range do not re-decode.
+//
+// Each word is decoded twice: into the architectural isa.Instr form used
+// by the reference Step path, and into the flattened fastInstr form
+// (pre-extended immediates, absolute branch targets, hazard flags) used
+// by the trace-free runFast loop.
 func (c *Core) LoadText(base uint32, words int) error {
 	if base%4 != 0 {
 		return fmt.Errorf("cpu: text base %#x not word aligned", base)
 	}
 	text := make([]isa.Instr, words)
+	fast := make([]fastInstr, words)
 	for i := 0; i < words; i++ {
 		w, err := c.memory.Read32(base + uint32(i)*4)
 		if err != nil {
@@ -166,21 +204,29 @@ func (c *Core) LoadText(base uint32, words int) error {
 			in = isa.Instr{Op: isa.OpInvalid}
 		}
 		text[i] = in
+		fast[i] = predecode(in, base+uint32(i)*4)
 	}
+	fusePairs(fast)
 	c.text = text
+	c.fast = fast
 	c.textBase = base
+	c.fastRI = make([]uint32, words)
+	c.patchFastRI()
 	return nil
 }
 
 // Reset rewinds architectural state and the profile, sets the entry point,
 // and initialises the stack pointer to the top of RAM.
 func (c *Core) Reset(entry uint32) {
-	c.globals = [8]uint32{}
-	for i := range c.window {
-		c.window[i] = 0
+	for i := 0; i <= 8+c.nwin; i++ {
+		c.regfile[i] = 0
 	}
 	c.cwp = 0
 	c.resid = 1
+	c.rebuildViews()
+	if c.fastRI != nil && c.fastCwp != 0 {
+		c.patchFastRI()
+	}
 	c.y = 0
 	c.icc = isa.ICC{}
 	c.pc = entry
@@ -190,8 +236,11 @@ func (c *Core) Reset(entry uint32) {
 	c.stats = profiler.Stats{}
 	c.halted = false
 	c.exit = 0
-	c.icache.Flush()
-	c.dcache.Flush()
+	// Full cache reset (not just a flush): a core reused across runs must
+	// replay the replacement RNG and report per-run cache counters exactly
+	// like a freshly built one.
+	c.icache.Reset()
+	c.dcache.Reset()
 	c.wbuf.Reset()
 	// ABI: %sp at top of RAM, 64-byte save area reserved.
 	c.setReg(isa.RegSP, mem.RAMBase+uint32(c.memory.Size())-64)
@@ -201,39 +250,48 @@ func (c *Core) Reset(entry uint32) {
 func (c *Core) windowCount() int { return c.cfg.IU.RegWindows }
 
 // physIndex maps an architectural register in the current window to its
-// physical index in c.window (windowed registers only; r >= 8).
+// physical index within the windowed part of the register file (windowed
+// registers only; r >= 8). Outs, locals and ins all collapse to
+// cwp*16 + (r-8) modulo the windowed count, and since cwp*16+(r-8) <
+// 2*nwin the modulo reduces to one conditional subtraction — no integer
+// division on the hot path.
 func (c *Core) physIndex(r uint8) int {
-	n := len(c.window)
-	switch {
-	case r < 16: // outs
-		return (c.cwp*16 + int(r) - 8) % n
-	case r < 24: // locals
-		return (c.cwp*16 + 8 + int(r) - 16) % n
-	default: // ins
-		return (c.cwp*16 + 16 + int(r) - 24) % n
+	i := c.cwp*16 + int(r) - 8
+	if i >= c.nwin {
+		i -= c.nwin
+	}
+	return i
+}
+
+// rebuildViews recomputes the register view tables for the current
+// window. Called whenever cwp changes (Reset, SAVE, RESTORE); between
+// rotations every register access is two dependent loads with no
+// branches.
+func (c *Core) rebuildViews() {
+	sink := int32(8 + c.nwin) // one past the windowed registers
+	for r := 0; r < 8; r++ {
+		c.viewR[r] = int32(r)
+		c.viewW[r] = int32(r)
+		c.viewHz[r] = int32(-r - 1)
+	}
+	c.viewW[0] = sink // %g0 writes are discarded
+	for r := 8; r < 32; r++ {
+		phys := c.physIndex(uint8(r))
+		c.viewR[r] = int32(8 + phys)
+		c.viewW[r] = int32(8 + phys)
+		c.viewHz[r] = int32(phys)
 	}
 }
 
-// getReg reads architectural register r; %g0 is hardwired to zero.
+// getReg reads architectural register r; %g0 is hardwired to zero
+// (regfile[0] is never written: %g0 writes land in the sink slot).
 func (c *Core) getReg(r uint8) uint32 {
-	if r < 8 {
-		if r == 0 {
-			return 0
-		}
-		return c.globals[r]
-	}
-	return c.window[c.physIndex(r)]
+	return c.regfile[c.viewR[r&31]]
 }
 
 // setReg writes architectural register r; writes to %g0 are discarded.
 func (c *Core) setReg(r uint8, v uint32) {
-	if r < 8 {
-		if r != 0 {
-			c.globals[r] = v
-		}
-		return
-	}
-	c.window[c.physIndex(r)] = v
+	c.regfile[c.viewW[r&31]] = v
 }
 
 // Reg exposes register values for tests and the platform's result

@@ -6,6 +6,14 @@ import (
 
 	"liquidarch/internal/config"
 	"liquidarch/internal/isa"
+	"liquidarch/internal/mem"
+	"liquidarch/internal/platform"
+	"liquidarch/internal/profiler"
+	"liquidarch/internal/progs"
+	"liquidarch/internal/workload"
+
+	"liquidarch/internal/cache"
+	"liquidarch/internal/cpu"
 )
 
 // evalState is an independent, minimal evaluator of the ALU subset used to
@@ -218,5 +226,211 @@ func TestDifferentialDivision(t *testing.T) {
 			t.Fatalf("trial %d: udiv = %#x, evaluator %#x (divisor %d, hi %d)",
 				trial, got, want, divisor, hi)
 		}
+	}
+}
+
+// ---- Engine-equivalence suite ----
+//
+// The fast path (runFast, fast.go) must be cycle-exact against the
+// reference Step interpreter: identical total cycles, identical per-class
+// stall counters, identical cache event counters, and identical
+// architectural results. This suite runs every benchmark program in
+// internal/progs through both paths across a representative configuration
+// set, for full runs and sampled (truncated) runs.
+
+// equivConfigs returns the configuration set the engines are compared on.
+func equivConfigs() map[string]config.Config {
+	cfgs := map[string]config.Config{}
+
+	cfgs["base"] = config.Default()
+
+	// 4-way LRU caches: exercises the multi-way lookup, LRU aging, and
+	// disables the dcache known-line probe skip.
+	c := config.Default()
+	c.ICache.Sets = 4
+	c.ICache.SetSizeKB = 2
+	c.ICache.Replacement = config.LRU
+	c.DCache.Sets = 4
+	c.DCache.SetSizeKB = 2
+	c.DCache.Replacement = config.LRU
+	cfgs["4wayLRU"] = c
+
+	// Small caches with 4-word lines and 2-way LRR: exercises the miss
+	// paths hard, the LRR pointer, and the shorter burst penalty.
+	c = config.Default()
+	c.ICache.SetSizeKB = 1
+	c.ICache.LineWords = 4
+	c.DCache.Sets = 2
+	c.DCache.SetSizeKB = 1
+	c.DCache.LineWords = 4
+	c.DCache.Replacement = config.LRR
+	cfgs["smallLRR"] = c
+
+	// 2-way random replacement: exercises the xorshift victim stream,
+	// which must replay identically on reused engines.
+	c = config.Default()
+	c.ICache.Sets = 2
+	c.DCache.Sets = 2
+	cfgs["2wayRnd"] = c
+
+	// Integer-unit variations: software mul/div, slow jump/decode, no
+	// ICC hold, 2-cycle load interlock, 16 register windows.
+	c = config.Default()
+	c.IU.FastJump = false
+	c.IU.FastDecode = false
+	c.IU.ICCHold = false
+	c.IU.LoadDelay = 2
+	c.IU.RegWindows = 16
+	c.IU.Multiplier = config.MulNone
+	c.IU.Divider = config.DivNone
+	cfgs["slowIU"] = c
+
+	return cfgs
+}
+
+// referenceRun executes prog on cfg with the Step interpreter only.
+func referenceRun(t *testing.T, prog interface {
+	Load(*mem.Memory) error
+}, textBase uint32, textWords int, entry uint32, cfg config.Config, sample uint64) (profiler.Stats, cache.Stats, cache.Stats, uint32, uint32, string, bool) {
+	t.Helper()
+	m := mem.New(mem.DefaultRAMBytes)
+	if err := prog.Load(m); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	core, err := cpu.New(cfg, m)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := core.LoadText(textBase, textWords); err != nil {
+		t.Fatalf("LoadText: %v", err)
+	}
+	core.Reset(entry)
+	for !core.Halted() && (sample == 0 || core.Stats().Instructions < sample) {
+		if err := core.Step(); err != nil {
+			t.Fatalf("Step: %v (pc=%#x)", err, core.PC())
+		}
+	}
+	return core.Stats(), core.ICacheStats(), core.DCacheStats(),
+		core.ExitCode(), core.Reg(9), core.Memory().Console(), core.Halted()
+}
+
+// TestEngineEquivalence proves the fast path cycle-exact against the
+// reference interpreter on every benchmark × configuration × run mode.
+func TestEngineEquivalence(t *testing.T) {
+	const scale = workload.Tiny
+	for _, b := range progs.All() {
+		prog, err := b.Assemble(scale)
+		if err != nil {
+			t.Fatalf("%s: assemble: %v", b.Name, err)
+		}
+		for name, cfg := range equivConfigs() {
+			for _, sample := range []uint64{0, 20_000} {
+				mode := "full"
+				if sample > 0 {
+					mode = "sampled"
+				}
+				t.Run(b.Name+"/"+name+"/"+mode, func(t *testing.T) {
+					refStats, refIC, refDC, refExit, refSum, refConsole, refHalted :=
+						referenceRun(t, prog, prog.TextBase, prog.TextWords(), prog.Entry, cfg, sample)
+
+					rep, err := platform.RunWith(prog, cfg, platform.Options{SampleInstructions: sample})
+					if err != nil {
+						t.Fatalf("fast path: %v", err)
+					}
+
+					if rep.Stats != refStats {
+						t.Errorf("stats diverge:\nfast: %+v\nref:  %+v", rep.Stats, refStats)
+					}
+					if rep.ICache != refIC {
+						t.Errorf("icache stats diverge: fast %+v ref %+v", rep.ICache, refIC)
+					}
+					if rep.DCache != refDC {
+						t.Errorf("dcache stats diverge: fast %+v ref %+v", rep.DCache, refDC)
+					}
+					if rep.ExitCode != refExit {
+						t.Errorf("exit code %d != %d", rep.ExitCode, refExit)
+					}
+					if rep.Checksum != refSum {
+						t.Errorf("checksum %#x != %#x", rep.Checksum, refSum)
+					}
+					if rep.Console != refConsole {
+						t.Errorf("console %q != %q", rep.Console, refConsole)
+					}
+					if rep.Sampled == refHalted && sample > 0 {
+						t.Errorf("sampled flag %v inconsistent with reference halted %v", rep.Sampled, refHalted)
+					}
+					if err := rep.Stats.ConsistencyError(); err != nil {
+						t.Errorf("profile imbalance: %v", err)
+					}
+					if sample == 0 {
+						if want := b.Golden(scale); rep.Checksum != want {
+							t.Errorf("checksum %#x != golden %#x", rep.Checksum, want)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestEngineReuseDeterminism runs the same program twice through the
+// pooled platform engines: the second run reuses the first run's core and
+// memory via Reset + snapshot restore and must be bit-identical.
+func TestEngineReuseDeterminism(t *testing.T) {
+	b, _ := progs.ByName("drr")
+	prog, err := b.Assemble(workload.Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := config.Default()
+	cfg.DCache.Sets = 2 // random replacement: the RNG must reseed per run
+	first, err := platform.Run(prog, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := platform.Run(prog, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Stats != second.Stats || first.ICache != second.ICache ||
+		first.DCache != second.DCache || first.Checksum != second.Checksum ||
+		first.Console != second.Console {
+		t.Errorf("reused engine diverges:\nfirst:  %+v\nsecond: %+v", first, second)
+	}
+}
+
+// TestDCTICoupleDelaySlot pins the fast path's handling of a branch that
+// itself executes as another CTI's delay slot (a DCTI couple): the
+// branch's architectural delay slot is then the instruction at npc — the
+// first CTI's target — not the instruction that follows the branch in
+// memory, so the inline-slot fusion must not fire. Regression test for a
+// bug where the fused delay slot read fast[idx+1] regardless of context.
+func TestDCTICoupleDelaySlot(t *testing.T) {
+	prog := []isa.Instr{
+		aluImm(isa.OpSubCC, 0, 0, 0),                            // cmp %g0, %g0 (sets Z)
+		{Op: isa.OpCall, Disp: 4},                               // call target (delay slot: the be)
+		{Op: isa.OpBicc, Cond: isa.CondE, Disp: 4},              // be done — executes as the call's delay slot
+		aluImm(isa.OpAdd, 9, 9, 100),                            // wrong: %o1 += 100 (follows the be in memory)
+		aluImm(isa.OpAdd, 9, 9, 1),                              // target: %o1 += 1 — the be's architectural slot
+		{Op: isa.OpBicc, Cond: isa.CondA, Annul: true, Disp: 1}, // done: ba,a .+1 (landing pad)
+		halt(),
+	}
+	// Reference: pure Step execution.
+	ref := buildCore(t, config.Default(), prog)
+	for !ref.Halted() {
+		if err := ref.Step(); err != nil {
+			t.Fatalf("reference: %v (pc=%#x)", err, ref.PC())
+		}
+	}
+	// Fast path: Run.
+	fastc := buildCore(t, config.Default(), prog)
+	if err := fastc.Run(1000); err != nil {
+		t.Fatalf("fast: %v (pc=%#x)", err, fastc.PC())
+	}
+	if got, want := fastc.Reg(9), ref.Reg(9); got != want {
+		t.Fatalf("%%o1 = %d on the fast path, %d on the reference", got, want)
+	}
+	if got, want := fastc.Stats(), ref.Stats(); got != want {
+		t.Fatalf("stats diverge:\nfast: %+v\nref:  %+v", got, want)
 	}
 }

@@ -18,12 +18,10 @@ const haltTrap = 0
 
 // hazardIndex maps an architectural register to a unique scoreboard index:
 // globals occupy the negative space so they never collide with physical
-// windowed registers.
+// windowed registers. The mapping is precomputed per window rotation in
+// the viewHz table.
 func (c *Core) hazardIndex(r uint8) int {
-	if r < 8 {
-		return -int(r) - 1
-	}
-	return c.physIndex(r)
+	return int(c.viewHz[r&31])
 }
 
 // readsReg reports whether instruction in reads the register with hazard
@@ -415,15 +413,13 @@ func (c *Core) execStore(in *isa.Instr) error {
 
 // Run executes until the program halts or maxInstr instructions retire.
 // Hitting the limit without halting is an error (runaway program).
+// Trace-free runs take the fast path (fast.go); traced runs single-step.
 func (c *Core) Run(maxInstr uint64) error {
-	start := c.stats.Instructions
-	for !c.halted {
-		if c.stats.Instructions-start >= maxInstr {
-			return fmt.Errorf("cpu: instruction limit %d reached at pc %#08x", maxInstr, c.pc)
-		}
-		if err := c.Step(); err != nil {
-			return err
-		}
+	if err := c.runTo(c.stats.Instructions + maxInstr); err != nil {
+		return err
+	}
+	if !c.halted {
+		return fmt.Errorf("cpu: instruction limit %d reached at pc %#08x", maxInstr, c.pc)
 	}
 	return nil
 }
@@ -432,11 +428,8 @@ func (c *Core) Run(maxInstr uint64) error {
 // whichever comes first — the truncated-run primitive behind the
 // runtime-sampling extension. It reports whether the program halted.
 func (c *Core) RunFor(n uint64) (halted bool, err error) {
-	start := c.stats.Instructions
-	for !c.halted && c.stats.Instructions-start < n {
-		if err := c.Step(); err != nil {
-			return false, err
-		}
+	if err := c.runTo(c.stats.Instructions + n); err != nil {
+		return false, err
 	}
 	return c.halted, nil
 }

@@ -18,10 +18,11 @@ import (
 // transfers priced through the data cache and write buffer, all charged to
 // the WindowTrapStall category.
 
-// spillBase returns the physical indices of window w's locals (8 registers
-// at w*16+8) followed by its ins (8 registers at (w+1)*16+0..7 mod size).
+// windowLocalsIns returns the physical indices (within the windowed part
+// of the register file) of window w's locals (8 registers at w*16+8)
+// followed by its ins (8 registers at (w+1)*16+0..7 mod size).
 func (c *Core) windowLocalsIns(w int) []int {
-	n := len(c.window)
+	n := c.nwin
 	idx := make([]int, 16)
 	for j := 0; j < 8; j++ {
 		idx[j] = (w*16 + 8 + j) % n
@@ -70,12 +71,12 @@ func (c *Core) execSave(in *isa.Instr) error {
 		c.stats.WindowTrapStall += windowTrapOverhead
 		c.stats.Cycles += windowTrapOverhead
 		oldest := (c.cwp + c.resid - 1) % nwin
-		sp := c.window[(oldest*16+6)%len(c.window)] // the window's %sp (%o6)
+		sp := c.regfile[8+(oldest*16+6)%c.nwin] // the window's %sp (%o6)
 		if sp&3 != 0 {
 			return fmt.Errorf("cpu: window overflow with misaligned %%sp %#08x", sp)
 		}
 		for j, phys := range c.windowLocalsIns(oldest) {
-			if err := c.trapStore(sp+uint32(j)*4, c.window[phys]); err != nil {
+			if err := c.trapStore(sp+uint32(j)*4, c.regfile[8+phys]); err != nil {
 				return fmt.Errorf("cpu: window overflow spill: %w", err)
 			}
 		}
@@ -83,6 +84,7 @@ func (c *Core) execSave(in *isa.Instr) error {
 		c.resid++
 	}
 	c.cwp = (c.cwp - 1 + nwin) % nwin
+	c.rebuildViews()
 	c.setReg(in.Rd, a+b)
 	return nil
 }
@@ -108,12 +110,13 @@ func (c *Core) execRestore(in *isa.Instr) error {
 			if err != nil {
 				return fmt.Errorf("cpu: window underflow fill: %w", err)
 			}
-			c.window[phys] = v
+			c.regfile[8+phys] = v
 		}
 	} else {
 		c.resid--
 	}
 	c.cwp = target
+	c.rebuildViews()
 	c.setReg(in.Rd, a+b)
 	return nil
 }

@@ -58,8 +58,10 @@ func Sweep(b *progs.Benchmark, scale workload.Scale, cfgs []config.Config, worke
 			}
 			var cycles uint64
 			if err == nil {
+				// The measurement cache shares these runs with the model
+				// builder and across repeated sweeps.
 				var rep *platform.RunReport
-				rep, err = platform.Run(prog, cfg)
+				rep, err = platform.CachedRun(prog, cfg)
 				if err == nil {
 					cycles = rep.Cycles()
 				}

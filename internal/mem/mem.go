@@ -47,8 +47,13 @@ func (t Timing) BurstReadCycles(words int) int {
 // Memory is the flat RAM plus memory-mapped console. SPARC is big-endian;
 // all multi-byte accesses are big-endian.
 type Memory struct {
-	data    []byte
-	console []byte
+	data     []byte
+	console  []byte
+	pristine []byte // post-load image recorded by Snapshot, nil before
+	// Write watermarks since the last Snapshot/RestoreSnapshot: the dirty
+	// range is data[wlo:whi] (empty when wlo >= whi). They let a restore
+	// copy only what a run actually wrote instead of the whole RAM.
+	wlo, whi int
 }
 
 // New allocates a memory of the given size in bytes (rounded up to a
@@ -58,17 +63,58 @@ func New(size int) *Memory {
 		size = DefaultRAMBytes
 	}
 	size = (size + 3) &^ 3
-	return &Memory{data: make([]byte, size)}
+	return &Memory{data: make([]byte, size), wlo: size}
 }
 
 // Size returns the RAM size in bytes.
 func (m *Memory) Size() int { return len(m.data) }
+
+// RAM exposes the backing store directly (big-endian byte order, offset 0
+// is RAMBase). The CPU's fast path uses it to service in-RAM aligned
+// accesses without the per-access error plumbing; anything outside the
+// slice (devices, faults) must go through the Read*/Write* methods.
+func (m *Memory) RAM() []byte { return m.data }
 
 // Console returns everything written to the UART data register so far.
 func (m *Memory) Console() string { return string(m.console) }
 
 // ResetConsole discards captured console output.
 func (m *Memory) ResetConsole() { m.console = m.console[:0] }
+
+// Snapshot records the current RAM contents as the pristine image a later
+// RestoreSnapshot rewinds to, and arms the write watermarks. The platform
+// snapshots once, right after program load, so repeated runs restore the
+// loaded state by straight copy instead of re-allocating and re-loading
+// an image.
+func (m *Memory) Snapshot() {
+	if m.pristine == nil {
+		m.pristine = make([]byte, len(m.data))
+	}
+	copy(m.pristine, m.data)
+	m.wlo, m.whi = len(m.data), 0
+}
+
+// Widen extends the dirty-range watermarks to cover [lo, hi). The CPU's
+// fast path batches its direct RAM stores and reports them here on exit.
+func (m *Memory) Widen(lo, hi int) {
+	if lo < m.wlo {
+		m.wlo = lo
+	}
+	if hi > m.whi {
+		m.whi = hi
+	}
+}
+
+// RestoreSnapshot rewinds RAM to the snapshotted image (a no-op without a
+// prior Snapshot) and discards console output. Only the dirty range is
+// copied back.
+func (m *Memory) RestoreSnapshot() {
+	if m.pristine != nil && m.whi > m.wlo {
+		copy(m.data[m.wlo:m.whi], m.pristine[m.wlo:m.whi])
+	}
+	m.wlo, m.whi = len(m.data), 0
+	m.console = m.console[:0]
+}
 
 // InRAM reports whether [addr, addr+n) lies entirely in RAM.
 func (m *Memory) InRAM(addr uint32, n int) bool {
@@ -136,6 +182,7 @@ func (m *Memory) Write32(addr uint32, v uint32) error {
 	if err != nil {
 		return err
 	}
+	m.Widen(off, off+4)
 	d := m.data[off : off+4 : off+4]
 	d[0], d[1], d[2], d[3] = byte(v>>24), byte(v>>16), byte(v>>8), byte(v)
 	return nil
@@ -150,6 +197,7 @@ func (m *Memory) Write16(addr uint32, v uint16) error {
 	if err != nil {
 		return err
 	}
+	m.Widen(off, off+2)
 	m.data[off] = byte(v >> 8)
 	m.data[off+1] = byte(v)
 	return nil
@@ -166,6 +214,7 @@ func (m *Memory) Write8(addr uint32, v uint8) error {
 	if err != nil {
 		return err
 	}
+	m.Widen(off, off+1)
 	m.data[off] = v
 	return nil
 }
@@ -176,6 +225,7 @@ func (m *Memory) LoadImage(addr uint32, image []byte) error {
 	if err != nil {
 		return err
 	}
+	m.Widen(off, off+len(image))
 	copy(m.data[off:], image)
 	return nil
 }

@@ -3,11 +3,20 @@
 // microarchitecture configuration, loads an application, executes it
 // directly (no OS), and returns the cycle-accurate profile that the paper's
 // hardware statistics module would report.
+//
+// Runs are zero-alloc-steady: an Engine owns a core and a RAM whose
+// post-load contents are snapshotted once, and every Run restores the
+// snapshot and resets the core instead of allocating a fresh 8 MiB image
+// and re-loading the program. Run/RunWith draw engines from a process-wide
+// pool keyed by (program, configuration, options), so hot measurement
+// loops reuse the same core and memory end to end (DESIGN.md §9).
 package platform
 
 import (
 	"fmt"
 	"io"
+	"runtime"
+	"sync"
 
 	"liquidarch/internal/asm"
 	"liquidarch/internal/cache"
@@ -40,6 +49,17 @@ type Options struct {
 	TraceLimit uint64
 }
 
+// normalized fills in the option defaults.
+func (o Options) normalized() Options {
+	if o.RAMBytes == 0 {
+		o.RAMBytes = mem.DefaultRAMBytes
+	}
+	if o.MaxInstructions == 0 {
+		o.MaxInstructions = DefaultMaxInstructions
+	}
+	return o
+}
+
 // RunReport is the outcome of executing an application on a configuration.
 type RunReport struct {
 	// Config is the microarchitecture the application ran on.
@@ -66,23 +86,35 @@ func (r *RunReport) Cycles() uint64 { return r.Stats.Cycles }
 // Seconds converts cycles to seconds at the platform's 25 MHz clock.
 func (r *RunReport) Seconds() float64 { return r.Stats.Seconds(0) }
 
-// Run executes an assembled program on the given configuration with
-// default options.
-func Run(prog *asm.Program, cfg config.Config) (*RunReport, error) {
-	return RunWith(prog, cfg, Options{})
+// Engine binds one assembled program to one configured core and memory
+// for repeated runs. The memory is loaded once and snapshotted; each Run
+// restores the snapshot (a straight memcpy of the pristine image) and
+// resets the core, so steady-state runs allocate nothing but the report.
+type Engine struct {
+	prog *asm.Program
+	cfg  config.Config
+	opts Options
+	m    *mem.Memory
+	core *cpu.Core
+	used bool
 }
 
-// RunWith executes an assembled program with explicit options.
-func RunWith(prog *asm.Program, cfg config.Config, opts Options) (*RunReport, error) {
-	if opts.RAMBytes == 0 {
-		opts.RAMBytes = mem.DefaultRAMBytes
-	}
-	if opts.MaxInstructions == 0 {
-		opts.MaxInstructions = DefaultMaxInstructions
-	}
+// NewEngine builds an engine for repeated runs of prog on cfg.
+func NewEngine(prog *asm.Program, cfg config.Config, opts Options) (*Engine, error) {
+	opts = opts.normalized()
 	m := mem.New(opts.RAMBytes)
-	if err := prog.Load(m); err != nil {
-		return nil, fmt.Errorf("platform: %w", err)
+	return newEngineOn(m, prog, cfg, opts, true)
+}
+
+// newEngineOn wires a core around an existing memory. load says whether
+// the program image still has to be written (false for a pooled memory,
+// which is already loaded and snapshotted).
+func newEngineOn(m *mem.Memory, prog *asm.Program, cfg config.Config, opts Options, load bool) (*Engine, error) {
+	if load {
+		if err := prog.Load(m); err != nil {
+			return nil, fmt.Errorf("platform: %w", err)
+		}
+		m.Snapshot()
 	}
 	core, err := cpu.New(cfg, m)
 	if err != nil {
@@ -91,30 +123,143 @@ func RunWith(prog *asm.Program, cfg config.Config, opts Options) (*RunReport, er
 	if err := core.LoadText(prog.TextBase, prog.TextWords()); err != nil {
 		return nil, fmt.Errorf("platform: %w", err)
 	}
-	core.Reset(prog.Entry)
-	if opts.TraceWriter != nil {
-		core.SetTrace(opts.TraceWriter, opts.TraceLimit)
+	return &Engine{prog: prog, cfg: cfg, opts: opts, m: m, core: core}, nil
+}
+
+// Run executes the program once and returns its report.
+func (e *Engine) Run() (*RunReport, error) {
+	if e.used {
+		e.m.RestoreSnapshot()
+	}
+	e.used = true
+	core := e.core
+	core.Reset(e.prog.Entry)
+	if e.opts.TraceWriter != nil {
+		core.SetTrace(e.opts.TraceWriter, e.opts.TraceLimit)
 	}
 	sampled := false
-	if opts.SampleInstructions > 0 {
-		halted, err := core.RunFor(opts.SampleInstructions)
+	if e.opts.SampleInstructions > 0 {
+		halted, err := core.RunFor(e.opts.SampleInstructions)
 		if err != nil {
 			return nil, fmt.Errorf("platform: %w", err)
 		}
 		sampled = !halted
-	} else if err := core.Run(opts.MaxInstructions); err != nil {
+	} else if err := core.Run(e.opts.MaxInstructions); err != nil {
 		return nil, fmt.Errorf("platform: %w", err)
 	}
 	return &RunReport{
-		Config:   cfg,
+		Config:   e.cfg,
 		Stats:    core.Stats(),
 		ICache:   core.ICacheStats(),
 		DCache:   core.DCacheStats(),
 		ExitCode: core.ExitCode(),
 		Checksum: core.Reg(9), // %o1
-		Console:  m.Console(),
+		Console:  e.m.Console(),
 		Sampled:  sampled,
 	}, nil
+}
+
+// Engine/memory pools. Engines are reused for repeated identical
+// (program, configuration, options) runs — the zero-alloc steady state of
+// measurement loops. Loaded-and-snapshotted memories are reused across
+// configurations of the same program, because the 8 MiB image is
+// configuration-independent; rebuilding a core around a pooled memory
+// costs only the (small) cache tag stores and the text predecode.
+type engineKey struct {
+	prog   *asm.Program
+	cfg    config.Config
+	ram    int
+	maxI   uint64
+	sample uint64
+}
+
+type memKey struct {
+	prog *asm.Program
+	ram  int
+}
+
+const maxPooledEngines = 8
+
+var maxPooledMemories = max(8, runtime.NumCPU())
+
+var pool = struct {
+	sync.Mutex
+	engines map[engineKey][]*Engine
+	nEng    int
+	mems    map[memKey][]*mem.Memory
+	nMem    int
+}{
+	engines: make(map[engineKey][]*Engine),
+	mems:    make(map[memKey][]*mem.Memory),
+}
+
+func acquireEngine(prog *asm.Program, cfg config.Config, opts Options) (*Engine, error) {
+	ek := engineKey{prog: prog, cfg: cfg, ram: opts.RAMBytes, maxI: opts.MaxInstructions, sample: opts.SampleInstructions}
+	mk := memKey{prog: prog, ram: opts.RAMBytes}
+	pool.Lock()
+	if es := pool.engines[ek]; len(es) > 0 {
+		e := es[len(es)-1]
+		pool.engines[ek] = es[:len(es)-1]
+		pool.nEng--
+		pool.Unlock()
+		return e, nil
+	}
+	var m *mem.Memory
+	if ms := pool.mems[mk]; len(ms) > 0 {
+		m = ms[len(ms)-1]
+		pool.mems[mk] = ms[:len(ms)-1]
+		pool.nMem--
+	}
+	pool.Unlock()
+	if m != nil {
+		m.RestoreSnapshot()
+		return newEngineOn(m, prog, cfg, opts, false)
+	}
+	return NewEngine(prog, cfg, opts)
+}
+
+func releaseEngine(e *Engine) {
+	ek := engineKey{prog: e.prog, cfg: e.cfg, ram: e.opts.RAMBytes, maxI: e.opts.MaxInstructions, sample: e.opts.SampleInstructions}
+	pool.Lock()
+	defer pool.Unlock()
+	if pool.nEng < maxPooledEngines {
+		pool.engines[ek] = append(pool.engines[ek], e)
+		pool.nEng++
+		return
+	}
+	// Engine pool full: keep the expensive part (the loaded 8 MiB memory
+	// plus its snapshot) if there is room, drop the rest.
+	if pool.nMem < maxPooledMemories {
+		mk := memKey{prog: e.prog, ram: e.opts.RAMBytes}
+		pool.mems[mk] = append(pool.mems[mk], e.m)
+		pool.nMem++
+	}
+}
+
+// Run executes an assembled program on the given configuration with
+// default options.
+func Run(prog *asm.Program, cfg config.Config) (*RunReport, error) {
+	return RunWith(prog, cfg, Options{})
+}
+
+// RunWith executes an assembled program with explicit options. Trace-free
+// runs draw their engine from the process-wide pool.
+func RunWith(prog *asm.Program, cfg config.Config, opts Options) (*RunReport, error) {
+	opts = opts.normalized()
+	if opts.TraceWriter != nil {
+		e, err := NewEngine(prog, cfg, opts)
+		if err != nil {
+			return nil, err
+		}
+		return e.Run()
+	}
+	e, err := acquireEngine(prog, cfg, opts)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := e.Run()
+	releaseEngine(e)
+	return rep, err
 }
 
 // RunSource assembles and executes source text in one step.
