@@ -7,6 +7,7 @@
 package liquidarch_test
 
 import (
+	"context"
 	"testing"
 
 	"liquidarch/internal/asm"
@@ -50,7 +51,7 @@ func BenchmarkSpaceSizeArgument(b *testing.B) {
 
 func BenchmarkFig2DcacheExhaustiveBLASTN(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := newRunner().Figure2(); err != nil {
+		if _, err := newRunner().Figure2(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -58,7 +59,7 @@ func BenchmarkFig2DcacheExhaustiveBLASTN(b *testing.B) {
 
 func BenchmarkFig3DcacheOptimizerBLASTN(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := newRunner().Figure3(); err != nil {
+		if _, err := newRunner().Figure3(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -66,7 +67,7 @@ func BenchmarkFig3DcacheOptimizerBLASTN(b *testing.B) {
 
 func BenchmarkFig4DcacheOtherBenchmarks(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := newRunner().Figure4(); err != nil {
+		if _, err := newRunner().Figure4(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -74,7 +75,7 @@ func BenchmarkFig4DcacheOtherBenchmarks(b *testing.B) {
 
 func BenchmarkFig5RuntimeOptimization(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := newRunner().Figure5(); err != nil {
+		if _, err := newRunner().Figure5(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -82,7 +83,7 @@ func BenchmarkFig5RuntimeOptimization(b *testing.B) {
 
 func BenchmarkFig6BLASTNPerturbations(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := newRunner().Figure6(); err != nil {
+		if _, err := newRunner().Figure6(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -90,7 +91,7 @@ func BenchmarkFig6BLASTNPerturbations(b *testing.B) {
 
 func BenchmarkFig7ResourceOptimization(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := newRunner().Figure7(); err != nil {
+		if _, err := newRunner().Figure7(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -168,7 +169,7 @@ func BenchmarkAssembleBLASTN(b *testing.B) {
 func BenchmarkSolverFullSpace(b *testing.B) {
 	bench, _ := progs.ByName("blastn")
 	tuner := core.NewTuner(workload.Tiny)
-	model, err := tuner.BuildModel(bench)
+	model, err := tuner.BuildModel(context.Background(), bench)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -193,7 +194,7 @@ func BenchmarkSolverFullSpace(b *testing.B) {
 func BenchmarkAblationLinearLUT(b *testing.B) {
 	bench, _ := progs.ByName("blastn")
 	tuner := core.NewTuner(benchScale)
-	model, err := tuner.BuildModel(bench)
+	model, err := tuner.BuildModel(context.Background(), bench)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -222,7 +223,7 @@ func BenchmarkAblationIndependence(b *testing.B) {
 		for _, app := range []string{"blastn", "drr", "frag", "arith"} {
 			bench, _ := progs.ByName(app)
 			tuner := core.NewTuner(benchScale)
-			model, err := tuner.BuildModel(bench)
+			model, err := tuner.BuildModel(context.Background(), bench)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -230,7 +231,7 @@ func BenchmarkAblationIndependence(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			val, err := tuner.Validate(bench, model, rec)
+			val, err := tuner.Validate(context.Background(), bench, model, rec)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -248,7 +249,7 @@ func BenchmarkAblationIndependence(b *testing.B) {
 func BenchmarkAblationSolverBruteForce(b *testing.B) {
 	bench, _ := progs.ByName("blastn")
 	tuner := &core.Tuner{Space: config.DcacheGeometrySpace(), Scale: workload.Tiny}
-	model, err := tuner.BuildModel(bench)
+	model, err := tuner.BuildModel(context.Background(), bench)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -274,7 +275,7 @@ func BenchmarkAblationSolverBruteForce(b *testing.B) {
 func BenchmarkExhaustiveDcacheSweep(b *testing.B) {
 	bench, _ := progs.ByName("blastn")
 	for i := 0; i < b.N; i++ {
-		if _, err := exhaustive.DcacheGeometry(bench, benchScale, 0); err != nil {
+		if _, err := exhaustive.DcacheGeometry(context.Background(), bench, benchScale, 0); err != nil {
 			b.Fatal(err)
 		}
 	}

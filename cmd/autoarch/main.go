@@ -6,13 +6,20 @@
 //
 // Usage:
 //
-//	autoarch -app blastn [-w1 100 -w2 1] [-scale small] [-space full|dcache] [-model]
+//	autoarch -app blastn [-w1 100 -w2 1] [-scale small] [-space full|dcache] [-model] [-json]
+//
+// With -json the result is the core.TuneReport document — the same
+// serialization the autoarchd daemon returns for a finished job — on
+// stdout, with the human progress lines demoted to stderr.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -23,38 +30,53 @@ import (
 )
 
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its dependencies injected, so the CLI is testable
+// end to end (including the -json golden file).
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("autoarch", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		app       = flag.String("app", "", "benchmark to tune (blastn, drr, frag, arith)")
-		w1        = flag.Float64("w1", 100, "runtime weight (paper: 100 for runtime optimization)")
-		w2        = flag.Float64("w2", 1, "chip resource weight (paper: 1, or 100 for resource optimization)")
-		scale     = flag.String("scale", "small", "workload scale: tiny, small, medium, paper")
-		spaceName = flag.String("space", "full", "decision space: full (52 vars) or dcache (Section 5 sub-space)")
-		showModel = flag.Bool("model", false, "print every measured perturbation")
-		workers   = flag.Int("workers", 0, "parallel measurement runs (0 = NumCPU)")
-		saveModel = flag.String("save-model", "", "write the measured model to a JSON file")
-		loadModel = flag.String("load-model", "", "reuse a previously saved model instead of measuring")
+		app       = fs.String("app", "", "benchmark to tune (blastn, drr, frag, arith)")
+		w1        = fs.Float64("w1", 100, "runtime weight (paper: 100 for runtime optimization)")
+		w2        = fs.Float64("w2", 1, "chip resource weight (paper: 1, or 100 for resource optimization)")
+		scale     = fs.String("scale", "small", "workload scale: tiny, small, medium, paper")
+		spaceName = fs.String("space", "full", "decision space: full (52 vars) or dcache (Section 5 sub-space)")
+		showModel = fs.Bool("model", false, "print every measured perturbation")
+		workers   = fs.Int("workers", 0, "parallel measurement runs (0 = NumCPU)")
+		saveModel = fs.String("save-model", "", "write the measured model to a JSON file")
+		loadModel = fs.String("load-model", "", "reuse a previously saved model instead of measuring")
+		jsonOut   = fs.Bool("json", false, "emit the result as a core.TuneReport JSON document on stdout")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	// In JSON mode stdout carries only the document; progress goes to
+	// stderr so pipelines stay clean.
+	progress := stdout
+	if *jsonOut {
+		progress = stderr
+	}
 
 	b, ok := progs.ByName(*app)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "autoarch: unknown app %q\n", *app)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "autoarch: unknown app %q\n", *app)
+		return 2
 	}
 	sc, ok := workload.ParseScale(*scale)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "autoarch: unknown scale %q\n", *scale)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "autoarch: unknown scale %q\n", *scale)
+		return 2
 	}
-	var space *config.Space
-	switch *spaceName {
-	case "full":
-		space = config.FullSpace()
-	case "dcache":
-		space = config.DcacheGeometrySpace()
-	default:
-		fmt.Fprintf(os.Stderr, "autoarch: unknown space %q\n", *spaceName)
-		os.Exit(2)
+	space, err := config.SpaceByName(*spaceName)
+	if err != nil {
+		fmt.Fprintf(stderr, "autoarch: unknown space %q\n", *spaceName)
+		return 2
 	}
 
 	tuner := &core.Tuner{Space: space, Scale: sc, Workers: *workers}
@@ -65,62 +87,78 @@ func main() {
 		var err error
 		model, err = core.LoadModel(*loadModel)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "autoarch: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "autoarch: %v\n", err)
+			return 1
 		}
-		fmt.Printf("loaded model for %s (%d variables, %s scale)\n",
+		fmt.Fprintf(progress, "loaded model for %s (%d variables, %s scale)\n",
 			model.App, model.Space.Len(), model.Scale)
 	} else {
-		fmt.Printf("building cost model for %s (%d variables, %s scale)...\n", b.Name, space.Len(), sc)
+		fmt.Fprintf(progress, "building cost model for %s (%d variables, %s scale)...\n", b.Name, space.Len(), sc)
 		start := time.Now()
 		var err error
-		model, err = tuner.BuildModel(b)
+		model, err = tuner.BuildModel(ctx, b)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "autoarch: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "autoarch: %v\n", err)
+			return 1
 		}
-		fmt.Printf("model built in %v: base %d cycles (%.6f s), %v\n",
+		fmt.Fprintf(progress, "model built in %v: base %d cycles (%.6f s), %v\n",
 			time.Since(start).Round(time.Millisecond), model.BaseCycles,
 			float64(model.BaseCycles)/25e6, model.BaseResources)
 	}
 	if *saveModel != "" {
 		if err := core.SaveModel(model, *saveModel); err != nil {
-			fmt.Fprintf(os.Stderr, "autoarch: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "autoarch: %v\n", err)
+			return 1
 		}
-		fmt.Printf("model saved to %s\n", *saveModel)
+		fmt.Fprintf(progress, "model saved to %s\n", *saveModel)
 	}
 
-	if *showModel {
-		fmt.Printf("\n%-22s %12s %9s %6s %6s\n", "variable", "cycles", "rho%", "lam", "beta")
+	if *showModel && !*jsonOut {
+		fmt.Fprintf(stdout, "\n%-22s %12s %9s %6s %6s\n", "variable", "cycles", "rho%", "lam", "beta")
 		for _, e := range model.Entries {
-			fmt.Printf("%-22s %12d %+9.3f %+6d %+6d\n", e.Var.Name, e.Cycles, e.Rho, e.Lambda, e.Beta)
+			fmt.Fprintf(stdout, "%-22s %12d %+9.3f %+6d %+6d\n", e.Var.Name, e.Cycles, e.Rho, e.Lambda, e.Beta)
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
 
 	rec, err := tuner.RecommendFromModel(model, weights)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "autoarch: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "autoarch: %v\n", err)
+		return 1
 	}
-	fmt.Printf("\nsolved BINLP (w1=%g, w2=%g): %d nodes, proven=%t, objective %.3f\n",
-		*w1, *w2, rec.SolverNodes, rec.Proven, rec.Objective)
-	if len(rec.Changes) == 0 {
-		fmt.Println("recommendation: keep the base configuration")
-	} else {
-		fmt.Printf("recommendation: %s\n", strings.Join(rec.Changes, " "))
+	if !*jsonOut {
+		fmt.Fprintf(stdout, "\nsolved BINLP (w1=%g, w2=%g): %d nodes, proven=%t, objective %.3f\n",
+			*w1, *w2, rec.SolverNodes, rec.Proven, rec.Objective)
+		if len(rec.Changes) == 0 {
+			fmt.Fprintln(stdout, "recommendation: keep the base configuration")
+		} else {
+			fmt.Fprintf(stdout, "recommendation: %s\n", strings.Join(rec.Changes, " "))
+		}
+		fmt.Fprintf(stdout, "predicted: runtime %.6f s (%+.2f%%), LUTs %d%% (nonlin %d%%), BRAM %d%% (lin %d%%)\n",
+			rec.Predicted.RuntimeCycles/25e6, rec.Predicted.RuntimePct,
+			rec.Predicted.LUTPctLinear, rec.Predicted.LUTPctNonlinear,
+			rec.Predicted.BRAMPctNonlinear, rec.Predicted.BRAMPctLinear)
 	}
-	fmt.Printf("predicted: runtime %.6f s (%+.2f%%), LUTs %d%% (nonlin %d%%), BRAM %d%% (lin %d%%)\n",
-		rec.Predicted.RuntimeCycles/25e6, rec.Predicted.RuntimePct,
-		rec.Predicted.LUTPctLinear, rec.Predicted.LUTPctNonlinear,
-		rec.Predicted.BRAMPctNonlinear, rec.Predicted.BRAMPctLinear)
 
-	val, err := tuner.Validate(b, model, rec)
+	val, err := tuner.Validate(ctx, b, model, rec)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "autoarch: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "autoarch: %v\n", err)
+		return 1
 	}
-	fmt.Printf("actual:    runtime %.6f s (%+.2f%%), %v\n",
+	if *jsonOut {
+		report := core.NewTuneReport(model, rec, val, *showModel)
+		data, err := report.MarshalIndent()
+		if err != nil {
+			fmt.Fprintf(stderr, "autoarch: %v\n", err)
+			return 1
+		}
+		if _, err := stdout.Write(data); err != nil {
+			fmt.Fprintf(stderr, "autoarch: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+	fmt.Fprintf(stdout, "actual:    runtime %.6f s (%+.2f%%), %v\n",
 		float64(val.Cycles)/25e6, val.RuntimePct, val.Resources)
+	return 0
 }

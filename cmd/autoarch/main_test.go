@@ -1,0 +1,89 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+
+	"liquidarch/internal/core"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+var nodesRe = regexp.MustCompile(`"solver_nodes": \d+`)
+
+// TestJSONGolden locks the -json document byte-for-byte: it is the shared
+// serialization the autoarchd daemon also emits, so accidental drift here
+// is an API break, not a cosmetic change. The workload and simulator are
+// deterministic, which is what makes a byte-exact golden possible.
+func TestJSONGolden(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run(context.Background(),
+		[]string{"-app", "arith", "-scale", "tiny", "-space", "dcache", "-json"},
+		&stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("run exited %d, stderr:\n%s", code, stderr.String())
+	}
+
+	golden := filepath.Join("testdata", "arith_tiny_dcache.json.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, stdout.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to regenerate): %v", err)
+	}
+	// The solver's node count is order-sensitive (branch-and-bound over
+	// map-ordered coefficients) and not part of the output contract;
+	// everything else must match byte for byte.
+	normalize := func(b []byte) []byte {
+		return nodesRe.ReplaceAll(b, []byte(`"solver_nodes": N`))
+	}
+	if !bytes.Equal(normalize(stdout.Bytes()), normalize(want)) {
+		t.Errorf("-json output differs from golden file %s\ngot:\n%s\nwant:\n%s",
+			golden, stdout.Bytes(), want)
+	}
+
+	// The document must round-trip as a core.TuneReport — the contract
+	// the daemon's clients rely on.
+	var report core.TuneReport
+	if err := json.Unmarshal(stdout.Bytes(), &report); err != nil {
+		t.Fatalf("output is not a TuneReport: %v", err)
+	}
+	if report.App != "arith" || report.Scale != "tiny" {
+		t.Errorf("report identifies %s/%s, want arith/tiny", report.App, report.Scale)
+	}
+	if report.Base.Cycles == 0 || report.Validation.Cycles == 0 {
+		t.Errorf("report missing measurements: base %d, validation %d cycles",
+			report.Base.Cycles, report.Validation.Cycles)
+	}
+}
+
+// TestJSONStdoutClean ensures -json keeps stdout pure JSON (progress goes
+// to stderr).
+func TestJSONStdoutClean(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run(context.Background(),
+		[]string{"-app", "arith", "-scale", "tiny", "-space", "dcache", "-json"},
+		&stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("run exited %d", code)
+	}
+	var v any
+	if err := json.Unmarshal(stdout.Bytes(), &v); err != nil {
+		t.Fatalf("stdout is not pure JSON: %v\n%s", err, stdout.String())
+	}
+	if stderr.Len() == 0 {
+		t.Error("expected progress lines on stderr in -json mode")
+	}
+}

@@ -1,0 +1,86 @@
+// Command autoarchd is the tuning service: the paper's automatic
+// reconfiguration technique behind an HTTP/JSON API. Clients POST tuning
+// jobs; a bounded worker scheduler runs them against one shared bounded
+// measurement cache (optionally spilled to a persistent on-disk store),
+// and results are the same core.TuneReport documents `autoarch -json`
+// prints.
+//
+// Usage:
+//
+//	autoarchd [-addr :8723] [-jobs 2] [-cache-entries 4096]
+//	          [-cache-dir DIR] [-engine-pool N] [-mem-pool N]
+//
+// Endpoints: POST/GET /v1/jobs, GET /v1/jobs/{id}, GET
+// /v1/jobs/{id}/stream (ndjson), DELETE /v1/jobs/{id}, GET /v1/metrics,
+// GET /v1/healthz.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"liquidarch/internal/measure"
+	"liquidarch/internal/platform"
+	"liquidarch/internal/serve"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8723", "listen address")
+		jobs         = flag.Int("jobs", 2, "concurrently running tuning jobs")
+		queueDepth   = flag.Int("queue", 256, "submitted-job backlog bound")
+		cacheEntries = flag.Int("cache-entries", measure.DefaultCacheEntries, "bounded measurement-cache entry cap")
+		cacheDir     = flag.String("cache-dir", "", "persist measurement reports to this directory (empty = in-memory only)")
+		enginePool   = flag.Int("engine-pool", 0, "platform engine pool size (0 = default)")
+		memPool      = flag.Int("mem-pool", 0, "platform loaded-memory pool size (0 = default)")
+	)
+	flag.Parse()
+
+	platform.SetPoolLimits(*enginePool, *memPool)
+
+	// The provider stack, leaf to root: simulator → optional persistent
+	// spill → bounded LRU. The cache is shared by every job the daemon
+	// ever runs.
+	var provider measure.Provider = measure.Simulator{}
+	if *cacheDir != "" {
+		store, err := measure.NewStore(*cacheDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "autoarchd: %v\n", err)
+			os.Exit(1)
+		}
+		provider = measure.NewPersistent(provider, store)
+		log.Printf("report store at %s (%d entries)", store.Dir(), store.Len())
+	}
+	cache := measure.NewCache(provider, *cacheEntries)
+
+	server := serve.New(serve.Options{
+		Workers:    *jobs,
+		QueueDepth: *queueDepth,
+		Provider:   cache,
+	})
+	defer server.Close()
+
+	httpServer := &http.Server{Addr: *addr, Handler: server.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = httpServer.Shutdown(shutdownCtx)
+	}()
+
+	log.Printf("autoarchd listening on %s (%d job workers, cache cap %d)", *addr, *jobs, *cacheEntries)
+	if err := httpServer.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "autoarchd: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -14,9 +14,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"time"
@@ -26,12 +28,16 @@ import (
 )
 
 // main defers to run so profile-flushing defers execute before the
-// process exits with run's status code.
+// process exits with run's status code. An interrupt cancels the run's
+// context, so a long sweep aborts between measurements instead of dying
+// mid-profile.
 func main() {
-	os.Exit(run())
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	os.Exit(run(ctx))
 }
 
-func run() int {
+func run(ctx context.Context) int {
 	var (
 		figure     = flag.String("figure", "", "experiment id to regenerate (figure1..figure7, space)")
 		all        = flag.Bool("all", false, "regenerate every table")
@@ -90,7 +96,7 @@ func run() int {
 
 	for _, id := range ids {
 		start := time.Now()
-		table, err := runner.ByID(id)
+		table, err := runner.ByID(ctx, id)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "paperrepro: %s: %v\n", id, err)
 			return 1

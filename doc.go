@@ -6,9 +6,9 @@
 // Nonlinear Programming.
 //
 // The implementation lives under internal/ (see DESIGN.md for the system
-// inventory); cmd/ holds the tools (autoarch, liquidctl, leonasm,
-// paperrepro), examples/ the runnable scenarios, and bench_test.go the
-// per-figure reproduction benchmarks.
+// inventory); cmd/ holds the tools (autoarch, autoarchd, liquidctl,
+// leonasm, paperrepro), examples/ the runnable scenarios, and
+// bench_test.go the per-figure reproduction benchmarks.
 package liquidarch
 
 // Version identifies the reproduction release.

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -19,7 +20,7 @@ func main() {
 	tuner := core.NewTuner(workload.Small)
 
 	fmt.Println("measuring the base configuration and 52 single-change configurations...")
-	model, err := tuner.BuildModel(blastn)
+	model, err := tuner.BuildModel(context.Background(), blastn)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -44,7 +45,7 @@ func main() {
 		rec.Predicted.RuntimeCycles/25e6, rec.Predicted.RuntimePct,
 		rec.Predicted.LUTPctLinear, rec.Predicted.BRAMPctNonlinear)
 
-	val, err := tuner.Validate(blastn, model, rec)
+	val, err := tuner.Validate(context.Background(), blastn, model, rec)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -25,7 +26,7 @@ func main() {
 	for _, app := range []string{"drr", "frag"} {
 		b, _ := progs.ByName(app)
 		tuner := core.NewTuner(workload.Small)
-		model, err := tuner.BuildModel(b)
+		model, err := tuner.BuildModel(context.Background(), b)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -37,7 +38,7 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			val, err := tuner.Validate(b, model, rec)
+			val, err := tuner.Validate(context.Background(), b, model, rec)
 			if err != nil {
 				log.Fatal(err)
 			}

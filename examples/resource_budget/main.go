@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -20,7 +21,7 @@ import (
 func main() {
 	blastn, _ := progs.ByName("blastn")
 	tuner := core.NewTuner(workload.Small)
-	model, err := tuner.BuildModel(blastn)
+	model, err := tuner.BuildModel(context.Background(), blastn)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -51,7 +52,7 @@ func main() {
 			log.Fatalf("budget %v produced an infeasible configuration", budget)
 		}
 		rec := &core.Recommendation{Config: cfg}
-		val, err := tuner.Validate(blastn, model, rec)
+		val, err := tuner.Validate(context.Background(), blastn, model, rec)
 		if err != nil {
 			log.Fatal(err)
 		}

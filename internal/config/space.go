@@ -252,3 +252,17 @@ func ExhaustiveCount() uint64 {
 	synth := uint64(2)
 	return icache * dcache * iu * synth
 }
+
+// SpaceByName resolves the named decision space: "full" (or "") is the
+// 52-variable paper space, "dcache" the Section 5 sub-space. It is the
+// one name→space mapping shared by the autoarch CLI and the autoarchd
+// daemon.
+func SpaceByName(name string) (*Space, error) {
+	switch name {
+	case "", "full":
+		return FullSpace(), nil
+	case "dcache":
+		return DcacheGeometrySpace(), nil
+	}
+	return nil, fmt.Errorf("config: unknown space %q (use full or dcache)", name)
+}

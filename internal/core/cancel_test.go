@@ -1,0 +1,68 @@
+package core_test
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"liquidarch/internal/asm"
+	"liquidarch/internal/config"
+	"liquidarch/internal/core"
+	"liquidarch/internal/measure"
+	"liquidarch/internal/platform"
+	"liquidarch/internal/workload"
+)
+
+// cancellingProvider cancels the run's context after a fixed number of
+// measurements, simulating a caller pulling the plug mid-build.
+type cancellingProvider struct {
+	inner  measure.Provider
+	cancel context.CancelFunc
+	after  int64
+	seen   atomic.Int64
+}
+
+func (p *cancellingProvider) Measure(ctx context.Context, prog *asm.Program, cfg config.Config, opts platform.Options) (*platform.RunReport, error) {
+	if p.seen.Add(1) > p.after {
+		p.cancel()
+	}
+	return p.inner.Measure(ctx, prog, cfg, opts)
+}
+
+func TestBuildModelAbortsOnCancelledContext(t *testing.T) {
+	t.Parallel()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	tuner := tinyTuner(config.FullSpace())
+	// A fresh (uncached) provider ensures the cancelled context is what
+	// the measurement path observes, not a cache hit.
+	tuner.Provider = measure.NewCache(measure.Simulator{}, 8)
+	_, err := tuner.BuildModel(ctx, mustBenchmark(t, "blastn"))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("BuildModel with cancelled ctx: err = %v, want context.Canceled", err)
+	}
+}
+
+func TestBuildModelAbortsPromptlyMidBuild(t *testing.T) {
+	t.Parallel()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	tuner := &core.Tuner{Space: config.FullSpace(), Scale: workload.Tiny, Workers: 2}
+	tuner.Provider = &cancellingProvider{
+		inner:  measure.NewCache(measure.Simulator{}, 64),
+		cancel: cancel,
+		after:  3,
+	}
+	start := time.Now()
+	_, err := tuner.BuildModel(ctx, mustBenchmark(t, "arith"))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("BuildModel cancelled mid-build: err = %v, want context.Canceled", err)
+	}
+	// "Promptly" = a handful of in-flight tiny runs at most, not the
+	// remaining ~49 of the 52-variable space.
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("cancelled BuildModel took %v", elapsed)
+	}
+}

@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -28,7 +29,7 @@ func mustBenchmark(t *testing.T, name string) *progs.Benchmark {
 func TestBuildModelDcacheSubspace(t *testing.T) {
 	t.Parallel()
 	tuner := tinyTuner(config.DcacheGeometrySpace())
-	m, err := tuner.BuildModel(mustBenchmark(t, "arith"))
+	m, err := tuner.BuildModel(context.Background(), mustBenchmark(t, "arith"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +63,7 @@ func TestBuildModelDcacheSubspace(t *testing.T) {
 func TestBuildModelMeasuresReplacementViaCompanion(t *testing.T) {
 	t.Parallel()
 	tuner := tinyTuner(config.FullSpace())
-	m, err := tuner.BuildModel(mustBenchmark(t, "arith"))
+	m, err := tuner.BuildModel(context.Background(), mustBenchmark(t, "arith"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +94,7 @@ func TestBuildModelMeasuresReplacementViaCompanion(t *testing.T) {
 func TestFormulateObjectiveAndGroups(t *testing.T) {
 	t.Parallel()
 	tuner := tinyTuner(config.DcacheGeometrySpace())
-	m, err := tuner.BuildModel(mustBenchmark(t, "arith"))
+	m, err := tuner.BuildModel(context.Background(), mustBenchmark(t, "arith"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +126,7 @@ func TestFormulateObjectiveAndGroups(t *testing.T) {
 func TestFormulateFullSpaceCouplings(t *testing.T) {
 	t.Parallel()
 	tuner := tinyTuner(config.FullSpace())
-	m, err := tuner.BuildModel(mustBenchmark(t, "arith"))
+	m, err := tuner.BuildModel(context.Background(), mustBenchmark(t, "arith"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +153,7 @@ func TestRecommendationIsValidAndBeatsBase(t *testing.T) {
 			t.Parallel()
 			tuner := tinyTuner(config.FullSpace())
 			b := mustBenchmark(t, app)
-			rec, m, err := tuner.Recommend(b, core.RuntimeWeights())
+			rec, m, err := tuner.Recommend(context.Background(), b, core.RuntimeWeights())
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -162,7 +163,7 @@ func TestRecommendationIsValidAndBeatsBase(t *testing.T) {
 			if !rec.Proven {
 				t.Error("52-variable instance should be proven optimal")
 			}
-			val, err := tuner.Validate(b, m, rec)
+			val, err := tuner.Validate(context.Background(), b, m, rec)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -182,11 +183,11 @@ func TestResourceWeightingSavesResources(t *testing.T) {
 	t.Parallel()
 	tuner := tinyTuner(config.FullSpace())
 	b := mustBenchmark(t, "arith")
-	rec, m, err := tuner.Recommend(b, core.ResourceWeights())
+	rec, m, err := tuner.Recommend(context.Background(), b, core.ResourceWeights())
 	if err != nil {
 		t.Fatal(err)
 	}
-	val, err := tuner.Validate(b, m, rec)
+	val, err := tuner.Validate(context.Background(), b, m, rec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -214,15 +215,15 @@ func TestSection5NearOptimality(t *testing.T) {
 			t.Parallel()
 			b := mustBenchmark(t, app)
 			tuner := tinyTuner(config.DcacheGeometrySpace())
-			rec, m, err := tuner.Recommend(b, core.RuntimeOnlyWeights())
+			rec, m, err := tuner.Recommend(context.Background(), b, core.RuntimeOnlyWeights())
 			if err != nil {
 				t.Fatal(err)
 			}
-			val, err := tuner.Validate(b, m, rec)
+			val, err := tuner.Validate(context.Background(), b, m, rec)
 			if err != nil {
 				t.Fatal(err)
 			}
-			results, err := exhaustive.DcacheGeometry(b, workload.Tiny, 0)
+			results, err := exhaustive.DcacheGeometry(context.Background(), b, workload.Tiny, 0)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -254,7 +255,7 @@ func TestWeightsPresets(t *testing.T) {
 func TestPredictLinearVsNonlinear(t *testing.T) {
 	t.Parallel()
 	tuner := tinyTuner(config.DcacheGeometrySpace())
-	m, err := tuner.BuildModel(mustBenchmark(t, "blastn"))
+	m, err := tuner.BuildModel(context.Background(), mustBenchmark(t, "blastn"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -276,7 +277,7 @@ func TestPredictLinearVsNonlinear(t *testing.T) {
 func TestRecommendFromModelReuse(t *testing.T) {
 	t.Parallel()
 	tuner := tinyTuner(config.DcacheGeometrySpace())
-	m, err := tuner.BuildModel(mustBenchmark(t, "blastn"))
+	m, err := tuner.BuildModel(context.Background(), mustBenchmark(t, "blastn"))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -13,7 +14,7 @@ import (
 func TestEnergyDimensionPopulated(t *testing.T) {
 	t.Parallel()
 	tuner := tinyTuner(config.DcacheGeometrySpace())
-	m, err := tuner.BuildModel(mustBenchmark(t, "blastn"))
+	m, err := tuner.BuildModel(context.Background(), mustBenchmark(t, "blastn"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,11 +37,11 @@ func TestEnergyWeightsReduceEnergy(t *testing.T) {
 	t.Parallel()
 	tuner := tinyTuner(config.FullSpace())
 	b := mustBenchmark(t, "blastn")
-	rec, m, err := tuner.Recommend(b, core.EnergyWeights())
+	rec, m, err := tuner.Recommend(context.Background(), b, core.EnergyWeights())
 	if err != nil {
 		t.Fatal(err)
 	}
-	val, err := tuner.Validate(b, m, rec)
+	val, err := tuner.Validate(context.Background(), b, m, rec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +58,7 @@ func TestEnergyWeightsReduceEnergy(t *testing.T) {
 func TestZeroW3ReproducesPaperObjective(t *testing.T) {
 	t.Parallel()
 	tuner := tinyTuner(config.DcacheGeometrySpace())
-	m, err := tuner.BuildModel(mustBenchmark(t, "arith"))
+	m, err := tuner.BuildModel(context.Background(), mustBenchmark(t, "arith"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +79,7 @@ func TestSampledModelAgreesWithFull(t *testing.T) {
 	b := mustBenchmark(t, "blastn")
 
 	full := tinyTuner(config.DcacheGeometrySpace())
-	fm, err := full.BuildModel(b)
+	fm, err := full.BuildModel(context.Background(), b)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +90,7 @@ func TestSampledModelAgreesWithFull(t *testing.T) {
 
 	sampled := tinyTuner(config.DcacheGeometrySpace())
 	sampled.SampleInstructions = 100_000 // roughly half the tiny run
-	sm, err := sampled.BuildModel(b)
+	sm, err := sampled.BuildModel(context.Background(), b)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,13 +118,13 @@ func TestSamplingIsCheaper(t *testing.T) {
 	t.Parallel()
 	b := mustBenchmark(t, "drr")
 	full := tinyTuner(config.DcacheGeometrySpace())
-	fm, err := full.BuildModel(b)
+	fm, err := full.BuildModel(context.Background(), b)
 	if err != nil {
 		t.Fatal(err)
 	}
 	sampled := tinyTuner(config.DcacheGeometrySpace())
 	sampled.SampleInstructions = 20_000
-	sm, err := sampled.BuildModel(b)
+	sm, err := sampled.BuildModel(context.Background(), b)
 	if err != nil {
 		t.Fatal(err)
 	}

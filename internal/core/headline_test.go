@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"testing"
 
 	"liquidarch/internal/config"
@@ -28,11 +29,11 @@ func TestPaperHeadlineResults(t *testing.T) {
 	tuner := core.NewTuner(workload.Small)
 	for _, app := range []string{"blastn", "drr", "frag", "arith"} {
 		b, _ := progs.ByName(app)
-		rec, m, err := tuner.Recommend(b, core.RuntimeWeights())
+		rec, m, err := tuner.Recommend(context.Background(), b, core.RuntimeWeights())
 		if err != nil {
 			t.Fatalf("%s: %v", app, err)
 		}
-		val, err := tuner.Validate(b, m, rec)
+		val, err := tuner.Validate(context.Background(), b, m, rec)
 		if err != nil {
 			t.Fatalf("%s: %v", app, err)
 		}

@@ -77,12 +77,12 @@ type Model struct {
 // energy dimension of the paper's future work.
 type Weights struct {
 	// W1 scales the runtime cost (ρ).
-	W1 float64
+	W1 float64 `json:"w1"`
 	// W2 scales the chip cost (λ+β).
-	W2 float64
+	W2 float64 `json:"w2"`
 	// W3 scales the energy cost (ε); zero reproduces the paper's
 	// two-dimensional objective exactly.
-	W3 float64
+	W3 float64 `json:"w3,omitempty"`
 }
 
 // RuntimeWeights are the paper's Section 6.1 setting: optimize application
@@ -238,18 +238,18 @@ func (m *Model) addCacheCost(c *binlp.Constraint, delta func(Entry) float64) {
 // and nonlinear variants it compares.
 type Prediction struct {
 	// RuntimeCycles is the predicted runtime (base × (1 + Σρᵢ/100)).
-	RuntimeCycles float64
+	RuntimeCycles float64 `json:"runtime_cycles"`
 	// RuntimePct is the predicted runtime delta in percent.
-	RuntimePct float64
+	RuntimePct float64 `json:"runtime_pct"`
 	// LUTPctLinear / BRAMPctLinear sum the per-variable deltas.
-	LUTPctLinear  int
-	BRAMPctLinear int
+	LUTPctLinear  int `json:"lut_pct_linear"`
+	BRAMPctLinear int `json:"bram_pct_linear"`
 	// LUTPctNonlinear / BRAMPctNonlinear use the sets×setsize product
 	// form for the cache terms.
-	LUTPctNonlinear  int
-	BRAMPctNonlinear int
+	LUTPctNonlinear  int `json:"lut_pct_nonlinear"`
+	BRAMPctNonlinear int `json:"bram_pct_nonlinear"`
 	// EnergyPct is the predicted energy delta in percent (Σ εᵢ).
-	EnergyPct float64
+	EnergyPct float64 `json:"energy_pct"`
 }
 
 // Predict computes the model's cost approximation for a selection vector

@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -12,7 +13,7 @@ import (
 func TestModelSaveLoadRoundTrip(t *testing.T) {
 	t.Parallel()
 	tuner := tinyTuner(config.FullSpace())
-	m, err := tuner.BuildModel(mustBenchmark(t, "arith"))
+	m, err := tuner.BuildModel(context.Background(), mustBenchmark(t, "arith"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +54,7 @@ func TestModelSaveLoadRoundTrip(t *testing.T) {
 func TestLoadedModelSolvesIdentically(t *testing.T) {
 	t.Parallel()
 	tuner := tinyTuner(config.FullSpace())
-	m, err := tuner.BuildModel(mustBenchmark(t, "blastn"))
+	m, err := tuner.BuildModel(context.Background(), mustBenchmark(t, "blastn"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +85,7 @@ func TestLoadedModelSolvesIdentically(t *testing.T) {
 func TestSubspaceModelRoundTrips(t *testing.T) {
 	t.Parallel()
 	tuner := tinyTuner(config.DcacheGeometrySpace())
-	m, err := tuner.BuildModel(mustBenchmark(t, "arith"))
+	m, err := tuner.BuildModel(context.Background(), mustBenchmark(t, "arith"))
 	if err != nil {
 		t.Fatal(err)
 	}

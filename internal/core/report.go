@@ -1,0 +1,107 @@
+package core
+
+import "encoding/json"
+
+// TuneReport is the one serialization of a complete tuning run — model
+// summary, chosen configuration and validation — shared by the autoarch
+// CLI (-json) and the autoarchd daemon's job results, so scripts consume
+// the same document no matter which surface ran the tuning.
+type TuneReport struct {
+	// App and Scale identify the workload.
+	App   string `json:"app"`
+	Scale string `json:"scale"`
+	// SpaceVars is the decision-space size (52 for the full paper space).
+	SpaceVars int `json:"space_vars"`
+	// Weights are the objective weights the solver ran under.
+	Weights Weights `json:"weights"`
+
+	// Base is the unmodified LEON2 configuration's measured cost.
+	Base CostPoint `json:"base"`
+
+	// Recommendation is the solver's output.
+	Recommendation RecommendationReport `json:"recommendation"`
+
+	// Validation is the recommended configuration actually built and run
+	// (the paper's "actual synthesis" row).
+	Validation CostPoint `json:"validation"`
+
+	// Model, when requested, lists every measured perturbation.
+	Model *Model `json:"model,omitempty"`
+}
+
+// CostPoint is one configuration's measured cost in the report.
+type CostPoint struct {
+	Cycles  uint64  `json:"cycles"`
+	Seconds float64 `json:"seconds"`
+	LUTPct  int     `json:"lut_pct"`
+	BRAMPct int     `json:"bram_pct"`
+	// RuntimePct and EnergyPct are deltas over the base (zero for the
+	// base itself).
+	RuntimePct float64 `json:"runtime_pct,omitempty"`
+	EnergyPct  float64 `json:"energy_pct,omitempty"`
+}
+
+// RecommendationReport is the serialized solver outcome.
+type RecommendationReport struct {
+	// Changes lists the selected parameter changes in space order; empty
+	// means "keep the base configuration".
+	Changes []string `json:"changes"`
+	// Config is the canonical rendering of the recommended configuration.
+	Config string `json:"config"`
+	// Predicted is the optimizer's cost approximation.
+	Predicted Prediction `json:"predicted"`
+	// Objective, SolverNodes and Proven report the solve itself.
+	Objective   float64 `json:"objective"`
+	SolverNodes int     `json:"solver_nodes"`
+	Proven      bool    `json:"proven"`
+}
+
+// NewTuneReport assembles the shared document from a tuning run's pieces.
+// val may be nil (validation skipped); includeModel controls whether the
+// full perturbation model is embedded.
+func NewTuneReport(m *Model, rec *Recommendation, val *Validation, includeModel bool) *TuneReport {
+	r := &TuneReport{
+		App:       m.App,
+		Scale:     m.Scale.String(),
+		SpaceVars: m.Space.Len(),
+		Weights:   rec.Weights,
+		Base: CostPoint{
+			Cycles:  m.BaseCycles,
+			Seconds: float64(m.BaseCycles) / 25e6,
+			LUTPct:  m.BaseResources.LUTPercent(),
+			BRAMPct: m.BaseResources.BRAMPercent(),
+		},
+		Recommendation: RecommendationReport{
+			Changes:     append([]string{}, rec.Changes...),
+			Config:      rec.Config.String(),
+			Predicted:   rec.Predicted,
+			Objective:   rec.Objective,
+			SolverNodes: rec.SolverNodes,
+			Proven:      rec.Proven,
+		},
+	}
+	if val != nil {
+		r.Validation = CostPoint{
+			Cycles:     val.Cycles,
+			Seconds:    float64(val.Cycles) / 25e6,
+			LUTPct:     val.Resources.LUTPercent(),
+			BRAMPct:    val.Resources.BRAMPercent(),
+			RuntimePct: val.RuntimePct,
+			EnergyPct:  val.EnergyPct,
+		}
+	}
+	if includeModel {
+		r.Model = m
+	}
+	return r
+}
+
+// MarshalIndent renders the report as indented JSON with a trailing
+// newline, the exact byte stream both the CLI and the daemon emit.
+func (r *TuneReport) MarshalIndent() ([]byte, error) {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}

@@ -1,13 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
-	"runtime"
-	"sync"
 
 	"liquidarch/internal/binlp"
 	"liquidarch/internal/config"
 	"liquidarch/internal/fpga"
+	"liquidarch/internal/measure"
 	"liquidarch/internal/platform"
 	"liquidarch/internal/power"
 	"liquidarch/internal/progs"
@@ -24,6 +24,11 @@ type Tuner struct {
 	Scale workload.Scale
 	// Workers bounds the parallel measurement runs (default NumCPU).
 	Workers int
+	// Provider supplies the measurements; nil means the process-wide
+	// shared bounded cache over the simulator (measure.Default()). A
+	// serving system injects its own stack here so concurrent tuning jobs
+	// share one cache.
+	Provider measure.Provider
 	// SolverOptions tunes the BINLP solver.
 	SolverOptions binlp.Options
 	// SampleInstructions, when nonzero, truncates every measurement run
@@ -47,11 +52,11 @@ func (t *Tuner) space() *config.Space {
 	return t.Space
 }
 
-func (t *Tuner) workers() int {
-	if t.Workers > 0 {
-		return t.Workers
+func (t *Tuner) provider() measure.Provider {
+	if t.Provider != nil {
+		return t.Provider
 	}
-	return runtime.NumCPU()
+	return measure.Default()
 }
 
 // measurement is one build-and-run observation.
@@ -63,10 +68,11 @@ type measurement struct {
 
 // measure runs the application once on cfg and synthesizes it. The
 // assembled program is memoized per (benchmark, scale) by package progs,
-// and the simulation goes through the process-wide measurement cache, so
-// the ~52 single-change jobs of BuildModel, the figure harnesses and
-// validation all share identical (program, timing-config) runs.
-func (t *Tuner) measure(b *progs.Benchmark, cfg config.Config) (measurement, error) {
+// and the simulation goes through the tuner's measurement provider (by
+// default the process-wide shared bounded cache), so the ~52 single-change
+// jobs of BuildModel, the figure harnesses and validation all share
+// identical (program, timing-config) runs.
+func (t *Tuner) measure(ctx context.Context, b *progs.Benchmark, cfg config.Config) (measurement, error) {
 	prog, err := b.Assemble(t.Scale)
 	if err != nil {
 		return measurement{}, err
@@ -76,7 +82,7 @@ func (t *Tuner) measure(b *progs.Benchmark, cfg config.Config) (measurement, err
 		return measurement{}, err
 	}
 	opts := platform.Options{SampleInstructions: t.SampleInstructions}
-	rep, err := platform.CachedRunWith(prog, cfg, opts)
+	rep, err := t.provider().Measure(ctx, prog, cfg, opts)
 	if err != nil {
 		return measurement{}, err
 	}
@@ -108,12 +114,14 @@ func companionFor(v config.Var) (string, bool) {
 // then every single-change configuration (and, for the replacement-policy
 // variables that LEON forbids on a 1-way cache, the minimal companion
 // pair sets=2 + policy, attributing the difference over the sets=2
-// measurement). Measurements run in parallel; results are deterministic.
-func (t *Tuner) BuildModel(b *progs.Benchmark) (*Model, error) {
+// measurement). Measurements run in parallel on the shared worker pool;
+// results are deterministic. Cancelling ctx aborts the build promptly
+// (between measurement runs) with the context's error.
+func (t *Tuner) BuildModel(ctx context.Context, b *progs.Benchmark) (*Model, error) {
 	space := t.space()
 	baseCfg := config.Default()
 
-	baseMeas, err := t.measure(b, baseCfg)
+	baseMeas, err := t.measure(ctx, b, baseCfg)
 	if err != nil {
 		return nil, fmt.Errorf("core: base measurement: %w", err)
 	}
@@ -128,8 +136,6 @@ func (t *Tuner) BuildModel(b *progs.Benchmark) (*Model, error) {
 
 	vars := space.Vars()
 	entries := make([]Entry, len(vars))
-	var mu sync.Mutex
-	var firstErr error
 
 	// Phase 1: ordinary variables (and remember which need companions).
 	type deferredVar struct {
@@ -149,45 +155,31 @@ func (t *Tuner) BuildModel(b *progs.Benchmark) (*Model, error) {
 		jobs = append(jobs, job{index: i, cfg: v.Apply(baseCfg)})
 	}
 
-	runJobs := func(js []job) {
-		sem := make(chan struct{}, t.workers())
-		var wg sync.WaitGroup
-		for _, j := range js {
-			j := j
-			wg.Add(1)
-			sem <- struct{}{}
-			go func() {
-				defer wg.Done()
-				defer func() { <-sem }()
-				meas, err := t.measure(b, j.cfg)
-				mu.Lock()
-				defer mu.Unlock()
-				if err != nil {
-					if firstErr == nil {
-						firstErr = fmt.Errorf("core: measuring %s: %w", vars[j.index].Name, err)
-					}
-					return
-				}
-				e := &entries[j.index]
-				e.Var = vars[j.index]
-				e.Cycles = meas.cycles
-				e.Resources = meas.res
-				e.Energy = meas.energy
-				e.Rho = 100 * (float64(meas.cycles) - float64(j.ref.cycles)) / float64(j.ref.cycles)
-				e.Lambda = meas.res.LUTPercent() - j.ref.res.LUTPercent()
-				e.Beta = meas.res.BRAMPercent() - j.ref.res.BRAMPercent()
-				e.Epsilon = power.DeltaPercent(meas.energy, j.ref.energy)
-			}()
-		}
-		wg.Wait()
+	runJobs := func(js []job) error {
+		return measure.ForEach(ctx, len(js), t.Workers, func(i int) error {
+			j := js[i]
+			meas, err := t.measure(ctx, b, j.cfg)
+			if err != nil {
+				return fmt.Errorf("core: measuring %s: %w", vars[j.index].Name, err)
+			}
+			e := &entries[j.index]
+			e.Var = vars[j.index]
+			e.Cycles = meas.cycles
+			e.Resources = meas.res
+			e.Energy = meas.energy
+			e.Rho = 100 * (float64(meas.cycles) - float64(j.ref.cycles)) / float64(j.ref.cycles)
+			e.Lambda = meas.res.LUTPercent() - j.ref.res.LUTPercent()
+			e.Beta = meas.res.BRAMPercent() - j.ref.res.BRAMPercent()
+			e.Epsilon = power.DeltaPercent(meas.energy, j.ref.energy)
+			return nil
+		})
 	}
 
 	for i := range jobs {
 		jobs[i].ref = baseMeas
 	}
-	runJobs(jobs)
-	if firstErr != nil {
-		return nil, firstErr
+	if err := runJobs(jobs); err != nil {
+		return nil, err
 	}
 
 	// Phase 2: replacement-policy variables measured against their
@@ -218,9 +210,8 @@ func (t *Tuner) BuildModel(b *progs.Benchmark) (*Model, error) {
 			},
 		})
 	}
-	runJobs(phase2)
-	if firstErr != nil {
-		return nil, firstErr
+	if err := runJobs(phase2); err != nil {
+		return nil, err
 	}
 
 	return &Model{
@@ -256,8 +247,8 @@ type Recommendation struct {
 }
 
 // Recommend runs the full flow: build the model, formulate, solve, decode.
-func (t *Tuner) Recommend(b *progs.Benchmark, w Weights) (*Recommendation, *Model, error) {
-	model, err := t.BuildModel(b)
+func (t *Tuner) Recommend(ctx context.Context, b *progs.Benchmark, w Weights) (*Recommendation, *Model, error) {
+	model, err := t.BuildModel(ctx, b)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -310,8 +301,8 @@ type Validation struct {
 }
 
 // Validate builds and runs the recommendation for real.
-func (t *Tuner) Validate(b *progs.Benchmark, m *Model, rec *Recommendation) (*Validation, error) {
-	meas, err := t.measure(b, rec.Config)
+func (t *Tuner) Validate(ctx context.Context, b *progs.Benchmark, m *Model, rec *Recommendation) (*Validation, error) {
+	meas, err := t.measure(ctx, b, rec.Config)
 	if err != nil {
 		return nil, fmt.Errorf("core: validating: %w", err)
 	}

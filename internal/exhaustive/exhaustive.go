@@ -7,13 +7,13 @@
 package exhaustive
 
 import (
+	"context"
 	"fmt"
-	"runtime"
 	"sort"
-	"sync"
 
 	"liquidarch/internal/config"
 	"liquidarch/internal/fpga"
+	"liquidarch/internal/measure"
 	"liquidarch/internal/platform"
 	"liquidarch/internal/progs"
 	"liquidarch/internal/workload"
@@ -30,56 +30,41 @@ type Result struct {
 func (r Result) Seconds() float64 { return float64(r.Cycles) / 25e6 }
 
 // Sweep builds and runs every configuration in the list (skipping ones
-// that do not fit the device) in parallel and returns results in input
-// order. workers <= 0 uses NumCPU.
-func Sweep(b *progs.Benchmark, scale workload.Scale, cfgs []config.Config, workers int) ([]Result, error) {
-	if workers <= 0 {
-		workers = runtime.NumCPU()
-	}
+// that do not fit the device) through the shared measurement provider and
+// returns results in input order. Cancelling ctx aborts the sweep
+// promptly. workers <= 0 uses NumCPU.
+func Sweep(ctx context.Context, b *progs.Benchmark, scale workload.Scale, cfgs []config.Config, workers int) ([]Result, error) {
+	return SweepWith(ctx, measure.Default(), b, scale, cfgs, workers)
+}
+
+// SweepWith is Sweep against an explicit measurement provider. The
+// program is the benchmark's memoized assembly for the scale, so every
+// sweep — including ones over caller-supplied custom spaces — shares the
+// provider's memoized runs with the model builder and across repeats.
+func SweepWith(ctx context.Context, p measure.Provider, b *progs.Benchmark, scale workload.Scale, cfgs []config.Config, workers int) ([]Result, error) {
 	prog, err := b.Assemble(scale)
 	if err != nil {
 		return nil, err
 	}
 	results := make([]Result, len(cfgs))
-	var mu sync.Mutex
-	var firstErr error
-	sem := make(chan struct{}, workers)
-	var wg sync.WaitGroup
-	for i, cfg := range cfgs {
-		i, cfg := i, cfg
-		wg.Add(1)
-		sem <- struct{}{}
-		go func() {
-			defer wg.Done()
-			defer func() { <-sem }()
-			res, err := fpga.Synthesize(cfg)
-			if err == nil && !res.FitsDevice() {
-				err = fmt.Errorf("exhaustive: %v does not fit the device", cfg.DiffBase())
-			}
-			var cycles uint64
-			if err == nil {
-				// The measurement cache shares these runs with the model
-				// builder and across repeated sweeps.
-				var rep *platform.RunReport
-				rep, err = platform.CachedRun(prog, cfg)
-				if err == nil {
-					cycles = rep.Cycles()
-				}
-			}
-			mu.Lock()
-			defer mu.Unlock()
-			if err != nil {
-				if firstErr == nil {
-					firstErr = err
-				}
-				return
-			}
-			results[i] = Result{Config: cfg, Cycles: cycles, Resources: res}
-		}()
-	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	err = measure.ForEach(ctx, len(cfgs), workers, func(i int) error {
+		cfg := cfgs[i]
+		res, err := fpga.Synthesize(cfg)
+		if err != nil {
+			return err
+		}
+		if !res.FitsDevice() {
+			return fmt.Errorf("exhaustive: %v does not fit the device", cfg.DiffBase())
+		}
+		rep, err := p.Measure(ctx, prog, cfg, platform.Options{})
+		if err != nil {
+			return err
+		}
+		results[i] = Result{Config: cfg, Cycles: rep.Cycles(), Resources: res}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return results, nil
 }
@@ -104,8 +89,8 @@ func DcacheGeometryConfigs() []config.Config {
 
 // DcacheGeometry runs the full Section 5 exhaustive study for one
 // benchmark.
-func DcacheGeometry(b *progs.Benchmark, scale workload.Scale, workers int) ([]Result, error) {
-	return Sweep(b, scale, DcacheGeometryConfigs(), workers)
+func DcacheGeometry(ctx context.Context, b *progs.Benchmark, scale workload.Scale, workers int) ([]Result, error) {
+	return Sweep(ctx, b, scale, DcacheGeometryConfigs(), workers)
 }
 
 // BestByRuntime returns the result a runtime-optimizing sort selects:

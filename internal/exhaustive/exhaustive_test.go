@@ -1,9 +1,15 @@
 package exhaustive
 
 import (
+	"context"
+	"errors"
+	"sync"
 	"testing"
 
+	"liquidarch/internal/asm"
 	"liquidarch/internal/config"
+	"liquidarch/internal/measure"
+	"liquidarch/internal/platform"
 	"liquidarch/internal/progs"
 	"liquidarch/internal/workload"
 )
@@ -30,7 +36,7 @@ func TestSweepRunsAndOrders(t *testing.T) {
 	b, _ := progs.ByName("arith")
 	cfgs := []config.Config{config.Default(), config.Default()}
 	cfgs[1].DCache.SetSizeKB = 8
-	results, err := Sweep(b, workload.Tiny, cfgs, 2)
+	results, err := Sweep(context.Background(), b, workload.Tiny, cfgs, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,14 +59,14 @@ func TestSweepRejectsInfeasible(t *testing.T) {
 	b, _ := progs.ByName("arith")
 	cfg := config.Default()
 	cfg.DCache.SetSizeKB = 64
-	if _, err := Sweep(b, workload.Tiny, []config.Config{cfg}, 1); err == nil {
+	if _, err := Sweep(context.Background(), b, workload.Tiny, []config.Config{cfg}, 1); err == nil {
 		t.Error("64KB dcache sweep should error (does not fit)")
 	}
 }
 
 func TestBestByRuntimeTieBreaks(t *testing.T) {
 	b, _ := progs.ByName("blastn")
-	results, err := DcacheGeometry(b, workload.Tiny, 0)
+	results, err := DcacheGeometry(context.Background(), b, workload.Tiny, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,5 +88,72 @@ func TestBestByRuntimeTieBreaks(t *testing.T) {
 func TestBestByRuntimeEmpty(t *testing.T) {
 	if _, err := BestByRuntime(nil); err == nil {
 		t.Error("empty results should error")
+	}
+}
+
+// countingProvider counts measurements and optionally cancels the context
+// after a threshold.
+type countingProvider struct {
+	inner  measure.Provider
+	cancel context.CancelFunc
+	after  int
+	mu     sync.Mutex
+	seen   int
+}
+
+func (p *countingProvider) Measure(ctx context.Context, prog *asm.Program, cfg config.Config, opts platform.Options) (*platform.RunReport, error) {
+	p.mu.Lock()
+	p.seen++
+	if p.cancel != nil && p.seen > p.after {
+		p.cancel()
+	}
+	p.mu.Unlock()
+	return p.inner.Measure(ctx, prog, cfg, opts)
+}
+
+func TestSweepAbortsOnCancelledContext(t *testing.T) {
+	b, _ := progs.ByName("arith")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Sweep(ctx, b, workload.Tiny, DcacheGeometryConfigs(), 2)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Sweep with cancelled ctx: err = %v, want context.Canceled", err)
+	}
+}
+
+func TestSweepAbortsMidSweep(t *testing.T) {
+	b, _ := progs.ByName("arith")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	p := &countingProvider{inner: measure.NewCache(measure.Simulator{}, 64), cancel: cancel, after: 2}
+	_, err := SweepWith(ctx, p, b, workload.Tiny, DcacheGeometryConfigs(), 1)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Sweep cancelled mid-sweep: err = %v, want context.Canceled", err)
+	}
+	// With 1 worker and cancellation after the 2nd measurement, the 19
+	// configurations must not all have been measured.
+	if p.seen >= 19 {
+		t.Fatalf("sweep measured %d configurations after cancellation", p.seen)
+	}
+}
+
+// TestSweepSharesProviderMemoization is the regression test for the
+// custom-space memoization bug: two sweeps over the same caller-supplied
+// configurations must reuse the provider's runs, not re-simulate.
+func TestSweepSharesProviderMemoization(t *testing.T) {
+	b, _ := progs.ByName("arith")
+	cfgs := []config.Config{config.Default(), config.Default()}
+	cfgs[1].DCache.SetSizeKB = 8
+	p := &countingProvider{inner: measure.NewCache(measure.Simulator{}, 64)}
+	for i := 0; i < 2; i++ {
+		if _, err := SweepWith(context.Background(), p, b, workload.Tiny, cfgs, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 4 requests reached the provider, but the cache behind it must have
+	// simulated each distinct configuration exactly once.
+	stats := p.inner.(*measure.Cache).Stats()
+	if stats.Misses != 2 || stats.Hits != 2 {
+		t.Fatalf("cache stats = %+v, want 2 misses and 2 hits", stats)
 	}
 }

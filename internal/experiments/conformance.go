@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"liquidarch/internal/config"
@@ -16,7 +17,7 @@ import (
 // the paper's cell; "shape" means the qualitative claim holds (direction,
 // ordering, selection) where absolute values are workload-dependent by
 // design; "DIVERGENT" flags a broken reproduction.
-func (r *Runner) Conformance() (*Table, error) {
+func (r *Runner) Conformance(ctx context.Context) (*Table, error) {
 	t := &Table{
 		ID:      "conformance",
 		Title:   "Conformance audit: reproduction vs the paper's published values",
@@ -86,7 +87,7 @@ func (r *Runner) Conformance() (*Table, error) {
 	// --- Section 5 / Figures 3-4: near-optimality and Arith no-effect ---
 	for _, app := range []string{"blastn", "drr", "frag", "arith"} {
 		b, _ := progs.ByName(app)
-		m, err := r.model(app, "dcache")
+		m, err := r.model(ctx, app, "dcache")
 		if err != nil {
 			return nil, err
 		}
@@ -95,11 +96,11 @@ func (r *Runner) Conformance() (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		val, err := tuner.Validate(b, m, rec)
+		val, err := tuner.Validate(ctx, b, m, rec)
 		if err != nil {
 			return nil, err
 		}
-		results, err := exhaustive.DcacheGeometry(b, r.opts.Scale, r.opts.Workers)
+		results, err := exhaustive.DcacheGeometry(ctx, b, r.opts.Scale, r.opts.Workers)
 		if err != nil {
 			return nil, err
 		}
@@ -118,7 +119,7 @@ func (r *Runner) Conformance() (*Table, error) {
 	}
 
 	// --- Figure 5: selections and gains ---
-	results, err := r.tuneAll(core.RuntimeWeights())
+	results, err := r.tuneAll(ctx, core.RuntimeWeights())
 	if err != nil {
 		return nil, err
 	}
@@ -173,7 +174,7 @@ func (r *Runner) Conformance() (*Table, error) {
 		verdict(arithGain == minGain, "shape"))
 
 	// --- Figure 7: resource weighting saves chip at runtime cost ---
-	res7, err := r.tuneAll(core.ResourceWeights())
+	res7, err := r.tuneAll(ctx, core.ResourceWeights())
 	if err != nil {
 		return nil, err
 	}

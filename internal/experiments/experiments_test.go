@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -34,7 +35,7 @@ func TestFigure2Structure(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
-	table, err := tinyRunner().Figure2()
+	table, err := tinyRunner().Figure2(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +65,7 @@ func TestFigure3Structure(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
-	table, err := tinyRunner().Figure3()
+	table, err := tinyRunner().Figure3(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +81,7 @@ func TestFigure4Structure(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
-	table, err := tinyRunner().Figure4()
+	table, err := tinyRunner().Figure4(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,14 +98,14 @@ func TestFigure5And7ShareModels(t *testing.T) {
 		t.Skip("short mode")
 	}
 	r := tinyRunner()
-	f5, err := r.Figure5()
+	f5, err := r.Figure5(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(r.models) != 4 {
 		t.Errorf("figure5 should cache 4 full models, have %d", len(r.models))
 	}
-	f7, err := r.Figure7()
+	f7, err := r.Figure7(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +131,7 @@ func TestFigure6Structure(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
-	table, err := tinyRunner().Figure6()
+	table, err := tinyRunner().Figure6(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,13 +158,13 @@ func TestFigure6Structure(t *testing.T) {
 
 func TestByIDAndIDs(t *testing.T) {
 	r := tinyRunner()
-	if _, err := r.ByID("nope"); err == nil {
+	if _, err := r.ByID(context.Background(), "nope"); err == nil {
 		t.Error("unknown id should error")
 	}
-	if _, err := r.ByID("figure1"); err != nil {
+	if _, err := r.ByID(context.Background(), "figure1"); err != nil {
 		t.Error(err)
 	}
-	if _, err := r.ByID("space"); err != nil {
+	if _, err := r.ByID(context.Background(), "space"); err != nil {
 		t.Error(err)
 	}
 	ids := IDs()
@@ -176,7 +177,7 @@ func TestEnergyExtensionTable(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
-	table, err := tinyRunner().Energy()
+	table, err := tinyRunner().Energy(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +193,7 @@ func TestInteractionExtensionTable(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
-	table, err := tinyRunner().Interaction()
+	table, err := tinyRunner().Interaction(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -222,7 +223,7 @@ func TestConformanceAuditAllPass(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
-	table, err := NewRunner(Options{Scale: workload.Small}).Conformance()
+	table, err := NewRunner(Options{Scale: workload.Small}).Conformance(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"liquidarch/internal/core"
@@ -11,9 +12,9 @@ import (
 
 // Figure2 regenerates the paper's Figure 2: the exhaustive dcache
 // sets × set-size study for BLASTN, with the optimal-by-sort footer.
-func (r *Runner) Figure2() (*Table, error) {
+func (r *Runner) Figure2(ctx context.Context) (*Table, error) {
 	b, _ := progs.ByName("blastn")
-	results, err := exhaustive.DcacheGeometry(b, r.opts.Scale, r.opts.Workers)
+	results, err := exhaustive.DcacheGeometry(ctx, b, r.opts.Scale, r.opts.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -54,8 +55,8 @@ func (r *Runner) Figure2() (*Table, error) {
 // optimizer actually evaluates for BLASTN's dcache geometry (its
 // one-change-at-a-time model) and the solution it selects with w1=100,
 // w2=0.
-func (r *Runner) Figure3() (*Table, error) {
-	m, err := r.model("blastn", "dcache")
+func (r *Runner) Figure3(ctx context.Context) (*Table, error) {
+	m, err := r.model(ctx, "blastn", "dcache")
 	if err != nil {
 		return nil, err
 	}
@@ -99,7 +100,7 @@ func (r *Runner) Figure3() (*Table, error) {
 		return nil, err
 	}
 	b, _ := progs.ByName("blastn")
-	val, err := tuner.Validate(b, m, rec)
+	val, err := tuner.Validate(ctx, b, m, rec)
 	if err != nil {
 		return nil, err
 	}
@@ -118,7 +119,7 @@ func (r *Runner) Figure3() (*Table, error) {
 
 // Figure4 regenerates the paper's Figure 4: the dcache-geometry study for
 // the other three benchmarks, exhaustive vs optimizer.
-func (r *Runner) Figure4() (*Table, error) {
+func (r *Runner) Figure4(ctx context.Context) (*Table, error) {
 	t := &Table{
 		ID:      "figure4",
 		Title:   "Dcache optimization for DRR, FRAG, Arith (w1=100, w2=0)",
@@ -129,7 +130,7 @@ func (r *Runner) Figure4() (*Table, error) {
 		t.AddSection(fmt.Sprintf("CommBench %s", map[string]string{
 			"drr": "DRR", "frag": "FRAG", "arith": "BYTE Arith"}[app]))
 
-		results, err := exhaustive.DcacheGeometry(b, r.opts.Scale, r.opts.Workers)
+		results, err := exhaustive.DcacheGeometry(ctx, b, r.opts.Scale, r.opts.Workers)
 		if err != nil {
 			return nil, err
 		}
@@ -137,7 +138,7 @@ func (r *Runner) Figure4() (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		m, err := r.model(app, "dcache")
+		m, err := r.model(ctx, app, "dcache")
 		if err != nil {
 			return nil, err
 		}
@@ -146,7 +147,7 @@ func (r *Runner) Figure4() (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		val, err := tuner.Validate(b, m, rec)
+		val, err := tuner.Validate(ctx, b, m, rec)
 		if err != nil {
 			return nil, err
 		}

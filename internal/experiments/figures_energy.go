@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"liquidarch/internal/config"
@@ -10,8 +11,8 @@ import (
 // Energy regenerates the reproduction's extension table: energy-dominant
 // tuning (w3=100), the "power and energy optimizations" the paper lists as
 // future work. Layout follows Figures 5/7.
-func (r *Runner) Energy() (*Table, error) {
-	results, err := r.tuneAll(core.EnergyWeights())
+func (r *Runner) Energy(ctx context.Context) (*Table, error) {
+	results, err := r.tuneAll(ctx, core.EnergyWeights())
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"liquidarch/internal/config"
@@ -56,10 +57,10 @@ type appResult struct {
 	val *core.Validation
 }
 
-func (r *Runner) tuneAll(w core.Weights) ([]appResult, error) {
+func (r *Runner) tuneAll(ctx context.Context, w core.Weights) ([]appResult, error) {
 	out := make([]appResult, 0, len(fullApps))
 	for _, app := range fullApps {
-		m, err := r.model(app, "full")
+		m, err := r.model(ctx, app, "full")
 		if err != nil {
 			return nil, err
 		}
@@ -69,7 +70,7 @@ func (r *Runner) tuneAll(w core.Weights) ([]appResult, error) {
 			return nil, err
 		}
 		b, _ := progs.ByName(app)
-		val, err := tuner.Validate(b, m, rec)
+		val, err := tuner.Validate(ctx, b, m, rec)
 		if err != nil {
 			return nil, err
 		}
@@ -79,8 +80,8 @@ func (r *Runner) tuneAll(w core.Weights) ([]appResult, error) {
 }
 
 // weightTable renders the shared Figure 5 / Figure 7 layout.
-func (r *Runner) weightTable(id, title string, w core.Weights) (*Table, error) {
-	results, err := r.tuneAll(w)
+func (r *Runner) weightTable(ctx context.Context, id, title string, w core.Weights) (*Table, error) {
+	results, err := r.tuneAll(ctx, w)
 	if err != nil {
 		return nil, err
 	}
@@ -168,12 +169,12 @@ func (r *Runner) weightTable(id, title string, w core.Weights) (*Table, error) {
 
 // Figure5 regenerates the paper's Figure 5: application runtime
 // optimization with w1=100, w2=1.
-func (r *Runner) Figure5() (*Table, error) {
-	t, err := r.weightTable("figure5", "Application runtime optimization (w1=100, w2=1)", core.RuntimeWeights())
+func (r *Runner) Figure5(ctx context.Context) (*Table, error) {
+	t, err := r.weightTable(ctx, "figure5", "Application runtime optimization (w1=100, w2=1)", core.RuntimeWeights())
 	if err != nil {
 		return nil, err
 	}
-	results, err := r.tuneAll(core.RuntimeWeights()) // cached
+	results, err := r.tuneAll(ctx, core.RuntimeWeights()) // cached
 	if err != nil {
 		return nil, err
 	}
@@ -205,12 +206,12 @@ func (r *Runner) Figure5() (*Table, error) {
 
 // Figure7 regenerates the paper's Figure 7: chip resource optimization
 // with w1=1, w2=100.
-func (r *Runner) Figure7() (*Table, error) {
-	t, err := r.weightTable("figure7", "Chip resource optimization (w1=1, w2=100)", core.ResourceWeights())
+func (r *Runner) Figure7(ctx context.Context) (*Table, error) {
+	t, err := r.weightTable(ctx, "figure7", "Chip resource optimization (w1=1, w2=100)", core.ResourceWeights())
 	if err != nil {
 		return nil, err
 	}
-	results, err := r.tuneAll(core.ResourceWeights())
+	results, err := r.tuneAll(ctx, core.ResourceWeights())
 	if err != nil {
 		return nil, err
 	}
@@ -239,8 +240,8 @@ var figure6PaperRows = []string{
 
 // Figure6 regenerates the paper's Figure 6: BLASTN's measured
 // single-parameter perturbation costs.
-func (r *Runner) Figure6() (*Table, error) {
-	m, err := r.model("blastn", "full")
+func (r *Runner) Figure6(ctx context.Context) (*Table, error) {
+	m, err := r.model(ctx, "blastn", "full")
 	if err != nil {
 		return nil, err
 	}

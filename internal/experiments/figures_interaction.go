@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"liquidarch/internal/config"
@@ -26,7 +27,7 @@ var interactionPairs = [][2]string{
 // additive prediction ρ(a)+ρ(b) against the measured runtime of the
 // combined configuration — the interaction term is exactly the error the
 // paper's model makes on that pair.
-func (r *Runner) Interaction() (*Table, error) {
+func (r *Runner) Interaction(ctx context.Context) (*Table, error) {
 	t := &Table{
 		ID:      "interaction",
 		Title:   "Parameter-independence audit: additive prediction vs measured pairs — extension beyond the paper",
@@ -34,7 +35,7 @@ func (r *Runner) Interaction() (*Table, error) {
 	}
 	for _, app := range fullApps {
 		b, _ := progs.ByName(app)
-		m, err := r.model(app, "full")
+		m, err := r.model(ctx, app, "full")
 		if err != nil {
 			return nil, err
 		}
@@ -61,7 +62,7 @@ func (r *Runner) Interaction() (*Table, error) {
 			cfgs = append(cfgs, cfg)
 			infos = append(infos, pairInfo{a: pair[0], b: pair[1], rhoA: ea.Rho, rhoB: eb.Rho})
 		}
-		results, err := exhaustive.Sweep(b, r.opts.Scale, cfgs, r.opts.Workers)
+		results, err := exhaustive.Sweep(ctx, b, r.opts.Scale, cfgs, r.opts.Workers)
 		if err != nil {
 			return nil, err
 		}

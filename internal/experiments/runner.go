@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -43,7 +44,7 @@ func (r *Runner) tuner(space *config.Space) *core.Tuner {
 
 // model returns the cached perturbation model for app over the given
 // space ("full" or "dcache").
-func (r *Runner) model(app, spaceName string) (*core.Model, error) {
+func (r *Runner) model(ctx context.Context, app, spaceName string) (*core.Model, error) {
 	key := app + "/" + spaceName
 	r.mu.Lock()
 	if m, ok := r.models[key]; ok {
@@ -65,7 +66,7 @@ func (r *Runner) model(app, spaceName string) (*core.Model, error) {
 	default:
 		return nil, fmt.Errorf("experiments: unknown space %q", spaceName)
 	}
-	m, err := r.tuner(space).BuildModel(b)
+	m, err := r.tuner(space).BuildModel(ctx, b)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: building %s model: %w", key, err)
 	}
@@ -77,30 +78,30 @@ func (r *Runner) model(app, spaceName string) (*core.Model, error) {
 
 // ByID regenerates a table by its identifier ("figure1" .. "figure7",
 // "space").
-func (r *Runner) ByID(id string) (*Table, error) {
+func (r *Runner) ByID(ctx context.Context, id string) (*Table, error) {
 	switch id {
 	case "figure1", "1":
 		return Figure1(), nil
 	case "space":
 		return SpaceSize(), nil
 	case "figure2", "2":
-		return r.Figure2()
+		return r.Figure2(ctx)
 	case "figure3", "3":
-		return r.Figure3()
+		return r.Figure3(ctx)
 	case "figure4", "4":
-		return r.Figure4()
+		return r.Figure4(ctx)
 	case "figure5", "5":
-		return r.Figure5()
+		return r.Figure5(ctx)
 	case "figure6", "6":
-		return r.Figure6()
+		return r.Figure6(ctx)
 	case "figure7", "7":
-		return r.Figure7()
+		return r.Figure7(ctx)
 	case "energy", "8":
-		return r.Energy()
+		return r.Energy(ctx)
 	case "interaction", "9":
-		return r.Interaction()
+		return r.Interaction(ctx)
 	case "conformance", "check":
-		return r.Conformance()
+		return r.Conformance(ctx)
 	default:
 		return nil, fmt.Errorf("experiments: unknown experiment %q (use figure1..figure7, space or energy)", id)
 	}

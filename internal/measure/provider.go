@@ -1,0 +1,93 @@
+// Package measure is the measurement-provider layer: the one service
+// interface every consumer of simulated runs — the model builder, the
+// exhaustive sweeps, the figure harnesses, the autoarchd daemon — obtains
+// its (program, configuration) measurements through.
+//
+// The layer is a stack of providers:
+//
+//	Simulator            – executes the run on the platform (the leaf)
+//	Persistent           – spills/loads reports via a versioned on-disk store
+//	Cache                – bounded LRU with singleflight and eviction stats
+//
+// A caller composes the stack it needs; Default() is the process-wide
+// stack (Cache over Simulator) that the library consumers share, so the
+// ~52 single-change jobs of a model build, repeated sweeps and validation
+// all reuse identical (program, timing-configuration) runs, exactly as
+// the unbounded cache of DESIGN.md §10 did — but bounded, observable and
+// cancellable.
+package measure
+
+import (
+	"context"
+
+	"liquidarch/internal/asm"
+	"liquidarch/internal/config"
+	"liquidarch/internal/platform"
+)
+
+// Provider is the measurement service: execute (or recall) one run of
+// prog on cfg and return its report. Implementations must be safe for
+// concurrent use and must honour ctx cancellation at least between runs.
+type Provider interface {
+	Measure(ctx context.Context, prog *asm.Program, cfg config.Config, opts platform.Options) (*platform.RunReport, error)
+}
+
+// Simulator is the leaf provider: it runs the program on the simulated
+// platform directly, drawing engines from the platform's pool.
+type Simulator struct{}
+
+// Measure executes the run. The context is checked up front — a single
+// run at the harness scales is short, so per-run granularity is what
+// makes long sweeps promptly cancellable.
+func (Simulator) Measure(ctx context.Context, prog *asm.Program, cfg config.Config, opts platform.Options) (*platform.RunReport, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return platform.RunWith(prog, cfg, opts)
+}
+
+// Key is the measurement identity: program, timing-relevant configuration
+// and the run options that can change the outcome. Two measurements with
+// equal keys produce bit-identical reports (the simulator is
+// deterministic), which is what licenses both caching layers.
+//
+// Program identity is the *asm.Program pointer: progs.Benchmark memoizes
+// Assemble per (benchmark, scale), so one pointer is one (application,
+// workload scale). The configuration is reduced to its TimingKey — the
+// parameters that cannot change simulated timing (dcache fast read/write,
+// InferMultDiv) are normalised away, so e.g. the base run is shared with
+// the fastread-only perturbation.
+type Key struct {
+	Prog   *asm.Program
+	Cfg    config.Config
+	RAM    int
+	MaxI   uint64
+	Sample uint64
+}
+
+// KeyFor derives the cache key for a run request. opts must describe a
+// cacheable run (no trace writer).
+func KeyFor(prog *asm.Program, cfg config.Config, opts platform.Options) Key {
+	opts = opts.Normalized()
+	return Key{
+		Prog:   prog,
+		Cfg:    cfg.TimingKey(),
+		RAM:    opts.RAMBytes,
+		MaxI:   opts.MaxInstructions,
+		Sample: opts.SampleInstructions,
+	}
+}
+
+// DefaultCacheEntries bounds the shared Default() cache. The full-space
+// model builds, every figure and the Section 5 sweeps together touch a
+// few hundred distinct keys per workload scale, so the default keeps a
+// whole experiment suite resident while still bounding a long-lived
+// server.
+const DefaultCacheEntries = 4096
+
+var defaultProvider = NewCache(Simulator{}, DefaultCacheEntries)
+
+// Default returns the process-wide shared provider: a bounded cache over
+// the simulator. Library consumers (core.Tuner, exhaustive.Sweep) fall
+// back to it when no explicit provider is configured.
+func Default() *Cache { return defaultProvider }

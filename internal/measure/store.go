@@ -1,0 +1,226 @@
+package measure
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"liquidarch/internal/asm"
+	"liquidarch/internal/cache"
+	"liquidarch/internal/config"
+	"liquidarch/internal/platform"
+	"liquidarch/internal/profiler"
+)
+
+// StoreVersion is the on-disk format version. It is part of every entry
+// and of the directory layout; bumping it orphans (but does not delete)
+// entries written by older code, the same stance core/persist.go takes
+// for models.
+const StoreVersion = 1
+
+// Store is a versioned on-disk spill of measurement reports: one JSON
+// file per key under dir/v<version>/, named by a stable content hash of
+// (program fingerprint, timing configuration, run options). Unlike the
+// in-memory Cache it survives process restarts, which is what turns a
+// ~52-measurement model build into a pure disk replay on the second run —
+// the serving analogue of core.SaveModel/LoadModel.
+type Store struct {
+	dir string
+
+	mu  sync.Mutex
+	fps map[*asm.Program]string // memoized program fingerprints
+}
+
+// NewStore opens (creating if needed) a report store rooted at dir.
+func NewStore(dir string) (*Store, error) {
+	s := &Store{dir: dir, fps: make(map[*asm.Program]string)}
+	if err := os.MkdirAll(s.versionDir(), 0o755); err != nil {
+		return nil, fmt.Errorf("measure: opening store: %w", err)
+	}
+	return s, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+func (s *Store) versionDir() string {
+	return filepath.Join(s.dir, fmt.Sprintf("v%d", StoreVersion))
+}
+
+// fingerprint returns the stable identity of an assembled program: a
+// SHA-256 over its load images and entry point. Memoized per pointer —
+// package progs hands out one pointer per (benchmark, scale), so the hash
+// is computed once per workload.
+func (s *Store) fingerprint(p *asm.Program) string {
+	s.mu.Lock()
+	if fp, ok := s.fps[p]; ok {
+		s.mu.Unlock()
+		return fp
+	}
+	s.mu.Unlock()
+
+	h := sha256.New()
+	var word [4]byte
+	binary.BigEndian.PutUint32(word[:], p.TextBase)
+	h.Write(word[:])
+	for _, w := range p.Text {
+		binary.BigEndian.PutUint32(word[:], w)
+		h.Write(word[:])
+	}
+	binary.BigEndian.PutUint32(word[:], p.DataBase)
+	h.Write(word[:])
+	h.Write(p.Data)
+	binary.BigEndian.PutUint32(word[:], p.Entry)
+	h.Write(word[:])
+	fp := hex.EncodeToString(h.Sum(nil))
+
+	s.mu.Lock()
+	s.fps[p] = fp
+	s.mu.Unlock()
+	return fp
+}
+
+// path maps a key to its file. The hash input uses the configuration's
+// canonical String() of the timing key, so the identity survives process
+// restarts (pointer-based Key identity does not).
+func (s *Store) path(key Key) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "prog=%s\ncfg=%s\nram=%d\nmaxi=%d\nsample=%d\n",
+		s.fingerprint(key.Prog), key.Cfg.String(), key.RAM, key.MaxI, key.Sample)
+	return filepath.Join(s.versionDir(), hex.EncodeToString(h.Sum(nil))+".json")
+}
+
+// storedReport is the serialized form of a RunReport. The configuration
+// is stored as its canonical diff-from-base strings purely for human
+// inspection; loads stamp the caller's configuration in, as the cache
+// layers do.
+type storedReport struct {
+	Version  int            `json:"version"`
+	Config   []string       `json:"config"`
+	Stats    profiler.Stats `json:"stats"`
+	ICache   cache.Stats    `json:"icache"`
+	DCache   cache.Stats    `json:"dcache"`
+	ExitCode uint32         `json:"exit_code"`
+	Checksum uint32         `json:"checksum"`
+	Console  string         `json:"console,omitempty"`
+	Sampled  bool           `json:"sampled,omitempty"`
+}
+
+// Load returns the stored report for key, or ok=false when absent (or
+// unreadable — a corrupt entry is treated as a miss, never an error).
+func (s *Store) Load(key Key) (*platform.RunReport, bool) {
+	data, err := os.ReadFile(s.path(key))
+	if err != nil {
+		return nil, false
+	}
+	var in storedReport
+	if err := json.Unmarshal(data, &in); err != nil || in.Version != StoreVersion {
+		return nil, false
+	}
+	return &platform.RunReport{
+		Config:   key.Cfg,
+		Stats:    in.Stats,
+		ICache:   in.ICache,
+		DCache:   in.DCache,
+		ExitCode: in.ExitCode,
+		Checksum: in.Checksum,
+		Console:  in.Console,
+		Sampled:  in.Sampled,
+	}, true
+}
+
+// Save writes the report for key. Writes go through a temp file + rename
+// so concurrent readers never observe a partial entry.
+func (s *Store) Save(key Key, rep *platform.RunReport) error {
+	out := storedReport{
+		Version:  StoreVersion,
+		Config:   key.Cfg.DiffBase(),
+		Stats:    rep.Stats,
+		ICache:   rep.ICache,
+		DCache:   rep.DCache,
+		ExitCode: rep.ExitCode,
+		Checksum: rep.Checksum,
+		Console:  rep.Console,
+		Sampled:  rep.Sampled,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return fmt.Errorf("measure: encoding report: %w", err)
+	}
+	path := s.path(key)
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("measure: saving report: %w", err)
+	}
+	_, werr := tmp.Write(data)
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("measure: saving report: %w", werr)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("measure: saving report: %w", err)
+	}
+	return nil
+}
+
+// Len counts the resident entries (current version only).
+func (s *Store) Len() int {
+	entries, err := os.ReadDir(s.versionDir())
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") {
+			n++
+		}
+	}
+	return n
+}
+
+// Persistent is a provider that spills every successful measurement to a
+// Store and answers future requests from disk. Layer it under a Cache:
+// the Cache bounds memory and singleflights, the Store makes results
+// survive restarts.
+type Persistent struct {
+	inner Provider
+	store *Store
+}
+
+// NewPersistent wraps inner with the on-disk store.
+func NewPersistent(inner Provider, store *Store) *Persistent {
+	return &Persistent{inner: inner, store: store}
+}
+
+// Measure implements Provider. Traced runs bypass the store.
+func (p *Persistent) Measure(ctx context.Context, prog *asm.Program, cfg config.Config, opts platform.Options) (*platform.RunReport, error) {
+	if opts.TraceWriter != nil {
+		return p.inner.Measure(ctx, prog, cfg, opts)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	key := KeyFor(prog, cfg, opts)
+	if rep, ok := p.store.Load(key); ok {
+		rep.Config = cfg
+		return rep, nil
+	}
+	rep, err := p.inner.Measure(ctx, prog, cfg, opts)
+	if err != nil {
+		return nil, err
+	}
+	// Spill best-effort: a full disk must not fail the measurement.
+	_ = p.store.Save(key, rep)
+	return rep, nil
+}

@@ -49,8 +49,10 @@ type Options struct {
 	TraceLimit uint64
 }
 
-// normalized fills in the option defaults.
-func (o Options) normalized() Options {
+// Normalized fills in the option defaults. Callers that derive cache keys
+// from Options (package measure) normalize first so explicit defaults and
+// zero values collide on the same key.
+func (o Options) Normalized() Options {
 	if o.RAMBytes == 0 {
 		o.RAMBytes = mem.DefaultRAMBytes
 	}
@@ -101,7 +103,7 @@ type Engine struct {
 
 // NewEngine builds an engine for repeated runs of prog on cfg.
 func NewEngine(prog *asm.Program, cfg config.Config, opts Options) (*Engine, error) {
-	opts = opts.normalized()
+	opts = opts.Normalized()
 	m := mem.New(opts.RAMBytes)
 	return newEngineOn(m, prog, cfg, opts, true)
 }
@@ -178,19 +180,91 @@ type memKey struct {
 	ram  int
 }
 
-const maxPooledEngines = 8
+// DefaultEnginePoolSize and DefaultMemoryPoolSize are the pool bounds a
+// fresh process starts with; SetPoolLimits retunes them for a specific
+// deployment (e.g. the autoarchd daemon sizing pools to its worker count).
+const DefaultEnginePoolSize = 8
 
-var maxPooledMemories = max(8, runtime.NumCPU())
+func DefaultMemoryPoolSize() int { return max(8, runtime.NumCPU()) }
 
 var pool = struct {
 	sync.Mutex
-	engines map[engineKey][]*Engine
-	nEng    int
-	mems    map[memKey][]*mem.Memory
-	nMem    int
+	engines    map[engineKey][]*Engine
+	nEng       int
+	mems       map[memKey][]*mem.Memory
+	nMem       int
+	maxEngines int
+	maxMems    int
 }{
-	engines: make(map[engineKey][]*Engine),
-	mems:    make(map[memKey][]*mem.Memory),
+	engines:    make(map[engineKey][]*Engine),
+	mems:       make(map[memKey][]*mem.Memory),
+	maxEngines: DefaultEnginePoolSize,
+	maxMems:    DefaultMemoryPoolSize(),
+}
+
+// SetPoolLimits bounds the engine and loaded-memory pools. Nonpositive
+// values keep the corresponding current limit. Shrinking releases the
+// excess pooled objects immediately.
+func SetPoolLimits(engines, memories int) {
+	pool.Lock()
+	defer pool.Unlock()
+	if engines > 0 {
+		pool.maxEngines = engines
+	}
+	if memories > 0 {
+		pool.maxMems = memories
+	}
+	trimPoolLocked()
+}
+
+// trimPoolLocked drops pooled objects until both pools are within their
+// limits.
+func trimPoolLocked() {
+	for k, es := range pool.engines {
+		for pool.nEng > pool.maxEngines && len(es) > 0 {
+			es = es[:len(es)-1]
+			pool.nEng--
+		}
+		if len(es) == 0 {
+			delete(pool.engines, k)
+		} else {
+			pool.engines[k] = es
+		}
+	}
+	for k, ms := range pool.mems {
+		for pool.nMem > pool.maxMems && len(ms) > 0 {
+			ms = ms[:len(ms)-1]
+			pool.nMem--
+		}
+		if len(ms) == 0 {
+			delete(pool.mems, k)
+		} else {
+			pool.mems[k] = ms
+		}
+	}
+}
+
+// PoolStats is a point-in-time snapshot of the engine/memory pools, for
+// the daemon's metrics endpoint.
+type PoolStats struct {
+	// Engines and Memories are the pooled object counts; the limits are
+	// the caps SetPoolLimits configured.
+	Engines     int `json:"engines"`
+	EngineLimit int `json:"engine_limit"`
+	Memories    int `json:"memories"`
+	MemoryLimit int `json:"memory_limit"`
+}
+
+// PoolSnapshot returns the current pool occupancy and limits.
+func PoolSnapshot() PoolStats {
+	pool.Lock()
+	defer pool.Unlock()
+	return PoolStats{
+		Engines:     pool.nEng,
+		EngineLimit: pool.maxEngines,
+		Memories:    pool.nMem,
+		MemoryLimit: pool.maxMems,
+	}
 }
 
 func acquireEngine(prog *asm.Program, cfg config.Config, opts Options) (*Engine, error) {
@@ -222,14 +296,14 @@ func releaseEngine(e *Engine) {
 	ek := engineKey{prog: e.prog, cfg: e.cfg, ram: e.opts.RAMBytes, maxI: e.opts.MaxInstructions, sample: e.opts.SampleInstructions}
 	pool.Lock()
 	defer pool.Unlock()
-	if pool.nEng < maxPooledEngines {
+	if pool.nEng < pool.maxEngines {
 		pool.engines[ek] = append(pool.engines[ek], e)
 		pool.nEng++
 		return
 	}
 	// Engine pool full: keep the expensive part (the loaded 8 MiB memory
 	// plus its snapshot) if there is room, drop the rest.
-	if pool.nMem < maxPooledMemories {
+	if pool.nMem < pool.maxMems {
 		mk := memKey{prog: e.prog, ram: e.opts.RAMBytes}
 		pool.mems[mk] = append(pool.mems[mk], e.m)
 		pool.nMem++
@@ -245,7 +319,7 @@ func Run(prog *asm.Program, cfg config.Config) (*RunReport, error) {
 // RunWith executes an assembled program with explicit options. Trace-free
 // runs draw their engine from the process-wide pool.
 func RunWith(prog *asm.Program, cfg config.Config, opts Options) (*RunReport, error) {
-	opts = opts.normalized()
+	opts = opts.Normalized()
 	if opts.TraceWriter != nil {
 		e, err := NewEngine(prog, cfg, opts)
 		if err != nil {

@@ -1,0 +1,535 @@
+// Package serve is the autoarchd tuning service: an HTTP/JSON surface
+// over the paper's technique. Clients submit tuning jobs (application,
+// workload scale, decision space, objective weights); a bounded worker
+// scheduler runs them against one shared measurement provider, so
+// concurrent jobs — and repeated jobs for the same application — reuse
+// each other's simulated runs exactly as the figure harnesses do in
+// process. Results are core.TuneReport documents, the same serialization
+// `autoarch -json` prints.
+//
+// API (all JSON):
+//
+//	POST   /v1/jobs          submit a JobRequest, returns the queued JobStatus
+//	GET    /v1/jobs          list every job's JobStatus
+//	GET    /v1/jobs/{id}     one job's JobStatus (with result when done)
+//	GET    /v1/jobs/{id}/stream  ndjson stream of JobStatus snapshots
+//	                             until the job reaches a terminal state
+//	DELETE /v1/jobs/{id}     cancel a queued or running job
+//	GET    /v1/metrics       cache, pool and scheduler counters
+//	GET    /v1/healthz       liveness
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"liquidarch/internal/config"
+	"liquidarch/internal/core"
+	"liquidarch/internal/measure"
+	"liquidarch/internal/platform"
+	"liquidarch/internal/progs"
+	"liquidarch/internal/workload"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Workers bounds the concurrently running tuning jobs (default 2).
+	// Each job additionally parallelizes its own measurements on the
+	// shared pool, so a small number of job workers saturates the CPU.
+	Workers int
+	// QueueDepth bounds the submitted-but-not-started backlog (default
+	// 256); past it, POST /v1/jobs returns 503.
+	QueueDepth int
+	// Provider is the shared measurement provider; nil builds a bounded
+	// cache over the simulator with CacheEntries entries.
+	Provider measure.Provider
+	// CacheEntries sizes the default provider's cache (ignored when
+	// Provider is set; <= 0 means measure.DefaultCacheEntries).
+	CacheEntries int
+}
+
+// JobRequest is the POST /v1/jobs payload.
+type JobRequest struct {
+	// App is the benchmark to tune: blastn, drr, frag, arith.
+	App string `json:"app"`
+	// Scale is the workload scale (default "small").
+	Scale string `json:"scale,omitempty"`
+	// Space is the decision space: "full" (default) or "dcache".
+	Space string `json:"space,omitempty"`
+	// W1/W2/W3 are the objective weights (default: the paper's runtime
+	// weighting w1=100, w2=1).
+	W1 *float64 `json:"w1,omitempty"`
+	W2 *float64 `json:"w2,omitempty"`
+	W3 *float64 `json:"w3,omitempty"`
+	// SampleInstructions optionally truncates each measurement run.
+	SampleInstructions uint64 `json:"sample_instructions,omitempty"`
+	// Workers bounds this job's measurement parallelism (0 = NumCPU).
+	Workers int `json:"workers,omitempty"`
+	// IncludeModel embeds the full perturbation model in the result.
+	IncludeModel bool `json:"include_model,omitempty"`
+}
+
+// Job states.
+const (
+	StateQueued    = "queued"
+	StateRunning   = "running"
+	StateDone      = "done"
+	StateFailed    = "failed"
+	StateCancelled = "cancelled"
+)
+
+// JobStatus is the externally visible job record.
+type JobStatus struct {
+	ID       string           `json:"id"`
+	State    string           `json:"state"`
+	Request  JobRequest       `json:"request"`
+	Error    string           `json:"error,omitempty"`
+	Result   *core.TuneReport `json:"result,omitempty"`
+	Created  time.Time        `json:"created"`
+	Started  *time.Time       `json:"started,omitempty"`
+	Finished *time.Time       `json:"finished,omitempty"`
+}
+
+// Terminal reports whether the state is final.
+func (s *JobStatus) Terminal() bool {
+	switch s.State {
+	case StateDone, StateFailed, StateCancelled:
+		return true
+	}
+	return false
+}
+
+// job is the internal record behind a JobStatus.
+type job struct {
+	mu       sync.Mutex
+	status   JobStatus
+	cancel   context.CancelFunc
+	updated  chan struct{} // closed and replaced on every status change
+	canceled bool
+}
+
+func (j *job) snapshot() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	s := j.status
+	return s
+}
+
+// mutate applies fn under the job lock and wakes every status watcher.
+func (j *job) mutate(fn func(*JobStatus)) {
+	j.mu.Lock()
+	fn(&j.status)
+	close(j.updated)
+	j.updated = make(chan struct{})
+	j.mu.Unlock()
+}
+
+// watch returns the channel that is closed at the next status change.
+func (j *job) watch() <-chan struct{} {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.updated
+}
+
+// Server is the autoarchd daemon core: scheduler, job table and HTTP
+// handlers. Construct with New, serve Handler(), Close on shutdown.
+type Server struct {
+	opts     Options
+	provider measure.Provider
+	cache    *measure.Cache // non-nil when the provider stack exposes one
+
+	baseCtx context.Context
+	stop    context.CancelFunc
+	queue   chan *job
+	wg      sync.WaitGroup
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	order  []string
+	seq    int
+	closed bool
+}
+
+// New builds a server and starts its worker scheduler.
+func New(opts Options) *Server {
+	if opts.Workers <= 0 {
+		opts.Workers = 2
+	}
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 256
+	}
+	provider := opts.Provider
+	var cache *measure.Cache
+	if provider == nil {
+		cache = measure.NewCache(measure.Simulator{}, opts.CacheEntries)
+		provider = cache
+	} else if c, ok := provider.(*measure.Cache); ok {
+		cache = c
+	}
+	ctx, stop := context.WithCancel(context.Background())
+	s := &Server{
+		opts:     opts,
+		provider: provider,
+		cache:    cache,
+		baseCtx:  ctx,
+		stop:     stop,
+		queue:    make(chan *job, opts.QueueDepth),
+		jobs:     make(map[string]*job),
+	}
+	for i := 0; i < opts.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Close stops the scheduler, cancelling any running jobs, and waits for
+// the workers to drain. Submissions racing Close are rejected rather
+// than risking a send on the closed queue.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.stop()
+	close(s.queue)
+	s.wg.Wait()
+}
+
+// Cache returns the server's bounded cache, or nil when the injected
+// provider hides it.
+func (s *Server) Cache() *measure.Cache { return s.cache }
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+// resolve validates a request into its tuning inputs.
+func resolve(req JobRequest) (*progs.Benchmark, workload.Scale, *config.Space, core.Weights, error) {
+	b, ok := progs.ByName(req.App)
+	if !ok {
+		return nil, 0, nil, core.Weights{}, fmt.Errorf("unknown app %q", req.App)
+	}
+	scaleName := req.Scale
+	if scaleName == "" {
+		scaleName = "small"
+	}
+	sc, ok := workload.ParseScale(scaleName)
+	if !ok {
+		return nil, 0, nil, core.Weights{}, fmt.Errorf("unknown scale %q", req.Scale)
+	}
+	space, err := config.SpaceByName(req.Space)
+	if err != nil {
+		return nil, 0, nil, core.Weights{}, fmt.Errorf("unknown space %q", req.Space)
+	}
+	w := core.Weights{W1: 100, W2: 1}
+	if req.W1 != nil {
+		w.W1 = *req.W1
+	}
+	if req.W2 != nil {
+		w.W2 = *req.W2
+	}
+	if req.W3 != nil {
+		w.W3 = *req.W3
+	}
+	return b, sc, space, w, nil
+}
+
+func (s *Server) runJob(j *job) {
+	snap := j.snapshot()
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	defer cancel()
+
+	j.mu.Lock()
+	if j.canceled {
+		j.mu.Unlock()
+		return
+	}
+	j.cancel = cancel
+	now := time.Now()
+	j.status.State = StateRunning
+	j.status.Started = &now
+	close(j.updated)
+	j.updated = make(chan struct{})
+	j.mu.Unlock()
+
+	report, err := s.tune(ctx, snap.Request)
+
+	j.mutate(func(st *JobStatus) {
+		now := time.Now()
+		st.Finished = &now
+		switch {
+		case err == nil:
+			st.State = StateDone
+			st.Result = report
+		case ctx.Err() != nil && s.baseCtx.Err() == nil:
+			st.State = StateCancelled
+			st.Error = context.Canceled.Error()
+		default:
+			st.State = StateFailed
+			st.Error = err.Error()
+		}
+	})
+}
+
+// tune executes one job: the same BuildModel → solve → validate flow the
+// autoarch CLI runs, against the server's shared provider.
+func (s *Server) tune(ctx context.Context, req JobRequest) (*core.TuneReport, error) {
+	b, sc, space, w, err := resolve(req)
+	if err != nil {
+		return nil, err
+	}
+	tuner := &core.Tuner{
+		Space:              space,
+		Scale:              sc,
+		Workers:            req.Workers,
+		Provider:           s.provider,
+		SampleInstructions: req.SampleInstructions,
+	}
+	model, err := tuner.BuildModel(ctx, b)
+	if err != nil {
+		return nil, err
+	}
+	rec, err := tuner.RecommendFromModel(model, w)
+	if err != nil {
+		return nil, err
+	}
+	val, err := tuner.Validate(ctx, b, model, rec)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewTuneReport(model, rec, val, req.IncludeModel), nil
+}
+
+// Submit enqueues a job (the programmatic form of POST /v1/jobs).
+func (s *Server) Submit(req JobRequest) (JobStatus, error) {
+	if _, _, _, _, err := resolve(req); err != nil {
+		return JobStatus{}, &apiError{http.StatusBadRequest, err.Error()}
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return JobStatus{}, &apiError{http.StatusServiceUnavailable, "server shutting down"}
+	}
+	s.seq++
+	id := fmt.Sprintf("job-%d", s.seq)
+	j := &job{
+		status: JobStatus{
+			ID:      id,
+			State:   StateQueued,
+			Request: req,
+			Created: time.Now(),
+		},
+		updated: make(chan struct{}),
+	}
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	// The enqueue happens under s.mu so it cannot race Close's
+	// close(s.queue): Close flips s.closed under the same lock first.
+	var full bool
+	select {
+	case s.queue <- j:
+	default:
+		full = true
+	}
+	s.mu.Unlock()
+
+	if full {
+		j.mutate(func(st *JobStatus) {
+			st.State = StateFailed
+			st.Error = "queue full"
+		})
+		return j.snapshot(), &apiError{http.StatusServiceUnavailable, "queue full"}
+	}
+	return j.snapshot(), nil
+}
+
+// Cancel cancels a job by id.
+func (s *Server) Cancel(id string) (JobStatus, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return JobStatus{}, &apiError{http.StatusNotFound, "no such job"}
+	}
+	j.mu.Lock()
+	switch j.status.State {
+	case StateQueued:
+		j.canceled = true
+		now := time.Now()
+		j.status.State = StateCancelled
+		j.status.Finished = &now
+		close(j.updated)
+		j.updated = make(chan struct{})
+	case StateRunning:
+		j.canceled = true
+		if j.cancel != nil {
+			j.cancel()
+		}
+	}
+	j.mu.Unlock()
+	return j.snapshot(), nil
+}
+
+// Job returns one job's status.
+func (s *Server) Job(id string) (JobStatus, bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return JobStatus{}, false
+	}
+	return j.snapshot(), true
+}
+
+// Jobs returns every job's status in submission order.
+func (s *Server) Jobs() []JobStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobStatus, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id].snapshot())
+	}
+	return out
+}
+
+// Metrics is the GET /v1/metrics document.
+type Metrics struct {
+	Cache *measure.CacheStats `json:"cache,omitempty"`
+	Pool  platform.PoolStats  `json:"pool"`
+	Jobs  map[string]int      `json:"jobs"`
+}
+
+// MetricsSnapshot assembles the current counters.
+func (s *Server) MetricsSnapshot() Metrics {
+	m := Metrics{
+		Pool: platform.PoolSnapshot(),
+		Jobs: map[string]int{},
+	}
+	if s.cache != nil {
+		st := s.cache.Stats()
+		m.Cache = &st
+	}
+	for _, js := range s.Jobs() {
+		m.Jobs[js.State]++
+	}
+	return m
+}
+
+// apiError carries an HTTP status with a message.
+type apiError struct {
+	code int
+	msg  string
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	if ae, ok := err.(*apiError); ok {
+		code = ae.code
+	}
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// Handler returns the HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		var req JobRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeErr(w, &apiError{http.StatusBadRequest, "invalid request: " + err.Error()})
+			return
+		}
+		st, err := s.Submit(req)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, st)
+	})
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Jobs())
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, ok := s.Job(r.PathValue("id"))
+		if !ok {
+			writeErr(w, &apiError{http.StatusNotFound, "no such job"})
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.streamJob)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, err := s.Cancel(r.PathValue("id"))
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.MetricsSnapshot())
+	})
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+// streamJob writes newline-delimited JobStatus snapshots: one
+// immediately, then one per state change, ending at a terminal state (or
+// when the client goes away).
+func (s *Server) streamJob(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	j, ok := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	if !ok {
+		writeErr(w, &apiError{http.StatusNotFound, "no such job"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for {
+		// Snapshot and watch channel must come from the same critical
+		// section, or a state change between them would be missed.
+		j.mu.Lock()
+		st := j.status
+		ch := j.updated
+		j.mu.Unlock()
+		if err := enc.Encode(st); err != nil {
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if st.Terminal() {
+			return
+		}
+		select {
+		case <-ch:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
