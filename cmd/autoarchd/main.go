@@ -5,10 +5,20 @@
 // and results are the same core.TuneReport documents `autoarch -json`
 // prints.
 //
+// The daemon is deployable as a long-lived, multi-replica service:
+// identical in-flight jobs coalesce onto one execution, terminal jobs
+// are retained only up to -job-retain / -job-ttl, the on-disk store is
+// garbage-collected to -store-max-bytes / -store-max-age, and several
+// replicas may share one -cache-dir (writes are atomic, corrupt entries
+// are read-repaired, and a store-version manifest keeps mixed fleets
+// from clobbering each other). See DESIGN.md §14.
+//
 // Usage:
 //
-//	autoarchd [-addr :8723] [-jobs 2] [-cache-entries 4096]
-//	          [-cache-dir DIR] [-engine-pool N] [-mem-pool N]
+//	autoarchd [-addr :8723] [-jobs 2] [-queue 256] [-cache-entries 4096]
+//	          [-cache-dir DIR] [-job-retain 1024] [-job-ttl 0]
+//	          [-store-max-bytes 0] [-store-max-age 0] [-store-gc-every 64]
+//	          [-engine-pool N] [-mem-pool N]
 //
 // Endpoints: POST/GET /v1/jobs, GET /v1/jobs/{id}, GET
 // /v1/jobs/{id}/stream (ndjson), DELETE /v1/jobs/{id}, GET /v1/metrics,
@@ -33,30 +43,43 @@ import (
 
 func main() {
 	var (
-		addr         = flag.String("addr", ":8723", "listen address")
-		jobs         = flag.Int("jobs", 2, "concurrently running tuning jobs")
-		queueDepth   = flag.Int("queue", 256, "submitted-job backlog bound")
-		cacheEntries = flag.Int("cache-entries", measure.DefaultCacheEntries, "bounded measurement-cache entry cap")
-		cacheDir     = flag.String("cache-dir", "", "persist measurement reports to this directory (empty = in-memory only)")
-		enginePool   = flag.Int("engine-pool", 0, "platform engine pool size (0 = default)")
-		memPool      = flag.Int("mem-pool", 0, "platform loaded-memory pool size (0 = default)")
+		addr          = flag.String("addr", ":8723", "listen address")
+		jobs          = flag.Int("jobs", 2, "concurrently running tuning jobs")
+		queueDepth    = flag.Int("queue", 256, "submitted-job backlog bound")
+		cacheEntries  = flag.Int("cache-entries", measure.DefaultCacheEntries, "bounded measurement-cache entry cap")
+		cacheDir      = flag.String("cache-dir", "", "persist measurement reports to this directory (empty = in-memory only; shareable across replicas)")
+		jobRetain     = flag.Int("job-retain", serve.DefaultRetainJobs, "terminal jobs kept in the job table (0 = default, -1 = unlimited, minimum cap 1)")
+		jobTTL        = flag.Duration("job-ttl", 0, "drop terminal jobs older than this (0 = no age bound)")
+		storeMaxBytes = flag.Int64("store-max-bytes", 0, "GC the -cache-dir store down to this many bytes (0 = unbounded)")
+		storeMaxAge   = flag.Duration("store-max-age", 0, "GC -cache-dir entries not used within this window (0 = no age bound)")
+		storeGCEvery  = flag.Int("store-gc-every", measure.DefaultGCEvery, "run a store GC sweep every N spills")
+		enginePool    = flag.Int("engine-pool", 0, "platform engine pool size (0 = default)")
+		memPool       = flag.Int("mem-pool", 0, "platform loaded-memory pool size (0 = default)")
 	)
 	flag.Parse()
 
 	platform.SetPoolLimits(*enginePool, *memPool)
 
 	// The provider stack, leaf to root: simulator → optional persistent
-	// spill → bounded LRU. The cache is shared by every job the daemon
-	// ever runs.
+	// spill (GC'd to the configured bounds) → bounded LRU. The cache is
+	// shared by every job the daemon ever runs.
 	var provider measure.Provider = measure.Simulator{}
+	var store *measure.Store
 	if *cacheDir != "" {
-		store, err := measure.NewStore(*cacheDir)
+		var err error
+		store, err = measure.NewStore(*cacheDir)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "autoarchd: %v\n", err)
 			os.Exit(1)
 		}
-		provider = measure.NewPersistent(provider, store)
-		log.Printf("report store at %s (%d entries)", store.Dir(), store.Len())
+		persistent := measure.NewPersistent(provider, store)
+		gc := measure.GCPolicy{MaxBytes: *storeMaxBytes, MaxAge: *storeMaxAge}
+		if gc.Enabled() {
+			persistent.EnableGC(gc, *storeGCEvery)
+		}
+		provider = persistent
+		st := store.Stats()
+		log.Printf("report store at %s (v%d, %d entries, %d bytes)", store.Dir(), measure.StoreVersion, st.Entries, st.Bytes)
 	}
 	cache := measure.NewCache(provider, *cacheEntries)
 
@@ -64,6 +87,9 @@ func main() {
 		Workers:    *jobs,
 		QueueDepth: *queueDepth,
 		Provider:   cache,
+		Store:      store,
+		RetainJobs: *jobRetain,
+		JobTTL:     *jobTTL,
 	})
 	defer server.Close()
 

@@ -1,0 +1,78 @@
+package liquidarch
+
+import (
+	"go/doc"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// packageDoc parses the package in dir (tests excluded) and returns its
+// package-level doc comment.
+func packageDoc(t *testing.T, dir string) string {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("%s: %v", dir, err)
+	}
+	for name, pkg := range pkgs {
+		if strings.HasSuffix(name, "_test") {
+			continue
+		}
+		return doc.New(pkg, dir, doc.AllDecls).Doc
+	}
+	t.Fatalf("%s: no non-test package found", dir)
+	return ""
+}
+
+// TestEveryPackageHasDoc is the documentation gate: every internal
+// package must carry a package comment ("Package <name> ...") and every
+// command a command comment ("Command <name> ..."), so `go doc` is a
+// usable map of the codebase. It fails with the offending directory, not
+// just a count, to keep the fix obvious.
+func TestEveryPackageHasDoc(t *testing.T) {
+	check := func(root, prefix string) {
+		dirs, err := os.ReadDir(root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range dirs {
+			if !d.IsDir() {
+				continue
+			}
+			dir := filepath.Join(root, d.Name())
+			docText := packageDoc(t, dir)
+			if docText == "" {
+				t.Errorf("%s: missing package comment", dir)
+				continue
+			}
+			want := prefix + " " + d.Name()
+			if root == "cmd" {
+				want = prefix // commands are package main; the name follows "Command"
+			}
+			if !strings.HasPrefix(docText, want) {
+				t.Errorf("%s: package comment starts %q, want %q...", dir, firstLine(docText), want)
+			}
+			// A role statement, not a placeholder.
+			if len(docText) < 80 {
+				t.Errorf("%s: package comment is only %d bytes — state the package's role", dir, len(docText))
+			}
+		}
+	}
+	check("internal", "Package")
+	check("cmd", "Command")
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

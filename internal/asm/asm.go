@@ -1,6 +1,6 @@
 // Package asm is a two-pass assembler for the SPARC V8 subset of package
 // isa. It supports the classic SPARC assembly dialect the paper's
-// benchmarks would have been written in: sections (.text/.data), labels,
+// benchmarks (Section 2.5) would have been written in: sections (.text/.data), labels,
 // data directives (.word/.half/.byte/.space/.align/.ascii/.asciz/.equ),
 // %hi/%lo relocations, branch annul suffixes (",a"), and the standard
 // pseudo-instructions (set, mov, cmp, tst, clr, inc, dec, neg, not, nop,

@@ -14,12 +14,32 @@ package binlp
 import (
 	"fmt"
 	"math"
+	"sort"
 )
 
 // LinearForm is Const + Σ Coeffs[i]*x[i].
 type LinearForm struct {
 	Coeffs map[int]float64
 	Const  float64
+}
+
+// term is one (variable, coefficient) pair of a compiled form.
+type term struct {
+	i int
+	c float64
+}
+
+// terms returns the coefficients in ascending variable order. Every
+// summation in the package runs over this order, so identical problems
+// produce bit-identical floating-point sums — and therefore identical
+// prunes, node counts and solutions — regardless of map iteration order.
+func (f LinearForm) terms() []term {
+	ts := make([]term, 0, len(f.Coeffs))
+	for i, c := range f.Coeffs {
+		ts = append(ts, term{i, c})
+	}
+	sort.Slice(ts, func(a, b int) bool { return ts[a].i < ts[b].i })
+	return ts
 }
 
 // NewLinearForm creates an empty linear form.
@@ -35,12 +55,30 @@ func (f *LinearForm) Add(i int, c float64) {
 	f.Coeffs[i] += c
 }
 
-// Eval computes the form on a complete assignment.
+// Eval computes the form on a complete assignment, summing in ascending
+// variable order for reproducibility.
 func (f LinearForm) Eval(x []bool) float64 {
-	v := f.Const
-	for i, c := range f.Coeffs {
-		if x[i] {
-			v += c
+	return compileForm(f).eval(x)
+}
+
+// compiledForm is a LinearForm flattened to sorted term slices: the
+// representation the solver's hot loops evaluate. Compiling once per
+// Solve removes both the map-iteration nondeterminism and the per-node
+// map overhead.
+type compiledForm struct {
+	terms []term
+	konst float64
+}
+
+func compileForm(f LinearForm) compiledForm {
+	return compiledForm{terms: f.terms(), konst: f.Const}
+}
+
+func (f compiledForm) eval(x []bool) float64 {
+	v := f.konst
+	for _, t := range f.terms {
+		if x[t.i] {
+			v += t.c
 		}
 	}
 	return v
@@ -49,19 +87,19 @@ func (f LinearForm) Eval(x []bool) float64 {
 // interval returns the attainable [lo, hi] of the form given a partial
 // assignment: decided variables contribute their value, undecided ones
 // contribute their sign-appropriate extremes.
-func (f LinearForm) interval(x, decided []bool) (lo, hi float64) {
-	lo, hi = f.Const, f.Const
-	for i, c := range f.Coeffs {
+func (f compiledForm) interval(x, decided []bool) (lo, hi float64) {
+	lo, hi = f.konst, f.konst
+	for _, t := range f.terms {
 		switch {
-		case decided[i] && x[i]:
-			lo += c
-			hi += c
-		case decided[i]:
+		case decided[t.i] && x[t.i]:
+			lo += t.c
+			hi += t.c
+		case decided[t.i]:
 			// contributes nothing
-		case c < 0:
-			lo += c
+		case t.c < 0:
+			lo += t.c
 		default:
-			hi += c
+			hi += t.c
 		}
 	}
 	return lo, hi
@@ -82,11 +120,7 @@ type Constraint struct {
 
 // Eval computes the left-hand side on a complete assignment.
 func (c *Constraint) Eval(x []bool) float64 {
-	v := c.Linear.Eval(x)
-	for _, p := range c.Products {
-		v += p.A.Eval(x) * p.B.Eval(x)
-	}
-	return v
+	return compileConstraint(c).eval(x)
 }
 
 // Satisfied reports whether the constraint holds on a complete assignment.
@@ -94,15 +128,48 @@ func (c *Constraint) Satisfied(x []bool) bool {
 	return c.Eval(x) <= c.Bound+1e-9
 }
 
+// compiledConstraint is a Constraint with every form compiled.
+type compiledConstraint struct {
+	name     string
+	linear   compiledForm
+	products []struct{ a, b compiledForm }
+	bound    float64
+}
+
+func compileConstraint(c *Constraint) *compiledConstraint {
+	cc := &compiledConstraint{
+		name:   c.Name,
+		linear: compileForm(c.Linear),
+		bound:  c.Bound,
+	}
+	for _, p := range c.Products {
+		cc.products = append(cc.products,
+			struct{ a, b compiledForm }{compileForm(p.A), compileForm(p.B)})
+	}
+	return cc
+}
+
+func (c *compiledConstraint) eval(x []bool) float64 {
+	v := c.linear.eval(x)
+	for _, p := range c.products {
+		v += p.a.eval(x) * p.b.eval(x)
+	}
+	return v
+}
+
+func (c *compiledConstraint) satisfied(x []bool) bool {
+	return c.eval(x) <= c.bound+1e-9
+}
+
 // lowerBound computes a valid lower bound of the left-hand side over all
 // completions of the partial assignment, using interval arithmetic on each
 // product term.
-func (c *Constraint) lowerBound(x, decided []bool) float64 {
-	lo, _ := c.Linear.interval(x, decided)
+func (c *compiledConstraint) lowerBound(x, decided []bool) float64 {
+	lo, _ := c.linear.interval(x, decided)
 	v := lo
-	for _, p := range c.Products {
-		alo, ahi := p.A.interval(x, decided)
-		blo, bhi := p.B.interval(x, decided)
+	for _, p := range c.products {
+		alo, ahi := p.a.interval(x, decided)
+		blo, bhi := p.b.interval(x, decided)
 		v += math.Min(math.Min(alo*blo, alo*bhi), math.Min(ahi*blo, ahi*bhi))
 	}
 	return v
@@ -166,6 +233,7 @@ type Options struct {
 
 type solver struct {
 	p        *Problem
+	cons     []*compiledConstraint
 	groups   [][]int // normalised: every variable in exactly one group
 	minCost  []float64
 	suffix   []float64 // suffix[k]: lower bound of groups k..end
@@ -196,6 +264,9 @@ func Solve(p *Problem, opts Options) (*Solution, error) {
 	}
 	if s.maxNodes == 0 {
 		s.maxNodes = 10_000_000
+	}
+	for _, c := range p.Constraints {
+		s.cons = append(s.cons, compileConstraint(c))
 	}
 
 	// Normalise groups: ungrouped variables become singleton groups.
@@ -233,9 +304,9 @@ func Solve(p *Problem, opts Options) (*Solution, error) {
 
 	// Incumbent: the all-zero assignment.
 	zero := make([]bool, p.N)
-	for _, c := range p.Constraints {
-		if !c.Satisfied(zero) {
-			return nil, fmt.Errorf("binlp: base assignment violates constraint %q", c.Name)
+	for _, c := range s.cons {
+		if !c.satisfied(zero) {
+			return nil, fmt.Errorf("binlp: base assignment violates constraint %q", c.name)
 		}
 	}
 	s.best = zero
@@ -279,8 +350,8 @@ func (s *solver) branch(gi int, partial float64) {
 		return
 	}
 	// Feasibility bounds.
-	for _, c := range s.p.Constraints {
-		if c.lowerBound(s.x, s.decided) > c.Bound+1e-9 {
+	for _, c := range s.cons {
+		if c.lowerBound(s.x, s.decided) > c.bound+1e-9 {
 			return
 		}
 	}
@@ -348,6 +419,10 @@ func BruteForce(p *Problem) (*Solution, error) {
 			groups = append(groups, []int{i})
 		}
 	}
+	var cons []*compiledConstraint
+	for _, c := range p.Constraints {
+		cons = append(cons, compileConstraint(c))
+	}
 	x := make([]bool, p.N)
 	best := make([]bool, p.N)
 	bestObj := math.Inf(1)
@@ -356,8 +431,8 @@ func BruteForce(p *Problem) (*Solution, error) {
 	rec = func(gi int, obj float64) {
 		if gi == len(groups) {
 			count++
-			for _, c := range p.Constraints {
-				if !c.Satisfied(x) {
+			for _, c := range cons {
+				if !c.satisfied(x) {
 					return
 				}
 			}

@@ -274,6 +274,70 @@ func TestSolverMatchesBruteForce(t *testing.T) {
 	}
 }
 
+// TestSolveByteReproducible locks the determinism contract: the same
+// problem, with its coefficient maps populated in different insertion
+// orders (and therefore different map iteration orders), must explore the
+// same number of nodes and produce bit-identical objectives. This is what
+// lets the autoarch -json golden test compare solver_nodes byte for byte.
+func TestSolveByteReproducible(t *testing.T) {
+	build := func(perm []int) *Problem {
+		n := 10
+		p := &Problem{
+			N:      n,
+			Cost:   []float64{-3.5, 1, -2, 0.5, -1.5, 2, -0.25, 4, -5, 0.75},
+			Groups: [][]int{{0, 1, 2}, {3, 4}},
+		}
+		budget := &Constraint{Name: "budget", Bound: 7}
+		for _, v := range perm {
+			budget.Linear.Add(v, float64((v*7)%5)+0.1)
+		}
+		a := NewLinearForm()
+		b := LinearForm{Const: 1}
+		for _, v := range perm {
+			if v < n/2 {
+				a.Add(v, float64(v%3))
+			} else {
+				b.Add(v, float64(v%4)-1.5)
+			}
+		}
+		p.Constraints = append(p.Constraints, budget,
+			&Constraint{Name: "prod", Products: []ProductTerm{{A: a, B: b}}, Bound: 6})
+		return p
+	}
+
+	perms := [][]int{
+		{0, 1, 2, 3, 4, 5, 6, 7, 8, 9},
+		{9, 8, 7, 6, 5, 4, 3, 2, 1, 0},
+		{4, 0, 9, 2, 7, 5, 1, 8, 3, 6},
+	}
+	var ref *Solution
+	for pi, perm := range perms {
+		for rep := 0; rep < 5; rep++ {
+			sol, err := Solve(build(perm), Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ref == nil {
+				ref = sol
+				continue
+			}
+			if sol.Nodes != ref.Nodes {
+				t.Errorf("perm %d rep %d: %d nodes, want %d", pi, rep, sol.Nodes, ref.Nodes)
+			}
+			if math.Float64bits(sol.Objective) != math.Float64bits(ref.Objective) {
+				t.Errorf("perm %d rep %d: objective %x, want %x",
+					pi, rep, math.Float64bits(sol.Objective), math.Float64bits(ref.Objective))
+			}
+			for i := range sol.X {
+				if sol.X[i] != ref.X[i] {
+					t.Errorf("perm %d rep %d: assignment differs at %d", pi, rep, i)
+					break
+				}
+			}
+		}
+	}
+}
+
 func TestConstraintEvalAndBounds(t *testing.T) {
 	a := LinearForm{Coeffs: map[int]float64{0: 2, 1: -1}, Const: 1}
 	b := LinearForm{Coeffs: map[int]float64{2: 3}, Const: 2}
@@ -290,7 +354,7 @@ func TestConstraintEvalAndBounds(t *testing.T) {
 	// With nothing decided, the lower bound must not exceed any
 	// achievable value.
 	decided := []bool{false, false, false}
-	lb := c.lowerBound(make([]bool, 3), decided)
+	lb := compileConstraint(c).lowerBound(make([]bool, 3), decided)
 	for mask := 0; mask < 8; mask++ {
 		y := []bool{mask&1 != 0, mask&2 != 0, mask&4 != 0}
 		if v := c.Eval(y); lb > v+1e-9 {

@@ -1,5 +1,6 @@
 // Package cache implements the configurable first-level caches of the
-// LEON2-like processor: 1-4 ways ("sets" in LEON terminology), 1-64 KB per
+// LEON2-like processor — the richest knobs of the paper's Figure 1
+// decision space: 1-4 ways ("sets" in LEON terminology), 1-64 KB per
 // way, 4- or 8-word lines, and random / LRR / LRU replacement.
 //
 // The cache is a timing model: data lives in the flat RAM (package mem) and

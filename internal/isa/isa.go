@@ -1,7 +1,8 @@
 // Package isa defines the SPARC V8 instruction subset executed by the
-// LEON2-like simulator: 32-bit instruction words in the three SPARC formats,
-// a semantic opcode enumeration, integer condition codes, encoding,
-// decoding, and disassembly.
+// LEON2-like simulator (the paper's Section 2 platform is a LEON2, a
+// SPARC V8 soft core): 32-bit instruction words in the three SPARC
+// formats, a semantic opcode enumeration, integer condition codes,
+// encoding, decoding, and disassembly.
 //
 // The subset covers everything the benchmark programs and the window
 // overflow/underflow machinery need: the ALU (with and without condition

@@ -15,6 +15,12 @@
 // all reuse identical (program, timing-configuration) runs, exactly as
 // the unbounded cache of DESIGN.md §10 did — but bounded, observable and
 // cancellable.
+//
+// The on-disk Store is built for fleets as well as single processes
+// (DESIGN.md §14): atomic writes, read-repair of corrupt entries, a
+// store-version manifest handshake, and an LRU-by-mtime GC (GCPolicy)
+// that bounds the spill by bytes and age, so several autoarchd replicas
+// can safely share one directory.
 package measure
 
 import (

@@ -9,8 +9,12 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"liquidarch/internal/asm"
 	"liquidarch/internal/cache"
@@ -25,26 +29,119 @@ import (
 // for models.
 const StoreVersion = 1
 
+// manifestName is the store-version handshake file at the store root.
+// Replicas sharing one directory agree on the format through it: a
+// replica refuses to open a store whose manifest names a newer version
+// than it understands, so an old binary never garbage-collects (or
+// misreads) a fleet's upgraded store out from under the new replicas.
+const manifestName = "store.json"
+
+// manifest is the serialized handshake document.
+type manifest struct {
+	StoreVersion int `json:"store_version"`
+}
+
 // Store is a versioned on-disk spill of measurement reports: one JSON
 // file per key under dir/v<version>/, named by a stable content hash of
 // (program fingerprint, timing configuration, run options). Unlike the
 // in-memory Cache it survives process restarts, which is what turns a
 // ~52-measurement model build into a pure disk replay on the second run —
 // the serving analogue of core.SaveModel/LoadModel.
+//
+// A Store is safe for concurrent use within a process and for concurrent
+// sharing across processes (multi-replica deployments mounting one
+// directory): writes are temp-file + rename so readers never observe a
+// partial entry, loads touch the entry's mtime so the GC sweep is
+// LRU-ordered, and corrupt entries are repaired (removed) on read rather
+// than wedging any replica.
 type Store struct {
 	dir string
+
+	loads    atomic.Uint64 // successful disk hits
+	saves    atomic.Uint64
+	repaired atomic.Uint64 // corrupt entries removed on read
+	gcRuns   atomic.Uint64
+	gcFiles  atomic.Uint64
+	gcBytes  atomic.Uint64
+
+	// Cached resident-footprint walk for Stats: a metrics scrape on an
+	// idle store must not turn into a per-file stat storm on a large
+	// shared directory. The cache is busted by local activity (loads,
+	// saves, repairs, sweeps — any of which may signal a changed
+	// footprint) and expires after statsWalkInterval regardless, so
+	// other replicas' writes surface too.
+	statsMu       sync.Mutex
+	statsAt       time.Time
+	statsActivity uint64
+	statsEnts     int
+	statsBytes    int64
 
 	mu  sync.Mutex
 	fps map[*asm.Program]string // memoized program fingerprints
 }
 
-// NewStore opens (creating if needed) a report store rooted at dir.
+// NewStore opens (creating if needed) a report store rooted at dir,
+// performing the store-version handshake against any existing manifest.
+// The handshake runs before the version directory is created, so
+// refusing a newer fleet's store leaves it untouched.
 func NewStore(dir string) (*Store, error) {
 	s := &Store{dir: dir, fps: make(map[*asm.Program]string)}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("measure: opening store: %w", err)
+	}
+	if err := s.handshake(); err != nil {
+		return nil, err
+	}
 	if err := os.MkdirAll(s.versionDir(), 0o755); err != nil {
 		return nil, fmt.Errorf("measure: opening store: %w", err)
 	}
 	return s, nil
+}
+
+// handshake validates (and if needed writes) the root manifest. A
+// missing or corrupt manifest is replaced; a manifest from a newer
+// format is a hard error — that directory now belongs to newer replicas.
+func (s *Store) handshake() error {
+	path := filepath.Join(s.dir, manifestName)
+	var m manifest
+	data, err := os.ReadFile(path)
+	if err == nil && json.Unmarshal(data, &m) == nil {
+		if m.StoreVersion > StoreVersion {
+			return fmt.Errorf("measure: store %s is format v%d, this binary understands v%d — refusing to share it",
+				s.dir, m.StoreVersion, StoreVersion)
+		}
+		if m.StoreVersion == StoreVersion {
+			return nil
+		}
+	}
+	// Absent, corrupt, or older: claim the directory for the current
+	// format. Racing replicas write byte-identical content, so the
+	// last rename winning is harmless.
+	out, err := json.Marshal(manifest{StoreVersion: StoreVersion})
+	if err != nil {
+		return fmt.Errorf("measure: writing store manifest: %w", err)
+	}
+	return s.writeAtomic(path, append(out, '\n'))
+}
+
+// writeAtomic writes data to path via temp file + rename.
+func (s *Store) writeAtomic(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("measure: writing %s: %w", filepath.Base(path), err)
+	}
+	_, werr := tmp.Write(data)
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmp.Name(), path)
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("measure: writing %s: %w", filepath.Base(path), werr)
+	}
+	return nil
 }
 
 // Dir returns the store's root directory.
@@ -115,15 +212,31 @@ type storedReport struct {
 
 // Load returns the stored report for key, or ok=false when absent (or
 // unreadable — a corrupt entry is treated as a miss, never an error).
+//
+// Two multi-replica behaviours live here. Read-repair: a corrupt or
+// format-mismatched entry is removed on sight, so the next writer
+// replaces it and other replicas stop tripping over it (writes are
+// atomic renames, so corruption only arises from torn crashes or
+// foreign files — a removal lost to a racing re-save costs one
+// re-measure, never correctness). LRU touch: a successful load bumps
+// the entry's mtime, so the GC sweep evicts cold entries first even
+// when the heat comes from a different replica.
 func (s *Store) Load(key Key) (*platform.RunReport, bool) {
-	data, err := os.ReadFile(s.path(key))
+	path := s.path(key)
+	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, false
 	}
 	var in storedReport
 	if err := json.Unmarshal(data, &in); err != nil || in.Version != StoreVersion {
+		if os.Remove(path) == nil {
+			s.repaired.Add(1)
+		}
 		return nil, false
 	}
+	s.loads.Add(1)
+	now := time.Now()
+	_ = os.Chtimes(path, now, now)
 	return &platform.RunReport{
 		Config:   key.Cfg,
 		Stats:    in.Stats,
@@ -154,23 +267,10 @@ func (s *Store) Save(key Key, rep *platform.RunReport) error {
 	if err != nil {
 		return fmt.Errorf("measure: encoding report: %w", err)
 	}
-	path := s.path(key)
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
-	if err != nil {
-		return fmt.Errorf("measure: saving report: %w", err)
+	if err := s.writeAtomic(s.path(key), data); err != nil {
+		return err
 	}
-	_, werr := tmp.Write(data)
-	if cerr := tmp.Close(); werr == nil {
-		werr = cerr
-	}
-	if werr != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("measure: saving report: %w", werr)
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("measure: saving report: %w", err)
-	}
+	s.saves.Add(1)
 	return nil
 }
 
@@ -189,6 +289,246 @@ func (s *Store) Len() int {
 	return n
 }
 
+// GCPolicy bounds the on-disk store. Zero values disable that bound, so
+// the zero policy is a no-op sweep.
+type GCPolicy struct {
+	// MaxBytes caps the total size of resident entries; the sweep
+	// removes least-recently-used (oldest-mtime) entries until the
+	// store fits.
+	MaxBytes int64
+	// MaxAge drops entries not loaded or written within the window.
+	MaxAge time.Duration
+}
+
+// Enabled reports whether the policy bounds anything.
+func (p GCPolicy) Enabled() bool { return p.MaxBytes > 0 || p.MaxAge > 0 }
+
+// GCResult summarizes one sweep.
+type GCResult struct {
+	// Removed counts the entries deleted, RemovedBytes their size.
+	Removed      int
+	RemovedBytes int64
+	// Entries and Bytes describe what remains.
+	Entries int
+	Bytes   int64
+}
+
+// gcEntry is one stat'ed store file under consideration.
+type gcEntry struct {
+	path  string
+	size  int64
+	mtime time.Time
+}
+
+// GC sweeps the current-version directory to within the policy: first by
+// age, then LRU-by-mtime down to the byte bound. Loads bump mtimes, so
+// mtime order is recency-of-use order — an LRU shared with every replica
+// mounting the directory, with no lock and no index file. The sweep
+// tolerates concurrent writers and concurrent sweeps: files that vanish
+// mid-sweep are skipped, and a just-rewritten entry at worst gets
+// removed once and re-measured once. Stale temp files (crashed writers)
+// older than an hour are collected too.
+func (s *Store) GC(policy GCPolicy) GCResult {
+	s.gcRuns.Add(1)
+	now := time.Now()
+	// Root-level housekeeping: crashed manifest-rewrite temp files, and
+	// v<k> trees orphaned by a StoreVersion bump. Old trees are removed
+	// only under an age bound and only once quiescent for MaxAge: the
+	// handshake refuses *new* old-version replicas, but one that opened
+	// the directory before an upgrade may still be alive — while it
+	// keeps hitting disk, its loads and saves keep the old tree's
+	// mtimes fresh. Best-effort, not a lease: an old replica idle past
+	// MaxAge can lose its tree and pays with re-simulation, never
+	// correctness.
+	if rootEntries, err := os.ReadDir(s.dir); err == nil {
+		for _, e := range rootEntries {
+			if e.IsDir() {
+				if name, ok := strings.CutPrefix(e.Name(), "v"); ok {
+					if k, err := strconv.Atoi(name); err == nil && k < StoreVersion &&
+						policy.MaxAge > 0 {
+						path := filepath.Join(s.dir, e.Name())
+						if now.Sub(newestMtime(path)) > policy.MaxAge {
+							_ = os.RemoveAll(path)
+						}
+					}
+				}
+				continue
+			}
+			if !strings.HasPrefix(e.Name(), ".tmp-") {
+				continue
+			}
+			if info, err := e.Info(); err == nil && now.Sub(info.ModTime()) > time.Hour {
+				_ = os.Remove(filepath.Join(s.dir, e.Name()))
+			}
+		}
+	}
+	dir := s.versionDir()
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		return GCResult{}
+	}
+	var res GCResult
+	var live []gcEntry
+	var total int64
+	for _, e := range names {
+		if e.IsDir() {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue // vanished under us
+		}
+		path := filepath.Join(dir, e.Name())
+		if strings.HasPrefix(e.Name(), ".tmp-") {
+			if now.Sub(info.ModTime()) > time.Hour {
+				_ = os.Remove(path)
+			}
+			continue
+		}
+		if !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		ge := gcEntry{path: path, size: info.Size(), mtime: info.ModTime()}
+		if policy.MaxAge > 0 && now.Sub(ge.mtime) > policy.MaxAge {
+			rerr := os.Remove(ge.path)
+			if rerr == nil {
+				res.Removed++
+				res.RemovedBytes += ge.size
+			}
+			if rerr == nil || os.IsNotExist(rerr) {
+				continue
+			}
+			// Unremovable (permissions on a shared dir): still resident,
+			// keep it in the books so the metrics don't lie.
+		}
+		live = append(live, ge)
+		total += ge.size
+	}
+	if policy.MaxBytes > 0 && total > policy.MaxBytes {
+		sort.Slice(live, func(a, b int) bool { return live[a].mtime.Before(live[b].mtime) })
+		for i := 0; i < len(live) && total > policy.MaxBytes; i++ {
+			rerr := os.Remove(live[i].path)
+			if rerr == nil {
+				res.Removed++
+				res.RemovedBytes += live[i].size
+			}
+			if rerr != nil && !os.IsNotExist(rerr) {
+				// Unremovable: it still occupies the store; move on and
+				// evict the next-coldest instead.
+				continue
+			}
+			// Gone (by us or a racing sweep): off the books either way.
+			total -= live[i].size
+			live[i].size = 0
+		}
+	}
+	for _, ge := range live {
+		if ge.size > 0 {
+			res.Entries++
+			res.Bytes += ge.size
+		}
+	}
+	s.gcFiles.Add(uint64(res.Removed))
+	s.gcBytes.Add(uint64(res.RemovedBytes))
+	s.noteFootprint(s.loads.Load()+s.saves.Load()+s.repaired.Load()+s.gcRuns.Load(),
+		res.Entries, res.Bytes)
+	return res
+}
+
+// newestMtime returns the freshest modification time in dir (the dir
+// itself or any immediate entry) — the "is anyone still using this
+// tree" probe behind old-version reclamation.
+func newestMtime(dir string) time.Time {
+	var newest time.Time
+	if info, err := os.Stat(dir); err == nil {
+		newest = info.ModTime()
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return newest
+	}
+	for _, e := range entries {
+		if info, err := e.Info(); err == nil && info.ModTime().After(newest) {
+			newest = info.ModTime()
+		}
+	}
+	return newest
+}
+
+// StoreStats is a point-in-time snapshot of a Store's counters plus its
+// resident footprint. Entries and bytes come from a directory walk (so
+// they reflect other replicas' writes too), refreshed at most every
+// statsWalkInterval and by every GC sweep — a monitoring system
+// scraping /v1/metrics does not trigger a per-file stat storm on a
+// large shared directory.
+type StoreStats struct {
+	Dir            string `json:"dir"`
+	Version        int    `json:"version"`
+	Entries        int    `json:"entries"`
+	Bytes          int64  `json:"bytes"`
+	Loads          uint64 `json:"loads"`
+	Saves          uint64 `json:"saves"`
+	Repaired       uint64 `json:"repaired"`
+	GCRuns         uint64 `json:"gc_runs"`
+	GCRemoved      uint64 `json:"gc_removed"`
+	GCRemovedBytes uint64 `json:"gc_removed_bytes"`
+}
+
+// statsWalkInterval bounds how often Stats re-walks the directory.
+const statsWalkInterval = 5 * time.Second
+
+// Stats assembles the current snapshot.
+func (s *Store) Stats() StoreStats {
+	st := StoreStats{
+		Dir:            s.dir,
+		Version:        StoreVersion,
+		Loads:          s.loads.Load(),
+		Saves:          s.saves.Load(),
+		Repaired:       s.repaired.Load(),
+		GCRuns:         s.gcRuns.Load(),
+		GCRemoved:      s.gcFiles.Load(),
+		GCRemovedBytes: s.gcBytes.Load(),
+	}
+	activity := st.Loads + st.Saves + st.Repaired + st.GCRuns
+	s.statsMu.Lock()
+	if !s.statsAt.IsZero() && activity == s.statsActivity &&
+		time.Since(s.statsAt) < statsWalkInterval {
+		st.Entries, st.Bytes = s.statsEnts, s.statsBytes
+		s.statsMu.Unlock()
+		return st
+	}
+	s.statsMu.Unlock()
+
+	var ents int
+	var bytes int64
+	if entries, err := os.ReadDir(s.versionDir()); err == nil {
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+				continue
+			}
+			if info, err := e.Info(); err == nil {
+				ents++
+				bytes += info.Size()
+			}
+		}
+	}
+	s.noteFootprint(activity, ents, bytes)
+	st.Entries, st.Bytes = ents, bytes
+	return st
+}
+
+// noteFootprint refreshes the cached resident footprint (Stats walks
+// and GC sweeps both feed it), stamping the local-activity level the
+// figures correspond to.
+func (s *Store) noteFootprint(activity uint64, ents int, bytes int64) {
+	s.statsMu.Lock()
+	s.statsAt = time.Now()
+	s.statsActivity = activity
+	s.statsEnts = ents
+	s.statsBytes = bytes
+	s.statsMu.Unlock()
+}
+
 // Persistent is a provider that spills every successful measurement to a
 // Store and answers future requests from disk. Layer it under a Cache:
 // the Cache bounds memory and singleflights, the Store makes results
@@ -196,12 +536,41 @@ func (s *Store) Len() int {
 type Persistent struct {
 	inner Provider
 	store *Store
+
+	gcPolicy GCPolicy
+	gcEvery  uint64
+	saven    atomic.Uint64 // saves since the last sweep
 }
 
 // NewPersistent wraps inner with the on-disk store.
 func NewPersistent(inner Provider, store *Store) *Persistent {
 	return &Persistent{inner: inner, store: store}
 }
+
+// DefaultGCEvery is how many spills elapse between GC sweeps when
+// EnableGC does not say otherwise. A sweep is one readdir + stats, so
+// amortizing over a few dozen writes keeps it invisible next to even a
+// single simulation.
+const DefaultGCEvery = 64
+
+// EnableGC makes the provider sweep its store to within policy after
+// every `every` spills (<= 0 means DefaultGCEvery), and once immediately
+// so a long-dormant oversized directory is bounded at startup. Returns
+// the receiver for chaining.
+func (p *Persistent) EnableGC(policy GCPolicy, every int) *Persistent {
+	if every <= 0 {
+		every = DefaultGCEvery
+	}
+	p.gcPolicy = policy
+	p.gcEvery = uint64(every)
+	if policy.Enabled() {
+		p.store.GC(policy)
+	}
+	return p
+}
+
+// Store exposes the underlying store (for metrics and manual sweeps).
+func (p *Persistent) Store() *Store { return p.store }
 
 // Measure implements Provider. Traced runs bypass the store.
 func (p *Persistent) Measure(ctx context.Context, prog *asm.Program, cfg config.Config, opts platform.Options) (*platform.RunReport, error) {
@@ -222,5 +591,8 @@ func (p *Persistent) Measure(ctx context.Context, prog *asm.Program, cfg config.
 	}
 	// Spill best-effort: a full disk must not fail the measurement.
 	_ = p.store.Save(key, rep)
+	if p.gcPolicy.Enabled() && p.saven.Add(1)%p.gcEvery == 0 {
+		p.store.GC(p.gcPolicy)
+	}
 	return rep, nil
 }

@@ -1,7 +1,7 @@
-// Package mem models the memory system behind the caches of the LEON2-like
-// platform: a flat big-endian RAM on an AHB-style burst bus, a single-entry
-// write buffer (LEON's data cache is write-through), and the APB UART data
-// register used as a console.
+// Package mem models the memory system behind the caches of the
+// LEON2-like platform of the paper's Section 2: a flat big-endian RAM on
+// an AHB-style burst bus, a single-entry write buffer (LEON's data cache
+// is write-through), and the APB UART data register used as a console.
 package mem
 
 import "fmt"

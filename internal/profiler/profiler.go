@@ -1,7 +1,8 @@
 // Package profiler is the reproduction's analogue of the Liquid
-// Architecture platform's statistics module: a cycle-accurate,
-// non-intrusive profile of an application run, with the stall budget
-// broken down by cause.
+// Architecture platform's statistics module (paper Section 2.3, the
+// source of every runtime measurement the technique consumes): a
+// cycle-accurate, non-intrusive profile of an application run, with the
+// stall budget broken down by cause.
 package profiler
 
 import (

@@ -7,6 +7,13 @@
 // process. Results are core.TuneReport documents, the same serialization
 // `autoarch -json` prints.
 //
+// The scheduler is built for a long-lived, multi-replica deployment
+// (DESIGN.md §14): identical in-flight requests coalesce onto one
+// execution (a flight) with every attached job streaming the same
+// progress, terminal jobs are retained only up to a configured
+// count/age, and the measurement store a fleet shares over one
+// directory is swept by the measure layer's GC.
+//
 // API (all JSON):
 //
 //	POST   /v1/jobs          submit a JobRequest, returns the queued JobStatus
@@ -24,6 +31,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"sort"
 	"sync"
 	"time"
 
@@ -34,6 +42,12 @@ import (
 	"liquidarch/internal/progs"
 	"liquidarch/internal/workload"
 )
+
+// DefaultRetainJobs bounds the terminal jobs kept in the table when
+// Options.RetainJobs is zero. Terminal jobs exist only so clients can
+// fetch results they already streamed; a long-lived daemon must not
+// grow its table with every request it ever served.
+const DefaultRetainJobs = 1024
 
 // Options configures a Server.
 type Options struct {
@@ -50,6 +64,28 @@ type Options struct {
 	// CacheEntries sizes the default provider's cache (ignored when
 	// Provider is set; <= 0 means measure.DefaultCacheEntries).
 	CacheEntries int
+	// Store, when set, is reported under /v1/metrics. It does not alter
+	// the provider stack — wire the store into Provider explicitly.
+	Store *measure.Store
+	// RetainJobs caps the terminal jobs kept in the table: beyond it the
+	// oldest-finished are dropped. 0 means DefaultRetainJobs (so the
+	// zero Options value retains sensibly; the smallest expressible cap
+	// is 1), negative means unlimited. Queued and running jobs are never
+	// dropped.
+	RetainJobs int
+	// JobTTL drops terminal jobs older than this (0 = no age bound).
+	JobTTL time.Duration
+}
+
+// retain resolves the configured terminal-job cap (-1 = unlimited).
+func (o Options) retain() int {
+	switch {
+	case o.RetainJobs == 0:
+		return DefaultRetainJobs
+	case o.RetainJobs < 0:
+		return -1
+	}
+	return o.RetainJobs
 }
 
 // JobRequest is the POST /v1/jobs payload.
@@ -105,11 +141,11 @@ func (s *JobStatus) Terminal() bool {
 
 // job is the internal record behind a JobStatus.
 type job struct {
-	mu       sync.Mutex
-	status   JobStatus
-	cancel   context.CancelFunc
-	updated  chan struct{} // closed and replaced on every status change
-	canceled bool
+	flight *flight // the execution this job rides; guarded by Server.mu
+
+	mu      sync.Mutex
+	status  JobStatus
+	updated chan struct{} // closed and replaced on every status change
 }
 
 func (j *job) snapshot() JobStatus {
@@ -135,6 +171,37 @@ func (j *job) watch() <-chan struct{} {
 	return j.updated
 }
 
+// flight is one shared execution of identical JobRequests: the job-layer
+// singleflight, mirroring measure.Cache's measurement-layer one. The
+// first submitter creates the flight and its request is the one
+// executed; identical submissions arriving before it finishes attach to
+// it instead of queueing a second execution, and every attached job's
+// status tracks the flight. Cancelling a job only detaches it — the
+// execution itself is cancelled when its last job detaches.
+type flight struct {
+	key    string
+	req    JobRequest
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	// Guarded by Server.mu.
+	jobs      []*job // attached (not individually cancelled) jobs
+	started   bool
+	startedAt time.Time
+}
+
+// detachLocked removes j; the caller holds Server.mu. Reports whether
+// the flight is now empty (and should be cancelled by the caller).
+func (f *flight) detachLocked(j *job) bool {
+	for i, other := range f.jobs {
+		if other == j {
+			f.jobs = append(f.jobs[:i], f.jobs[i+1:]...)
+			break
+		}
+	}
+	return len(f.jobs) == 0
+}
+
 // Server is the autoarchd daemon core: scheduler, job table and HTTP
 // handlers. Construct with New, serve Handler(), Close on shutdown.
 type Server struct {
@@ -144,14 +211,18 @@ type Server struct {
 
 	baseCtx context.Context
 	stop    context.CancelFunc
-	queue   chan *job
+	queue   chan *flight
 	wg      sync.WaitGroup
 
-	mu     sync.Mutex
-	jobs   map[string]*job
-	order  []string
-	seq    int
-	closed bool
+	mu        sync.Mutex
+	jobs      map[string]*job
+	order     []string // submission order, pruned by retention
+	flights   map[string]*flight
+	seq       int
+	submitted uint64
+	deduped   uint64
+	dropped   uint64
+	closed    bool
 }
 
 // New builds a server and starts its worker scheduler.
@@ -177,14 +248,45 @@ func New(opts Options) *Server {
 		cache:    cache,
 		baseCtx:  ctx,
 		stop:     stop,
-		queue:    make(chan *job, opts.QueueDepth),
+		queue:    make(chan *flight, opts.QueueDepth),
 		jobs:     make(map[string]*job),
+		flights:  make(map[string]*flight),
 	}
 	for i := 0; i < opts.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
+	if opts.JobTTL > 0 {
+		s.wg.Add(1)
+		go s.janitor()
+	}
 	return s
+}
+
+// janitor sweeps TTL-expired terminal jobs on an idle server (the sweep
+// also runs on every submission and listing, but age-based retention
+// must not depend on traffic to make progress).
+func (s *Server) janitor() {
+	defer s.wg.Done()
+	interval := s.opts.JobTTL / 4
+	if interval < time.Second {
+		interval = time.Second
+	}
+	if interval > time.Minute {
+		interval = time.Minute
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.baseCtx.Done():
+			return
+		case <-t.C:
+			s.mu.Lock()
+			s.sweepJobsLocked(time.Now())
+			s.mu.Unlock()
+		}
+	}
 }
 
 // Close stops the scheduler, cancelling any running jobs, and waits for
@@ -209,8 +311,8 @@ func (s *Server) Cache() *measure.Cache { return s.cache }
 
 func (s *Server) worker() {
 	defer s.wg.Done()
-	for j := range s.queue {
-		s.runJob(j)
+	for f := range s.queue {
+		s.runFlight(f)
 	}
 }
 
@@ -245,41 +347,87 @@ func resolve(req JobRequest) (*progs.Benchmark, workload.Scale, *config.Space, c
 	return b, sc, space, w, nil
 }
 
-func (s *Server) runJob(j *job) {
-	snap := j.snapshot()
-	ctx, cancel := context.WithCancel(s.baseCtx)
-	defer cancel()
+// dedupKey canonicalizes the result-determining fields of a resolved
+// request: two requests with equal keys are guaranteed the same
+// TuneReport (the simulator and solver are deterministic), which is what
+// licenses coalescing them onto one flight. Workers is deliberately
+// excluded — it only tunes the flight's internal parallelism (the first
+// submitter's value wins); everything else participates.
+func dedupKey(req JobRequest, app string, sc workload.Scale, w core.Weights) string {
+	space := req.Space
+	if space == "" {
+		space = "full"
+	}
+	return fmt.Sprintf("app=%s scale=%s space=%s w1=%g w2=%g w3=%g sample=%d model=%t",
+		app, sc, space, w.W1, w.W2, w.W3, req.SampleInstructions, req.IncludeModel)
+}
 
-	j.mu.Lock()
-	if j.canceled {
-		j.mu.Unlock()
+// runFlight executes one flight and broadcasts its outcome to every job
+// still attached. Jobs that detached (individual cancellations) already
+// reached their terminal state and are not touched.
+func (s *Server) runFlight(f *flight) {
+	s.mu.Lock()
+	if len(f.jobs) == 0 {
+		// Every submitter cancelled before a worker got here; Cancel
+		// already unmapped the flight.
+		s.mu.Unlock()
+		f.cancel()
 		return
 	}
-	j.cancel = cancel
 	now := time.Now()
-	j.status.State = StateRunning
-	j.status.Started = &now
-	close(j.updated)
-	j.updated = make(chan struct{})
-	j.mu.Unlock()
+	f.started = true
+	f.startedAt = now
+	running := append([]*job(nil), f.jobs...)
+	s.mu.Unlock()
+	for _, j := range running {
+		j.mutate(func(st *JobStatus) {
+			if st.Terminal() {
+				// Cancelled between the passenger snapshot and this
+				// broadcast; it must not be revived into "running".
+				return
+			}
+			st.State = StateRunning
+			st.Started = &now
+		})
+	}
 
-	report, err := s.tune(ctx, snap.Request)
+	report, err := s.tune(f.ctx, f.req)
 
-	j.mutate(func(st *JobStatus) {
-		now := time.Now()
-		st.Finished = &now
-		switch {
-		case err == nil:
-			st.State = StateDone
-			st.Result = report
-		case ctx.Err() != nil && s.baseCtx.Err() == nil:
-			st.State = StateCancelled
-			st.Error = context.Canceled.Error()
-		default:
-			st.State = StateFailed
-			st.Error = err.Error()
-		}
-	})
+	// Delete-then-broadcast under the table lock: once the flight is out
+	// of the map no new submission can attach, so the snapshot below is
+	// the complete passenger list. The delete is conditional — a
+	// cancel-all may have unmapped this flight already and a fresh
+	// flight may own the key now.
+	s.mu.Lock()
+	if s.flights[f.key] == f {
+		delete(s.flights, f.key)
+	}
+	attached := append([]*job(nil), f.jobs...)
+	s.mu.Unlock()
+	f.cancel()
+
+	for _, j := range attached {
+		j.mutate(func(st *JobStatus) {
+			if st.Terminal() {
+				// A cancellation raced the broadcast; the client already
+				// saw the job end — leave it be.
+				return
+			}
+			now := time.Now()
+			st.Finished = &now
+			switch {
+			case err == nil:
+				st.State = StateDone
+				st.Result = report
+			case f.ctx.Err() != nil && s.baseCtx.Err() == nil:
+				st.State = StateCancelled
+				st.Error = context.Canceled.Error()
+			default:
+				st.State = StateFailed
+				st.Error = err.Error()
+			}
+		})
+	}
 }
 
 // tune executes one job: the same BuildModel → solve → validate flow the
@@ -311,17 +459,24 @@ func (s *Server) tune(ctx context.Context, req JobRequest) (*core.TuneReport, er
 	return core.NewTuneReport(model, rec, val, req.IncludeModel), nil
 }
 
-// Submit enqueues a job (the programmatic form of POST /v1/jobs).
+// Submit enqueues a job (the programmatic form of POST /v1/jobs). An
+// identical in-flight request coalesces: the new job attaches to the
+// existing flight instead of queueing a second execution, so both
+// clients observe the same progress and receive the same result.
 func (s *Server) Submit(req JobRequest) (JobStatus, error) {
-	if _, _, _, _, err := resolve(req); err != nil {
+	b, sc, _, w, err := resolve(req)
+	if err != nil {
 		return JobStatus{}, &apiError{http.StatusBadRequest, err.Error()}
 	}
+	key := dedupKey(req, b.Name, sc, w)
+
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		return JobStatus{}, &apiError{http.StatusServiceUnavailable, "server shutting down"}
 	}
 	s.seq++
+	s.submitted++
 	id := fmt.Sprintf("job-%d", s.seq)
 	j := &job{
 		status: JobStatus{
@@ -334,51 +489,166 @@ func (s *Server) Submit(req JobRequest) (JobStatus, error) {
 	}
 	s.jobs[id] = j
 	s.order = append(s.order, id)
+	s.sweepJobsLocked(time.Now())
+
+	if f, ok := s.flights[key]; ok {
+		// Dedup: ride the existing execution.
+		s.deduped++
+		j.flight = f
+		f.jobs = append(f.jobs, j)
+		if f.started {
+			started := f.startedAt
+			j.status.State = StateRunning
+			j.status.Started = &started
+		}
+		s.mu.Unlock()
+		return j.snapshot(), nil
+	}
+
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	f := &flight{key: key, req: req, ctx: ctx, cancel: cancel, jobs: []*job{j}}
+	j.flight = f
+	s.flights[key] = f
 	// The enqueue happens under s.mu so it cannot race Close's
 	// close(s.queue): Close flips s.closed under the same lock first.
 	var full bool
 	select {
-	case s.queue <- j:
+	case s.queue <- f:
 	default:
 		full = true
+		delete(s.flights, key)
 	}
 	s.mu.Unlock()
 
 	if full {
+		cancel()
 		j.mutate(func(st *JobStatus) {
+			if st.Terminal() {
+				// The job was already listed and cancelled in the window
+				// since s.mu was released; don't overwrite that.
+				return
+			}
+			now := time.Now()
 			st.State = StateFailed
 			st.Error = "queue full"
+			st.Finished = &now
 		})
 		return j.snapshot(), &apiError{http.StatusServiceUnavailable, "queue full"}
 	}
 	return j.snapshot(), nil
 }
 
-// Cancel cancels a job by id.
+// Cancel cancels a job by id. A job sharing a flight with others only
+// detaches — the execution continues for the remaining passengers, and
+// is itself cancelled when the last one leaves.
 func (s *Server) Cancel(id string) (JobStatus, error) {
 	s.mu.Lock()
 	j, ok := s.jobs[id]
-	s.mu.Unlock()
 	if !ok {
+		s.mu.Unlock()
 		return JobStatus{}, &apiError{http.StatusNotFound, "no such job"}
 	}
+	var emptied *flight
 	j.mu.Lock()
 	switch j.status.State {
-	case StateQueued:
-		j.canceled = true
+	case StateQueued, StateRunning:
+		if f := j.flight; f != nil && f.detachLocked(j) {
+			emptied = f
+			// Unmap eagerly: a dying flight must not pick up fresh
+			// passengers between now and its worker observing the
+			// cancellation.
+			if s.flights[f.key] == f {
+				delete(s.flights, f.key)
+			}
+		}
 		now := time.Now()
 		j.status.State = StateCancelled
 		j.status.Finished = &now
 		close(j.updated)
 		j.updated = make(chan struct{})
-	case StateRunning:
-		j.canceled = true
-		if j.cancel != nil {
-			j.cancel()
-		}
 	}
 	j.mu.Unlock()
+	s.mu.Unlock()
+	if emptied != nil {
+		// Last passenger gone: stop the execution (a queued flight is
+		// skipped by its worker, a running one is interrupted).
+		emptied.cancel()
+	}
 	return j.snapshot(), nil
+}
+
+// sweepJobsLocked enforces retention: terminal jobs beyond the age bound
+// (JobTTL) or count bound (RetainJobs, oldest-finished first) are
+// dropped from the table. Queued and running jobs are never dropped —
+// retention can not cancel work, only forget finished work. Caller
+// holds s.mu.
+func (s *Server) sweepJobsLocked(now time.Time) {
+	retain := s.opts.retain()
+	ttl := s.opts.JobTTL
+	// Fast path: with no age bound and the whole table under the count
+	// bound, nothing can be over either limit — don't walk ~retain jobs
+	// (each a mutex + status copy) under s.mu on every submit/scrape.
+	if ttl <= 0 && (retain < 0 || len(s.order) <= retain) {
+		return
+	}
+
+	type terminal struct {
+		id       string
+		finished time.Time
+	}
+	var terminals []terminal
+	for _, id := range s.order {
+		j := s.jobs[id]
+		st := j.snapshot()
+		if !st.Terminal() {
+			continue
+		}
+		fin := st.Created
+		if st.Finished != nil {
+			fin = *st.Finished
+		}
+		terminals = append(terminals, terminal{id, fin})
+	}
+
+	drop := make(map[string]bool)
+	if ttl > 0 {
+		for _, t := range terminals {
+			if now.Sub(t.finished) > ttl {
+				drop[t.id] = true
+			}
+		}
+	}
+	if retain >= 0 {
+		kept := len(terminals) - len(drop)
+		if kept > retain {
+			// Oldest-finished first among the not-yet-dropped.
+			sort.Slice(terminals, func(a, b int) bool {
+				return terminals[a].finished.Before(terminals[b].finished)
+			})
+			for _, t := range terminals {
+				if kept <= retain {
+					break
+				}
+				if !drop[t.id] {
+					drop[t.id] = true
+					kept--
+				}
+			}
+		}
+	}
+	if len(drop) == 0 {
+		return
+	}
+	order := s.order[:0]
+	for _, id := range s.order {
+		if drop[id] {
+			delete(s.jobs, id)
+			s.dropped++
+			continue
+		}
+		order = append(order, id)
+	}
+	s.order = order
 }
 
 // Job returns one job's status.
@@ -392,10 +662,12 @@ func (s *Server) Job(id string) (JobStatus, bool) {
 	return j.snapshot(), true
 }
 
-// Jobs returns every job's status in submission order.
+// Jobs returns every job's status in submission order (after a
+// retention sweep, so the listing is also what is actually retained).
 func (s *Server) Jobs() []JobStatus {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.sweepJobsLocked(time.Now())
 	out := make([]JobStatus, 0, len(s.order))
 	for _, id := range s.order {
 		out = append(out, s.jobs[id].snapshot())
@@ -403,11 +675,29 @@ func (s *Server) Jobs() []JobStatus {
 	return out
 }
 
+// SchedulerStats are the job-layer counters of /v1/metrics.
+type SchedulerStats struct {
+	// Submitted counts every accepted POST /v1/jobs.
+	Submitted uint64 `json:"submitted"`
+	// Deduped counts submissions that attached to an existing flight
+	// instead of executing (the job-layer singleflight hits).
+	Deduped uint64 `json:"deduped"`
+	// Dropped counts terminal jobs forgotten by retention.
+	Dropped uint64 `json:"dropped"`
+	// Flights is the current number of distinct in-flight executions.
+	Flights int `json:"flights"`
+	// Retain and TTLSeconds echo the active retention policy.
+	Retain     int     `json:"retain"`
+	TTLSeconds float64 `json:"ttl_seconds,omitempty"`
+}
+
 // Metrics is the GET /v1/metrics document.
 type Metrics struct {
-	Cache *measure.CacheStats `json:"cache,omitempty"`
-	Pool  platform.PoolStats  `json:"pool"`
-	Jobs  map[string]int      `json:"jobs"`
+	Cache     *measure.CacheStats `json:"cache,omitempty"`
+	Store     *measure.StoreStats `json:"store,omitempty"`
+	Pool      platform.PoolStats  `json:"pool"`
+	Jobs      map[string]int      `json:"jobs"`
+	Scheduler SchedulerStats      `json:"scheduler"`
 }
 
 // MetricsSnapshot assembles the current counters.
@@ -420,9 +710,25 @@ func (s *Server) MetricsSnapshot() Metrics {
 		st := s.cache.Stats()
 		m.Cache = &st
 	}
+	if s.opts.Store != nil {
+		st := s.opts.Store.Stats()
+		m.Store = &st
+	}
 	for _, js := range s.Jobs() {
 		m.Jobs[js.State]++
 	}
+	s.mu.Lock()
+	m.Scheduler = SchedulerStats{
+		Submitted: s.submitted,
+		Deduped:   s.deduped,
+		Dropped:   s.dropped,
+		Flights:   len(s.flights),
+		Retain:    s.opts.retain(),
+	}
+	if s.opts.JobTTL > 0 {
+		m.Scheduler.TTLSeconds = s.opts.JobTTL.Seconds()
+	}
+	s.mu.Unlock()
 	return m
 }
 

@@ -1,6 +1,6 @@
 // Package workload provides the deterministic synthetic inputs that stand
-// in for the paper's benchmark data (genomic sequences for BLASTN, packet
-// traces for the CommBench kernels). The same linear congruential generator
+// in for the paper's benchmark data (Section 2.5: genomic sequences for
+// BLASTN, packet traces for the CommBench kernels). The same linear congruential generator
 // is implemented in SPARC assembly inside each benchmark and here in Go, so
 // golden models can replay a benchmark's data stream bit-for-bit.
 package workload
