@@ -7,10 +7,19 @@
 // Usage:
 //
 //	autoarch -app blastn [-w1 100 -w2 1] [-scale small] [-space full|dcache] [-model] [-json]
+//	autoarch -app mix -phases [-interval N] [-switch-penalty N] [-phase-threshold T] [-json]
 //
 // With -json the result is the core.TuneReport document — the same
 // serialization the autoarchd daemon returns for a finished job — on
 // stdout, with the human progress lines demoted to stderr.
+//
+// With -phases the tool runs phase-aware tuning instead: the base run is
+// profiled in -interval instruction slices, phases are detected from the
+// interval signatures, one configuration is recommended per phase, and
+// the per-phase schedule (charged -switch-penalty cycles per mid-run
+// reconfiguration) is weighed against the single whole-program
+// recommendation. -json then emits the core.PhaseReport document the
+// daemon's phase jobs return.
 package main
 
 import (
@@ -41,7 +50,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("autoarch", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		app       = fs.String("app", "", "benchmark to tune (blastn, drr, frag, arith)")
+		app       = fs.String("app", "", "benchmark to tune (blastn, drr, frag, arith, mix)")
 		w1        = fs.Float64("w1", 100, "runtime weight (paper: 100 for runtime optimization)")
 		w2        = fs.Float64("w2", 1, "chip resource weight (paper: 1, or 100 for resource optimization)")
 		scale     = fs.String("scale", "small", "workload scale: tiny, small, medium, paper")
@@ -51,6 +60,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		saveModel = fs.String("save-model", "", "write the measured model to a JSON file")
 		loadModel = fs.String("load-model", "", "reuse a previously saved model instead of measuring")
 		jsonOut   = fs.Bool("json", false, "emit the result as a core.TuneReport JSON document on stdout")
+
+		phases    = fs.Bool("phases", false, "phase-aware tuning: one configuration per detected execution phase")
+		interval  = fs.Uint64("interval", core.DefaultIntervalInstructions, "phase profiling interval length in instructions")
+		switchPen = fs.Uint64("switch-penalty", core.DefaultSwitchPenaltyCycles, "cycle cost charged per mid-run reconfiguration")
+		phaseThr  = fs.Float64("phase-threshold", 0, "phase-detection clustering threshold (0 = default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -81,6 +95,18 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 
 	tuner := &core.Tuner{Space: space, Scale: sc, Workers: *workers}
 	weights := core.Weights{W1: *w1, W2: *w2}
+
+	if *phases {
+		if *loadModel != "" || *saveModel != "" || *showModel {
+			fmt.Fprintln(stderr, "autoarch: -phases is incompatible with -model, -save-model and -load-model (phase runs build one model per phase)")
+			return 2
+		}
+		return runPhases(ctx, tuner, b, weights, core.PhaseOptions{
+			IntervalInstructions: *interval,
+			SwitchPenaltyCycles:  *switchPen,
+			Threshold:            *phaseThr,
+		}, *jsonOut, stdout, stderr, progress)
+	}
 
 	var model *core.Model
 	if *loadModel != "" {
@@ -160,5 +186,58 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stdout, "actual:    runtime %.6f s (%+.2f%%), %v\n",
 		float64(val.Cycles)/25e6, val.RuntimePct, val.Resources)
+	return 0
+}
+
+// runPhases executes the -phases mode: interval profiling, phase
+// detection, per-phase solves and the reconfiguration decision.
+func runPhases(ctx context.Context, tuner *core.Tuner, b *progs.Benchmark, w core.Weights, opts core.PhaseOptions, jsonOut bool, stdout, stderr, progress io.Writer) int {
+	fmt.Fprintf(progress, "phase-aware tuning of %s (%d variables, %s scale, interval %d instructions)...\n",
+		b.Name, tuner.Space.Len(), tuner.Scale, opts.IntervalInstructions)
+	start := time.Now()
+	rep, err := tuner.TunePhases(ctx, b, w, opts)
+	if err != nil {
+		fmt.Fprintf(stderr, "autoarch: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(progress, "tuned in %v: %d intervals, %d phases, %d segments\n",
+		time.Since(start).Round(time.Millisecond), len(rep.Trace.Assignments), rep.Trace.Phases, len(rep.Trace.Segments))
+
+	if jsonOut {
+		data, err := rep.MarshalIndent()
+		if err != nil {
+			fmt.Fprintf(stderr, "autoarch: %v\n", err)
+			return 1
+		}
+		if _, err := stdout.Write(data); err != nil {
+			fmt.Fprintf(stderr, "autoarch: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+
+	fmt.Fprintf(stdout, "\nbase: %d cycles (%.6f s)\n", rep.Base.Cycles, rep.Base.Seconds)
+	fmt.Fprintf(stdout, "\n%-6s %10s %13s %14s  %s\n", "phase", "intervals", "instructions", "base cycles", "recommended changes")
+	for _, p := range rep.Phases {
+		changes := strings.Join(p.Recommendation.Changes, " ")
+		if changes == "" {
+			changes = "(keep base)"
+		}
+		fmt.Fprintf(stdout, "%-6d %10d %13d %14d  %s\n", p.Phase, p.Intervals, p.Instructions, p.BaseCycles, changes)
+	}
+	wholeChanges := strings.Join(rep.WholeProgram.Changes, " ")
+	if wholeChanges == "" {
+		wholeChanges = "(keep base)"
+	}
+	fmt.Fprintf(stdout, "\nwhole-program recommendation: %s\n", wholeChanges)
+	fmt.Fprintf(stdout, "schedule: %d segments, %d reconfigurations (%d cycles each)\n",
+		len(rep.Schedule), rep.Switches, rep.SwitchPenaltyCycles)
+	fmt.Fprintf(stdout, "modeled cycles: per-phase %.0f (switches included) vs whole-program %.0f\n",
+		rep.PerPhaseCycles, rep.WholeProgramCycles)
+	if rep.PerPhaseWins {
+		fmt.Fprintf(stdout, "verdict: per-phase reconfiguration wins by %.2f%%\n", rep.SavingsPct)
+	} else {
+		fmt.Fprintf(stdout, "verdict: single whole-program configuration wins by %.2f%%\n", -rep.SavingsPct)
+	}
 	return 0
 }

@@ -62,6 +62,59 @@ func TestJSONGolden(t *testing.T) {
 	}
 }
 
+// TestPhasesJSONGolden locks the -phases -json document byte-for-byte —
+// the serialization autoarchd's phase jobs share. It doubles as the
+// phase-determinism gate for the full CLI path: interval profiling,
+// detection, per-phase solves and the schedule decision must all be
+// byte-reproducible for the golden to hold.
+func TestPhasesJSONGolden(t *testing.T) {
+	args := []string{"-app", "mix", "-scale", "tiny", "-space", "dcache",
+		"-phases", "-interval", "20000", "-json"}
+	var stdout, stderr bytes.Buffer
+	code := run(context.Background(), args, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("run exited %d, stderr:\n%s", code, stderr.String())
+	}
+
+	golden := filepath.Join("testdata", "mix_tiny_dcache_phases.json.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, stdout.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to regenerate): %v", err)
+	}
+	if !bytes.Equal(stdout.Bytes(), want) {
+		t.Errorf("-phases -json output differs from golden file %s\ngot:\n%s\nwant:\n%s",
+			golden, stdout.Bytes(), want)
+	}
+
+	// Re-run: same bytes within one process too (shared caches included).
+	var again bytes.Buffer
+	if code := run(context.Background(), args, &again, &stderr); code != 0 {
+		t.Fatalf("second run exited %d", code)
+	}
+	if !bytes.Equal(stdout.Bytes(), again.Bytes()) {
+		t.Error("-phases -json output not reproducible within one process")
+	}
+
+	var report core.PhaseReport
+	if err := json.Unmarshal(stdout.Bytes(), &report); err != nil {
+		t.Fatalf("output is not a PhaseReport: %v", err)
+	}
+	if report.App != "mix" || report.Trace == nil || report.Trace.Phases == 0 {
+		t.Errorf("report incomplete: app %s, trace %+v", report.App, report.Trace)
+	}
+	if len(report.Phases) != report.Trace.Phases || len(report.Schedule) == 0 {
+		t.Errorf("report missing phase recommendations or schedule")
+	}
+}
+
 // TestJSONStdoutClean ensures -json keeps stdout pure JSON (progress goes
 // to stderr).
 func TestJSONStdoutClean(t *testing.T) {

@@ -3,22 +3,27 @@
 // jobs; a bounded worker scheduler runs them against one shared bounded
 // measurement cache (optionally spilled to a persistent on-disk store),
 // and results are the same core.TuneReport documents `autoarch -json`
-// prints.
+// prints. Jobs with "phases": true run phase-aware tuning instead and
+// return core.PhaseReport documents (`autoarch -phases -json`); every
+// running job streams per-measurement progress through its ndjson
+// status.
 //
 // The daemon is deployable as a long-lived, multi-replica service:
 // identical in-flight jobs coalesce onto one execution, terminal jobs
 // are retained only up to -job-retain / -job-ttl, the on-disk store is
 // garbage-collected to -store-max-bytes / -store-max-age, and several
 // replicas may share one -cache-dir (writes are atomic, corrupt entries
-// are read-repaired, and a store-version manifest keeps mixed fleets
-// from clobbering each other). See DESIGN.md §14.
+// are read-repaired, a store-version manifest keeps mixed fleets from
+// clobbering each other, and -store-lease dedupes concurrent
+// simulations of one key across replicas with a TTL claim file). See
+// DESIGN.md §14-§15.
 //
 // Usage:
 //
 //	autoarchd [-addr :8723] [-jobs 2] [-queue 256] [-cache-entries 4096]
 //	          [-cache-dir DIR] [-job-retain 1024] [-job-ttl 0]
 //	          [-store-max-bytes 0] [-store-max-age 0] [-store-gc-every 64]
-//	          [-engine-pool N] [-mem-pool N]
+//	          [-store-lease 0] [-engine-pool N] [-mem-pool N]
 //
 // Endpoints: POST/GET /v1/jobs, GET /v1/jobs/{id}, GET
 // /v1/jobs/{id}/stream (ndjson), DELETE /v1/jobs/{id}, GET /v1/metrics,
@@ -53,6 +58,7 @@ func main() {
 		storeMaxBytes = flag.Int64("store-max-bytes", 0, "GC the -cache-dir store down to this many bytes (0 = unbounded)")
 		storeMaxAge   = flag.Duration("store-max-age", 0, "GC -cache-dir entries not used within this window (0 = no age bound)")
 		storeGCEvery  = flag.Int("store-gc-every", measure.DefaultGCEvery, "run a store GC sweep every N spills")
+		storeLease    = flag.Duration("store-lease", 0, "cross-replica measurement claim TTL for the shared -cache-dir (0 = off)")
 		enginePool    = flag.Int("engine-pool", 0, "platform engine pool size (0 = default)")
 		memPool       = flag.Int("mem-pool", 0, "platform loaded-memory pool size (0 = default)")
 	)
@@ -76,6 +82,9 @@ func main() {
 		gc := measure.GCPolicy{MaxBytes: *storeMaxBytes, MaxAge: *storeMaxAge}
 		if gc.Enabled() {
 			persistent.EnableGC(gc, *storeGCEvery)
+		}
+		if *storeLease > 0 {
+			persistent.EnableLease(*storeLease)
 		}
 		provider = persistent
 		st := store.Stats()

@@ -33,7 +33,7 @@ func (s *setFlags) Set(v string) error {
 
 func main() {
 	var (
-		app     = flag.String("app", "", "benchmark to run (blastn, drr, frag, arith)")
+		app     = flag.String("app", "", "benchmark to run (blastn, drr, frag, arith, mix)")
 		scale   = flag.String("scale", "small", "workload scale: tiny, small, medium, paper")
 		profile = flag.Bool("profile", false, "print the full stall-budget profile")
 		caches  = flag.Bool("caches", false, "print cache event counters")

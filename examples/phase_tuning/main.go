@@ -1,0 +1,72 @@
+// Phase-aware tuning walkthrough: a workload whose phases want opposite
+// hardware, where switching configurations at phase boundaries beats any
+// single configuration — the reconfiguration penalty included.
+//
+// The mix benchmark streams a 512 KB buffer sequentially (long cache
+// lines amortize the fill lead time) and then probes it at random word
+// offsets (nearly every probe misses, so short lines halve the miss
+// penalty). Those two demands land in the same at-most-one decision
+// group — the data-cache line size — so the whole-program optimizer must
+// pick one value for both phases, while per-phase tuning picks each.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"strings"
+
+	"liquidarch/internal/core"
+	"liquidarch/internal/progs"
+	"liquidarch/internal/workload"
+)
+
+func main() {
+	mix, _ := progs.ByName("mix")
+	tuner := core.NewTuner(workload.Small)
+
+	// Profile the base run in 100k-instruction intervals, detect phases,
+	// build one cost model per phase from the same single-change runs the
+	// whole-program model uses, and solve each.
+	rep, err := tuner.TunePhases(context.Background(), mix, core.RuntimeWeights(), core.PhaseOptions{
+		IntervalInstructions: 100_000,
+		// 25 000 cycles = 1 ms of FPGA partial reconfiguration at 25 MHz.
+		SwitchPenaltyCycles: core.DefaultSwitchPenaltyCycles,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%s at %s scale: %d intervals of %d instructions, %d phases\n\n",
+		rep.App, rep.Scale, len(rep.Trace.Assignments), rep.IntervalInstructions, rep.Trace.Phases)
+
+	fmt.Println("per-phase recommendations:")
+	for _, p := range rep.Phases {
+		changes := strings.Join(p.Recommendation.Changes, " ")
+		if changes == "" {
+			changes = "(keep base)"
+		}
+		fmt.Printf("  phase %d (%2d intervals, %8d base cycles): %s\n",
+			p.Phase, p.Intervals, p.BaseCycles, changes)
+	}
+	fmt.Printf("\nwhole-program recommendation: %s\n", strings.Join(rep.WholeProgram.Changes, " "))
+
+	fmt.Printf("\nreconfiguration schedule (%d switches, %d cycles each):\n",
+		rep.Switches, rep.SwitchPenaltyCycles)
+	for _, seg := range rep.Schedule {
+		marker := "      "
+		if seg.Switch {
+			marker = "switch"
+		}
+		fmt.Printf("  %s  intervals %2d-%2d -> phase %d config\n", marker, seg.Start, seg.End, seg.Phase)
+	}
+
+	fmt.Printf("\nmodeled whole-run cycles:\n")
+	fmt.Printf("  per-phase schedule: %.0f (switch penalties included)\n", rep.PerPhaseCycles)
+	fmt.Printf("  whole-program:      %.0f\n", rep.WholeProgramCycles)
+	if rep.PerPhaseWins {
+		fmt.Printf("per-phase reconfiguration wins by %.2f%%\n", rep.SavingsPct)
+	} else {
+		fmt.Printf("whole-program configuration wins by %.2f%%\n", -rep.SavingsPct)
+	}
+}

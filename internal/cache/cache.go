@@ -31,6 +31,27 @@ type Stats struct {
 // ReadHits returns the number of read accesses that hit.
 func (s Stats) ReadHits() uint64 { return s.ReadAccesses - s.ReadMisses }
 
+// Sub returns the counter delta s - o (o an earlier snapshot of the same
+// cache), for interval profiling.
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		ReadAccesses:  s.ReadAccesses - o.ReadAccesses,
+		ReadMisses:    s.ReadMisses - o.ReadMisses,
+		WriteAccesses: s.WriteAccesses - o.WriteAccesses,
+		WriteMisses:   s.WriteMisses - o.WriteMisses,
+		Fills:         s.Fills - o.Fills,
+	}
+}
+
+// Add accumulates o into s — the aggregation inverse of Sub.
+func (s *Stats) Add(o Stats) {
+	s.ReadAccesses += o.ReadAccesses
+	s.ReadMisses += o.ReadMisses
+	s.WriteAccesses += o.WriteAccesses
+	s.WriteMisses += o.WriteMisses
+	s.Fills += o.Fills
+}
+
 // MissRate returns the read miss ratio, or 0 for an idle cache.
 func (s Stats) MissRate() float64 {
 	if s.ReadAccesses == 0 {

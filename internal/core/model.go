@@ -20,6 +20,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"liquidarch/internal/binlp"
 	"liquidarch/internal/config"
@@ -113,9 +114,18 @@ func (m *Model) Formulate(w Weights) *binlp.Problem {
 		p.Cost[i] = w.W1*e.Rho + w.W2*float64(e.Lambda+e.Beta) + w.W3*e.Epsilon
 	}
 
+	// Group constraints in Group-value order: map iteration would vary
+	// the constraint order per solve, and with it the solver's branch
+	// order and node count — the same problem must always produce the
+	// same solve, byte for byte.
 	groups := groupIndices(m.Space)
-	for _, members := range groups {
-		if len(members) > 1 {
+	keys := make([]config.Group, 0, len(groups))
+	for g := range groups {
+		keys = append(keys, g)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, g := range keys {
+		if members := groups[g]; len(members) > 1 {
 			p.Groups = append(p.Groups, members)
 		}
 	}

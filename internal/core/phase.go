@@ -1,0 +1,403 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"liquidarch/internal/config"
+	"liquidarch/internal/fpga"
+	"liquidarch/internal/measure"
+	"liquidarch/internal/phase"
+	"liquidarch/internal/platform"
+	"liquidarch/internal/power"
+	"liquidarch/internal/progs"
+)
+
+// Phase-aware tuning: the paper tunes one configuration per application;
+// this mode tunes one per detected execution phase and decides — under
+// an explicit reconfiguration-cost model — whether switching
+// configurations at phase boundaries beats the single whole-program
+// recommendation.
+//
+// The measurement cost is the same as a whole-program model build: every
+// single-change configuration is simulated once with interval profiling
+// on, and each run's per-interval deltas are summed per phase (the
+// partition aligns across configurations because interval boundaries are
+// instruction counts). One set of runs therefore feeds the whole-program
+// model and every per-phase model, and the runs share the measurement
+// provider's cache/store keyed by (program, timing config, interval).
+
+// DefaultIntervalInstructions is the profiling interval length used when
+// a caller does not choose one: fine enough to split the benchmark
+// kernels' phases at every workload scale, coarse enough that the
+// per-interval snapshots stay negligible next to the simulation.
+const DefaultIntervalInstructions = 50_000
+
+// DefaultSwitchPenaltyCycles prices one runtime reconfiguration. 25 000
+// cycles is 1 ms at the platform's 25 MHz clock — the order of an FPGA
+// partial reconfiguration.
+const DefaultSwitchPenaltyCycles = 25_000
+
+// PhaseOptions configures phase-aware tuning. Zero values select the
+// defaults.
+type PhaseOptions struct {
+	// IntervalInstructions is the profiling interval length.
+	IntervalInstructions uint64 `json:"interval_instructions,omitempty"`
+	// SwitchPenaltyCycles is the cycle cost charged per configuration
+	// switch in the per-phase schedule.
+	SwitchPenaltyCycles uint64 `json:"switch_penalty_cycles,omitempty"`
+	// Threshold overrides the phase-detection clustering threshold
+	// (phase.DefaultThreshold) when > 0.
+	Threshold float64 `json:"threshold,omitempty"`
+}
+
+// normalized fills in the option defaults.
+func (o PhaseOptions) normalized() PhaseOptions {
+	if o.IntervalInstructions == 0 {
+		o.IntervalInstructions = DefaultIntervalInstructions
+	}
+	if o.SwitchPenaltyCycles == 0 {
+		o.SwitchPenaltyCycles = DefaultSwitchPenaltyCycles
+	}
+	return o
+}
+
+// PhaseRecommendation is one phase's solved model.
+type PhaseRecommendation struct {
+	// Phase is the phase ID of the trace.
+	Phase int `json:"phase"`
+	// Intervals and Instructions describe the phase's share of the run.
+	Intervals    int    `json:"intervals"`
+	Instructions uint64 `json:"instructions"`
+	// BaseCycles is the phase's cost on the base configuration.
+	BaseCycles uint64 `json:"base_cycles"`
+	// Recommendation is the phase's solved BINLP outcome; its Predicted
+	// runtime is the phase's modeled cost under its own configuration.
+	Recommendation RecommendationReport `json:"recommendation"`
+}
+
+// ScheduleEntry is one segment of the per-phase reconfiguration
+// schedule.
+type ScheduleEntry struct {
+	// Phase, Start and End mirror the trace segment.
+	Phase int `json:"phase"`
+	Start int `json:"start"`
+	End   int `json:"end"`
+	// Config is the configuration the segment runs under.
+	Config string `json:"config"`
+	// Switch is true when entering this segment requires a
+	// reconfiguration (its config differs from the previous segment's).
+	Switch bool `json:"switch,omitempty"`
+}
+
+// PhaseReport is the serialized outcome of a phase-aware tuning run —
+// the phase-mode analogue of TuneReport, shared by `autoarch -phases
+// -json` and the autoarchd daemon's phase jobs.
+type PhaseReport struct {
+	// App and Scale identify the workload; SpaceVars and Weights the
+	// decision problem.
+	App       string  `json:"app"`
+	Scale     string  `json:"scale"`
+	SpaceVars int     `json:"space_vars"`
+	Weights   Weights `json:"weights"`
+	// IntervalInstructions and SwitchPenaltyCycles echo the options.
+	IntervalInstructions uint64 `json:"interval_instructions"`
+	SwitchPenaltyCycles  uint64 `json:"switch_penalty_cycles"`
+
+	// Base is the base configuration's whole-run cost.
+	Base CostPoint `json:"base"`
+	// Trace is the detected phase structure.
+	Trace *phase.Trace `json:"trace"`
+	// WholeProgram is the ordinary single-configuration recommendation,
+	// built from the same measurements.
+	WholeProgram RecommendationReport `json:"whole_program"`
+	// Phases holds one solved model per detected phase.
+	Phases []PhaseRecommendation `json:"phases"`
+
+	// Schedule is the per-phase plan over the trace's segments; Switches
+	// counts its mid-run reconfigurations (entries whose config differs
+	// from their predecessor's).
+	Schedule []ScheduleEntry `json:"schedule"`
+	Switches int             `json:"switches"`
+
+	// PerPhaseCycles is the schedule's modeled whole-run cost: each
+	// phase under its own configuration plus SwitchPenaltyCycles per
+	// switch. WholeProgramCycles is the single recommendation's modeled
+	// cost. PerPhaseWins reports the decision; SavingsPct the margin
+	// (negative when the whole-program configuration wins).
+	PerPhaseCycles     float64 `json:"per_phase_predicted_cycles"`
+	WholeProgramCycles float64 `json:"whole_program_predicted_cycles"`
+	PerPhaseWins       bool    `json:"per_phase_wins"`
+	SavingsPct         float64 `json:"savings_pct"`
+}
+
+// MarshalIndent renders the report as indented JSON with a trailing
+// newline — the exact byte stream the CLI and the daemon emit.
+func (r *PhaseReport) MarshalIndent() ([]byte, error) {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// phaseObservation is one configuration's measured cost, resolved per
+// model: index 0 is the whole program, index 1+p is phase p.
+type phaseObservation struct {
+	cycles []uint64
+	energy []power.Estimate
+	res    fpga.Resources
+}
+
+// resolveObservation folds one interval-profiled run into per-model
+// costs under trace — the one place the whole-program/per-phase index
+// convention and the per-phase energy model live.
+func resolveObservation(rep *platform.RunReport, res fpga.Resources, trace *phase.Trace) phaseObservation {
+	obs := phaseObservation{
+		cycles: make([]uint64, 1+trace.Phases),
+		energy: make([]power.Estimate, 1+trace.Phases),
+		res:    res,
+	}
+	obs.cycles[0] = rep.Cycles()
+	obs.energy[0] = power.Model(rep.Stats, rep.ICache, rep.DCache, res)
+	for _, p := range trace.Profiles(rep.Intervals) {
+		obs.cycles[1+p.Phase] = p.Cycles
+		obs.energy[1+p.Phase] = power.Model(p.Stats, p.ICache, p.DCache, res)
+	}
+	return obs
+}
+
+// observePhases measures cfg once with interval profiling and resolves
+// the report into whole-program and per-phase costs under trace.
+func (t *Tuner) observePhases(ctx context.Context, b *progs.Benchmark, cfg config.Config, interval uint64, trace *phase.Trace) (phaseObservation, error) {
+	prog, err := b.Assemble(t.Scale)
+	if err != nil {
+		return phaseObservation{}, err
+	}
+	res, err := fpga.Synthesize(cfg)
+	if err != nil {
+		return phaseObservation{}, err
+	}
+	opts := platform.Options{
+		SampleInstructions:   t.SampleInstructions,
+		IntervalInstructions: interval,
+	}
+	rep, err := t.provider().Measure(ctx, prog, cfg, opts)
+	if err != nil {
+		return phaseObservation{}, err
+	}
+	if !rep.Sampled && rep.ExitCode != 0 {
+		return phaseObservation{}, fmt.Errorf("core: %s exited with code %d", b.Name, rep.ExitCode)
+	}
+	return resolveObservation(rep, res, trace), nil
+}
+
+// buildPhaseModels measures every decision variable once (interval
+// profiled, companion-paired exactly like BuildModel) and assembles
+// 1+trace.Phases models over the shared observations: models[0] is the
+// whole-program model, models[1+p] phase p's.
+func (t *Tuner) buildPhaseModels(ctx context.Context, b *progs.Benchmark, interval uint64, trace *phase.Trace, base phaseObservation) ([]*Model, error) {
+	space := t.space()
+	baseCfg := config.Default()
+	vars := space.Vars()
+	obs := make([]phaseObservation, len(vars))
+
+	ordinary, deferredVars, err := planSpace(space)
+	if err != nil {
+		return nil, err
+	}
+
+	measureVars := func(indices []int, cfgFor func(config.Var) config.Config) error {
+		return measure.ForEach(ctx, len(indices), t.Workers, func(k int) error {
+			i := indices[k]
+			o, err := t.observePhases(ctx, b, cfgFor(vars[i]), interval, trace)
+			if err != nil {
+				return fmt.Errorf("core: measuring %s: %w", vars[i].Name, err)
+			}
+			obs[i] = o
+			return nil
+		})
+	}
+
+	if err := measureVars(ordinary, func(v config.Var) config.Config { return v.Apply(baseCfg) }); err != nil {
+		return nil, err
+	}
+
+	// Replacement-policy variables: measured on top of their companion's
+	// configuration, attributed against the companion's observation.
+	byName := make(map[string]int, len(vars))
+	for i, v := range vars {
+		byName[v.Name] = i
+	}
+	var phase2 []int
+	for _, d := range deferredVars {
+		phase2 = append(phase2, d.index)
+	}
+	if err := measureVars(phase2, func(v config.Var) config.Config {
+		companion, _ := companionFor(v)
+		compVar, _ := space.ByName(companion)
+		return v.Apply(compVar.Apply(baseCfg))
+	}); err != nil {
+		return nil, err
+	}
+
+	refFor := func(i int) (phaseObservation, error) {
+		if companion, ok := companionFor(vars[i]); ok {
+			ci, found := byName[companion]
+			if !found || obs[ci].cycles == nil {
+				return phaseObservation{}, fmt.Errorf("core: companion %s not measured", companion)
+			}
+			return obs[ci], nil
+		}
+		return base, nil
+	}
+
+	models := make([]*Model, 1+trace.Phases)
+	for m := range models {
+		entries := make([]Entry, len(vars))
+		for i, v := range vars {
+			ref, err := refFor(i)
+			if err != nil {
+				return nil, err
+			}
+			o := obs[i]
+			e := &entries[i]
+			e.Var = v
+			e.Cycles = o.cycles[m]
+			e.Resources = o.res
+			e.Energy = o.energy[m]
+			e.Rho = 100 * (float64(o.cycles[m]) - float64(ref.cycles[m])) / float64(ref.cycles[m])
+			e.Lambda = o.res.LUTPercent() - ref.res.LUTPercent()
+			e.Beta = o.res.BRAMPercent() - ref.res.BRAMPercent()
+			e.Epsilon = power.DeltaPercent(o.energy[m], ref.energy[m])
+		}
+		models[m] = &Model{
+			App:           b.Name,
+			Scale:         t.Scale,
+			Space:         space,
+			BaseCycles:    base.cycles[m],
+			BaseResources: base.res,
+			BaseEnergy:    base.energy[m],
+			Entries:       entries,
+		}
+	}
+	return models, nil
+}
+
+// TunePhases runs phase-aware tuning end to end: profile the base run in
+// intervals, detect phases, build one model per phase (plus the
+// whole-program model) from one interval-profiled run per configuration,
+// solve each, and weigh the per-phase schedule — switch penalties
+// included — against the single whole-program recommendation.
+func (t *Tuner) TunePhases(ctx context.Context, b *progs.Benchmark, w Weights, opts PhaseOptions) (*PhaseReport, error) {
+	opts = opts.normalized()
+	space := t.space()
+
+	// Base run: the interval profile phases are detected on.
+	prog, err := b.Assemble(t.Scale)
+	if err != nil {
+		return nil, err
+	}
+	baseRes, err := fpga.Synthesize(config.Default())
+	if err != nil {
+		return nil, err
+	}
+	runOpts := platform.Options{
+		SampleInstructions:   t.SampleInstructions,
+		IntervalInstructions: opts.IntervalInstructions,
+	}
+	baseRep, err := t.provider().Measure(ctx, prog, config.Default(), runOpts)
+	if err != nil {
+		return nil, fmt.Errorf("core: base measurement: %w", err)
+	}
+	if !baseRep.Sampled && baseRep.ExitCode != 0 {
+		return nil, fmt.Errorf("core: %s exited with code %d", b.Name, baseRep.ExitCode)
+	}
+	trace := phase.Detect(baseRep.Intervals, opts.IntervalInstructions, phase.Options{Threshold: opts.Threshold})
+	base := resolveObservation(baseRep, baseRes, trace)
+	baseProfiles := trace.Profiles(baseRep.Intervals)
+
+	models, err := t.buildPhaseModels(ctx, b, opts.IntervalInstructions, trace, base)
+	if err != nil {
+		return nil, err
+	}
+
+	wholeRec, err := t.RecommendFromModel(models[0], w)
+	if err != nil {
+		return nil, err
+	}
+	report := &PhaseReport{
+		App:                  b.Name,
+		Scale:                t.Scale.String(),
+		SpaceVars:            space.Len(),
+		Weights:              w,
+		IntervalInstructions: opts.IntervalInstructions,
+		SwitchPenaltyCycles:  opts.SwitchPenaltyCycles,
+		Base: CostPoint{
+			Cycles:  base.cycles[0],
+			Seconds: float64(base.cycles[0]) / 25e6,
+			LUTPct:  baseRes.LUTPercent(),
+			BRAMPct: baseRes.BRAMPercent(),
+		},
+		Trace:        trace,
+		WholeProgram: recommendationReport(wholeRec),
+	}
+
+	var perPhase float64
+	phaseConfigs := make([]string, trace.Phases)
+	for p := 0; p < trace.Phases; p++ {
+		rec, err := t.RecommendFromModel(models[1+p], w)
+		if err != nil {
+			return nil, fmt.Errorf("core: solving phase %d: %w", p, err)
+		}
+		prof := baseProfiles[p]
+		report.Phases = append(report.Phases, PhaseRecommendation{
+			Phase:          p,
+			Intervals:      prof.Intervals,
+			Instructions:   prof.Instructions,
+			BaseCycles:     prof.Cycles,
+			Recommendation: recommendationReport(rec),
+		})
+		phaseConfigs[p] = rec.Config.String()
+		perPhase += rec.Predicted.RuntimeCycles
+	}
+
+	prevCfg := ""
+	for i, seg := range trace.Segments {
+		cfgStr := phaseConfigs[seg.Phase]
+		sw := i > 0 && cfgStr != prevCfg
+		if sw {
+			report.Switches++
+		}
+		report.Schedule = append(report.Schedule, ScheduleEntry{
+			Phase:  seg.Phase,
+			Start:  seg.Start,
+			End:    seg.End,
+			Config: cfgStr,
+			Switch: sw,
+		})
+		prevCfg = cfgStr
+	}
+
+	report.PerPhaseCycles = perPhase + float64(report.Switches)*float64(opts.SwitchPenaltyCycles)
+	report.WholeProgramCycles = wholeRec.Predicted.RuntimeCycles
+	report.PerPhaseWins = report.PerPhaseCycles < report.WholeProgramCycles
+	if report.WholeProgramCycles > 0 {
+		report.SavingsPct = 100 * (report.WholeProgramCycles - report.PerPhaseCycles) / report.WholeProgramCycles
+	}
+	return report, nil
+}
+
+// recommendationReport serializes a Recommendation (shared with
+// NewTuneReport's inline construction).
+func recommendationReport(rec *Recommendation) RecommendationReport {
+	return RecommendationReport{
+		Changes:     append([]string{}, rec.Changes...),
+		Config:      rec.Config.String(),
+		Predicted:   rec.Predicted,
+		Objective:   rec.Objective,
+		SolverNodes: rec.SolverNodes,
+		Proven:      rec.Proven,
+	}
+}

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"sync/atomic"
+	"testing"
+
+	"liquidarch/internal/asm"
+	"liquidarch/internal/config"
+	"liquidarch/internal/measure"
+	"liquidarch/internal/platform"
+	"liquidarch/internal/progs"
+	"liquidarch/internal/workload"
+)
+
+// countingProvider counts Measure calls through to the shared default
+// cache stack.
+type countingProvider struct {
+	inner measure.Provider
+	calls atomic.Int64
+}
+
+func (c *countingProvider) Measure(ctx context.Context, prog *asm.Program, cfg config.Config, opts platform.Options) (*platform.RunReport, error) {
+	c.calls.Add(1)
+	return c.inner.Measure(ctx, prog, cfg, opts)
+}
+
+// TestTunePhasesReport checks the internal consistency of a phase-aware
+// tuning run: phases tile the run, the per-phase base cycles sum to the
+// whole-program base, the schedule covers every segment, and the
+// decision arithmetic matches its inputs.
+func TestTunePhasesReport(t *testing.T) {
+	b, _ := progs.ByName("blastn")
+	counter := &countingProvider{inner: measure.NewCache(measure.Simulator{}, 512)}
+	tuner := &Tuner{Space: config.FullSpace(), Scale: workload.Tiny, Provider: counter}
+	opts := PhaseOptions{IntervalInstructions: 20_000, SwitchPenaltyCycles: 10_000}
+	rep, err := tuner.TunePhases(context.Background(), b, RuntimeWeights(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if rep.Trace == nil || rep.Trace.Phases == 0 {
+		t.Fatal("no phases detected")
+	}
+	if len(rep.Phases) != rep.Trace.Phases {
+		t.Fatalf("%d phase recommendations for %d phases", len(rep.Phases), rep.Trace.Phases)
+	}
+	var phaseBase uint64
+	for _, p := range rep.Phases {
+		phaseBase += p.BaseCycles
+		if len(p.Recommendation.Config) == 0 {
+			t.Errorf("phase %d has no config rendering", p.Phase)
+		}
+		if !p.Recommendation.Proven {
+			t.Errorf("phase %d solve not proven", p.Phase)
+		}
+	}
+	if phaseBase != rep.Base.Cycles {
+		t.Errorf("phase base cycles sum to %d, whole run is %d", phaseBase, rep.Base.Cycles)
+	}
+	if len(rep.Schedule) != len(rep.Trace.Segments) {
+		t.Errorf("schedule has %d entries for %d segments", len(rep.Schedule), len(rep.Trace.Segments))
+	}
+	switches := 0
+	for i, e := range rep.Schedule {
+		if e.Switch {
+			switches++
+			if i == 0 {
+				t.Error("first segment cannot be a switch")
+			}
+		}
+		if i > 0 && (e.Config != rep.Schedule[i-1].Config) != e.Switch {
+			t.Errorf("schedule entry %d switch flag inconsistent", i)
+		}
+	}
+	if switches != rep.Switches {
+		t.Errorf("schedule says %d switches, report says %d", switches, rep.Switches)
+	}
+	var perPhase float64
+	for _, p := range rep.Phases {
+		perPhase += p.Recommendation.Predicted.RuntimeCycles
+	}
+	perPhase += float64(rep.Switches) * float64(opts.SwitchPenaltyCycles)
+	if perPhase != rep.PerPhaseCycles {
+		t.Errorf("per-phase cycles %f, want %f", rep.PerPhaseCycles, perPhase)
+	}
+	if rep.PerPhaseWins != (rep.PerPhaseCycles < rep.WholeProgramCycles) {
+		t.Error("decision flag contradicts the cycle comparison")
+	}
+
+	// Measurement economy: one interval-profiled run per configuration —
+	// the base plus one per decision variable — feeds the whole-program
+	// model and every per-phase model alike.
+	want := int64(1 + config.FullSpace().Len())
+	if got := counter.calls.Load(); got != want {
+		t.Errorf("provider saw %d measurements, want %d", got, want)
+	}
+}
+
+// TestTunePhasesWholeProgramMatchesPlainTuning: interval profiling must
+// not perturb the simulation, so the phase run's whole-program
+// recommendation equals the ordinary Recommend flow's.
+func TestTunePhasesWholeProgramMatchesPlainTuning(t *testing.T) {
+	b, _ := progs.ByName("arith")
+	tuner := NewTuner(workload.Tiny)
+	w := RuntimeWeights()
+	rep, err := tuner.TunePhases(context.Background(), b, w, PhaseOptions{IntervalInstructions: 10_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainRec, _, err := tuner.Recommend(context.Background(), b, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := recommendationReport(plainRec)
+	got, _ := json.Marshal(rep.WholeProgram)
+	want, _ := json.Marshal(plain)
+	if string(got) != string(want) {
+		t.Errorf("whole-program recommendation diverged:\n%s\nvs plain tuning:\n%s", got, want)
+	}
+}
+
+// TestTunePhasesDeterministic: the full report — trace, per-phase
+// solves, schedule — is byte-reproducible.
+func TestTunePhasesDeterministic(t *testing.T) {
+	b, _ := progs.ByName("blastn")
+	run := func() []byte {
+		tuner := NewTuner(workload.Tiny)
+		rep, err := tuner.TunePhases(context.Background(), b, RuntimeWeights(), PhaseOptions{IntervalInstructions: 20_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := rep.MarshalIndent()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	a, bb := run(), run()
+	if string(a) != string(bb) {
+		t.Error("phase report not byte-reproducible")
+	}
+}
+
+// TestMixPerPhaseWins: the phase-structured mix benchmark is the
+// workload per-phase tuning exists for — its scan and probe phases want
+// opposite dcache line sizes, so the per-phase schedule must beat the
+// whole-program recommendation even after paying the switch penalties.
+func TestMixPerPhaseWins(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	b, _ := progs.ByName("mix")
+	tuner := NewTuner(workload.Small)
+	rep, err := tuner.TunePhases(context.Background(), b, RuntimeWeights(), PhaseOptions{IntervalInstructions: 100_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Trace.Phases < 2 {
+		t.Fatalf("mix should show multiple phases, detected %d", rep.Trace.Phases)
+	}
+	if rep.Switches == 0 {
+		t.Error("the per-phase schedule should reconfigure at least once")
+	}
+	if !rep.PerPhaseWins {
+		t.Errorf("per-phase schedule (%.0f cycles incl. %d switches) should beat whole-program (%.0f cycles)",
+			rep.PerPhaseCycles, rep.Switches, rep.WholeProgramCycles)
+	}
+}
+
+// TestTunePhasesCancellation: a cancelled context aborts the build with
+// the context's error.
+func TestTunePhasesCancellation(t *testing.T) {
+	b, _ := progs.ByName("blastn")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	tuner := NewTuner(workload.Tiny)
+	if _, err := tuner.TunePhases(ctx, b, RuntimeWeights(), PhaseOptions{}); err == nil {
+		t.Fatal("cancelled TunePhases should fail")
+	}
+}

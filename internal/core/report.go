@@ -71,14 +71,7 @@ func NewTuneReport(m *Model, rec *Recommendation, val *Validation, includeModel 
 			LUTPct:  m.BaseResources.LUTPercent(),
 			BRAMPct: m.BaseResources.BRAMPercent(),
 		},
-		Recommendation: RecommendationReport{
-			Changes:     append([]string{}, rec.Changes...),
-			Config:      rec.Config.String(),
-			Predicted:   rec.Predicted,
-			Objective:   rec.Objective,
-			SolverNodes: rec.SolverNodes,
-			Proven:      rec.Proven,
-		},
+		Recommendation: recommendationReport(rec),
 	}
 	if val != nil {
 		r.Validation = CostPoint{

@@ -110,6 +110,33 @@ func companionFor(v config.Var) (string, bool) {
 	return "", false
 }
 
+// deferredVar is a variable whose measurement rides on a companion
+// configuration (companionFor) and is attributed against the
+// companion's own measurement.
+type deferredVar struct {
+	index     int
+	companion string
+}
+
+// planSpace partitions a space's variables into the ordinary
+// single-change measurements and the companion-paired deferred ones,
+// validating that every required companion is present. Shared by
+// BuildModel and the per-phase model builder so the pairing rules live
+// in one place.
+func planSpace(space *config.Space) (ordinary []int, deferred []deferredVar, err error) {
+	for i, v := range space.Vars() {
+		if companion, ok := companionFor(v); ok {
+			if _, exists := space.ByName(companion); !exists {
+				return nil, nil, fmt.Errorf("core: variable %s needs companion %s, absent from the space", v.Name, companion)
+			}
+			deferred = append(deferred, deferredVar{index: i, companion: companion})
+			continue
+		}
+		ordinary = append(ordinary, i)
+	}
+	return ordinary, deferred, nil
+}
+
 // BuildModel performs the paper's Section 3 procedure: measure the base,
 // then every single-change configuration (and, for the replacement-policy
 // variables that LEON forbids on a 1-way cache, the minimal companion
@@ -137,22 +164,14 @@ func (t *Tuner) BuildModel(ctx context.Context, b *progs.Benchmark) (*Model, err
 	vars := space.Vars()
 	entries := make([]Entry, len(vars))
 
-	// Phase 1: ordinary variables (and remember which need companions).
-	type deferredVar struct {
-		index     int
-		companion string
+	// Phase 1: ordinary variables (companion-paired ones are deferred).
+	ordinary, deferredVars, err := planSpace(space)
+	if err != nil {
+		return nil, err
 	}
-	var deferredVars []deferredVar
 	var jobs []job
-	for i, v := range vars {
-		if companion, ok := companionFor(v); ok {
-			if _, exists := space.ByName(companion); !exists {
-				return nil, fmt.Errorf("core: variable %s needs companion %s, absent from the space", v.Name, companion)
-			}
-			deferredVars = append(deferredVars, deferredVar{index: i, companion: companion})
-			continue
-		}
-		jobs = append(jobs, job{index: i, cfg: v.Apply(baseCfg)})
+	for _, i := range ordinary {
+		jobs = append(jobs, job{index: i, cfg: vars[i].Apply(baseCfg)})
 	}
 
 	runJobs := func(js []job) error {

@@ -82,6 +82,16 @@ type Core struct {
 	halted bool
 	exit   uint32
 
+	// Block-signature vector (interval profiling support). When non-nil,
+	// every taken control transfer increments the bucket its target
+	// address falls in — a coarse basic-block vector in the SimPoint
+	// sense, cheap enough to leave on for a whole run: one predictable
+	// branch per taken CTI when disabled, one array increment when
+	// enabled. len(bbv) is a power of two; bbvShift sets the bucket
+	// granularity in address bits.
+	bbv      []uint32
+	bbvShift uint32
+
 	traceW     io.Writer
 	traceLimit uint64
 }
@@ -242,6 +252,7 @@ func (c *Core) Reset(entry uint32) {
 	c.icache.Reset()
 	c.dcache.Reset()
 	c.wbuf.Reset()
+	clear(c.bbv)
 	// ABI: %sp at top of RAM, 64-byte save area reserved.
 	c.setReg(isa.RegSP, mem.RAMBase+uint32(c.memory.Size())-64)
 }
@@ -306,6 +317,44 @@ func (c *Core) SetReg(r uint8, v uint32) { c.setReg(r, v) }
 func (c *Core) SetTrace(w io.Writer, limit uint64) {
 	c.traceW = w
 	c.traceLimit = limit
+}
+
+// EnableBlockVector turns on block-signature collection: every taken
+// control transfer (branch, call, register jump) increments the bucket
+// its target address maps to, bucket = target>>shift modulo buckets.
+// buckets must be a power of two. Enabling is idempotent; the vector
+// survives Reset (zeroed, not discarded) so pooled engines keep
+// collecting across runs.
+func (c *Core) EnableBlockVector(buckets int, shift uint32) {
+	if buckets <= 0 || buckets&(buckets-1) != 0 {
+		panic(fmt.Sprintf("cpu: block vector buckets %d not a power of two", buckets))
+	}
+	if len(c.bbv) != buckets {
+		c.bbv = make([]uint32, buckets)
+	}
+	c.bbvShift = shift
+}
+
+// TakeBlockVector returns a copy of the accumulated block-signature
+// vector and zeroes the accumulator — the per-interval snapshot
+// primitive. Returns nil when collection is disabled.
+func (c *Core) TakeBlockVector() []uint32 {
+	if c.bbv == nil {
+		return nil
+	}
+	out := make([]uint32, len(c.bbv))
+	copy(out, c.bbv)
+	clear(c.bbv)
+	return out
+}
+
+// noteBlock records a taken control transfer to target in the block
+// vector; the reference Step path's counterpart of the fast loop's
+// inlined increments.
+func (c *Core) noteBlock(target uint32) {
+	if c.bbv != nil {
+		c.bbv[target>>c.bbvShift&uint32(len(c.bbv)-1)]++
+	}
 }
 
 // ICC exposes the integer condition codes (read-only, for tests).

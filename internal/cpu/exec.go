@@ -267,11 +267,13 @@ func (c *Core) Step() error {
 			// ba,a: delay slot annulled even though taken.
 			c.stats.TakenBranches++
 			c.takenCTI()
+			c.noteBlock(target)
 			c.annulSlot(c.npc)
 			nextPC, nextNPC = target, target+4
 		case taken:
 			c.stats.TakenBranches++
 			c.takenCTI()
+			c.noteBlock(target)
 			nextPC, nextNPC = c.npc, target
 		case in.Annul:
 			// Untaken with annul: skip the delay slot.
@@ -284,6 +286,7 @@ func (c *Core) Step() error {
 		c.setReg(isa.RegO7, c.pc)
 		c.takenCTI()
 		target := c.pc + uint32(in.Disp)*4
+		c.noteBlock(target)
 		nextPC, nextNPC = c.npc, target
 
 	case isa.OpJmpl:
@@ -294,6 +297,7 @@ func (c *Core) Step() error {
 		}
 		c.setReg(in.Rd, c.pc)
 		c.takenCTI()
+		c.noteBlock(target)
 		if c.jumpExtra != 0 {
 			c.stats.JumpPenalty += c.jumpExtra
 			c.stats.Cycles += c.jumpExtra

@@ -579,6 +579,12 @@ func (c *Core) runFastInner(target uint64, fetchLine uint32) (stepNext bool, ret
 		ram      = c.memory.RAM()
 		textBase = c.textBase
 		imissPen = c.imissPenalty
+		// Block-signature collection (interval profiling): nil when
+		// disabled, in which case the per-taken-CTI nil check is one
+		// predictable branch.
+		bbv      = c.bbv
+		bbvShift = c.bbvShift
+		bbvMask  = uint32(len(c.bbv) - 1)
 		rf       = &c.regfile
 		fastRI   = c.fastRI
 		dcLine   = noLine // dcache line known resident from the last probe
@@ -1029,6 +1035,9 @@ loop:
 				// ba,a: delay slot annulled even though taken.
 				fb.taken++
 				extra += 1 + c.decodeExtra
+				if bbv != nil {
+					bbv[f.target>>bbvShift&bbvMask]++
+				}
 				// Annulled slot at npc: fetched, occupies a slot, no effect.
 				if line := npc >> icShift; line == fetchLine {
 					fb.icHits++
@@ -1046,6 +1055,9 @@ loop:
 			case taken:
 				fb.taken++
 				extra += 1 + c.decodeExtra
+				if bbv != nil {
+					bbv[f.target>>bbvShift&bbvMask]++
+				}
 				nextPC, nextNPC = npc, f.target
 				slotRuns = true
 			case f.flags&fgAnnul != 0:
@@ -1079,6 +1091,9 @@ loop:
 			fb.calls++
 			c.setReg(isa.RegO7, pc)
 			extra += 1 + c.decodeExtra
+			if bbv != nil {
+				bbv[f.target>>bbvShift&bbvMask]++
+			}
 			nextPC, nextNPC = npc, f.target
 
 		case fJmpl:
@@ -1094,6 +1109,9 @@ loop:
 			fb.jumps++
 			setRF(rf, ri, pc)
 			extra += 1 + c.decodeExtra + c.jumpExtra
+			if bbv != nil {
+				bbv[jt>>bbvShift&bbvMask]++
+			}
 			nextPC, nextNPC = npc, jt
 
 		case fAddCCBicc, fSubCCBicc, fAndCCBicc, fOrCCBicc, fXorCCBicc:
@@ -1154,6 +1172,9 @@ loop:
 			case taken && f.flags&fgBAAnnul != 0:
 				fb.taken++
 				extra += 1 + c.decodeExtra
+				if bbv != nil {
+					bbv[f.target>>bbvShift&bbvMask]++
+				}
 				if line := npc2 >> icShift; line == fetchLine {
 					fb.icHits++
 				} else {
@@ -1169,6 +1190,9 @@ loop:
 			case taken:
 				fb.taken++
 				extra += 1 + c.decodeExtra
+				if bbv != nil {
+					bbv[f.target>>bbvShift&bbvMask]++
+				}
 				nextPC, nextNPC = npc2, f.target
 				slotRuns = true
 			case f.flags&fgAnnul != 0:

@@ -1,0 +1,185 @@
+package measure
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"liquidarch/internal/config"
+	"liquidarch/internal/platform"
+)
+
+// leaseHarness builds two Persistent providers ("replicas") over one
+// shared store directory: A's inner provider gates (a replica caught
+// mid-simulation), B's answers immediately.
+func leaseHarness(t *testing.T, ttl time.Duration) (a, b *Persistent, inA, inB *fakeProvider) {
+	t.Helper()
+	dir := t.TempDir()
+	storeA, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	storeB, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inA = &fakeProvider{gate: make(chan struct{})}
+	inB = &fakeProvider{}
+	a = NewPersistent(inA, storeA).EnableLease(ttl)
+	b = NewPersistent(inB, storeB).EnableLease(ttl)
+	return a, b, inA, inB
+}
+
+// startBlocked launches a.Measure in a goroutine and waits until its
+// inner provider has been entered (i.e. the claim is held).
+func startBlocked(t *testing.T, a *Persistent, inA *fakeProvider, ctx context.Context, key Key) chan error {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() {
+		_, err := a.Measure(ctx, key.Prog, key.Cfg, platform.Options{})
+		done <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for inA.calls.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("replica A never started measuring")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return done
+}
+
+// TestLeaseSecondReplicaWaits: with the lease on, the replica that loses
+// the claim race waits for the winner's spill instead of simulating.
+func TestLeaseSecondReplicaWaits(t *testing.T) {
+	t.Parallel()
+	a, b, inA, inB := leaseHarness(t, 30*time.Second)
+	prog := testProgram(t, 0)
+	key := KeyFor(prog, config.Default(), platform.Options{})
+
+	aDone := startBlocked(t, a, inA, context.Background(), key)
+
+	type res struct {
+		rep *platform.RunReport
+		err error
+	}
+	bDone := make(chan res, 1)
+	go func() {
+		rep, err := b.Measure(context.Background(), prog, config.Default(), platform.Options{})
+		bDone <- res{rep, err}
+	}()
+	// B must be parked on A's claim, not simulating.
+	time.Sleep(100 * time.Millisecond)
+	if n := inB.calls.Load(); n != 0 {
+		t.Fatalf("replica B simulated %d times while A held the claim", n)
+	}
+	close(inA.gate)
+	if err := <-aDone; err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case r := <-bDone:
+		if r.err != nil {
+			t.Fatal(r.err)
+		}
+		if r.rep.Cycles() == 0 {
+			t.Fatal("replica B got an empty report")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("replica B never resolved")
+	}
+	if n := inB.calls.Load(); n != 0 {
+		t.Errorf("replica B simulated %d times, want 0 (lease dedupe)", n)
+	}
+	if st := b.Store().Stats(); st.LeaseWaits == 0 {
+		t.Error("store stats should count the lease wait")
+	}
+	if st := a.Store().Stats(); st.LeaseWins == 0 {
+		t.Error("store stats should count A's lease win")
+	}
+}
+
+// TestLeaseExpiryFallsBack: a claim whose holder hangs past the TTL must
+// not wedge the waiter — it falls back to simulating locally.
+func TestLeaseExpiryFallsBack(t *testing.T) {
+	t.Parallel()
+	a, b, inA, inB := leaseHarness(t, 150*time.Millisecond)
+	prog := testProgram(t, 1)
+	key := KeyFor(prog, config.Default(), platform.Options{})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	aDone := startBlocked(t, a, inA, ctx, key)
+	defer func() { cancel(); <-aDone }()
+
+	rep, err := b.Measure(context.Background(), prog, config.Default(), platform.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cycles() == 0 {
+		t.Fatal("empty report")
+	}
+	if n := inB.calls.Load(); n != 1 {
+		t.Errorf("replica B simulated %d times, want 1 (expired-lease fallback)", n)
+	}
+}
+
+// TestLeaseReleasedOnFailure: when the claim winner's measurement fails,
+// the claim is released and the waiter recovers by simulating.
+func TestLeaseReleasedOnFailure(t *testing.T) {
+	t.Parallel()
+	a, b, inA, inB := leaseHarness(t, 30*time.Second)
+	inA.err = context.DeadlineExceeded // any failure
+	prog := testProgram(t, 2)
+	key := KeyFor(prog, config.Default(), platform.Options{})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	aDone := startBlocked(t, a, inA, ctx, key)
+	cancel() // unblock A's gate via ctx; its measurement fails
+	if err := <-aDone; err == nil {
+		t.Fatal("replica A should have failed")
+	}
+
+	rep, err := b.Measure(context.Background(), prog, config.Default(), platform.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cycles() == 0 {
+		t.Fatal("empty report")
+	}
+	if n := inB.calls.Load(); n != 1 {
+		t.Errorf("replica B simulated %d times, want 1 (claim released on failure)", n)
+	}
+}
+
+// TestClaimBrokenWhenStale: an expired claim left by a crashed replica is
+// broken on contact rather than honoured for its full TTL.
+func TestClaimBrokenWhenStale(t *testing.T) {
+	t.Parallel()
+	store, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := testProgram(t, 3)
+	key := KeyFor(prog, config.Default(), platform.Options{})
+	// Simulate a crashed holder: a claim whose expiry has already passed.
+	if !store.TryClaim(key, -time.Second) {
+		t.Fatal("initial claim failed")
+	}
+	inner := &fakeProvider{}
+	p := NewPersistent(inner, store).EnableLease(time.Hour)
+	start := time.Now()
+	rep, err := p.Measure(context.Background(), prog, config.Default(), platform.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cycles() == 0 {
+		t.Fatal("empty report")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("stale claim stalled the measurement for %v", elapsed)
+	}
+	if n := inner.calls.Load(); n != 1 {
+		t.Errorf("inner measured %d times, want 1", n)
+	}
+}

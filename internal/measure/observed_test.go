@@ -1,0 +1,60 @@
+package measure
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+
+	"liquidarch/internal/config"
+	"liquidarch/internal/platform"
+)
+
+// TestObservedHook: the hook fires once per successful measurement —
+// including cache hits — and not on failures.
+func TestObservedHook(t *testing.T) {
+	inner := &fakeProvider{}
+	cache := NewCache(inner, 8)
+	var fired atomic.Int64
+	obs := Observed{Inner: cache, OnMeasure: func() { fired.Add(1) }}
+	prog := testProgram(t, 40)
+	cfg := config.Default()
+
+	for i := 0; i < 3; i++ {
+		if _, err := obs.Measure(context.Background(), prog, cfg, platform.Options{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := fired.Load(); got != 3 {
+		t.Errorf("hook fired %d times, want 3 (cache hits count)", got)
+	}
+	if inner.calls.Load() != 1 {
+		t.Errorf("inner measured %d times, want 1", inner.calls.Load())
+	}
+
+	failing := Observed{Inner: &fakeProvider{err: context.DeadlineExceeded}, OnMeasure: func() { fired.Add(1) }}
+	if _, err := failing.Measure(context.Background(), testProgram(t, 41), cfg, platform.Options{}); err == nil {
+		t.Fatal("expected failure")
+	}
+	if got := fired.Load(); got != 3 {
+		t.Errorf("hook fired on a failed measurement (count %d)", got)
+	}
+}
+
+// TestKeyDistinguishesInterval: interval-profiled runs must not collide
+// with plain runs of the same (program, configuration).
+func TestKeyDistinguishesInterval(t *testing.T) {
+	prog := testProgram(t, 42)
+	cfg := config.Default()
+	plain := KeyFor(prog, cfg, platform.Options{})
+	ivl := KeyFor(prog, cfg, platform.Options{IntervalInstructions: 1000})
+	if plain == ivl {
+		t.Fatal("interval length must participate in the measurement key")
+	}
+	s, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.path(plain) == s.path(ivl) {
+		t.Fatal("interval length must participate in the store path")
+	}
+}

@@ -64,11 +64,12 @@ func (Simulator) Measure(ctx context.Context, prog *asm.Program, cfg config.Conf
 // InferMultDiv) are normalised away, so e.g. the base run is shared with
 // the fastread-only perturbation.
 type Key struct {
-	Prog   *asm.Program
-	Cfg    config.Config
-	RAM    int
-	MaxI   uint64
-	Sample uint64
+	Prog     *asm.Program
+	Cfg      config.Config
+	RAM      int
+	MaxI     uint64
+	Sample   uint64
+	Interval uint64
 }
 
 // KeyFor derives the cache key for a run request. opts must describe a
@@ -76,11 +77,12 @@ type Key struct {
 func KeyFor(prog *asm.Program, cfg config.Config, opts platform.Options) Key {
 	opts = opts.Normalized()
 	return Key{
-		Prog:   prog,
-		Cfg:    cfg.TimingKey(),
-		RAM:    opts.RAMBytes,
-		MaxI:   opts.MaxInstructions,
-		Sample: opts.SampleInstructions,
+		Prog:     prog,
+		Cfg:      cfg.TimingKey(),
+		RAM:      opts.RAMBytes,
+		MaxI:     opts.MaxInstructions,
+		Sample:   opts.SampleInstructions,
+		Interval: opts.IntervalInstructions,
 	}
 }
 
@@ -97,3 +99,24 @@ var defaultProvider = NewCache(Simulator{}, DefaultCacheEntries)
 // the simulator. Library consumers (core.Tuner, exhaustive.Sweep) fall
 // back to it when no explicit provider is configured.
 func Default() *Cache { return defaultProvider }
+
+// Observed wraps a provider with a completion hook: OnMeasure fires
+// after every successful Measure, whether it was simulated, loaded from
+// disk or answered by a cache layer below. It is the progress surface a
+// serving system uses to stream "k of N measurements done" without the
+// measurement stack knowing anything about jobs.
+type Observed struct {
+	Inner Provider
+	// OnMeasure is invoked (possibly concurrently, from the measuring
+	// goroutines) after each successful measurement. nil disables it.
+	OnMeasure func()
+}
+
+// Measure implements Provider.
+func (o Observed) Measure(ctx context.Context, prog *asm.Program, cfg config.Config, opts platform.Options) (*platform.RunReport, error) {
+	rep, err := o.Inner.Measure(ctx, prog, cfg, opts)
+	if err == nil && o.OnMeasure != nil {
+		o.OnMeasure()
+	}
+	return rep, err
+}

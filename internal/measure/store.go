@@ -57,12 +57,14 @@ type manifest struct {
 type Store struct {
 	dir string
 
-	loads    atomic.Uint64 // successful disk hits
-	saves    atomic.Uint64
-	repaired atomic.Uint64 // corrupt entries removed on read
-	gcRuns   atomic.Uint64
-	gcFiles  atomic.Uint64
-	gcBytes  atomic.Uint64
+	loads      atomic.Uint64 // successful disk hits
+	saves      atomic.Uint64
+	repaired   atomic.Uint64 // corrupt entries removed on read
+	gcRuns     atomic.Uint64
+	gcFiles    atomic.Uint64
+	gcBytes    atomic.Uint64
+	leaseWins  atomic.Uint64 // claims acquired (this replica measures)
+	leaseWaits atomic.Uint64 // waits resolved by another replica's spill
 
 	// Cached resident-footprint walk for Stats: a metrics scrape on an
 	// idle store must not turn into a per-file stat storm on a large
@@ -186,11 +188,16 @@ func (s *Store) fingerprint(p *asm.Program) string {
 
 // path maps a key to its file. The hash input uses the configuration's
 // canonical String() of the timing key, so the identity survives process
-// restarts (pointer-based Key identity does not).
+// restarts (pointer-based Key identity does not). The interval length is
+// appended only when set, so every pre-interval-profiling key keeps the
+// hash (and the on-disk entry) it had before the field existed.
 func (s *Store) path(key Key) string {
 	h := sha256.New()
 	fmt.Fprintf(h, "prog=%s\ncfg=%s\nram=%d\nmaxi=%d\nsample=%d\n",
 		s.fingerprint(key.Prog), key.Cfg.String(), key.RAM, key.MaxI, key.Sample)
+	if key.Interval > 0 {
+		fmt.Fprintf(h, "interval=%d\n", key.Interval)
+	}
 	return filepath.Join(s.versionDir(), hex.EncodeToString(h.Sum(nil))+".json")
 }
 
@@ -199,15 +206,16 @@ func (s *Store) path(key Key) string {
 // inspection; loads stamp the caller's configuration in, as the cache
 // layers do.
 type storedReport struct {
-	Version  int            `json:"version"`
-	Config   []string       `json:"config"`
-	Stats    profiler.Stats `json:"stats"`
-	ICache   cache.Stats    `json:"icache"`
-	DCache   cache.Stats    `json:"dcache"`
-	ExitCode uint32         `json:"exit_code"`
-	Checksum uint32         `json:"checksum"`
-	Console  string         `json:"console,omitempty"`
-	Sampled  bool           `json:"sampled,omitempty"`
+	Version   int                 `json:"version"`
+	Config    []string            `json:"config"`
+	Stats     profiler.Stats      `json:"stats"`
+	ICache    cache.Stats         `json:"icache"`
+	DCache    cache.Stats         `json:"dcache"`
+	ExitCode  uint32              `json:"exit_code"`
+	Checksum  uint32              `json:"checksum"`
+	Console   string              `json:"console,omitempty"`
+	Sampled   bool                `json:"sampled,omitempty"`
+	Intervals []platform.Interval `json:"intervals,omitempty"`
 }
 
 // Load returns the stored report for key, or ok=false when absent (or
@@ -238,14 +246,15 @@ func (s *Store) Load(key Key) (*platform.RunReport, bool) {
 	now := time.Now()
 	_ = os.Chtimes(path, now, now)
 	return &platform.RunReport{
-		Config:   key.Cfg,
-		Stats:    in.Stats,
-		ICache:   in.ICache,
-		DCache:   in.DCache,
-		ExitCode: in.ExitCode,
-		Checksum: in.Checksum,
-		Console:  in.Console,
-		Sampled:  in.Sampled,
+		Config:    key.Cfg,
+		Stats:     in.Stats,
+		ICache:    in.ICache,
+		DCache:    in.DCache,
+		ExitCode:  in.ExitCode,
+		Checksum:  in.Checksum,
+		Console:   in.Console,
+		Sampled:   in.Sampled,
+		Intervals: in.Intervals,
 	}, true
 }
 
@@ -253,15 +262,16 @@ func (s *Store) Load(key Key) (*platform.RunReport, bool) {
 // so concurrent readers never observe a partial entry.
 func (s *Store) Save(key Key, rep *platform.RunReport) error {
 	out := storedReport{
-		Version:  StoreVersion,
-		Config:   key.Cfg.DiffBase(),
-		Stats:    rep.Stats,
-		ICache:   rep.ICache,
-		DCache:   rep.DCache,
-		ExitCode: rep.ExitCode,
-		Checksum: rep.Checksum,
-		Console:  rep.Console,
-		Sampled:  rep.Sampled,
+		Version:   StoreVersion,
+		Config:    key.Cfg.DiffBase(),
+		Stats:     rep.Stats,
+		ICache:    rep.ICache,
+		DCache:    rep.DCache,
+		ExitCode:  rep.ExitCode,
+		Checksum:  rep.Checksum,
+		Console:   rep.Console,
+		Sampled:   rep.Sampled,
+		Intervals: rep.Intervals,
 	}
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
@@ -272,6 +282,126 @@ func (s *Store) Save(key Key, rep *platform.RunReport) error {
 	}
 	s.saves.Add(1)
 	return nil
+}
+
+// Measurement claim lease (cross-replica singleflight, best effort).
+//
+// Within one process the Cache's flights guarantee each key is simulated
+// once; across replicas sharing a directory, two processes missing the
+// same key would both simulate and race the (atomic, therefore harmless
+// but wasteful) final rename. The claim file dedupes that: before
+// simulating, a replica tries to create <entry>.claim with O_EXCL; the
+// winner simulates, spills, and removes the claim, while losers poll for
+// the winner's entry. Everything is advisory — a crashed winner's claim
+// expires after its TTL (stamped inside the file), losers then fall back
+// to simulating locally, and a lost claim file never affects
+// correctness, only duplicate work.
+
+// claimPollInterval is how often a waiting replica re-checks for the
+// claim winner's spilled entry.
+const claimPollInterval = 25 * time.Millisecond
+
+// claimPath returns the claim-file path guarding key's entry.
+func (s *Store) claimPath(key Key) string {
+	return strings.TrimSuffix(s.path(key), ".json") + ".claim"
+}
+
+// TryClaim attempts to become the measuring replica for key. It reports
+// true when this replica holds the claim (or when the store is too
+// broken to coordinate — then measuring locally is the safe default)
+// and false when another replica's unexpired claim stands.
+//
+// The claim appears atomically with its content: the expiry is written
+// to a temp file that is then hard-linked to the claim path (link fails
+// when the target exists, preserving the create-exclusive semantics),
+// so a contending replica never reads a half-written claim and breaks
+// it as corrupt.
+func (s *Store) TryClaim(key Key, ttl time.Duration) bool {
+	path := s.claimPath(key)
+	for attempt := 0; attempt < 2; attempt++ {
+		tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-claim-*")
+		if err != nil {
+			return true // unwritable store: coordinate nothing, just measure
+		}
+		fmt.Fprintf(tmp, "%d\n", time.Now().Add(ttl).UnixNano())
+		tmp.Close()
+		lerr := os.Link(tmp.Name(), path)
+		os.Remove(tmp.Name())
+		if lerr == nil {
+			s.leaseWins.Add(1)
+			return true
+		}
+		if !os.IsExist(lerr) {
+			return true // filesystem without hard links etc.: just measure
+		}
+		data, rerr := os.ReadFile(path)
+		if rerr != nil {
+			if os.IsNotExist(rerr) {
+				continue // winner released between our link and read; retry
+			}
+			return false
+		}
+		expiry, perr := strconv.ParseInt(strings.TrimSpace(string(data)), 10, 64)
+		if perr != nil {
+			// Unparsable claim: break it only once its mtime says it is
+			// not a just-created file on a filesystem with lagging
+			// visibility.
+			if info, serr := os.Stat(path); serr == nil && time.Since(info.ModTime()) < ttl {
+				return false
+			}
+			_ = os.Remove(path)
+			continue
+		}
+		if time.Now().UnixNano() > expiry {
+			// Expired claim (crashed winner): break it and retry. Racing
+			// breakers are fine — at worst two replicas both measure,
+			// the pre-lease behaviour.
+			_ = os.Remove(path)
+			continue
+		}
+		return false
+	}
+	return true // repeated stale claims: stop coordinating, measure
+}
+
+// ReleaseClaim removes this replica's claim on key.
+func (s *Store) ReleaseClaim(key Key) {
+	_ = os.Remove(s.claimPath(key))
+}
+
+// WaitForEntry polls for the claim winner's spilled entry for key,
+// returning it as soon as it lands. It gives up — returning ok=false, so
+// the caller simulates locally — when the claim disappears without an
+// entry (the winner failed), when ttl elapses (the winner hung), or when
+// ctx is cancelled.
+func (s *Store) WaitForEntry(ctx context.Context, key Key, ttl time.Duration) (*platform.RunReport, bool) {
+	deadline := time.Now().Add(ttl)
+	ticker := time.NewTicker(claimPollInterval)
+	defer ticker.Stop()
+	for {
+		if rep, ok := s.Load(key); ok {
+			s.leaseWaits.Add(1)
+			return rep, true
+		}
+		if _, err := os.Stat(s.claimPath(key)); os.IsNotExist(err) {
+			// Claim gone, entry absent: the winner gave up (failed run,
+			// full disk). One last look closes the release-then-check
+			// window, then measure locally.
+			if rep, ok := s.Load(key); ok {
+				s.leaseWaits.Add(1)
+				return rep, true
+			}
+			return nil, false
+		}
+		if time.Now().After(deadline) {
+			return nil, false
+		}
+		select {
+		case <-ctx.Done():
+			return nil, false
+		case <-ticker.C:
+		}
+	}
 }
 
 // Len counts the resident entries (current version only).
@@ -385,6 +515,26 @@ func (s *Store) GC(policy GCPolicy) GCResult {
 			}
 			continue
 		}
+		if strings.HasSuffix(e.Name(), ".claim") {
+			// Collect leftover claims of crashed replicas honouring the
+			// expiry stamped inside the file — a live claim under a long
+			// -store-lease TTL must survive the sweep. TryClaim also
+			// breaks expired claims on contact; this handles keys never
+			// contended again. Unparsable claims fall back to an hour of
+			// mtime age.
+			if data, rerr := os.ReadFile(path); rerr == nil {
+				if expiry, perr := strconv.ParseInt(strings.TrimSpace(string(data)), 10, 64); perr == nil {
+					if now.UnixNano() > expiry {
+						_ = os.Remove(path)
+					}
+					continue
+				}
+			}
+			if now.Sub(info.ModTime()) > time.Hour {
+				_ = os.Remove(path)
+			}
+			continue
+		}
 		if !strings.HasSuffix(e.Name(), ".json") {
 			continue
 		}
@@ -472,6 +622,11 @@ type StoreStats struct {
 	GCRuns         uint64 `json:"gc_runs"`
 	GCRemoved      uint64 `json:"gc_removed"`
 	GCRemovedBytes uint64 `json:"gc_removed_bytes"`
+	// LeaseWins counts measurement claims this replica acquired,
+	// LeaseWaits the measurements it received from another replica's
+	// spill instead of simulating.
+	LeaseWins  uint64 `json:"lease_wins,omitempty"`
+	LeaseWaits uint64 `json:"lease_waits,omitempty"`
 }
 
 // statsWalkInterval bounds how often Stats re-walks the directory.
@@ -488,6 +643,8 @@ func (s *Store) Stats() StoreStats {
 		GCRuns:         s.gcRuns.Load(),
 		GCRemoved:      s.gcFiles.Load(),
 		GCRemovedBytes: s.gcBytes.Load(),
+		LeaseWins:      s.leaseWins.Load(),
+		LeaseWaits:     s.leaseWaits.Load(),
 	}
 	activity := st.Loads + st.Saves + st.Repaired + st.GCRuns
 	s.statsMu.Lock()
@@ -540,6 +697,8 @@ type Persistent struct {
 	gcPolicy GCPolicy
 	gcEvery  uint64
 	saven    atomic.Uint64 // saves since the last sweep
+
+	leaseTTL time.Duration
 }
 
 // NewPersistent wraps inner with the on-disk store.
@@ -572,6 +731,19 @@ func (p *Persistent) EnableGC(policy GCPolicy, every int) *Persistent {
 // Store exposes the underlying store (for metrics and manual sweeps).
 func (p *Persistent) Store() *Store { return p.store }
 
+// EnableLease turns on the cross-replica measurement claim lease: before
+// simulating a key missing from the store, the provider claims it with a
+// TTL-stamped claim file, so a replica racing another's in-flight
+// simulation of the same key waits for the winner's spill instead of
+// duplicating the work. A claim whose holder crashed or hung expires
+// after ttl and waiters fall back to simulating locally — the lease only
+// ever saves work, never blocks progress. Returns the receiver for
+// chaining.
+func (p *Persistent) EnableLease(ttl time.Duration) *Persistent {
+	p.leaseTTL = ttl
+	return p
+}
+
 // Measure implements Provider. Traced runs bypass the store.
 func (p *Persistent) Measure(ctx context.Context, prog *asm.Program, cfg config.Config, opts platform.Options) (*platform.RunReport, error) {
 	if opts.TraceWriter != nil {
@@ -584,6 +756,23 @@ func (p *Persistent) Measure(ctx context.Context, prog *asm.Program, cfg config.
 	if rep, ok := p.store.Load(key); ok {
 		rep.Config = cfg
 		return rep, nil
+	}
+	if p.leaseTTL > 0 {
+		if p.store.TryClaim(key, p.leaseTTL) {
+			defer p.store.ReleaseClaim(key)
+		} else {
+			// Another replica is measuring this key: wait for its spill.
+			if rep, ok := p.store.WaitForEntry(ctx, key, p.leaseTTL); ok {
+				rep.Config = cfg
+				return rep, nil
+			}
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			// Lease expired or the winner failed: measure locally,
+			// unclaimed (the broken claim is the winner's to clean; ours
+			// would race a slow winner's release).
+		}
 	}
 	rep, err := p.inner.Measure(ctx, prog, cfg, opts)
 	if err != nil {

@@ -1,0 +1,207 @@
+// Package phase detects execution phases from interval profiles: the
+// related work's observation that "different phases of an application
+// perform better on different architectures" applied to this
+// reproduction's own measurement stack.
+//
+// The input is the platform's interval profile (platform.Interval): the
+// run split at exact instruction-count boundaries, each interval
+// carrying a block-signature vector — a coarse basic-block vector (BBV)
+// counting taken-CTI targets per address bucket, in the SimPoint
+// tradition. Detection normalizes each signature and clusters the
+// intervals with a deterministic leader algorithm: the first interval
+// founds phase 0; every subsequent interval joins the nearest existing
+// phase whose representative (its founding interval's signature) lies
+// within a fixed L1 threshold, or founds the next phase. Phase IDs are
+// therefore stable first-appearance ranks, the whole procedure is
+// byte-reproducible (no randomness, no data-dependent iteration order),
+// and the same program profiled at the same interval length always
+// yields the same Trace — the property the golden tests and the
+// measurement cache both rest on.
+//
+// Because interval boundaries are instruction counts and the instruction
+// stream is configuration-independent, a Trace detected on the base
+// configuration indexes the intervals of *any* configuration's run of
+// the same program: per-phase costs of a candidate configuration are
+// read off by summing that run's interval deltas over the trace's
+// assignment (Profiles), which is what lets one interval-profiled run
+// per configuration serve every phase's cost model.
+package phase
+
+import (
+	"liquidarch/internal/cache"
+	"liquidarch/internal/platform"
+	"liquidarch/internal/profiler"
+)
+
+// DefaultThreshold is the leader-clustering distance bound: intervals
+// whose normalized signatures differ by less than this L1 distance
+// (range 0..2) share a phase. 0.5 separates distinct loop nests while
+// absorbing the small per-interval jitter of data-dependent branches.
+const DefaultThreshold = 0.5
+
+// Options tunes detection.
+type Options struct {
+	// Threshold overrides DefaultThreshold when > 0.
+	Threshold float64
+}
+
+// Segment is a maximal run of consecutive intervals assigned to one
+// phase.
+type Segment struct {
+	// Phase is the phase ID.
+	Phase int `json:"phase"`
+	// Start and End are the first and last interval indices, inclusive.
+	Start int `json:"start"`
+	End   int `json:"end"`
+	// Instructions and Cycles aggregate the segment's intervals (cycles
+	// on the profiled configuration).
+	Instructions uint64 `json:"instructions"`
+	Cycles       uint64 `json:"cycles"`
+}
+
+// Trace is the detected phase structure of one program at one interval
+// length.
+type Trace struct {
+	// IntervalInstructions is the profiling interval length the trace
+	// was detected at (and must be re-measured at).
+	IntervalInstructions uint64 `json:"interval_instructions"`
+	// Threshold is the clustering distance bound used.
+	Threshold float64 `json:"threshold"`
+	// Phases is the number of distinct phases (IDs 0..Phases-1).
+	Phases int `json:"phases"`
+	// Assignments maps each interval index to its phase ID.
+	Assignments []int `json:"assignments"`
+	// Segments is the run-length encoding of Assignments, in order.
+	Segments []Segment `json:"segments"`
+}
+
+// Detect clusters an interval profile into phases. The intervals must
+// come from one run profiled at intervalLen.
+func Detect(intervals []platform.Interval, intervalLen uint64, opts Options) *Trace {
+	threshold := opts.Threshold
+	if threshold <= 0 {
+		threshold = DefaultThreshold
+	}
+	t := &Trace{
+		IntervalInstructions: intervalLen,
+		Threshold:            threshold,
+		Assignments:          make([]int, len(intervals)),
+	}
+	var leaders [][]float64
+	for i, iv := range intervals {
+		sig := normalize(iv.Signature)
+		best, bestDist := -1, threshold
+		for p, leader := range leaders {
+			// Strict < keeps the earliest phase on ties — stable IDs.
+			if d := l1(sig, leader); d < bestDist {
+				best, bestDist = p, d
+			}
+		}
+		if best < 0 {
+			best = len(leaders)
+			leaders = append(leaders, sig)
+		}
+		t.Assignments[i] = best
+	}
+	t.Phases = len(leaders)
+
+	for i, p := range t.Assignments {
+		iv := intervals[i]
+		if n := len(t.Segments); n > 0 && t.Segments[n-1].Phase == p {
+			seg := &t.Segments[n-1]
+			seg.End = i
+			seg.Instructions += iv.Instructions
+			seg.Cycles += iv.Stats.Cycles
+			continue
+		}
+		t.Segments = append(t.Segments, Segment{
+			Phase:        p,
+			Start:        i,
+			End:          i,
+			Instructions: iv.Instructions,
+			Cycles:       iv.Stats.Cycles,
+		})
+	}
+	return t
+}
+
+// normalize scales a signature to unit L1 mass. An all-zero signature
+// (an interval with no taken CTIs) normalizes to the zero vector, which
+// clusters with other CTI-free intervals at distance 0.
+func normalize(sig []uint32) []float64 {
+	out := make([]float64, len(sig))
+	var sum float64
+	for _, c := range sig {
+		sum += float64(c)
+	}
+	if sum == 0 {
+		return out
+	}
+	for i, c := range sig {
+		out[i] = float64(c) / sum
+	}
+	return out
+}
+
+// l1 is the Manhattan distance between two equal-length vectors.
+func l1(a, b []float64) float64 {
+	var d float64
+	for i := range a {
+		if a[i] > b[i] {
+			d += a[i] - b[i]
+		} else {
+			d += b[i] - a[i]
+		}
+	}
+	return d
+}
+
+// Profile aggregates one phase's cost on one configuration's run.
+type Profile struct {
+	// Phase is the phase ID.
+	Phase int `json:"phase"`
+	// Intervals counts the intervals assigned to the phase.
+	Intervals int `json:"intervals"`
+	// Instructions and Cycles are the phase totals on the profiled run.
+	Instructions uint64 `json:"instructions"`
+	Cycles       uint64 `json:"cycles"`
+	// Stats, ICache and DCache are the aggregated profile deltas, the
+	// inputs of the per-phase energy model.
+	Stats  profiler.Stats `json:"-"`
+	ICache cache.Stats    `json:"-"`
+	DCache cache.Stats    `json:"-"`
+}
+
+// Profiles sums a run's intervals per phase under the trace's
+// assignment. The run may be any configuration of the program the trace
+// was detected on — interval boundaries are instruction counts, so the
+// partition aligns across configurations. A run with fewer intervals
+// than the trace (impossible for complete runs of the same program) is
+// summed as far as it goes.
+func (t *Trace) Profiles(intervals []platform.Interval) []Profile {
+	out := make([]Profile, t.Phases)
+	for p := range out {
+		out[p].Phase = p
+	}
+	n := min(len(intervals), len(t.Assignments))
+	for i := 0; i < n; i++ {
+		agg := &out[t.Assignments[i]]
+		iv := intervals[i]
+		agg.Intervals++
+		agg.Instructions += iv.Instructions
+		agg.Cycles += iv.Stats.Cycles
+		agg.Stats.Add(iv.Stats)
+		agg.ICache.Add(iv.ICache)
+		agg.DCache.Add(iv.DCache)
+	}
+	return out
+}
+
+// Switches counts the phase transitions between consecutive segments —
+// the number of reconfigurations a per-phase schedule performs mid-run.
+func (t *Trace) Switches() int {
+	if len(t.Segments) == 0 {
+		return 0
+	}
+	return len(t.Segments) - 1
+}

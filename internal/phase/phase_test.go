@@ -1,0 +1,183 @@
+package phase_test
+
+import (
+	"encoding/json"
+	"reflect"
+	"sync"
+	"testing"
+
+	"liquidarch/internal/config"
+	"liquidarch/internal/phase"
+	"liquidarch/internal/platform"
+	"liquidarch/internal/profiler"
+	"liquidarch/internal/progs"
+	"liquidarch/internal/workload"
+)
+
+// synthInterval builds an interval with the given signature and cycle
+// cost.
+func synthInterval(i int, cycles uint64, hot ...int) platform.Interval {
+	sig := make([]uint32, platform.SignatureBuckets)
+	for _, b := range hot {
+		sig[b] = 100
+	}
+	return platform.Interval{
+		Index:        i,
+		Instructions: 1000,
+		Stats:        profiler.Stats{Cycles: cycles, Instructions: 1000},
+		Signature:    sig,
+	}
+}
+
+// TestDetectClustering: intervals with matching signatures share a
+// phase, distinct signatures found new phases in first-appearance order,
+// and segments RLE the assignment.
+func TestDetectClustering(t *testing.T) {
+	ivs := []platform.Interval{
+		synthInterval(0, 1500, 3),
+		synthInterval(1, 1500, 3),
+		synthInterval(2, 4000, 40),
+		synthInterval(3, 4000, 40),
+		synthInterval(4, 1500, 3),
+	}
+	tr := phase.Detect(ivs, 1000, phase.Options{})
+	if tr.Phases != 2 {
+		t.Fatalf("detected %d phases, want 2", tr.Phases)
+	}
+	if want := []int{0, 0, 1, 1, 0}; !reflect.DeepEqual(tr.Assignments, want) {
+		t.Fatalf("assignments %v, want %v", tr.Assignments, want)
+	}
+	if len(tr.Segments) != 3 {
+		t.Fatalf("got %d segments, want 3: %+v", len(tr.Segments), tr.Segments)
+	}
+	seg := tr.Segments[1]
+	if seg.Phase != 1 || seg.Start != 2 || seg.End != 3 || seg.Cycles != 8000 || seg.Instructions != 2000 {
+		t.Errorf("middle segment wrong: %+v", seg)
+	}
+	if tr.Switches() != 2 {
+		t.Errorf("switches = %d, want 2", tr.Switches())
+	}
+}
+
+// TestDetectThreshold: near-identical signatures merge under a loose
+// threshold and split under a strict one.
+func TestDetectThreshold(t *testing.T) {
+	a := synthInterval(0, 1000, 3)
+	b := synthInterval(1, 1000, 3)
+	b.Signature[4] = 10 // ~9% of mass elsewhere: L1 distance ~0.18
+	ivs := []platform.Interval{a, b}
+	if tr := phase.Detect(ivs, 1000, phase.Options{Threshold: 0.5}); tr.Phases != 1 {
+		t.Errorf("loose threshold split the phase: %d", tr.Phases)
+	}
+	if tr := phase.Detect(ivs, 1000, phase.Options{Threshold: 0.05}); tr.Phases != 2 {
+		t.Errorf("strict threshold merged distinct intervals: %d", tr.Phases)
+	}
+}
+
+// TestProfilesAggregate: per-phase sums over a second run's intervals
+// line up with the assignment.
+func TestProfilesAggregate(t *testing.T) {
+	ivs := []platform.Interval{
+		synthInterval(0, 1500, 3),
+		synthInterval(1, 4000, 40),
+		synthInterval(2, 1500, 3),
+	}
+	tr := phase.Detect(ivs, 1000, phase.Options{})
+	// A "different configuration": same partition, different cycles.
+	other := []platform.Interval{
+		synthInterval(0, 1000, 3),
+		synthInterval(1, 9000, 40),
+		synthInterval(2, 1200, 3),
+	}
+	profs := tr.Profiles(other)
+	if len(profs) != 2 {
+		t.Fatalf("got %d profiles", len(profs))
+	}
+	if profs[0].Cycles != 2200 || profs[0].Intervals != 2 || profs[0].Instructions != 2000 {
+		t.Errorf("phase 0 profile: %+v", profs[0])
+	}
+	if profs[1].Cycles != 9000 || profs[1].Intervals != 1 {
+		t.Errorf("phase 1 profile: %+v", profs[1])
+	}
+	if profs[0].Stats.Cycles != 2200 {
+		t.Errorf("aggregated stats cycles %d", profs[0].Stats.Cycles)
+	}
+}
+
+// detectBenchmark profiles a real benchmark run and detects phases.
+func detectBenchmark(t *testing.T, app string, interval uint64) (*phase.Trace, *platform.RunReport) {
+	t.Helper()
+	b, ok := progs.ByName(app)
+	if !ok {
+		t.Fatalf("unknown app %s", app)
+	}
+	prog, err := b.Assemble(workload.Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := platform.RunWith(prog, config.Default(), platform.Options{IntervalInstructions: interval})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return phase.Detect(rep.Intervals, interval, phase.Options{}), rep
+}
+
+// TestTraceDeterministic is the phase-determinism gate: the same program
+// at the same interval length yields a byte-identical Trace across
+// repeated, concurrent detections (run under -race in CI).
+func TestTraceDeterministic(t *testing.T) {
+	for _, app := range progs.Names() {
+		app := app
+		t.Run(app, func(t *testing.T) {
+			t.Parallel()
+			tr0, _ := detectBenchmark(t, app, 10_000)
+			want, err := json.Marshal(tr0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			for i := 0; i < 4; i++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					tr, _ := detectBenchmark(t, app, 10_000)
+					got, err := json.Marshal(tr)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if string(got) != string(want) {
+						t.Errorf("trace not reproducible for %s", app)
+					}
+				}()
+			}
+			wg.Wait()
+		})
+	}
+}
+
+// TestTraceCoversRun: every interval is assigned, segments tile the run,
+// and per-phase cycles sum to the whole run.
+func TestTraceCoversRun(t *testing.T) {
+	tr, rep := detectBenchmark(t, "blastn", 5_000)
+	if len(tr.Assignments) != len(rep.Intervals) {
+		t.Fatalf("assignments %d != intervals %d", len(tr.Assignments), len(rep.Intervals))
+	}
+	next := 0
+	for _, seg := range tr.Segments {
+		if seg.Start != next {
+			t.Fatalf("segment gap at %d: %+v", next, seg)
+		}
+		next = seg.End + 1
+	}
+	if next != len(rep.Intervals) {
+		t.Fatalf("segments end at %d, want %d", next, len(rep.Intervals))
+	}
+	var total uint64
+	for _, p := range tr.Profiles(rep.Intervals) {
+		total += p.Cycles
+	}
+	if total != rep.Cycles() {
+		t.Errorf("per-phase cycles %d != run cycles %d", total, rep.Cycles())
+	}
+}

@@ -42,6 +42,16 @@ type Options struct {
 	// report's Sampled flag records a truncated run; exit code and
 	// checksum are only meaningful for completed runs.
 	SampleInstructions uint64
+	// IntervalInstructions, when nonzero, turns on interval profiling:
+	// the run is split at exact instruction-count boundaries of this
+	// length and the report carries one Interval snapshot (stat deltas
+	// plus a block-signature vector) per stretch. Because boundaries are
+	// instruction counts and the instruction stream is
+	// configuration-independent, intervals of the same program align
+	// one-to-one across configurations — the property per-phase tuning
+	// rests on. Combines with SampleInstructions (profiling stops at the
+	// sample limit).
+	IntervalInstructions uint64
 	// TraceWriter, when non-nil, receives a disassembled execution trace
 	// of the first TraceLimit instructions.
 	TraceWriter io.Writer
@@ -62,6 +72,38 @@ func (o Options) Normalized() Options {
 	return o
 }
 
+// SignatureBuckets is the length of an interval's block-signature
+// vector: taken-CTI targets are folded into this many buckets. 64 is
+// coarse enough to stay cheap and fine enough to separate the loop
+// nests of the benchmark programs (whose text segments are a few KB).
+const SignatureBuckets = 64
+
+// signatureShift groups CTI targets into 16-byte (4-instruction) blocks
+// before bucketing, so adjacent branch targets inside one small loop
+// share a bucket instead of striping across the vector.
+const signatureShift = 4
+
+// Interval is one interval-profiling snapshot: the profile delta of an
+// exact IntervalInstructions-long stretch of the run (the final interval
+// may be shorter), plus the block-signature vector accumulated over it.
+type Interval struct {
+	// Index is the interval's position in the run, from 0.
+	Index int `json:"index"`
+	// Instructions is the stretch length (== the configured interval
+	// length except for the final interval).
+	Instructions uint64 `json:"instructions"`
+	// Stats is the profile delta over the stretch; Stats.Cycles is the
+	// stretch's cycle cost.
+	Stats profiler.Stats `json:"stats"`
+	// ICache and DCache are the cache event deltas over the stretch.
+	ICache cache.Stats `json:"icache"`
+	DCache cache.Stats `json:"dcache"`
+	// Signature counts taken control transfers per target bucket — a
+	// coarse basic-block vector characterizing where execution spent the
+	// stretch.
+	Signature []uint32 `json:"signature"`
+}
+
 // RunReport is the outcome of executing an application on a configuration.
 type RunReport struct {
 	// Config is the microarchitecture the application ran on.
@@ -80,6 +122,10 @@ type RunReport struct {
 	// Sampled is true when the run was truncated by
 	// Options.SampleInstructions before the program halted.
 	Sampled bool
+	// Intervals carries the interval-profiling snapshots when
+	// Options.IntervalInstructions was set; nil otherwise. The whole-run
+	// Stats/ICache/DCache equal the field-wise sum of the intervals.
+	Intervals []Interval `json:"intervals,omitempty"`
 }
 
 // Cycles returns the total cycle count.
@@ -139,26 +185,95 @@ func (e *Engine) Run() (*RunReport, error) {
 	if e.opts.TraceWriter != nil {
 		core.SetTrace(e.opts.TraceWriter, e.opts.TraceLimit)
 	}
-	sampled := false
-	if e.opts.SampleInstructions > 0 {
+	var (
+		sampled   bool
+		intervals []Interval
+	)
+	switch {
+	case e.opts.IntervalInstructions > 0:
+		var err error
+		intervals, sampled, err = e.runIntervals()
+		if err != nil {
+			return nil, err
+		}
+	case e.opts.SampleInstructions > 0:
 		halted, err := core.RunFor(e.opts.SampleInstructions)
 		if err != nil {
 			return nil, fmt.Errorf("platform: %w", err)
 		}
 		sampled = !halted
-	} else if err := core.Run(e.opts.MaxInstructions); err != nil {
-		return nil, fmt.Errorf("platform: %w", err)
+	default:
+		if err := core.Run(e.opts.MaxInstructions); err != nil {
+			return nil, fmt.Errorf("platform: %w", err)
+		}
 	}
 	return &RunReport{
-		Config:   e.cfg,
-		Stats:    core.Stats(),
-		ICache:   core.ICacheStats(),
-		DCache:   core.DCacheStats(),
-		ExitCode: core.ExitCode(),
-		Checksum: core.Reg(9), // %o1
-		Console:  e.m.Console(),
-		Sampled:  sampled,
+		Config:    e.cfg,
+		Stats:     core.Stats(),
+		ICache:    core.ICacheStats(),
+		DCache:    core.DCacheStats(),
+		ExitCode:  core.ExitCode(),
+		Checksum:  core.Reg(9), // %o1
+		Console:   e.m.Console(),
+		Sampled:   sampled,
+		Intervals: intervals,
 	}, nil
+}
+
+// runIntervals drives the run in IntervalInstructions-sized steps,
+// snapshotting the profile delta and the block-signature vector at every
+// boundary. Boundaries are exact instruction counts (core.RunFor stops
+// precisely at its target), so the same program produces the same
+// interval partition on every configuration. The loop adds no work to
+// the simulator's inner loop beyond the per-taken-CTI signature
+// increment — each step is a plain fast-path run to a nearer target.
+func (e *Engine) runIntervals() (intervals []Interval, sampled bool, err error) {
+	core := e.core
+	core.EnableBlockVector(SignatureBuckets, signatureShift)
+	every := e.opts.IntervalInstructions
+	sample := e.opts.SampleInstructions
+	var prev profiler.Stats
+	var prevIC, prevDC cache.Stats
+	for {
+		done := prev.Instructions
+		// Clamp each step to every remaining bound: the sample limit and
+		// the runaway guard. Without the MaxInstructions clamp a huge (or
+		// overflowing) interval length would run unboundedly — the
+		// non-interval path aborts at the limit, so must this one.
+		step := every
+		if sample > 0 && step > sample-done {
+			step = sample - done
+		}
+		if step > e.opts.MaxInstructions-done {
+			step = e.opts.MaxInstructions - done
+		}
+		halted, err := core.RunFor(step)
+		if err != nil {
+			return nil, false, fmt.Errorf("platform: %w", err)
+		}
+		st, ic, dc := core.Stats(), core.ICacheStats(), core.DCacheStats()
+		if st.Instructions > prev.Instructions {
+			intervals = append(intervals, Interval{
+				Index:        len(intervals),
+				Instructions: st.Instructions - prev.Instructions,
+				Stats:        st.Sub(prev),
+				ICache:       ic.Sub(prevIC),
+				DCache:       dc.Sub(prevDC),
+				Signature:    core.TakeBlockVector(),
+			})
+		}
+		prev, prevIC, prevDC = st, ic, dc
+		if halted {
+			return intervals, false, nil
+		}
+		if sample > 0 && st.Instructions >= sample {
+			return intervals, true, nil
+		}
+		if st.Instructions >= e.opts.MaxInstructions {
+			return nil, false, fmt.Errorf("platform: instruction limit %d reached at pc %#08x",
+				e.opts.MaxInstructions, core.PC())
+		}
+	}
 }
 
 // Engine/memory pools. Engines are reused for repeated identical
@@ -168,11 +283,12 @@ func (e *Engine) Run() (*RunReport, error) {
 // configuration-independent; rebuilding a core around a pooled memory
 // costs only the (small) cache tag stores and the text predecode.
 type engineKey struct {
-	prog   *asm.Program
-	cfg    config.Config
-	ram    int
-	maxI   uint64
-	sample uint64
+	prog     *asm.Program
+	cfg      config.Config
+	ram      int
+	maxI     uint64
+	sample   uint64
+	interval uint64
 }
 
 type memKey struct {
@@ -268,7 +384,8 @@ func PoolSnapshot() PoolStats {
 }
 
 func acquireEngine(prog *asm.Program, cfg config.Config, opts Options) (*Engine, error) {
-	ek := engineKey{prog: prog, cfg: cfg, ram: opts.RAMBytes, maxI: opts.MaxInstructions, sample: opts.SampleInstructions}
+	ek := engineKey{prog: prog, cfg: cfg, ram: opts.RAMBytes, maxI: opts.MaxInstructions,
+		sample: opts.SampleInstructions, interval: opts.IntervalInstructions}
 	mk := memKey{prog: prog, ram: opts.RAMBytes}
 	pool.Lock()
 	if es := pool.engines[ek]; len(es) > 0 {
@@ -293,7 +410,8 @@ func acquireEngine(prog *asm.Program, cfg config.Config, opts Options) (*Engine,
 }
 
 func releaseEngine(e *Engine) {
-	ek := engineKey{prog: e.prog, cfg: e.cfg, ram: e.opts.RAMBytes, maxI: e.opts.MaxInstructions, sample: e.opts.SampleInstructions}
+	ek := engineKey{prog: e.prog, cfg: e.cfg, ram: e.opts.RAMBytes, maxI: e.opts.MaxInstructions,
+		sample: e.opts.SampleInstructions, interval: e.opts.IntervalInstructions}
 	pool.Lock()
 	defer pool.Unlock()
 	if pool.nEng < pool.maxEngines {

@@ -48,6 +48,77 @@ type Stats struct {
 	HaltCycles      uint64
 }
 
+// Sub returns the profile delta s - o, field by field. With o a snapshot
+// taken earlier in the same run, the result is the profile of the
+// stretch in between — the interval-profiling primitive.
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		Cycles:           s.Cycles - o.Cycles,
+		Instructions:     s.Instructions - o.Instructions,
+		Loads:            s.Loads - o.Loads,
+		Stores:           s.Stores - o.Stores,
+		Branches:         s.Branches - o.Branches,
+		TakenBranches:    s.TakenBranches - o.TakenBranches,
+		AnnulledSlots:    s.AnnulledSlots - o.AnnulledSlots,
+		Calls:            s.Calls - o.Calls,
+		Jumps:            s.Jumps - o.Jumps,
+		Mults:            s.Mults - o.Mults,
+		Divs:             s.Divs - o.Divs,
+		Saves:            s.Saves - o.Saves,
+		Restores:         s.Restores - o.Restores,
+		WindowOverflows:  s.WindowOverflows - o.WindowOverflows,
+		WindowUnderflows: s.WindowUnderflows - o.WindowUnderflows,
+		ICacheStall:      s.ICacheStall - o.ICacheStall,
+		DCacheStall:      s.DCacheStall - o.DCacheStall,
+		WriteBufStall:    s.WriteBufStall - o.WriteBufStall,
+		StoreCycles:      s.StoreCycles - o.StoreCycles,
+		LoadCycles:       s.LoadCycles - o.LoadCycles,
+		LoadInterlock:    s.LoadInterlock - o.LoadInterlock,
+		ICCHoldStall:     s.ICCHoldStall - o.ICCHoldStall,
+		BranchPenalty:    s.BranchPenalty - o.BranchPenalty,
+		JumpPenalty:      s.JumpPenalty - o.JumpPenalty,
+		MulStall:         s.MulStall - o.MulStall,
+		DivStall:         s.DivStall - o.DivStall,
+		WindowTrapStall:  s.WindowTrapStall - o.WindowTrapStall,
+		DecodeStall:      s.DecodeStall - o.DecodeStall,
+		HaltCycles:       s.HaltCycles - o.HaltCycles,
+	}
+}
+
+// Add accumulates o into s, field by field — the inverse of Sub, used to
+// aggregate interval profiles back into per-phase totals.
+func (s *Stats) Add(o Stats) {
+	s.Cycles += o.Cycles
+	s.Instructions += o.Instructions
+	s.Loads += o.Loads
+	s.Stores += o.Stores
+	s.Branches += o.Branches
+	s.TakenBranches += o.TakenBranches
+	s.AnnulledSlots += o.AnnulledSlots
+	s.Calls += o.Calls
+	s.Jumps += o.Jumps
+	s.Mults += o.Mults
+	s.Divs += o.Divs
+	s.Saves += o.Saves
+	s.Restores += o.Restores
+	s.WindowOverflows += o.WindowOverflows
+	s.WindowUnderflows += o.WindowUnderflows
+	s.ICacheStall += o.ICacheStall
+	s.DCacheStall += o.DCacheStall
+	s.WriteBufStall += o.WriteBufStall
+	s.StoreCycles += o.StoreCycles
+	s.LoadCycles += o.LoadCycles
+	s.LoadInterlock += o.LoadInterlock
+	s.ICCHoldStall += o.ICCHoldStall
+	s.BranchPenalty += o.BranchPenalty
+	s.JumpPenalty += o.JumpPenalty
+	s.MulStall += o.MulStall
+	s.DivStall += o.DivStall
+	s.WindowTrapStall += o.WindowTrapStall
+	s.DecodeStall += o.DecodeStall
+	s.HaltCycles += o.HaltCycles
+}
+
 // CPI returns cycles per instruction, or 0 for an empty profile.
 func (s Stats) CPI() float64 {
 	if s.Instructions == 0 {

@@ -1,0 +1,159 @@
+package progs
+
+import "liquidarch/internal/workload"
+
+// Mix is a deliberately phase-structured kernel added for the per-phase
+// tuning study: three back-to-back loop nests with conflicting
+// microarchitectural demands, so no single configuration is optimal for
+// the whole run.
+//
+//  1. fill  — sequential stores of LCG words over a large buffer
+//     (write-buffer bound, dcache-neutral: write-through, no allocate);
+//  2. scan  — sequential word loads over the same buffer (streaming:
+//     long cache lines amortize the fill lead time, so 8-word lines —
+//     the default — beat 4-word lines);
+//  3. probe — pseudo-random word loads over the buffer (at the larger
+//     scales the buffer dwarfs every cache, so nearly every probe
+//     misses and *short* 4-word lines win: each miss pays the line
+//     fill).
+//
+// The scan and probe phases therefore want opposite values of the same
+// at-most-one decision group (dcache line size), which is exactly the
+// situation where one reconfiguration mid-run beats any single
+// configuration — the workload examples/phase_tuning demonstrates.
+var Mix = register(&Benchmark{
+	Name:        "mix",
+	Description: "phase-structured memory kernel: fill, sequential stream, random probes",
+	source:      mixSource,
+	params:      mixParams,
+	golden:      mixGolden,
+})
+
+type mixConfig struct {
+	bufBytes uint32 // power of two
+	passes   uint32 // sequential scan passes
+	probes   uint32 // random probes
+	seed     uint32
+}
+
+func mixConfigFor(scale workload.Scale) mixConfig {
+	switch scale {
+	case workload.Tiny:
+		return mixConfig{bufBytes: 32768, passes: 1, probes: 4000, seed: 20260727}
+	case workload.Small:
+		return mixConfig{bufBytes: 524288, passes: 2, probes: 200_000, seed: 20260727}
+	case workload.Medium:
+		return mixConfig{bufBytes: 524288, passes: 6, probes: 600_000, seed: 20260727}
+	default: // Paper
+		return mixConfig{bufBytes: 524288, passes: 40, probes: 4_000_000, seed: 20260727}
+	}
+}
+
+func mixParams(scale workload.Scale) map[string]uint32 {
+	c := mixConfigFor(scale)
+	return map[string]uint32{
+		"BUF_BYTES": c.bufBytes,
+		"WORDS":     c.bufBytes / 4,
+		"SPASSES":   c.passes,
+		"PROBES":    c.probes,
+		"OFFMASK":   (c.bufBytes - 1) &^ 3,
+		"SEED":      c.seed,
+	}
+}
+
+// mixGolden mirrors the assembly exactly: same LCG stream, same offsets,
+// same accumulation order.
+func mixGolden(scale workload.Scale) uint32 {
+	c := mixConfigFor(scale)
+	g := workload.NewLCG(c.seed)
+	words := c.bufBytes / 4
+	buf := make([]uint32, words)
+	for i := range buf {
+		buf[i] = g.Next()
+	}
+	var csum uint32
+	for p := uint32(0); p < c.passes; p++ {
+		for i := range buf {
+			csum ^= buf[i]
+		}
+	}
+	offMask := (c.bufBytes - 1) &^ 3
+	for j := uint32(0); j < c.probes; j++ {
+		off := (g.Next() >> 5) & offMask
+		csum += buf[off/4]
+		csum ^= off
+	}
+	return csum
+}
+
+const mixSource = `
+! Mix: phase-structured memory kernel (fill -> scan -> probe).
+! The buffer is filled with LCG words, streamed sequentially SPASSES
+! times, then probed at pseudo-random word offsets PROBES times.
+! Digest in %o1 at halt.
+
+        .equ    LCG_A, 1103515245
+        .equ    LCG_C, 12345
+        .equ    LCG_MASK, 0x7FFFFFFF
+
+        .text
+start:
+        set     LCG_A, %g1
+        set     LCG_MASK, %g2
+        set     LCG_C, %g7
+        set     @SEED@, %l7          ! LCG state
+        set     buf, %l5
+        clr     %l6                  ! csum
+
+! ---- phase 1: sequential fill (stores) ----
+        set     @WORDS@, %o3
+        mov     %l5, %o2
+fill:
+        umul    %l7, %g1, %l7
+        add     %l7, %g7, %l7
+        and     %l7, %g2, %l7
+        st      %l7, [%o2]
+        add     %o2, 4, %o2
+        subcc   %o3, 1, %o3
+        bne     fill
+        nop
+
+! ---- phase 2: sequential scan (streaming loads) ----
+        set     @SPASSES@, %o4
+spass:
+        mov     %l5, %o2
+        set     @WORDS@, %o3
+scan:
+        ld      [%o2], %o0
+        xor     %l6, %o0, %l6
+        add     %o2, 4, %o2
+        subcc   %o3, 1, %o3
+        bne     scan
+        nop
+        subcc   %o4, 1, %o4
+        bne     spass
+        nop
+
+! ---- phase 3: random probes ----
+        set     @PROBES@, %o4
+        set     @OFFMASK@, %o5
+probe:
+        umul    %l7, %g1, %l7
+        add     %l7, %g7, %l7
+        and     %l7, %g2, %l7
+        srl     %l7, 5, %o1
+        and     %o1, %o5, %o1        ! word-aligned offset into buf
+        ld      [%l5+%o1], %o0
+        add     %l6, %o0, %l6
+        xor     %l6, %o1, %l6
+        subcc   %o4, 1, %o4
+        bne     probe
+        nop
+
+        clr     %o0
+        mov     %l6, %o1
+        halt
+
+        .data
+buf:    .space  @BUF_BYTES@
+`

@@ -203,7 +203,7 @@ func TestSourceSubstitution(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	names := progs.Names()
-	want := []string{"blastn", "drr", "frag", "arith"}
+	want := []string{"blastn", "drr", "frag", "arith", "mix"}
 	if len(names) != len(want) {
 		t.Fatalf("names = %v", names)
 	}

@@ -5,7 +5,10 @@
 // concurrent jobs — and repeated jobs for the same application — reuse
 // each other's simulated runs exactly as the figure harnesses do in
 // process. Results are core.TuneReport documents, the same serialization
-// `autoarch -json` prints.
+// `autoarch -json` prints; phase jobs (JobRequest.Phases) return
+// core.PhaseReport documents, the `autoarch -phases -json` output.
+// Running jobs stream per-measurement progress ("k of N") through their
+// ndjson status.
 //
 // The scheduler is built for a long-lived, multi-replica deployment
 // (DESIGN.md §14): identical in-flight requests coalesce onto one
@@ -33,11 +36,13 @@ import (
 	"net/http"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"liquidarch/internal/config"
 	"liquidarch/internal/core"
 	"liquidarch/internal/measure"
+	"liquidarch/internal/phase"
 	"liquidarch/internal/platform"
 	"liquidarch/internal/progs"
 	"liquidarch/internal/workload"
@@ -90,7 +95,7 @@ func (o Options) retain() int {
 
 // JobRequest is the POST /v1/jobs payload.
 type JobRequest struct {
-	// App is the benchmark to tune: blastn, drr, frag, arith.
+	// App is the benchmark to tune: blastn, drr, frag, arith, mix.
 	App string `json:"app"`
 	// Scale is the workload scale (default "small").
 	Scale string `json:"scale,omitempty"`
@@ -107,6 +112,21 @@ type JobRequest struct {
 	Workers int `json:"workers,omitempty"`
 	// IncludeModel embeds the full perturbation model in the result.
 	IncludeModel bool `json:"include_model,omitempty"`
+
+	// Phases switches the job to phase-aware tuning: the result is a
+	// core.PhaseReport (JobStatus.PhaseResult) instead of a TuneReport —
+	// per-phase recommendations plus the switch-penalty decision against
+	// the whole-program configuration.
+	Phases bool `json:"phases,omitempty"`
+	// IntervalInstructions is the phase-profiling interval length
+	// (0 = core.DefaultIntervalInstructions); phase jobs only.
+	IntervalInstructions uint64 `json:"interval_instructions,omitempty"`
+	// SwitchPenaltyCycles prices one mid-run reconfiguration
+	// (0 = core.DefaultSwitchPenaltyCycles); phase jobs only.
+	SwitchPenaltyCycles uint64 `json:"switch_penalty_cycles,omitempty"`
+	// PhaseThreshold overrides the phase-detection clustering threshold
+	// (0 = phase.DefaultThreshold); phase jobs only.
+	PhaseThreshold float64 `json:"phase_threshold,omitempty"`
 }
 
 // Job states.
@@ -118,13 +138,27 @@ const (
 	StateCancelled = "cancelled"
 )
 
+// MeasureProgress is the per-measurement progress of a running job: Done
+// of Total measurements (base + one per decision variable, plus the
+// validation run for plain jobs) have completed — cache and store hits
+// included, which is why a warm daemon's progress jumps straight to
+// Total. Streamed through the job's ndjson status on every step.
+type MeasureProgress struct {
+	Done  int `json:"done"`
+	Total int `json:"total"`
+}
+
 // JobStatus is the externally visible job record.
 type JobStatus struct {
-	ID       string           `json:"id"`
-	State    string           `json:"state"`
-	Request  JobRequest       `json:"request"`
-	Error    string           `json:"error,omitempty"`
-	Result   *core.TuneReport `json:"result,omitempty"`
+	ID      string     `json:"id"`
+	State   string     `json:"state"`
+	Request JobRequest `json:"request"`
+	Error   string     `json:"error,omitempty"`
+	// Result is a plain job's outcome; PhaseResult a phase job's.
+	Result      *core.TuneReport  `json:"result,omitempty"`
+	PhaseResult *core.PhaseReport `json:"phase_result,omitempty"`
+	// Progress tracks the running flight's completed measurements.
+	Progress *MeasureProgress `json:"progress,omitempty"`
 	Created  time.Time        `json:"created"`
 	Started  *time.Time       `json:"started,omitempty"`
 	Finished *time.Time       `json:"finished,omitempty"`
@@ -358,8 +392,28 @@ func dedupKey(req JobRequest, app string, sc workload.Scale, w core.Weights) str
 	if space == "" {
 		space = "full"
 	}
-	return fmt.Sprintf("app=%s scale=%s space=%s w1=%g w2=%g w3=%g sample=%d model=%t",
+	key := fmt.Sprintf("app=%s scale=%s space=%s w1=%g w2=%g w3=%g sample=%d model=%t",
 		app, sc, space, w.W1, w.W2, w.W3, req.SampleInstructions, req.IncludeModel)
+	if req.Phases {
+		// Phase jobs answer a different question, with their own knobs —
+		// normalized first, so a request spelling a default explicitly
+		// coalesces with one omitting it.
+		interval := req.IntervalInstructions
+		if interval == 0 {
+			interval = core.DefaultIntervalInstructions
+		}
+		penalty := req.SwitchPenaltyCycles
+		if penalty == 0 {
+			penalty = core.DefaultSwitchPenaltyCycles
+		}
+		threshold := req.PhaseThreshold
+		if threshold <= 0 {
+			threshold = phase.DefaultThreshold
+		}
+		key += fmt.Sprintf(" phases interval=%d penalty=%d threshold=%g",
+			interval, penalty, threshold)
+	}
+	return key
 }
 
 // runFlight executes one flight and broadcasts its outcome to every job
@@ -391,7 +445,32 @@ func (s *Server) runFlight(f *flight) {
 		})
 	}
 
-	report, err := s.tune(f.ctx, f.req)
+	// Per-measurement progress: every completed measurement (simulated
+	// or cache-answered) bumps the flight's counter and is broadcast to
+	// every attached job's ndjson stream.
+	total := measureTotal(f.req)
+	var done atomic.Int64
+	provider := measure.Observed{Inner: s.provider, OnMeasure: func() {
+		d := int(done.Add(1))
+		s.mu.Lock()
+		watchers := append([]*job(nil), f.jobs...)
+		s.mu.Unlock()
+		for _, j := range watchers {
+			j.mutate(func(st *JobStatus) {
+				if st.Terminal() {
+					return
+				}
+				// Concurrent measurements broadcast concurrently; only
+				// ever move the counter forward so the stream's Done is
+				// monotonic.
+				if st.Progress == nil || d > st.Progress.Done {
+					st.Progress = &MeasureProgress{Done: d, Total: total}
+				}
+			})
+		}
+	}}
+
+	report, phaseReport, err := s.tune(f.ctx, f.req, provider)
 
 	// Delete-then-broadcast under the table lock: once the flight is out
 	// of the map no new submission can attach, so the snapshot below is
@@ -419,6 +498,7 @@ func (s *Server) runFlight(f *flight) {
 			case err == nil:
 				st.State = StateDone
 				st.Result = report
+				st.PhaseResult = phaseReport
 			case f.ctx.Err() != nil && s.baseCtx.Err() == nil:
 				st.State = StateCancelled
 				st.Error = context.Canceled.Error()
@@ -430,33 +510,62 @@ func (s *Server) runFlight(f *flight) {
 	}
 }
 
-// tune executes one job: the same BuildModel → solve → validate flow the
-// autoarch CLI runs, against the server's shared provider.
-func (s *Server) tune(ctx context.Context, req JobRequest) (*core.TuneReport, error) {
+// measureTotal is the flight's expected measurement count, the Total of
+// its progress: the base run plus one per decision variable, plus the
+// validation run for plain jobs (phase jobs compare models, they do not
+// re-validate).
+func measureTotal(req JobRequest) int {
+	space, err := config.SpaceByName(req.Space)
+	if err != nil {
+		return 0
+	}
+	n := 1 + space.Len()
+	if !req.Phases {
+		n++
+	}
+	return n
+}
+
+// tune executes one job against the given provider (the server's shared
+// stack wrapped with the flight's progress observer): the same flow the
+// autoarch CLI runs — BuildModel → solve → validate for plain jobs,
+// core.TunePhases for phase jobs.
+func (s *Server) tune(ctx context.Context, req JobRequest, provider measure.Provider) (*core.TuneReport, *core.PhaseReport, error) {
 	b, sc, space, w, err := resolve(req)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	tuner := &core.Tuner{
 		Space:              space,
 		Scale:              sc,
 		Workers:            req.Workers,
-		Provider:           s.provider,
+		Provider:           provider,
 		SampleInstructions: req.SampleInstructions,
+	}
+	if req.Phases {
+		rep, err := tuner.TunePhases(ctx, b, w, core.PhaseOptions{
+			IntervalInstructions: req.IntervalInstructions,
+			SwitchPenaltyCycles:  req.SwitchPenaltyCycles,
+			Threshold:            req.PhaseThreshold,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		return nil, rep, nil
 	}
 	model, err := tuner.BuildModel(ctx, b)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	rec, err := tuner.RecommendFromModel(model, w)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	val, err := tuner.Validate(ctx, b, model, rec)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return core.NewTuneReport(model, rec, val, req.IncludeModel), nil
+	return core.NewTuneReport(model, rec, val, req.IncludeModel), nil, nil
 }
 
 // Submit enqueues a job (the programmatic form of POST /v1/jobs). An
