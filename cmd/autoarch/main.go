@@ -1,25 +1,26 @@
 // Command autoarch is the paper's technique as a tool: automatic
-// application-specific microarchitecture reconfiguration. It builds the
-// one-change-at-a-time cost model for an application, formulates and
-// solves the Section 4 BINLP, prints the recommended configuration, and
-// validates it with an actual build and run.
+// application-specific microarchitecture reconfiguration. It maps its
+// flags 1:1 onto a core.Request, runs it through the unified tuning
+// pipeline (core.Session.Tune) — build the one-change-at-a-time cost
+// model, formulate and solve the Section 4 BINLP, validate with an
+// actual build and run — and prints the resulting core.Report.
 //
 // Usage:
 //
 //	autoarch -app blastn [-w1 100 -w2 1] [-scale small] [-space full|dcache] [-model] [-json]
 //	autoarch -app mix -phases [-interval N] [-switch-penalty N] [-phase-threshold T] [-json]
 //
-// With -json the result is the core.TuneReport document — the same
+// With -json the result is the core.Report document — the same
 // serialization the autoarchd daemon returns for a finished job — on
 // stdout, with the human progress lines demoted to stderr.
 //
 // With -phases the tool runs phase-aware tuning instead: the base run is
 // profiled in -interval instruction slices, phases are detected from the
 // interval signatures, one configuration is recommended per phase, and
-// the per-phase schedule (charged -switch-penalty cycles per mid-run
-// reconfiguration) is weighed against the single whole-program
-// recommendation. -json then emits the core.PhaseReport document the
-// daemon's phase jobs return.
+// the per-phase schedule (charged -switch-penalty cycles per
+// configuration parameter changed at each mid-run reconfiguration) is
+// weighed against the single whole-program recommendation. The report
+// then carries the "phases" block the daemon's phase jobs return.
 package main
 
 import (
@@ -59,11 +60,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		workers   = fs.Int("workers", 0, "parallel measurement runs (0 = NumCPU)")
 		saveModel = fs.String("save-model", "", "write the measured model to a JSON file")
 		loadModel = fs.String("load-model", "", "reuse a previously saved model instead of measuring")
-		jsonOut   = fs.Bool("json", false, "emit the result as a core.TuneReport JSON document on stdout")
+		jsonOut   = fs.Bool("json", false, "emit the result as a core.Report JSON document on stdout")
 
 		phases    = fs.Bool("phases", false, "phase-aware tuning: one configuration per detected execution phase")
 		interval  = fs.Uint64("interval", core.DefaultIntervalInstructions, "phase profiling interval length in instructions")
-		switchPen = fs.Uint64("switch-penalty", core.DefaultSwitchPenaltyCycles, "cycle cost charged per mid-run reconfiguration")
+		switchPen = fs.Uint64("switch-penalty", core.DefaultSwitchPenaltyCycles, "cycle cost of a full mid-run reconfiguration; each switch is charged the share of it proportional to the parameters it changes")
 		phaseThr  = fs.Float64("phase-threshold", 0, "phase-detection clustering threshold (0 = default)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -77,8 +78,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		progress = stderr
 	}
 
-	b, ok := progs.ByName(*app)
-	if !ok {
+	if _, ok := progs.ByName(*app); !ok {
 		fmt.Fprintf(stderr, "autoarch: unknown app %q\n", *app)
 		return 2
 	}
@@ -93,41 +93,54 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	tuner := &core.Tuner{Space: space, Scale: sc, Workers: *workers}
-	weights := core.Weights{W1: *w1, W2: *w2}
+	// The flags map 1:1 onto the unified request; one Session.Tune call
+	// is the whole tool.
+	req := core.Request{
+		App:          *app,
+		Scale:        sc,
+		Space:        space,
+		Weights:      core.Weights{W1: *w1, W2: *w2},
+		Workers:      *workers,
+		IncludeModel: *showModel,
+	}
+	sess := core.NewSession(core.SessionOptions{})
 
 	if *phases {
 		if *loadModel != "" || *saveModel != "" || *showModel {
 			fmt.Fprintln(stderr, "autoarch: -phases is incompatible with -model, -save-model and -load-model (phase runs build one model per phase)")
 			return 2
 		}
-		return runPhases(ctx, tuner, b, weights, core.PhaseOptions{
+		req.IncludeModel = false
+		req.Phases = &core.PhaseOptions{
 			IntervalInstructions: *interval,
 			SwitchPenaltyCycles:  *switchPen,
 			Threshold:            *phaseThr,
-		}, *jsonOut, stdout, stderr, progress)
+		}
+		return runPhases(ctx, sess, req, *jsonOut, stdout, stderr, progress)
 	}
 
-	var model *core.Model
 	if *loadModel != "" {
-		var err error
-		model, err = core.LoadModel(*loadModel)
+		model, err := core.LoadModel(*loadModel)
 		if err != nil {
 			fmt.Fprintf(stderr, "autoarch: %v\n", err)
 			return 1
 		}
+		req.Model = model
 		fmt.Fprintf(progress, "loaded model for %s (%d variables, %s scale)\n",
 			model.App, model.Space.Len(), model.Scale)
 	} else {
-		fmt.Fprintf(progress, "building cost model for %s (%d variables, %s scale)...\n", b.Name, space.Len(), sc)
-		start := time.Now()
-		var err error
-		model, err = tuner.BuildModel(ctx, b)
-		if err != nil {
-			fmt.Fprintf(stderr, "autoarch: %v\n", err)
-			return 1
-		}
-		fmt.Fprintf(progress, "model built in %v: base %d cycles (%.6f s), %v\n",
+		fmt.Fprintf(progress, "building cost model for %s (%d variables, %s scale)...\n", *app, space.Len(), sc)
+	}
+
+	start := time.Now()
+	rep, err := sess.Tune(ctx, req)
+	if err != nil {
+		fmt.Fprintf(stderr, "autoarch: %v\n", err)
+		return 1
+	}
+	model := rep.Artifacts.Model
+	if *loadModel == "" {
+		fmt.Fprintf(progress, "tuned in %v (model + solve + validation): base %d cycles (%.6f s), %v\n",
 			time.Since(start).Round(time.Millisecond), model.BaseCycles,
 			float64(model.BaseCycles)/25e6, model.BaseResources)
 	}
@@ -139,7 +152,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(progress, "model saved to %s\n", *saveModel)
 	}
 
-	if *showModel && !*jsonOut {
+	if *jsonOut {
+		return writeJSON(rep, stdout, stderr)
+	}
+
+	if *showModel {
 		fmt.Fprintf(stdout, "\n%-22s %12s %9s %6s %6s\n", "variable", "cycles", "rho%", "lam", "beta")
 		for _, e := range model.Entries {
 			fmt.Fprintf(stdout, "%-22s %12d %+9.3f %+6d %+6d\n", e.Var.Name, e.Cycles, e.Rho, e.Lambda, e.Beta)
@@ -147,97 +164,85 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stdout)
 	}
 
-	rec, err := tuner.RecommendFromModel(model, weights)
-	if err != nil {
-		fmt.Fprintf(stderr, "autoarch: %v\n", err)
-		return 1
+	rec := rep.Artifacts.Recommendation
+	fmt.Fprintf(stdout, "\nsolved BINLP (w1=%g, w2=%g): %d nodes, proven=%t, objective %.3f\n",
+		*w1, *w2, rec.SolverNodes, rec.Proven, rec.Objective)
+	if len(rec.Changes) == 0 {
+		fmt.Fprintln(stdout, "recommendation: keep the base configuration")
+	} else {
+		fmt.Fprintf(stdout, "recommendation: %s\n", strings.Join(rec.Changes, " "))
 	}
-	if !*jsonOut {
-		fmt.Fprintf(stdout, "\nsolved BINLP (w1=%g, w2=%g): %d nodes, proven=%t, objective %.3f\n",
-			*w1, *w2, rec.SolverNodes, rec.Proven, rec.Objective)
-		if len(rec.Changes) == 0 {
-			fmt.Fprintln(stdout, "recommendation: keep the base configuration")
-		} else {
-			fmt.Fprintf(stdout, "recommendation: %s\n", strings.Join(rec.Changes, " "))
-		}
-		fmt.Fprintf(stdout, "predicted: runtime %.6f s (%+.2f%%), LUTs %d%% (nonlin %d%%), BRAM %d%% (lin %d%%)\n",
-			rec.Predicted.RuntimeCycles/25e6, rec.Predicted.RuntimePct,
-			rec.Predicted.LUTPctLinear, rec.Predicted.LUTPctNonlinear,
-			rec.Predicted.BRAMPctNonlinear, rec.Predicted.BRAMPctLinear)
-	}
-
-	val, err := tuner.Validate(ctx, b, model, rec)
-	if err != nil {
-		fmt.Fprintf(stderr, "autoarch: %v\n", err)
-		return 1
-	}
-	if *jsonOut {
-		report := core.NewTuneReport(model, rec, val, *showModel)
-		data, err := report.MarshalIndent()
-		if err != nil {
-			fmt.Fprintf(stderr, "autoarch: %v\n", err)
-			return 1
-		}
-		if _, err := stdout.Write(data); err != nil {
-			fmt.Fprintf(stderr, "autoarch: %v\n", err)
-			return 1
-		}
-		return 0
-	}
+	fmt.Fprintf(stdout, "predicted: runtime %.6f s (%+.2f%%), LUTs %d%% (nonlin %d%%), BRAM %d%% (lin %d%%)\n",
+		rec.Predicted.RuntimeCycles/25e6, rec.Predicted.RuntimePct,
+		rec.Predicted.LUTPctLinear, rec.Predicted.LUTPctNonlinear,
+		rec.Predicted.BRAMPctNonlinear, rec.Predicted.BRAMPctLinear)
+	val := rep.Artifacts.Validation
 	fmt.Fprintf(stdout, "actual:    runtime %.6f s (%+.2f%%), %v\n",
 		float64(val.Cycles)/25e6, val.RuntimePct, val.Resources)
 	return 0
 }
 
-// runPhases executes the -phases mode: interval profiling, phase
-// detection, per-phase solves and the reconfiguration decision.
-func runPhases(ctx context.Context, tuner *core.Tuner, b *progs.Benchmark, w core.Weights, opts core.PhaseOptions, jsonOut bool, stdout, stderr, progress io.Writer) int {
-	fmt.Fprintf(progress, "phase-aware tuning of %s (%d variables, %s scale, interval %d instructions)...\n",
-		b.Name, tuner.Space.Len(), tuner.Scale, opts.IntervalInstructions)
-	start := time.Now()
-	rep, err := tuner.TunePhases(ctx, b, w, opts)
+// writeJSON emits the report document on stdout.
+func writeJSON(rep *core.Report, stdout, stderr io.Writer) int {
+	data, err := rep.MarshalIndent()
 	if err != nil {
 		fmt.Fprintf(stderr, "autoarch: %v\n", err)
 		return 1
 	}
+	if _, err := stdout.Write(data); err != nil {
+		fmt.Fprintf(stderr, "autoarch: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// runPhases executes the -phases mode: interval profiling, phase
+// detection, per-phase solves and the reconfiguration decision.
+func runPhases(ctx context.Context, sess *core.Session, req core.Request, jsonOut bool, stdout, stderr, progress io.Writer) int {
+	fmt.Fprintf(progress, "phase-aware tuning of %s (%d variables, %s scale, interval %d instructions)...\n",
+		req.App, req.Space.Len(), req.Scale, req.Phases.IntervalInstructions)
+	start := time.Now()
+	rep, err := sess.Tune(ctx, req)
+	if err != nil {
+		fmt.Fprintf(stderr, "autoarch: %v\n", err)
+		return 1
+	}
+	ph := rep.Phases
 	fmt.Fprintf(progress, "tuned in %v: %d intervals, %d phases, %d segments\n",
-		time.Since(start).Round(time.Millisecond), len(rep.Trace.Assignments), rep.Trace.Phases, len(rep.Trace.Segments))
+		time.Since(start).Round(time.Millisecond), len(ph.Trace.Assignments), ph.Trace.Phases, len(ph.Trace.Segments))
 
 	if jsonOut {
-		data, err := rep.MarshalIndent()
-		if err != nil {
-			fmt.Fprintf(stderr, "autoarch: %v\n", err)
-			return 1
-		}
-		if _, err := stdout.Write(data); err != nil {
-			fmt.Fprintf(stderr, "autoarch: %v\n", err)
-			return 1
-		}
-		return 0
+		return writeJSON(rep, stdout, stderr)
 	}
 
 	fmt.Fprintf(stdout, "\nbase: %d cycles (%.6f s)\n", rep.Base.Cycles, rep.Base.Seconds)
 	fmt.Fprintf(stdout, "\n%-6s %10s %13s %14s  %s\n", "phase", "intervals", "instructions", "base cycles", "recommended changes")
-	for _, p := range rep.Phases {
+	for _, p := range ph.Recommendations {
 		changes := strings.Join(p.Recommendation.Changes, " ")
 		if changes == "" {
 			changes = "(keep base)"
 		}
 		fmt.Fprintf(stdout, "%-6d %10d %13d %14d  %s\n", p.Phase, p.Intervals, p.Instructions, p.BaseCycles, changes)
 	}
-	wholeChanges := strings.Join(rep.WholeProgram.Changes, " ")
+	wholeChanges := strings.Join(rep.Recommendation.Changes, " ")
 	if wholeChanges == "" {
 		wholeChanges = "(keep base)"
 	}
 	fmt.Fprintf(stdout, "\nwhole-program recommendation: %s\n", wholeChanges)
-	fmt.Fprintf(stdout, "schedule: %d segments, %d reconfigurations (%d cycles each)\n",
-		len(rep.Schedule), rep.Switches, rep.SwitchPenaltyCycles)
-	fmt.Fprintf(stdout, "modeled cycles: per-phase %.0f (switches included) vs whole-program %.0f\n",
-		rep.PerPhaseCycles, rep.WholeProgramCycles)
-	if rep.PerPhaseWins {
-		fmt.Fprintf(stdout, "verdict: per-phase reconfiguration wins by %.2f%%\n", rep.SavingsPct)
+	fmt.Fprintf(stdout, "schedule: %d segments, %d reconfigurations costing %d cycles total (full reshape = %d)\n",
+		len(ph.Schedule), ph.Switches, ph.SwitchCostCycles, ph.SwitchPenaltyCycles)
+	for _, seg := range ph.Schedule {
+		if seg.Switch {
+			fmt.Fprintf(stdout, "  switch before intervals %d-%d: %d parameters change (%d cycles)\n",
+				seg.Start, seg.End, seg.ChangedVars, seg.SwitchCostCycles)
+		}
+	}
+	fmt.Fprintf(stdout, "modeled cycles: per-phase %.0f (switch costs included) vs whole-program %.0f\n",
+		ph.PerPhaseCycles, ph.WholeProgramCycles)
+	if ph.PerPhaseWins {
+		fmt.Fprintf(stdout, "verdict: per-phase reconfiguration wins by %.2f%%\n", ph.SavingsPct)
 	} else {
-		fmt.Fprintf(stdout, "verdict: single whole-program configuration wins by %.2f%%\n", -rep.SavingsPct)
+		fmt.Fprintf(stdout, "verdict: single whole-program configuration wins by %.2f%%\n", -ph.SavingsPct)
 	}
 	return 0
 }

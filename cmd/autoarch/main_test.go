@@ -103,14 +103,15 @@ func TestPhasesJSONGolden(t *testing.T) {
 		t.Error("-phases -json output not reproducible within one process")
 	}
 
-	var report core.PhaseReport
+	var report core.Report
 	if err := json.Unmarshal(stdout.Bytes(), &report); err != nil {
-		t.Fatalf("output is not a PhaseReport: %v", err)
+		t.Fatalf("output is not a core.Report: %v", err)
 	}
-	if report.App != "mix" || report.Trace == nil || report.Trace.Phases == 0 {
-		t.Errorf("report incomplete: app %s, trace %+v", report.App, report.Trace)
+	ph := report.Phases
+	if report.App != "mix" || ph == nil || ph.Trace == nil || ph.Trace.Phases == 0 {
+		t.Errorf("report incomplete: app %s, phases %+v", report.App, ph)
 	}
-	if len(report.Phases) != report.Trace.Phases || len(report.Schedule) == 0 {
+	if ph != nil && (len(ph.Recommendations) != ph.Trace.Phases || len(ph.Schedule) == 0) {
 		t.Errorf("report missing phase recommendations or schedule")
 	}
 }

@@ -1,12 +1,14 @@
 // Command autoarchd is the tuning service: the paper's automatic
 // reconfiguration technique behind an HTTP/JSON API. Clients POST tuning
-// jobs; a bounded worker scheduler runs them against one shared bounded
-// measurement cache (optionally spilled to a persistent on-disk store),
-// and results are the same core.TuneReport documents `autoarch -json`
-// prints. Jobs with "phases": true run phase-aware tuning instead and
-// return core.PhaseReport documents (`autoarch -phases -json`); every
-// running job streams per-measurement progress through its ndjson
-// status.
+// jobs; a bounded worker scheduler maps each onto a core.Request and
+// runs it through one shared core.Session — one bounded measurement
+// cache (optionally spilled to a persistent on-disk store) plus a
+// shared model layer, so jobs differing only in objective weights reuse
+// one model build outright. Results are the same core.Report documents
+// `autoarch -json` prints. Jobs with "phases": true run phase-aware
+// tuning instead and return the report's phases block (`autoarch
+// -phases -json`); every running job streams per-measurement progress
+// through its ndjson status.
 //
 // The daemon is deployable as a long-lived, multi-replica service:
 // identical in-flight jobs coalesce onto one execution, terminal jobs
@@ -21,9 +23,10 @@
 // Usage:
 //
 //	autoarchd [-addr :8723] [-jobs 2] [-queue 256] [-cache-entries 4096]
-//	          [-cache-dir DIR] [-job-retain 1024] [-job-ttl 0]
-//	          [-store-max-bytes 0] [-store-max-age 0] [-store-gc-every 64]
-//	          [-store-lease 0] [-engine-pool N] [-mem-pool N]
+//	          [-model-cache 128] [-cache-dir DIR] [-job-retain 1024]
+//	          [-job-ttl 0] [-store-max-bytes 0] [-store-max-age 0]
+//	          [-store-gc-every 64] [-store-lease 0] [-engine-pool N]
+//	          [-mem-pool N]
 //
 // Endpoints: POST/GET /v1/jobs, GET /v1/jobs/{id}, GET
 // /v1/jobs/{id}/stream (ndjson), DELETE /v1/jobs/{id}, GET /v1/metrics,
@@ -41,6 +44,7 @@ import (
 	"os/signal"
 	"time"
 
+	"liquidarch/internal/core"
 	"liquidarch/internal/measure"
 	"liquidarch/internal/platform"
 	"liquidarch/internal/serve"
@@ -52,6 +56,7 @@ func main() {
 		jobs          = flag.Int("jobs", 2, "concurrently running tuning jobs")
 		queueDepth    = flag.Int("queue", 256, "submitted-job backlog bound")
 		cacheEntries  = flag.Int("cache-entries", measure.DefaultCacheEntries, "bounded measurement-cache entry cap")
+		modelCache    = flag.Int("model-cache", core.DefaultModelCacheEntries, "shared model-layer entry cap (model builds reused across weightings)")
 		cacheDir      = flag.String("cache-dir", "", "persist measurement reports to this directory (empty = in-memory only; shareable across replicas)")
 		jobRetain     = flag.Int("job-retain", serve.DefaultRetainJobs, "terminal jobs kept in the job table (0 = default, -1 = unlimited, minimum cap 1)")
 		jobTTL        = flag.Duration("job-ttl", 0, "drop terminal jobs older than this (0 = no age bound)")
@@ -93,12 +98,13 @@ func main() {
 	cache := measure.NewCache(provider, *cacheEntries)
 
 	server := serve.New(serve.Options{
-		Workers:    *jobs,
-		QueueDepth: *queueDepth,
-		Provider:   cache,
-		Store:      store,
-		RetainJobs: *jobRetain,
-		JobTTL:     *jobTTL,
+		Workers:           *jobs,
+		QueueDepth:        *queueDepth,
+		Provider:          cache,
+		Store:             store,
+		RetainJobs:        *jobRetain,
+		JobTTL:            *jobTTL,
+		ModelCacheEntries: *modelCache,
 	})
 	defer server.Close()
 

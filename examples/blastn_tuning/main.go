@@ -1,7 +1,9 @@
-// BLASTN tuning: the paper's headline flow (Figure 5, BLASTN column) as a
-// library client — build the one-change-at-a-time cost model, solve the
-// BINLP with runtime-dominant weights, and validate the recommendation
-// with an actual build and run.
+// BLASTN tuning: the paper's headline flow (Figure 5, BLASTN column) as
+// a library client — one core.Request through Session.Tune builds the
+// one-change-at-a-time cost model, solves the BINLP with
+// runtime-dominant weights, and validates the recommendation with an
+// actual build and run. The report's Artifacts expose the measured
+// model for inspection.
 package main
 
 import (
@@ -11,19 +13,22 @@ import (
 	"strings"
 
 	"liquidarch/internal/core"
-	"liquidarch/internal/progs"
 	"liquidarch/internal/workload"
 )
 
 func main() {
-	blastn, _ := progs.ByName("blastn")
-	tuner := core.NewTuner(workload.Small)
+	sess := core.NewSession(core.SessionOptions{})
 
 	fmt.Println("measuring the base configuration and 52 single-change configurations...")
-	model, err := tuner.BuildModel(context.Background(), blastn)
+	rep, err := sess.Tune(context.Background(), core.Request{
+		App:     "blastn",
+		Scale:   workload.Small,
+		Weights: core.RuntimeWeights(), // w1=100, w2=1
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	model := rep.Artifacts.Model
 	fmt.Printf("base: %.4f s, %v\n",
 		float64(model.BaseCycles)/25e6, model.BaseResources)
 
@@ -36,21 +41,15 @@ func main() {
 		}
 	}
 
-	rec, err := tuner.RecommendFromModel(model, core.RuntimeWeights())
-	if err != nil {
-		log.Fatal(err)
-	}
+	rec := rep.Recommendation
 	fmt.Printf("\nrecommended changes (w1=100, w2=1): %s\n", strings.Join(rec.Changes, " "))
 	fmt.Printf("predicted: %.4f s (%+.2f%%), LUT %d%%, BRAM %d%%\n",
 		rec.Predicted.RuntimeCycles/25e6, rec.Predicted.RuntimePct,
 		rec.Predicted.LUTPctLinear, rec.Predicted.BRAMPctNonlinear)
 
-	val, err := tuner.Validate(context.Background(), blastn, model, rec)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("actual:    %.4f s (%+.2f%%), %v\n",
-		float64(val.Cycles)/25e6, val.RuntimePct, val.Resources)
+	val := rep.Validation
+	fmt.Printf("actual:    %.4f s (%+.2f%%), LUT %d%%, BRAM %d%%\n",
+		val.Seconds, val.RuntimePct, val.LUTPct, val.BRAMPct)
 	fmt.Printf("\nthe tradeoff took %d measured configurations instead of %d exhaustive ones\n",
 		1+model.Space.Len()+4, 910393344)
 }

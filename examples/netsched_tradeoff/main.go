@@ -1,7 +1,12 @@
-// Network-processing tradeoff: sweep the paper's objective weights for the
-// two CommBench kernels (DRR scheduling and FRAG fragmentation) and print
-// the runtime-vs-resources frontier an embedded designer would choose
-// from — the scenario the paper's introduction motivates.
+// Network-processing tradeoff: sweep the paper's objective weights for
+// the two CommBench kernels (DRR scheduling and FRAG fragmentation) and
+// print the runtime-vs-resources frontier an embedded designer would
+// choose from — the scenario the paper's introduction motivates.
+//
+// Each weighting is its own Session.Tune request; the session's shared
+// model layer builds each application's 52-measurement model exactly
+// once and re-solves it per weighting, so the whole four-point frontier
+// costs one model build per kernel.
 package main
 
 import (
@@ -11,7 +16,6 @@ import (
 	"strings"
 
 	"liquidarch/internal/core"
-	"liquidarch/internal/progs"
 	"liquidarch/internal/workload"
 )
 
@@ -23,36 +27,39 @@ func main() {
 		{W1: 1, W2: 100}, // the paper's resource optimization
 	}
 
+	sess := core.NewSession(core.SessionOptions{})
 	for _, app := range []string{"drr", "frag"} {
-		b, _ := progs.ByName(app)
-		tuner := core.NewTuner(workload.Small)
-		model, err := tuner.BuildModel(context.Background(), b)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("=== %s (base %.4f s, %v) ===\n",
-			strings.ToUpper(app), float64(model.BaseCycles)/25e6, model.BaseResources)
-		fmt.Printf("%-12s %-12s %-10s %-8s %s\n", "w1/w2", "runtime(s)", "Δruntime", "BRAM%", "changes")
+		var header bool
 		for _, w := range weightings {
-			rec, err := tuner.RecommendFromModel(model, w)
+			rep, err := sess.Tune(context.Background(), core.Request{
+				App:     app,
+				Scale:   workload.Small,
+				Weights: w,
+			})
 			if err != nil {
 				log.Fatal(err)
 			}
-			val, err := tuner.Validate(context.Background(), b, model, rec)
-			if err != nil {
-				log.Fatal(err)
+			if !header {
+				header = true
+				fmt.Printf("=== %s (base %.4f s, LUTs %d%%, BRAM %d%%) ===\n",
+					strings.ToUpper(app), rep.Base.Seconds, rep.Base.LUTPct, rep.Base.BRAMPct)
+				fmt.Printf("%-12s %-12s %-10s %-8s %s\n", "w1/w2", "runtime(s)", "Δruntime", "BRAM%", "changes")
 			}
-			changes := strings.Join(rec.Changes, " ")
+			changes := strings.Join(rep.Recommendation.Changes, " ")
 			if changes == "" {
 				changes = "(keep base)"
 			}
 			fmt.Printf("%-12s %-12.4f %-10s %-8d %s\n",
 				fmt.Sprintf("%g/%g", w.W1, w.W2),
-				float64(val.Cycles)/25e6,
-				fmt.Sprintf("%+.2f%%", val.RuntimePct),
-				val.Resources.BRAMPercent(),
+				rep.Validation.Seconds,
+				fmt.Sprintf("%+.2f%%", rep.Validation.RuntimePct),
+				rep.Validation.BRAMPct,
 				changes)
 		}
 		fmt.Println()
 	}
+
+	stats := sess.ModelStats()
+	fmt.Printf("model layer: %d builds served %d requests (%d shared)\n",
+		stats.Builds, stats.Hits+stats.Misses, stats.Hits)
 }

@@ -1,6 +1,6 @@
 // Phase-aware tuning walkthrough: a workload whose phases want opposite
 // hardware, where switching configurations at phase boundaries beats any
-// single configuration — the reconfiguration penalty included.
+// single configuration — the reconfiguration cost included.
 //
 // The mix benchmark streams a 512 KB buffer sequentially (long cache
 // lines amortize the fill lead time) and then probes it at random word
@@ -8,6 +8,12 @@
 // penalty). Those two demands land in the same at-most-one decision
 // group — the data-cache line size — so the whole-program optimizer must
 // pick one value for both phases, while per-phase tuning picks each.
+//
+// Each mid-run reconfiguration is charged for what it actually changes:
+// the switch penalty prices a full reshape of every parameter group, and
+// a transition flipping only the dcache geometry pays its proportional
+// share — the partial-reconfiguration pricing of real FPGAs, where
+// rewriting fewer frames takes less time.
 package main
 
 import (
@@ -17,31 +23,37 @@ import (
 	"strings"
 
 	"liquidarch/internal/core"
-	"liquidarch/internal/progs"
 	"liquidarch/internal/workload"
 )
 
 func main() {
-	mix, _ := progs.ByName("mix")
-	tuner := core.NewTuner(workload.Small)
+	sess := core.NewSession(core.SessionOptions{})
 
 	// Profile the base run in 100k-instruction intervals, detect phases,
 	// build one cost model per phase from the same single-change runs the
-	// whole-program model uses, and solve each.
-	rep, err := tuner.TunePhases(context.Background(), mix, core.RuntimeWeights(), core.PhaseOptions{
-		IntervalInstructions: 100_000,
-		// 25 000 cycles = 1 ms of FPGA partial reconfiguration at 25 MHz.
-		SwitchPenaltyCycles: core.DefaultSwitchPenaltyCycles,
+	// whole-program model uses, and solve each — one request through the
+	// unified pipeline.
+	rep, err := sess.Tune(context.Background(), core.Request{
+		App:     "mix",
+		Scale:   workload.Small,
+		Weights: core.RuntimeWeights(),
+		Phases: &core.PhaseOptions{
+			IntervalInstructions: 100_000,
+			// 25 000 cycles = 1 ms at 25 MHz for a full reconfiguration;
+			// each switch pays the share it actually rewrites.
+			SwitchPenaltyCycles: core.DefaultSwitchPenaltyCycles,
+		},
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	ph := rep.Phases
 
 	fmt.Printf("%s at %s scale: %d intervals of %d instructions, %d phases\n\n",
-		rep.App, rep.Scale, len(rep.Trace.Assignments), rep.IntervalInstructions, rep.Trace.Phases)
+		rep.App, rep.Scale, len(ph.Trace.Assignments), ph.IntervalInstructions, ph.Trace.Phases)
 
 	fmt.Println("per-phase recommendations:")
-	for _, p := range rep.Phases {
+	for _, p := range ph.Recommendations {
 		changes := strings.Join(p.Recommendation.Changes, " ")
 		if changes == "" {
 			changes = "(keep base)"
@@ -49,24 +61,24 @@ func main() {
 		fmt.Printf("  phase %d (%2d intervals, %8d base cycles): %s\n",
 			p.Phase, p.Intervals, p.BaseCycles, changes)
 	}
-	fmt.Printf("\nwhole-program recommendation: %s\n", strings.Join(rep.WholeProgram.Changes, " "))
+	fmt.Printf("\nwhole-program recommendation: %s\n", strings.Join(rep.Recommendation.Changes, " "))
 
-	fmt.Printf("\nreconfiguration schedule (%d switches, %d cycles each):\n",
-		rep.Switches, rep.SwitchPenaltyCycles)
-	for _, seg := range rep.Schedule {
+	fmt.Printf("\nreconfiguration schedule (%d switches, full reshape %d cycles, %d cycles actually charged):\n",
+		ph.Switches, ph.SwitchPenaltyCycles, ph.SwitchCostCycles)
+	for _, seg := range ph.Schedule {
 		marker := "      "
 		if seg.Switch {
-			marker = "switch"
+			marker = fmt.Sprintf("switch %d params/%6d cyc", seg.ChangedVars, seg.SwitchCostCycles)
 		}
-		fmt.Printf("  %s  intervals %2d-%2d -> phase %d config\n", marker, seg.Start, seg.End, seg.Phase)
+		fmt.Printf("  %-24s  intervals %2d-%2d -> phase %d config\n", marker, seg.Start, seg.End, seg.Phase)
 	}
 
 	fmt.Printf("\nmodeled whole-run cycles:\n")
-	fmt.Printf("  per-phase schedule: %.0f (switch penalties included)\n", rep.PerPhaseCycles)
-	fmt.Printf("  whole-program:      %.0f\n", rep.WholeProgramCycles)
-	if rep.PerPhaseWins {
-		fmt.Printf("per-phase reconfiguration wins by %.2f%%\n", rep.SavingsPct)
+	fmt.Printf("  per-phase schedule: %.0f (switch costs included)\n", ph.PerPhaseCycles)
+	fmt.Printf("  whole-program:      %.0f\n", ph.WholeProgramCycles)
+	if ph.PerPhaseWins {
+		fmt.Printf("per-phase reconfiguration wins by %.2f%%\n", ph.SavingsPct)
 	} else {
-		fmt.Printf("whole-program configuration wins by %.2f%%\n", -rep.SavingsPct)
+		fmt.Printf("whole-program configuration wins by %.2f%%\n", -ph.SavingsPct)
 	}
 }

@@ -1,13 +1,20 @@
 // Quickstart: run one of the paper's benchmarks on the out-of-the-box
-// LEON2 configuration and read its cycle-accurate profile — the minimal
-// use of the platform (paper Section 2).
+// LEON2 configuration, read its cycle-accurate profile (paper Section
+// 2), then let the unified tuning pipeline — one core.Session.Tune call
+// — recommend an application-specific configuration end to end.
+//
+// Pass -scale tiny for a sub-second run (the CI smoke test does).
 package main
 
 import (
+	"context"
+	"flag"
 	"fmt"
 	"log"
+	"strings"
 
 	"liquidarch/internal/config"
+	"liquidarch/internal/core"
 	"liquidarch/internal/fpga"
 	"liquidarch/internal/platform"
 	"liquidarch/internal/progs"
@@ -15,9 +22,16 @@ import (
 )
 
 func main() {
+	scaleName := flag.String("scale", "small", "workload scale: tiny, small, medium, paper")
+	flag.Parse()
+	scale, ok := workload.ParseScale(*scaleName)
+	if !ok {
+		log.Fatalf("unknown scale %q", *scaleName)
+	}
+
 	// Pick the application and workload size.
 	blastn, _ := progs.ByName("blastn")
-	prog, err := blastn.Assemble(workload.Small)
+	prog, err := blastn.Assemble(scale)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -36,7 +50,7 @@ func main() {
 	fmt.Printf("BLASTN: %d cycles = %.4f s at 25 MHz (CPI %.3f)\n",
 		rep.Cycles(), rep.Seconds(), rep.Stats.CPI())
 	fmt.Printf("result checksum %#x (golden model: %#x)\n",
-		rep.Checksum, blastn.Golden(workload.Small))
+		rep.Checksum, blastn.Golden(scale))
 
 	// Any Figure 1 parameter can be changed before a run.
 	cfg.DCache.SetSizeKB = 32
@@ -46,4 +60,26 @@ func main() {
 	}
 	gain := 100 * (float64(rep.Cycles()) - float64(rep32.Cycles())) / float64(rep.Cycles())
 	fmt.Printf("with a 32 KB dcache: %d cycles (%.2f%% faster)\n", rep32.Cycles(), gain)
+
+	// The whole technique is one request through the unified pipeline:
+	// measure the base and every single-change configuration, solve the
+	// BINLP, validate the winner. The same Session.Tune call serves the
+	// autoarch CLI, the autoarchd daemon and the experiment harnesses.
+	sess := core.NewSession(core.SessionOptions{})
+	report, err := sess.Tune(context.Background(), core.Request{
+		App:   "blastn",
+		Scale: scale,
+		// Weights zero value = the paper's runtime weighting (w1=100, w2=1).
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	changes := strings.Join(report.Recommendation.Changes, " ")
+	if changes == "" {
+		changes = "(keep base)"
+	}
+	fmt.Printf("\ntuned for runtime: %s\n", changes)
+	fmt.Printf("validated: %.4f s (%+.2f%% vs base), LUTs %d%%, BRAM %d%%\n",
+		report.Validation.Seconds, report.Validation.RuntimePct,
+		report.Validation.LUTPct, report.Validation.BRAMPct)
 }

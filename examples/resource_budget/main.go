@@ -1,8 +1,10 @@
 // Resource-budget tuning: tune an application for best runtime under a
 // tightened BRAM budget — a smaller FPGA than the paper's XCV2000E. This
-// shows the library's composability: take the tuner's Section 4
-// formulation, tighten the device constraint, and solve directly with the
-// BINLP solver.
+// shows the unified pipeline's composability: obtain the measured model
+// through one Session.Tune request, tighten the Section 4 device
+// constraint, solve directly with the BINLP solver, and validate each
+// budget's winner through the session's own measurement provider (so
+// repeated runs replay from its cache).
 package main
 
 import (
@@ -14,14 +16,30 @@ import (
 	"liquidarch/internal/binlp"
 	"liquidarch/internal/core"
 	"liquidarch/internal/fpga"
+	"liquidarch/internal/platform"
 	"liquidarch/internal/progs"
 	"liquidarch/internal/workload"
 )
 
 func main() {
+	ctx := context.Background()
+	sess := core.NewSession(core.SessionOptions{})
+
+	// One request builds (and caches) the model; the budget study below
+	// only re-solves it, so this is the single measured step.
+	rep, err := sess.Tune(ctx, core.Request{
+		App:            "blastn",
+		Scale:          workload.Small,
+		Weights:        core.RuntimeWeights(),
+		SkipValidation: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	model := rep.Artifacts.Model
+
 	blastn, _ := progs.ByName("blastn")
-	tuner := core.NewTuner(workload.Small)
-	model, err := tuner.BuildModel(context.Background(), blastn)
+	prog, err := blastn.Assemble(workload.Small)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -51,11 +69,14 @@ func main() {
 		if !res.FitsDevice() {
 			log.Fatalf("budget %v produced an infeasible configuration", budget)
 		}
-		rec := &core.Recommendation{Config: cfg}
-		val, err := tuner.Validate(context.Background(), blastn, model, rec)
+		// Validate the budget's winner for real, reusing the session's
+		// measurement cache (the base-budget winner replays the model
+		// build's own run).
+		run, err := sess.Provider().Measure(ctx, prog, cfg, platform.Options{})
 		if err != nil {
 			log.Fatal(err)
 		}
+		runtimePct := 100 * (float64(run.Cycles()) - float64(model.BaseCycles)) / float64(model.BaseCycles)
 		var changes []string
 		for i, on := range sol.X {
 			if on {
@@ -68,9 +89,9 @@ func main() {
 		}
 		fmt.Printf("%-10s %-12.4f %-10s %-7d %s\n",
 			fmt.Sprintf("+%g%%", budget),
-			float64(val.Cycles)/25e6,
-			fmt.Sprintf("%+.2f%%", val.RuntimePct),
-			val.Resources.BRAMPercent(),
+			float64(run.Cycles())/25e6,
+			fmt.Sprintf("%+.2f%%", runtimePct),
+			res.BRAMPercent(),
 			label)
 	}
 	fmt.Println("\ntighter budgets trade away the large data cache first, keeping the")

@@ -1,6 +1,10 @@
 package config
 
-import "fmt"
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+)
 
 // Group identifies a set of decision variables of which at most one may be
 // selected (the paper's "parameter validity constraints"). Independent
@@ -93,6 +97,20 @@ func (s *Space) ByName(name string) (Var, bool) {
 		}
 	}
 	return Var{}, false
+}
+
+// Fingerprint returns the stable identity of the space: a hex SHA-256
+// over its variable names and group memberships in index order. Two
+// spaces with the same fingerprint measure the same single-change
+// configurations and formulate the same constraints, which is what lets
+// a model cache key on it across independently constructed Space values
+// (FullSpace() allocates a fresh *Space per call).
+func (s *Space) Fingerprint() string {
+	h := sha256.New()
+	for _, v := range s.vars {
+		fmt.Fprintf(h, "%d:%s:%d\n", v.Index, v.Name, v.Group)
+	}
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // Groups returns, for each group present in the space, the indices (into
@@ -230,6 +248,13 @@ func SpaceFromNames(names []string) (*Space, error) {
 	}
 	return &Space{vars: vars}, nil
 }
+
+// ParameterGroups returns the number of independently reconfigurable
+// parameter groups in the full configuration (the at-most-one groups of
+// the paper's Figure 1 space). A runtime reconfiguration rewriting k of
+// these groups is a k/ParameterGroups() share of a full reshape — the
+// proportion the phase schedule's switch-cost model charges.
+func ParameterGroups() int { return int(numGroups) }
 
 // ParameterValueCount returns the number of parameter values in the
 // reconstructed Figure 1 space (the paper reports 79; our itemisation of

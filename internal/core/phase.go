@@ -2,7 +2,6 @@ package core
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
 
 	"liquidarch/internal/config"
@@ -27,6 +26,9 @@ import (
 // instruction counts). One set of runs therefore feeds the whole-program
 // model and every per-phase model, and the runs share the measurement
 // provider's cache/store keyed by (program, timing config, interval).
+// The built models are weight-independent and live in the session's
+// shared model layer (session.go); the decision half — per-phase solves,
+// the schedule and its per-transition switch costs — runs per request.
 
 // DefaultIntervalInstructions is the profiling interval length used when
 // a caller does not choose one: fine enough to split the benchmark
@@ -34,9 +36,13 @@ import (
 // per-interval snapshots stay negligible next to the simulation.
 const DefaultIntervalInstructions = 50_000
 
-// DefaultSwitchPenaltyCycles prices one runtime reconfiguration. 25 000
-// cycles is 1 ms at the platform's 25 MHz clock — the order of an FPGA
-// partial reconfiguration.
+// DefaultSwitchPenaltyCycles prices a full runtime reconfiguration —
+// every parameter group of the configuration rewritten. 25 000 cycles
+// is 1 ms at the platform's 25 MHz clock, the order of a full FPGA
+// partial-reconfiguration pass. A schedule transition rewriting only k
+// of the configuration's config.ParameterGroups() groups is charged the
+// proportional share k/G of this penalty, so small reshapes (a lone
+// dcache line-size flip) are priced well under the full millisecond.
 const DefaultSwitchPenaltyCycles = 25_000
 
 // PhaseOptions configures phase-aware tuning. Zero values select the
@@ -44,8 +50,9 @@ const DefaultSwitchPenaltyCycles = 25_000
 type PhaseOptions struct {
 	// IntervalInstructions is the profiling interval length.
 	IntervalInstructions uint64 `json:"interval_instructions,omitempty"`
-	// SwitchPenaltyCycles is the cycle cost charged per configuration
-	// switch in the per-phase schedule.
+	// SwitchPenaltyCycles is the cycle cost of a full reconfiguration;
+	// each schedule transition is charged the share of it proportional
+	// to how many configuration parameters it actually changes.
 	SwitchPenaltyCycles uint64 `json:"switch_penalty_cycles,omitempty"`
 	// Threshold overrides the phase-detection clustering threshold
 	// (phase.DefaultThreshold) when > 0.
@@ -63,83 +70,13 @@ func (o PhaseOptions) normalized() PhaseOptions {
 	return o
 }
 
-// PhaseRecommendation is one phase's solved model.
-type PhaseRecommendation struct {
-	// Phase is the phase ID of the trace.
-	Phase int `json:"phase"`
-	// Intervals and Instructions describe the phase's share of the run.
-	Intervals    int    `json:"intervals"`
-	Instructions uint64 `json:"instructions"`
-	// BaseCycles is the phase's cost on the base configuration.
-	BaseCycles uint64 `json:"base_cycles"`
-	// Recommendation is the phase's solved BINLP outcome; its Predicted
-	// runtime is the phase's modeled cost under its own configuration.
-	Recommendation RecommendationReport `json:"recommendation"`
-}
-
-// ScheduleEntry is one segment of the per-phase reconfiguration
-// schedule.
-type ScheduleEntry struct {
-	// Phase, Start and End mirror the trace segment.
-	Phase int `json:"phase"`
-	Start int `json:"start"`
-	End   int `json:"end"`
-	// Config is the configuration the segment runs under.
-	Config string `json:"config"`
-	// Switch is true when entering this segment requires a
-	// reconfiguration (its config differs from the previous segment's).
-	Switch bool `json:"switch,omitempty"`
-}
-
-// PhaseReport is the serialized outcome of a phase-aware tuning run —
-// the phase-mode analogue of TuneReport, shared by `autoarch -phases
-// -json` and the autoarchd daemon's phase jobs.
-type PhaseReport struct {
-	// App and Scale identify the workload; SpaceVars and Weights the
-	// decision problem.
-	App       string  `json:"app"`
-	Scale     string  `json:"scale"`
-	SpaceVars int     `json:"space_vars"`
-	Weights   Weights `json:"weights"`
-	// IntervalInstructions and SwitchPenaltyCycles echo the options.
-	IntervalInstructions uint64 `json:"interval_instructions"`
-	SwitchPenaltyCycles  uint64 `json:"switch_penalty_cycles"`
-
-	// Base is the base configuration's whole-run cost.
-	Base CostPoint `json:"base"`
-	// Trace is the detected phase structure.
-	Trace *phase.Trace `json:"trace"`
-	// WholeProgram is the ordinary single-configuration recommendation,
-	// built from the same measurements.
-	WholeProgram RecommendationReport `json:"whole_program"`
-	// Phases holds one solved model per detected phase.
-	Phases []PhaseRecommendation `json:"phases"`
-
-	// Schedule is the per-phase plan over the trace's segments; Switches
-	// counts its mid-run reconfigurations (entries whose config differs
-	// from their predecessor's).
-	Schedule []ScheduleEntry `json:"schedule"`
-	Switches int             `json:"switches"`
-
-	// PerPhaseCycles is the schedule's modeled whole-run cost: each
-	// phase under its own configuration plus SwitchPenaltyCycles per
-	// switch. WholeProgramCycles is the single recommendation's modeled
-	// cost. PerPhaseWins reports the decision; SavingsPct the margin
-	// (negative when the whole-program configuration wins).
-	PerPhaseCycles     float64 `json:"per_phase_predicted_cycles"`
-	WholeProgramCycles float64 `json:"whole_program_predicted_cycles"`
-	PerPhaseWins       bool    `json:"per_phase_wins"`
-	SavingsPct         float64 `json:"savings_pct"`
-}
-
-// MarshalIndent renders the report as indented JSON with a trailing
-// newline — the exact byte stream the CLI and the daemon emit.
-func (r *PhaseReport) MarshalIndent() ([]byte, error) {
-	data, err := json.MarshalIndent(r, "", "  ")
-	if err != nil {
-		return nil, err
+// threshold resolves the effective detection threshold (for model-cache
+// keying; phase.Detect applies the same default).
+func (o PhaseOptions) threshold() float64 {
+	if o.Threshold > 0 {
+		return o.Threshold
 	}
-	return append(data, '\n'), nil
+	return phase.DefaultThreshold
 }
 
 // phaseObservation is one configuration's measured cost, resolved per
@@ -285,112 +222,30 @@ func (t *Tuner) buildPhaseModels(ctx context.Context, b *progs.Benchmark, interv
 	return models, nil
 }
 
-// TunePhases runs phase-aware tuning end to end: profile the base run in
-// intervals, detect phases, build one model per phase (plus the
-// whole-program model) from one interval-profiled run per configuration,
-// solve each, and weigh the per-phase schedule — switch penalties
-// included — against the single whole-program recommendation.
+// TunePhases runs phase-aware tuning end to end through a one-shot
+// Session carrying the tuner's configuration.
+//
+// Deprecated: build a Session once and call Tune with Request.Phases
+// set — repeated runs then share one model build through the session's
+// model layer.
 func (t *Tuner) TunePhases(ctx context.Context, b *progs.Benchmark, w Weights, opts PhaseOptions) (*PhaseReport, error) {
-	opts = opts.normalized()
-	space := t.space()
-
-	// Base run: the interval profile phases are detected on.
-	prog, err := b.Assemble(t.Scale)
-	if err != nil {
-		return nil, err
-	}
-	baseRes, err := fpga.Synthesize(config.Default())
-	if err != nil {
-		return nil, err
-	}
-	runOpts := platform.Options{
-		SampleInstructions:   t.SampleInstructions,
-		IntervalInstructions: opts.IntervalInstructions,
-	}
-	baseRep, err := t.provider().Measure(ctx, prog, config.Default(), runOpts)
-	if err != nil {
-		return nil, fmt.Errorf("core: base measurement: %w", err)
-	}
-	if !baseRep.Sampled && baseRep.ExitCode != 0 {
-		return nil, fmt.Errorf("core: %s exited with code %d", b.Name, baseRep.ExitCode)
-	}
-	trace := phase.Detect(baseRep.Intervals, opts.IntervalInstructions, phase.Options{Threshold: opts.Threshold})
-	base := resolveObservation(baseRep, baseRes, trace)
-	baseProfiles := trace.Profiles(baseRep.Intervals)
-
-	models, err := t.buildPhaseModels(ctx, b, opts.IntervalInstructions, trace, base)
-	if err != nil {
-		return nil, err
-	}
-
-	wholeRec, err := t.RecommendFromModel(models[0], w)
-	if err != nil {
-		return nil, err
-	}
-	report := &PhaseReport{
-		App:                  b.Name,
-		Scale:                t.Scale.String(),
-		SpaceVars:            space.Len(),
-		Weights:              w,
-		IntervalInstructions: opts.IntervalInstructions,
-		SwitchPenaltyCycles:  opts.SwitchPenaltyCycles,
-		Base: CostPoint{
-			Cycles:  base.cycles[0],
-			Seconds: float64(base.cycles[0]) / 25e6,
-			LUTPct:  baseRes.LUTPercent(),
-			BRAMPct: baseRes.BRAMPercent(),
-		},
-		Trace:        trace,
-		WholeProgram: recommendationReport(wholeRec),
-	}
-
-	var perPhase float64
-	phaseConfigs := make([]string, trace.Phases)
-	for p := 0; p < trace.Phases; p++ {
-		rec, err := t.RecommendFromModel(models[1+p], w)
-		if err != nil {
-			return nil, fmt.Errorf("core: solving phase %d: %w", p, err)
-		}
-		prof := baseProfiles[p]
-		report.Phases = append(report.Phases, PhaseRecommendation{
-			Phase:          p,
-			Intervals:      prof.Intervals,
-			Instructions:   prof.Instructions,
-			BaseCycles:     prof.Cycles,
-			Recommendation: recommendationReport(rec),
-		})
-		phaseConfigs[p] = rec.Config.String()
-		perPhase += rec.Predicted.RuntimeCycles
-	}
-
-	prevCfg := ""
-	for i, seg := range trace.Segments {
-		cfgStr := phaseConfigs[seg.Phase]
-		sw := i > 0 && cfgStr != prevCfg
-		if sw {
-			report.Switches++
-		}
-		report.Schedule = append(report.Schedule, ScheduleEntry{
-			Phase:  seg.Phase,
-			Start:  seg.Start,
-			End:    seg.End,
-			Config: cfgStr,
-			Switch: sw,
-		})
-		prevCfg = cfgStr
-	}
-
-	report.PerPhaseCycles = perPhase + float64(report.Switches)*float64(opts.SwitchPenaltyCycles)
-	report.WholeProgramCycles = wholeRec.Predicted.RuntimeCycles
-	report.PerPhaseWins = report.PerPhaseCycles < report.WholeProgramCycles
-	if report.WholeProgramCycles > 0 {
-		report.SavingsPct = 100 * (report.WholeProgramCycles - report.PerPhaseCycles) / report.WholeProgramCycles
-	}
-	return report, nil
+	s := NewSession(SessionOptions{
+		Provider:      t.provider(),
+		Workers:       t.Workers,
+		SolverOptions: t.SolverOptions,
+	})
+	return s.Tune(ctx, Request{
+		App:                b.Name,
+		Scale:              t.Scale,
+		Space:              t.Space,
+		Weights:            w,
+		SampleInstructions: t.SampleInstructions,
+		Phases:             &opts,
+	})
 }
 
 // recommendationReport serializes a Recommendation (shared with
-// NewTuneReport's inline construction).
+// NewTuneReport's construction).
 func recommendationReport(rec *Recommendation) RecommendationReport {
 	return RecommendationReport{
 		Changes:     append([]string{}, rec.Changes...),

@@ -40,14 +40,15 @@ func TestTunePhasesReport(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	if rep.Trace == nil || rep.Trace.Phases == 0 {
+	ph := rep.Phases
+	if ph == nil || ph.Trace == nil || ph.Trace.Phases == 0 {
 		t.Fatal("no phases detected")
 	}
-	if len(rep.Phases) != rep.Trace.Phases {
-		t.Fatalf("%d phase recommendations for %d phases", len(rep.Phases), rep.Trace.Phases)
+	if len(ph.Recommendations) != ph.Trace.Phases {
+		t.Fatalf("%d phase recommendations for %d phases", len(ph.Recommendations), ph.Trace.Phases)
 	}
 	var phaseBase uint64
-	for _, p := range rep.Phases {
+	for _, p := range ph.Recommendations {
 		phaseBase += p.BaseCycles
 		if len(p.Recommendation.Config) == 0 {
 			t.Errorf("phase %d has no config rendering", p.Phase)
@@ -59,33 +60,45 @@ func TestTunePhasesReport(t *testing.T) {
 	if phaseBase != rep.Base.Cycles {
 		t.Errorf("phase base cycles sum to %d, whole run is %d", phaseBase, rep.Base.Cycles)
 	}
-	if len(rep.Schedule) != len(rep.Trace.Segments) {
-		t.Errorf("schedule has %d entries for %d segments", len(rep.Schedule), len(rep.Trace.Segments))
+	if len(ph.Schedule) != len(ph.Trace.Segments) {
+		t.Errorf("schedule has %d entries for %d segments", len(ph.Schedule), len(ph.Trace.Segments))
 	}
 	switches := 0
-	for i, e := range rep.Schedule {
+	var switchCostSum uint64
+	for i, e := range ph.Schedule {
 		if e.Switch {
 			switches++
+			switchCostSum += e.SwitchCostCycles
 			if i == 0 {
 				t.Error("first segment cannot be a switch")
 			}
+			if e.ChangedVars <= 0 {
+				t.Errorf("switch entry %d changes no parameters", i)
+			}
+			if want := switchCost(opts.SwitchPenaltyCycles, e.ChangedVars); e.SwitchCostCycles != want {
+				t.Errorf("switch entry %d costs %d cycles for %d changed parameters, want %d",
+					i, e.SwitchCostCycles, e.ChangedVars, want)
+			}
 		}
-		if i > 0 && (e.Config != rep.Schedule[i-1].Config) != e.Switch {
+		if i > 0 && (e.Config != ph.Schedule[i-1].Config) != e.Switch {
 			t.Errorf("schedule entry %d switch flag inconsistent", i)
 		}
 	}
-	if switches != rep.Switches {
-		t.Errorf("schedule says %d switches, report says %d", switches, rep.Switches)
+	if switches != ph.Switches {
+		t.Errorf("schedule says %d switches, report says %d", switches, ph.Switches)
+	}
+	if switchCostSum != ph.SwitchCostCycles {
+		t.Errorf("schedule switch costs sum to %d, report says %d", switchCostSum, ph.SwitchCostCycles)
 	}
 	var perPhase float64
-	for _, p := range rep.Phases {
+	for _, p := range ph.Recommendations {
 		perPhase += p.Recommendation.Predicted.RuntimeCycles
 	}
-	perPhase += float64(rep.Switches) * float64(opts.SwitchPenaltyCycles)
-	if perPhase != rep.PerPhaseCycles {
-		t.Errorf("per-phase cycles %f, want %f", rep.PerPhaseCycles, perPhase)
+	perPhase += float64(ph.SwitchCostCycles)
+	if perPhase != ph.PerPhaseCycles {
+		t.Errorf("per-phase cycles %f, want %f", ph.PerPhaseCycles, perPhase)
 	}
-	if rep.PerPhaseWins != (rep.PerPhaseCycles < rep.WholeProgramCycles) {
+	if ph.PerPhaseWins != (ph.PerPhaseCycles < ph.WholeProgramCycles) {
 		t.Error("decision flag contradicts the cycle comparison")
 	}
 
@@ -114,7 +127,7 @@ func TestTunePhasesWholeProgramMatchesPlainTuning(t *testing.T) {
 		t.Fatal(err)
 	}
 	plain := recommendationReport(plainRec)
-	got, _ := json.Marshal(rep.WholeProgram)
+	got, _ := json.Marshal(rep.Recommendation)
 	want, _ := json.Marshal(plain)
 	if string(got) != string(want) {
 		t.Errorf("whole-program recommendation diverged:\n%s\nvs plain tuning:\n%s", got, want)
@@ -157,15 +170,16 @@ func TestMixPerPhaseWins(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rep.Trace.Phases < 2 {
-		t.Fatalf("mix should show multiple phases, detected %d", rep.Trace.Phases)
+	ph := rep.Phases
+	if ph.Trace.Phases < 2 {
+		t.Fatalf("mix should show multiple phases, detected %d", ph.Trace.Phases)
 	}
-	if rep.Switches == 0 {
+	if ph.Switches == 0 {
 		t.Error("the per-phase schedule should reconfigure at least once")
 	}
-	if !rep.PerPhaseWins {
+	if !ph.PerPhaseWins {
 		t.Errorf("per-phase schedule (%.0f cycles incl. %d switches) should beat whole-program (%.0f cycles)",
-			rep.PerPhaseCycles, rep.Switches, rep.WholeProgramCycles)
+			ph.PerPhaseCycles, ph.Switches, ph.WholeProgramCycles)
 	}
 }
 

@@ -1,12 +1,25 @@
 package core
 
-import "encoding/json"
+import (
+	"encoding/json"
 
-// TuneReport is the one serialization of a complete tuning run — model
-// summary, chosen configuration and validation — shared by the autoarch
-// CLI (-json) and the autoarchd daemon's job results, so scripts consume
-// the same document no matter which surface ran the tuning.
-type TuneReport struct {
+	"liquidarch/internal/fpga"
+	"liquidarch/internal/phase"
+)
+
+// Report is the one serialization of a complete tuning run, shared by
+// every surface — the autoarch CLI (-json), the autoarchd daemon's job
+// results, the experiment harnesses and the examples — so scripts
+// consume the same document no matter which surface ran the tuning.
+//
+// The document has one shape: identity (app, scale, space, weights),
+// the base configuration's measured cost, the solver's recommendation,
+// and the optional validation and model blocks. A phase-aware run adds
+// the "phases" block — trace, per-phase recommendations and the
+// reconfiguration-schedule decision — and omits validation (phase runs
+// compare modeled schedules, they do not re-validate). For plain runs
+// the bytes are exactly the pre-unification TuneReport document.
+type Report struct {
 	// App and Scale identify the workload.
 	App   string `json:"app"`
 	Scale string `json:"scale"`
@@ -18,15 +31,79 @@ type TuneReport struct {
 	// Base is the unmodified LEON2 configuration's measured cost.
 	Base CostPoint `json:"base"`
 
-	// Recommendation is the solver's output.
+	// Recommendation is the solver's output — for phase-aware runs, the
+	// whole-program recommendation the schedule is weighed against.
 	Recommendation RecommendationReport `json:"recommendation"`
 
 	// Validation is the recommended configuration actually built and run
-	// (the paper's "actual synthesis" row).
-	Validation CostPoint `json:"validation"`
+	// (the paper's "actual synthesis" row); nil when skipped and for
+	// phase-aware runs.
+	Validation *CostPoint `json:"validation,omitempty"`
 
 	// Model, when requested, lists every measured perturbation.
 	Model *Model `json:"model,omitempty"`
+
+	// Phases is present iff phase-aware tuning was requested.
+	Phases *PhaseBlock `json:"phases,omitempty"`
+
+	// Artifacts carries the in-memory objects behind the document —
+	// typed configurations, the full model, the raw solver outcomes —
+	// for library consumers; it never serializes.
+	Artifacts *Artifacts `json:"-"`
+}
+
+// Artifacts are the in-memory products of a tuning run, attached to the
+// Report for programmatic consumers (the experiment harnesses, the
+// examples) that need more than the wire document: decoded
+// configurations, resource structs, the model even when it is not
+// embedded in the JSON.
+type Artifacts struct {
+	// Model is the whole-program perturbation model (always populated,
+	// unlike Report.Model which is opt-in for the wire).
+	Model *Model
+	// Recommendation and Validation are the raw solver outcome and
+	// validation measurement (Validation nil when skipped).
+	Recommendation *Recommendation
+	Validation     *Validation
+	// PhaseModels and PhaseRecommendations hold, for phase-aware runs,
+	// one model and one solved outcome per detected phase.
+	PhaseModels          []*Model
+	PhaseRecommendations []*Recommendation
+}
+
+// PhaseBlock is the phase-aware portion of a Report: the detected
+// structure, one recommendation per phase, and the schedule decision
+// against the whole-program recommendation.
+type PhaseBlock struct {
+	// IntervalInstructions is the profiling interval length;
+	// SwitchPenaltyCycles the cycle cost of a full reconfiguration, of
+	// which each transition is charged its proportional share.
+	IntervalInstructions uint64 `json:"interval_instructions"`
+	SwitchPenaltyCycles  uint64 `json:"switch_penalty_cycles"`
+
+	// Trace is the detected phase structure.
+	Trace *phase.Trace `json:"trace"`
+	// Recommendations holds one solved model per detected phase.
+	Recommendations []PhaseRecommendation `json:"recommendations"`
+
+	// Schedule is the per-phase plan over the trace's segments.
+	// Switches counts its mid-run reconfigurations (entries whose config
+	// differs from their predecessor's); SwitchCostCycles is their total
+	// modeled cost — each transition charged SwitchPenaltyCycles per
+	// configuration parameter it actually changes.
+	Schedule         []ScheduleEntry `json:"schedule"`
+	Switches         int             `json:"switches"`
+	SwitchCostCycles uint64          `json:"switch_cost_cycles"`
+
+	// PerPhaseCycles is the schedule's modeled whole-run cost: each
+	// phase under its own configuration plus SwitchCostCycles.
+	// WholeProgramCycles is the single recommendation's modeled cost.
+	// PerPhaseWins reports the decision; SavingsPct the margin (negative
+	// when the whole-program configuration wins).
+	PerPhaseCycles     float64 `json:"per_phase_predicted_cycles"`
+	WholeProgramCycles float64 `json:"whole_program_predicted_cycles"`
+	PerPhaseWins       bool    `json:"per_phase_wins"`
+	SavingsPct         float64 `json:"savings_pct"`
 }
 
 // CostPoint is one configuration's measured cost in the report.
@@ -56,25 +133,70 @@ type RecommendationReport struct {
 	Proven      bool    `json:"proven"`
 }
 
+// PhaseRecommendation is one phase's solved model.
+type PhaseRecommendation struct {
+	// Phase is the phase ID of the trace.
+	Phase int `json:"phase"`
+	// Intervals and Instructions describe the phase's share of the run.
+	Intervals    int    `json:"intervals"`
+	Instructions uint64 `json:"instructions"`
+	// BaseCycles is the phase's cost on the base configuration.
+	BaseCycles uint64 `json:"base_cycles"`
+	// Recommendation is the phase's solved BINLP outcome; its Predicted
+	// runtime is the phase's modeled cost under its own configuration.
+	Recommendation RecommendationReport `json:"recommendation"`
+}
+
+// ScheduleEntry is one segment of the per-phase reconfiguration
+// schedule.
+type ScheduleEntry struct {
+	// Phase, Start and End mirror the trace segment.
+	Phase int `json:"phase"`
+	Start int `json:"start"`
+	End   int `json:"end"`
+	// Config is the configuration the segment runs under.
+	Config string `json:"config"`
+	// Switch is true when entering this segment requires a
+	// reconfiguration (its config differs from the previous segment's).
+	// ChangedVars counts the configuration parameters that actually
+	// change at the boundary, and SwitchCostCycles the transition's
+	// modeled cost: the run's SwitchPenaltyCycles (a full reshape)
+	// scaled by ChangedVars over the configuration's parameter-group
+	// count — a partial reconfiguration rewriting less fabric costs
+	// proportionally less.
+	Switch           bool   `json:"switch,omitempty"`
+	ChangedVars      int    `json:"changed_vars,omitempty"`
+	SwitchCostCycles uint64 `json:"switch_cost_cycles,omitempty"`
+}
+
+// TuneReport is the pre-unification name of the plain-run document.
+//
+// Deprecated: use Report. The serialization is unchanged.
+type TuneReport = Report
+
+// PhaseReport is the pre-unification name of the phase-run document;
+// the phase data now lives under Report.Phases.
+//
+// Deprecated: use Report.
+type PhaseReport = Report
+
 // NewTuneReport assembles the shared document from a tuning run's pieces.
 // val may be nil (validation skipped); includeModel controls whether the
 // full perturbation model is embedded.
+//
+// Deprecated: Session.Tune returns the assembled *Report directly.
 func NewTuneReport(m *Model, rec *Recommendation, val *Validation, includeModel bool) *TuneReport {
-	r := &TuneReport{
-		App:       m.App,
-		Scale:     m.Scale.String(),
-		SpaceVars: m.Space.Len(),
-		Weights:   rec.Weights,
-		Base: CostPoint{
-			Cycles:  m.BaseCycles,
-			Seconds: float64(m.BaseCycles) / 25e6,
-			LUTPct:  m.BaseResources.LUTPercent(),
-			BRAMPct: m.BaseResources.BRAMPercent(),
-		},
+	r := &Report{
+		App:            m.App,
+		Scale:          m.Scale.String(),
+		SpaceVars:      m.Space.Len(),
+		Weights:        rec.Weights,
+		Base:           baseCostPoint(m.BaseCycles, m.BaseResources),
 		Recommendation: recommendationReport(rec),
+		Artifacts:      &Artifacts{Model: m, Recommendation: rec, Validation: val},
 	}
 	if val != nil {
-		r.Validation = CostPoint{
+		r.Validation = &CostPoint{
 			Cycles:     val.Cycles,
 			Seconds:    float64(val.Cycles) / 25e6,
 			LUTPct:     val.Resources.LUTPercent(),
@@ -89,9 +211,19 @@ func NewTuneReport(m *Model, rec *Recommendation, val *Validation, includeModel 
 	return r
 }
 
+// baseCostPoint renders a base measurement as a report cost point.
+func baseCostPoint(cycles uint64, res fpga.Resources) CostPoint {
+	return CostPoint{
+		Cycles:  cycles,
+		Seconds: float64(cycles) / 25e6,
+		LUTPct:  res.LUTPercent(),
+		BRAMPct: res.BRAMPercent(),
+	}
+}
+
 // MarshalIndent renders the report as indented JSON with a trailing
 // newline, the exact byte stream both the CLI and the daemon emit.
-func (r *TuneReport) MarshalIndent() ([]byte, error) {
+func (r *Report) MarshalIndent() ([]byte, error) {
 	data, err := json.MarshalIndent(r, "", "  ")
 	if err != nil {
 		return nil, err

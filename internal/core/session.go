@@ -1,0 +1,552 @@
+package core
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"liquidarch/internal/binlp"
+	"liquidarch/internal/config"
+	"liquidarch/internal/fpga"
+	"liquidarch/internal/measure"
+	"liquidarch/internal/phase"
+	"liquidarch/internal/platform"
+	"liquidarch/internal/progs"
+	"liquidarch/internal/workload"
+)
+
+// Session is the unified tuning service: one Request→Report pipeline
+// behind a single entry point, Tune. A Session owns the measurement
+// provider, the worker-pool defaults and a shared model layer — a
+// bounded, singleflighted cache of built perturbation models — so N
+// weightings or phase runs of the same application perform exactly one
+// model build (the ~52 measurements) and N cheap BINLP solves. The
+// autoarch CLI, the autoarchd daemon, the experiment harnesses and the
+// examples all construct their Requests against one long-lived Session.
+//
+// A Session is safe for concurrent use; concurrent Tune calls for the
+// same (program, space, scale, interval) join one model build.
+type Session struct {
+	provider measure.Provider
+	workers  int
+	solver   binlp.Options
+	models   *modelCache
+}
+
+// SessionOptions configures a Session. The zero value is usable: the
+// process-wide shared measurement cache, NumCPU measurement workers,
+// default solver settings and a DefaultModelCacheEntries-bounded model
+// layer.
+type SessionOptions struct {
+	// Provider supplies the measurements; nil means the process-wide
+	// shared bounded cache over the simulator (measure.Default()). A
+	// serving system injects its own stack here so concurrent tuning
+	// jobs share one cache.
+	Provider measure.Provider
+	// Workers bounds the parallel measurement runs of each request that
+	// does not set its own (default NumCPU).
+	Workers int
+	// SolverOptions tunes the BINLP solver.
+	SolverOptions binlp.Options
+	// ModelCacheEntries bounds the shared model layer (<= 0 means
+	// DefaultModelCacheEntries).
+	ModelCacheEntries int
+}
+
+// DefaultModelCacheEntries bounds a session's model layer when
+// SessionOptions does not say otherwise. A model set is a few kilobytes
+// (52 entries plus per-phase copies), so the default keeps every
+// workload a long-lived daemon plausibly serves resident.
+const DefaultModelCacheEntries = 128
+
+// NewSession builds a session over the given options.
+func NewSession(opts SessionOptions) *Session {
+	p := opts.Provider
+	if p == nil {
+		p = measure.Default()
+	}
+	return &Session{
+		provider: p,
+		workers:  opts.Workers,
+		solver:   opts.SolverOptions,
+		models:   newModelCache(opts.ModelCacheEntries),
+	}
+}
+
+// Provider returns the session's measurement provider, so sibling
+// measurement fan-outs (exhaustive sweeps, custom validations) share
+// the session's cache stack.
+func (s *Session) Provider() measure.Provider { return s.provider }
+
+// ModelStats returns a snapshot of the shared model layer's counters.
+func (s *Session) ModelStats() ModelCacheStats { return s.models.stats() }
+
+// Tune runs one tuning request end to end and assembles its Report:
+// resolve the request, obtain the model(s) — from the shared model
+// layer when an equivalent build already ran, measuring through the
+// session's provider otherwise — solve the BINLP under the request's
+// weights, and validate (plain runs) or weigh the reconfiguration
+// schedule (phase runs). Cancelling ctx aborts the run promptly with
+// the context's error.
+func (s *Session) Tune(ctx context.Context, req Request) (*Report, error) {
+	b, space, w, err := req.resolve()
+	if err != nil {
+		return nil, err
+	}
+	phased := req.Phases != nil
+	var popts PhaseOptions
+	if phased {
+		popts = req.Phases.normalized()
+	}
+
+	prog := &progressCounter{obs: req.Observer, total: tuneTotal(space, req)}
+	tuner := &Tuner{
+		Space: space,
+		Scale: req.Scale,
+		// The per-measurement hook fires on cache and store hits too —
+		// the layers below answered them, the request still consumed them.
+		Provider:           measure.Observed{Inner: s.provider, OnMeasure: prog.step},
+		Workers:            req.workers(s.workers),
+		SolverOptions:      s.solver,
+		SampleInstructions: req.SampleInstructions,
+	}
+
+	var set *modelSet
+	if req.Model != nil {
+		set = &modelSet{models: []*Model{req.Model}, baseRes: req.Model.BaseResources}
+	} else {
+		program, err := b.Assemble(req.Scale)
+		if err != nil {
+			return nil, err
+		}
+		key := modelKey{
+			prog:   measure.Fingerprint(program),
+			space:  space.Fingerprint(),
+			scale:  req.Scale,
+			sample: req.SampleInstructions,
+		}
+		if phased {
+			key.interval = popts.IntervalInstructions
+			key.threshold = popts.threshold()
+		}
+		var shared bool
+		set, shared, err = s.models.get(ctx, key, func() (*modelSet, error) {
+			if phased {
+				return buildPhaseSet(ctx, tuner, b, popts)
+			}
+			m, err := tuner.BuildModel(ctx, b)
+			if err != nil {
+				return nil, err
+			}
+			return &modelSet{models: []*Model{m}, baseRes: m.BaseResources}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		if shared {
+			// The build's measurements were already performed (by an
+			// earlier request or a concurrent one we joined): account
+			// them to this request's progress in one step.
+			prog.jump(1 + space.Len())
+		}
+	}
+
+	if phased {
+		return phaseReport(set, b, w, popts, tuner)
+	}
+
+	model := set.models[0]
+	rec, err := tuner.RecommendFromModel(model, w)
+	if err != nil {
+		return nil, err
+	}
+	var val *Validation
+	if !req.SkipValidation {
+		val, err = tuner.Validate(ctx, b, model, rec)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return NewTuneReport(model, rec, val, req.IncludeModel), nil
+}
+
+// workers resolves the request's measurement parallelism against the
+// session default.
+func (r Request) workers(sessionDefault int) int {
+	if r.Workers > 0 {
+		return r.Workers
+	}
+	return sessionDefault
+}
+
+// tuneTotal is the expected measurement count of a request — the Total
+// of its progress: the base run plus one per decision variable, plus
+// the validation run for plain runs. A pre-built model needs no
+// measurements beyond its validation.
+func tuneTotal(space *config.Space, req Request) int {
+	validations := 0
+	if req.Phases == nil && !req.SkipValidation {
+		validations = 1
+	}
+	if req.Model != nil {
+		return validations
+	}
+	return 1 + space.Len() + validations
+}
+
+// progressCounter tracks a request's completed measurements and
+// forwards them to its observer.
+type progressCounter struct {
+	obs   Observer
+	total int
+	done  atomic.Int64
+}
+
+// step accounts one completed measurement.
+func (p *progressCounter) step() {
+	d := int(p.done.Add(1))
+	if p.obs != nil {
+		p.obs.TuneProgress(d, p.total)
+	}
+}
+
+// jump raises the completed count to at least n (model-layer hits
+// satisfy a whole build's worth of measurements at once).
+func (p *progressCounter) jump(n int) {
+	for {
+		cur := p.done.Load()
+		if cur >= int64(n) {
+			return
+		}
+		if p.done.CompareAndSwap(cur, int64(n)) {
+			break
+		}
+	}
+	if p.obs != nil {
+		p.obs.TuneProgress(n, p.total)
+	}
+}
+
+// modelKey identifies a built model set in the shared model layer. Two
+// requests with equal keys measure identical single-change
+// configurations and therefore build identical models — the program
+// image (SHA-256), decision space (fingerprint), workload scale, sample
+// truncation and, for phase runs, the interval length and detection
+// threshold all participate; the objective weights deliberately do not
+// (models are weight-independent, which is the whole point of sharing).
+type modelKey struct {
+	prog      string
+	space     string
+	scale     workload.Scale
+	sample    uint64
+	interval  uint64
+	threshold float64
+}
+
+// modelSet is one cached build: the whole-program model, and for phase
+// runs the per-phase models plus the detection artifacts the report
+// needs (models[1+p] is phase p's).
+type modelSet struct {
+	done chan struct{}
+	err  error
+
+	models       []*Model
+	baseRes      fpga.Resources
+	trace        *phase.Trace
+	baseProfiles []phase.Profile
+}
+
+// ModelCacheStats is a point-in-time snapshot of a session's model
+// layer.
+type ModelCacheStats struct {
+	// Hits counts requests answered by a resident (or in-flight) model
+	// set; Misses the requests that had to initiate a build.
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+	// Builds counts the model builds that actually completed — with N
+	// weightings of one application, Builds stays at 1 while Hits grows.
+	Builds uint64 `json:"builds"`
+	// Entries is the current resident set count, Capacity the bound.
+	Entries  int `json:"entries"`
+	Capacity int `json:"capacity"`
+}
+
+// modelCache is the shared model layer: a bounded, singleflighted LRU
+// of built model sets, mirroring measure.Cache one level up the stack.
+// The first request of a given key builds through the session's tuner;
+// concurrent same-key requests wait for that one build; later requests
+// get the resident set. Failed builds are not cached, and a waiter
+// whose flight owner was cancelled retries with its own live context.
+type modelCache struct {
+	mu      sync.Mutex
+	cap     int
+	ll      *list.List                 // front = most recently used
+	entries map[modelKey]*list.Element // value: *modelEntry
+	hits    uint64
+	misses  uint64
+	builds  uint64
+}
+
+// modelEntry is one cache slot: the key rides along so eviction can
+// unmap in O(1).
+type modelEntry struct {
+	key modelKey
+	set *modelSet
+}
+
+func newModelCache(capacity int) *modelCache {
+	if capacity <= 0 {
+		capacity = DefaultModelCacheEntries
+	}
+	return &modelCache{
+		cap:     capacity,
+		ll:      list.New(),
+		entries: make(map[modelKey]*list.Element),
+	}
+}
+
+func (c *modelCache) stats() ModelCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return ModelCacheStats{
+		Hits:     c.hits,
+		Misses:   c.misses,
+		Builds:   c.builds,
+		Entries:  c.ll.Len(),
+		Capacity: c.cap,
+	}
+}
+
+// get returns the model set for key, building it with build on a miss.
+// shared is true when the set came from the cache (resident or joined
+// in-flight) — i.e. this caller performed no measurements.
+func (c *modelCache) get(ctx context.Context, key modelKey, build func() (*modelSet, error)) (set *modelSet, shared bool, err error) {
+	for {
+		set, shared, err, retry := c.getOnce(ctx, key, build)
+		if retry && ctx.Err() == nil {
+			continue
+		}
+		return set, shared, err
+	}
+}
+
+// getOnce performs one lookup-or-build round. retry is true when the
+// caller waited on another caller's flight that failed with that
+// owner's context error.
+func (c *modelCache) getOnce(ctx context.Context, key modelKey, build func() (*modelSet, error)) (set *modelSet, shared bool, err error, retry bool) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.hits++
+		c.ll.MoveToFront(el)
+		ent := el.Value.(*modelEntry).set
+		c.mu.Unlock()
+		select {
+		case <-ent.done:
+		case <-ctx.Done():
+			return nil, false, ctx.Err(), false
+		}
+		if ent.err != nil {
+			retry := errors.Is(ent.err, context.Canceled) || errors.Is(ent.err, context.DeadlineExceeded)
+			return nil, false, ent.err, retry
+		}
+		return ent, true, nil, false
+	}
+	c.misses++
+	ent := &modelSet{done: make(chan struct{})}
+	c.entries[key] = c.ll.PushFront(&modelEntry{key: key, set: ent})
+	for c.ll.Len() > c.cap {
+		el := c.ll.Back()
+		delete(c.entries, c.ll.Remove(el).(*modelEntry).key)
+	}
+	c.mu.Unlock()
+
+	built, err := build()
+	if err == nil {
+		ent.models = built.models
+		ent.baseRes = built.baseRes
+		ent.trace = built.trace
+		ent.baseProfiles = built.baseProfiles
+	} else {
+		ent.err = err
+		// Do not memoize failures: drop the key so the next request
+		// retries (the entry may already have been evicted — fine).
+		c.mu.Lock()
+		if el, ok := c.entries[key]; ok && el.Value.(*modelEntry).set == ent {
+			c.ll.Remove(el)
+			delete(c.entries, key)
+		}
+		c.mu.Unlock()
+	}
+	if err == nil {
+		c.mu.Lock()
+		c.builds++
+		c.mu.Unlock()
+	}
+	close(ent.done)
+	if err != nil {
+		return nil, false, err, false
+	}
+	return ent, false, nil, false
+}
+
+// buildPhaseSet performs the measurement half of a phase-aware run:
+// profile the base run in intervals, detect phases, and build the
+// whole-program model plus one model per phase from one
+// interval-profiled run per configuration. The result is
+// weight-independent, which is what makes it cacheable in the shared
+// model layer.
+func buildPhaseSet(ctx context.Context, t *Tuner, b *progs.Benchmark, opts PhaseOptions) (*modelSet, error) {
+	prog, err := b.Assemble(t.Scale)
+	if err != nil {
+		return nil, err
+	}
+	baseRes, err := fpga.Synthesize(config.Default())
+	if err != nil {
+		return nil, err
+	}
+	runOpts := platform.Options{
+		SampleInstructions:   t.SampleInstructions,
+		IntervalInstructions: opts.IntervalInstructions,
+	}
+	baseRep, err := t.provider().Measure(ctx, prog, config.Default(), runOpts)
+	if err != nil {
+		return nil, fmt.Errorf("core: base measurement: %w", err)
+	}
+	if !baseRep.Sampled && baseRep.ExitCode != 0 {
+		return nil, fmt.Errorf("core: %s exited with code %d", b.Name, baseRep.ExitCode)
+	}
+	trace := phase.Detect(baseRep.Intervals, opts.IntervalInstructions, phase.Options{Threshold: opts.Threshold})
+	base := resolveObservation(baseRep, baseRes, trace)
+
+	models, err := t.buildPhaseModels(ctx, b, opts.IntervalInstructions, trace, base)
+	if err != nil {
+		return nil, err
+	}
+	return &modelSet{
+		models:       models,
+		baseRes:      baseRes,
+		trace:        trace,
+		baseProfiles: trace.Profiles(baseRep.Intervals),
+	}, nil
+}
+
+// phaseReport performs the decision half of a phase-aware run: solve
+// the whole-program model and every per-phase model under the request's
+// weights, lay the per-phase schedule over the trace — charging each
+// transition for the configuration parameters it actually changes — and
+// weigh it against the whole-program recommendation.
+func phaseReport(set *modelSet, b *progs.Benchmark, w Weights, opts PhaseOptions, tuner *Tuner) (*Report, error) {
+	trace := set.trace
+	space := set.models[0].Space
+	wholeRec, err := tuner.RecommendFromModel(set.models[0], w)
+	if err != nil {
+		return nil, err
+	}
+
+	block := &PhaseBlock{
+		IntervalInstructions: opts.IntervalInstructions,
+		SwitchPenaltyCycles:  opts.SwitchPenaltyCycles,
+		Trace:                trace,
+	}
+	recs := make([]*Recommendation, trace.Phases)
+	var perPhase float64
+	for p := 0; p < trace.Phases; p++ {
+		rec, err := tuner.RecommendFromModel(set.models[1+p], w)
+		if err != nil {
+			return nil, fmt.Errorf("core: solving phase %d: %w", p, err)
+		}
+		recs[p] = rec
+		prof := set.baseProfiles[p]
+		block.Recommendations = append(block.Recommendations, PhaseRecommendation{
+			Phase:          p,
+			Intervals:      prof.Intervals,
+			Instructions:   prof.Instructions,
+			BaseCycles:     prof.Cycles,
+			Recommendation: recommendationReport(rec),
+		})
+		perPhase += rec.Predicted.RuntimeCycles
+	}
+
+	prevPhase := -1
+	for i, seg := range trace.Segments {
+		entry := ScheduleEntry{
+			Phase:  seg.Phase,
+			Start:  seg.Start,
+			End:    seg.End,
+			Config: recs[seg.Phase].Config.String(),
+		}
+		if i > 0 {
+			changed := changedParams(space, recs[prevPhase].Selection, recs[seg.Phase].Selection)
+			if changed > 0 {
+				entry.Switch = true
+				entry.ChangedVars = changed
+				entry.SwitchCostCycles = switchCost(opts.SwitchPenaltyCycles, changed)
+				block.Switches++
+				block.SwitchCostCycles += entry.SwitchCostCycles
+			}
+		}
+		block.Schedule = append(block.Schedule, entry)
+		prevPhase = seg.Phase
+	}
+
+	block.PerPhaseCycles = perPhase + float64(block.SwitchCostCycles)
+	block.WholeProgramCycles = wholeRec.Predicted.RuntimeCycles
+	block.PerPhaseWins = block.PerPhaseCycles < block.WholeProgramCycles
+	if block.WholeProgramCycles > 0 {
+		block.SavingsPct = 100 * (block.WholeProgramCycles - block.PerPhaseCycles) / block.WholeProgramCycles
+	}
+
+	return &Report{
+		App:            b.Name,
+		Scale:          set.models[0].Scale.String(),
+		SpaceVars:      space.Len(),
+		Weights:        w,
+		Base:           baseCostPoint(set.models[0].BaseCycles, set.baseRes),
+		Recommendation: recommendationReport(wholeRec),
+		Phases:         block,
+		Artifacts: &Artifacts{
+			Model:                set.models[0],
+			Recommendation:       wholeRec,
+			PhaseModels:          set.models[1:],
+			PhaseRecommendations: recs,
+		},
+	}, nil
+}
+
+// switchCost prices one reconfiguration transition: penalty is the
+// cycle cost of a full reshape (every parameter group rewritten), and a
+// transition rewriting changed of the configuration's
+// config.ParameterGroups() groups is charged that share of it, rounded
+// to the nearest cycle — partial reconfiguration rewrites less fabric
+// and costs proportionally less.
+func switchCost(penalty uint64, changed int) uint64 {
+	groups := uint64(config.ParameterGroups())
+	return (penalty*uint64(changed) + groups/2) / groups
+}
+
+// changedParams counts the configuration parameters whose value differs
+// between two selections over the same space: for every at-most-one
+// group, the selected member (or "keep base") must match, else that
+// parameter is rewritten at the reconfiguration boundary. This is the
+// per-transition granularity the schedule's partial-reconfiguration
+// cost is charged at.
+func changedParams(space *config.Space, a, b []bool) int {
+	selected := func(sel []bool, members []int) int {
+		for _, i := range members {
+			if i < len(sel) && sel[i] {
+				return i
+			}
+		}
+		return -1
+	}
+	changed := 0
+	for _, members := range space.Groups() {
+		if selected(a, members) != selected(b, members) {
+			changed++
+		}
+	}
+	return changed
+}

@@ -14,8 +14,12 @@ import (
 	"liquidarch/internal/workload"
 )
 
-// Tuner drives the whole technique for one workload scale and decision
-// space.
+// Tuner is the measurement-and-solve engine behind the unified
+// pipeline: BuildModel, RecommendFromModel and Validate are the
+// building blocks Session.Tune composes. Constructing a Tuner directly
+// still works, but new code should describe the run as a core.Request
+// and call Session.Tune — requests then share the session's model
+// layer and progress surface.
 type Tuner struct {
 	// Space is the decision-variable space; nil means the full 52-variable
 	// paper space.
@@ -266,6 +270,9 @@ type Recommendation struct {
 }
 
 // Recommend runs the full flow: build the model, formulate, solve, decode.
+//
+// Deprecated: build a Session and call Tune — repeated runs then share
+// one model build through the session's model layer.
 func (t *Tuner) Recommend(ctx context.Context, b *progs.Benchmark, w Weights) (*Recommendation, *Model, error) {
 	model, err := t.BuildModel(ctx, b)
 	if err != nil {

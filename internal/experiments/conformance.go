@@ -87,20 +87,12 @@ func (r *Runner) Conformance(ctx context.Context) (*Table, error) {
 	// --- Section 5 / Figures 3-4: near-optimality and Arith no-effect ---
 	for _, app := range []string{"blastn", "drr", "frag", "arith"} {
 		b, _ := progs.ByName(app)
-		m, err := r.model(ctx, app, "dcache")
+		rep, err := r.tune(ctx, app, "dcache", core.RuntimeOnlyWeights())
 		if err != nil {
 			return nil, err
 		}
-		tuner := r.tuner(m.Space)
-		rec, err := tuner.RecommendFromModel(m, core.RuntimeOnlyWeights())
-		if err != nil {
-			return nil, err
-		}
-		val, err := tuner.Validate(ctx, b, m, rec)
-		if err != nil {
-			return nil, err
-		}
-		results, err := exhaustive.DcacheGeometry(ctx, b, r.opts.Scale, r.opts.Workers)
+		m, val := rep.Artifacts.Model, rep.Artifacts.Validation
+		results, err := exhaustive.SweepWith(ctx, r.provider(), b, r.opts.Scale, exhaustive.DcacheGeometryConfigs(), r.opts.Workers)
 		if err != nil {
 			return nil, err
 		}

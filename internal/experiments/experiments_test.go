@@ -102,15 +102,15 @@ func TestFigure5And7ShareModels(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(r.models) != 4 {
-		t.Errorf("figure5 should cache 4 full models, have %d", len(r.models))
+	if builds := r.session.ModelStats().Builds; builds != 4 {
+		t.Errorf("figure5 should build 4 full models in the session layer, built %d", builds)
 	}
 	f7, err := r.Figure7(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(r.models) != 4 {
-		t.Errorf("figure7 must reuse the cached models, have %d", len(r.models))
+	if builds := r.session.ModelStats().Builds; builds != 4 {
+		t.Errorf("figure7 must reuse the session's models (still 4 builds), built %d", builds)
 	}
 	for _, want := range []string{"Cost approximations by the optimizer", "Actual synthesis", "runtime(sec)", "LUTs%-nonlin", "BRAM%-lin"} {
 		if !strings.Contains(f5.String(), want) {

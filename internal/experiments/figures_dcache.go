@@ -14,7 +14,7 @@ import (
 // sets × set-size study for BLASTN, with the optimal-by-sort footer.
 func (r *Runner) Figure2(ctx context.Context) (*Table, error) {
 	b, _ := progs.ByName("blastn")
-	results, err := exhaustive.DcacheGeometry(ctx, b, r.opts.Scale, r.opts.Workers)
+	results, err := exhaustive.SweepWith(ctx, r.provider(), b, r.opts.Scale, exhaustive.DcacheGeometryConfigs(), r.opts.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -56,10 +56,11 @@ func (r *Runner) Figure2(ctx context.Context) (*Table, error) {
 // one-change-at-a-time model) and the solution it selects with w1=100,
 // w2=0.
 func (r *Runner) Figure3(ctx context.Context) (*Table, error) {
-	m, err := r.model(ctx, "blastn", "dcache")
+	rep, err := r.tune(ctx, "blastn", "dcache", core.RuntimeOnlyWeights())
 	if err != nil {
 		return nil, err
 	}
+	m := rep.Artifacts.Model
 	t := &Table{
 		ID:      "figure3",
 		Title:   "BLASTN: optimizer dcache sets,setsize (w1=100, w2=0)",
@@ -94,16 +95,7 @@ func (r *Runner) Figure3(ctx context.Context) (*Table, error) {
 	addEntry("dcachsetsz=16", 1, 16)
 	addEntry("dcachsetsz=32", 1, 32)
 
-	tuner := r.tuner(m.Space)
-	rec, err := tuner.RecommendFromModel(m, core.RuntimeOnlyWeights())
-	if err != nil {
-		return nil, err
-	}
-	b, _ := progs.ByName("blastn")
-	val, err := tuner.Validate(ctx, b, m, rec)
-	if err != nil {
-		return nil, err
-	}
+	rec, val := rep.Artifacts.Recommendation, rep.Artifacts.Validation
 	t.AddSection("Dcache optimization for BLASTN runtime")
 	t.AddRow(
 		fmt.Sprintf("%d", rec.Config.DCache.Sets),
@@ -130,7 +122,7 @@ func (r *Runner) Figure4(ctx context.Context) (*Table, error) {
 		t.AddSection(fmt.Sprintf("CommBench %s", map[string]string{
 			"drr": "DRR", "frag": "FRAG", "arith": "BYTE Arith"}[app]))
 
-		results, err := exhaustive.DcacheGeometry(ctx, b, r.opts.Scale, r.opts.Workers)
+		results, err := exhaustive.SweepWith(ctx, r.provider(), b, r.opts.Scale, exhaustive.DcacheGeometryConfigs(), r.opts.Workers)
 		if err != nil {
 			return nil, err
 		}
@@ -138,19 +130,11 @@ func (r *Runner) Figure4(ctx context.Context) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		m, err := r.model(ctx, app, "dcache")
+		rep, err := r.tune(ctx, app, "dcache", core.RuntimeOnlyWeights())
 		if err != nil {
 			return nil, err
 		}
-		tuner := r.tuner(m.Space)
-		rec, err := tuner.RecommendFromModel(m, core.RuntimeOnlyWeights())
-		if err != nil {
-			return nil, err
-		}
-		val, err := tuner.Validate(ctx, b, m, rec)
-		if err != nil {
-			return nil, err
-		}
+		m, rec, val := rep.Artifacts.Model, rep.Artifacts.Recommendation, rep.Artifacts.Validation
 		t.AddRow("Exhaust",
 			fmt.Sprintf("%d", best.Config.DCache.Sets),
 			fmt.Sprintf("%d", best.Config.DCache.SetSizeKB),

@@ -6,7 +6,6 @@ import (
 
 	"liquidarch/internal/config"
 	"liquidarch/internal/core"
-	"liquidarch/internal/progs"
 )
 
 // fullApps is the paper's benchmark order.
@@ -60,21 +59,16 @@ type appResult struct {
 func (r *Runner) tuneAll(ctx context.Context, w core.Weights) ([]appResult, error) {
 	out := make([]appResult, 0, len(fullApps))
 	for _, app := range fullApps {
-		m, err := r.model(ctx, app, "full")
+		rep, err := r.tune(ctx, app, "full", w)
 		if err != nil {
 			return nil, err
 		}
-		tuner := r.tuner(m.Space)
-		rec, err := tuner.RecommendFromModel(m, w)
-		if err != nil {
-			return nil, err
-		}
-		b, _ := progs.ByName(app)
-		val, err := tuner.Validate(ctx, b, m, rec)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, appResult{app: app, m: m, rec: rec, val: val})
+		out = append(out, appResult{
+			app: app,
+			m:   rep.Artifacts.Model,
+			rec: rep.Artifacts.Recommendation,
+			val: rep.Artifacts.Validation,
+		})
 	}
 	return out, nil
 }

@@ -62,7 +62,7 @@ func (r *Runner) Interaction(ctx context.Context) (*Table, error) {
 			cfgs = append(cfgs, cfg)
 			infos = append(infos, pairInfo{a: pair[0], b: pair[1], rhoA: ea.Rho, rhoB: eb.Rho})
 		}
-		results, err := exhaustive.Sweep(ctx, b, r.opts.Scale, cfgs, r.opts.Workers)
+		results, err := exhaustive.SweepWith(ctx, r.provider(), b, r.opts.Scale, cfgs, r.opts.Workers)
 		if err != nil {
 			return nil, err
 		}

@@ -3,11 +3,10 @@ package experiments
 import (
 	"context"
 	"fmt"
-	"sync"
 
 	"liquidarch/internal/config"
 	"liquidarch/internal/core"
-	"liquidarch/internal/progs"
+	"liquidarch/internal/measure"
 	"liquidarch/internal/workload"
 )
 
@@ -20,60 +19,64 @@ type Options struct {
 	Workers int
 }
 
-// Runner regenerates the paper's tables, caching the expensive
-// perturbation models so Figures 3-7 share measurements, exactly as the
-// paper reuses one model per application across weightings.
+// Runner regenerates the paper's tables through one core.Session, whose
+// shared model layer keeps the expensive perturbation models resident so
+// Figures 3-7 share measurements — and repeated weightings share model
+// builds — exactly as the paper reuses one model per application across
+// weightings.
 type Runner struct {
-	opts Options
-
-	mu     sync.Mutex
-	models map[string]*core.Model
+	opts    Options
+	session *core.Session
 }
 
 // NewRunner creates a runner; a zero Options value means Small scale.
 func NewRunner(opts Options) *Runner {
-	return &Runner{opts: opts, models: make(map[string]*core.Model)}
+	return &Runner{
+		opts:    opts,
+		session: core.NewSession(core.SessionOptions{Workers: opts.Workers}),
+	}
 }
 
 // Scale returns the configured workload scale.
 func (r *Runner) Scale() workload.Scale { return r.opts.Scale }
 
-func (r *Runner) tuner(space *config.Space) *core.Tuner {
-	return &core.Tuner{Space: space, Scale: r.opts.Scale, Workers: r.opts.Workers}
-}
+// provider exposes the session's measurement provider, so the exhaustive
+// sweeps the figures run share the session's cache stack.
+func (r *Runner) provider() measure.Provider { return r.session.Provider() }
 
-// model returns the cached perturbation model for app over the given
-// space ("full" or "dcache").
-func (r *Runner) model(ctx context.Context, app, spaceName string) (*core.Model, error) {
-	key := app + "/" + spaceName
-	r.mu.Lock()
-	if m, ok := r.models[key]; ok {
-		r.mu.Unlock()
-		return m, nil
-	}
-	r.mu.Unlock()
-
-	b, ok := progs.ByName(app)
-	if !ok {
-		return nil, fmt.Errorf("experiments: unknown benchmark %q", app)
-	}
-	var space *config.Space
-	switch spaceName {
-	case "full":
-		space = config.FullSpace()
-	case "dcache":
-		space = config.DcacheGeometrySpace()
-	default:
+// run sends one unified request — app over the named space — through
+// the runner's session. The model behind it is built once per
+// (app, space) and reused across every weighting and figure by the
+// session's model layer.
+func (r *Runner) run(ctx context.Context, app, spaceName string, req core.Request) (*core.Report, error) {
+	space, err := config.SpaceByName(spaceName)
+	if err != nil {
 		return nil, fmt.Errorf("experiments: unknown space %q", spaceName)
 	}
-	m, err := r.tuner(space).BuildModel(ctx, b)
+	req.App = app
+	req.Scale = r.opts.Scale
+	req.Space = space
+	rep, err := r.session.Tune(ctx, req)
 	if err != nil {
-		return nil, fmt.Errorf("experiments: building %s model: %w", key, err)
+		return nil, fmt.Errorf("experiments: tuning %s/%s: %w", app, spaceName, err)
 	}
-	r.mu.Lock()
-	r.models[key] = m
-	r.mu.Unlock()
-	return m, nil
+	return rep, nil
+}
+
+// tune solves and validates app over the named space under the given
+// weights.
+func (r *Runner) tune(ctx context.Context, app, spaceName string, w core.Weights) (*core.Report, error) {
+	return r.run(ctx, app, spaceName, core.Request{Weights: w})
+}
+
+// model returns the perturbation model for app over the given space
+// ("full" or "dcache"), resident in the session's model layer.
+func (r *Runner) model(ctx context.Context, app, spaceName string) (*core.Model, error) {
+	rep, err := r.run(ctx, app, spaceName, core.Request{SkipValidation: true})
+	if err != nil {
+		return nil, err
+	}
+	return rep.Artifacts.Model, nil
 }
 
 // ByID regenerates a table by its identifier ("figure1" .. "figure7",

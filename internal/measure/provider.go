@@ -25,6 +25,10 @@ package measure
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"sync"
 
 	"liquidarch/internal/asm"
 	"liquidarch/internal/config"
@@ -86,6 +90,50 @@ func KeyFor(prog *asm.Program, cfg config.Config, opts platform.Options) Key {
 	}
 }
 
+// Program-image fingerprints, memoized per pointer: package progs hands
+// out one *asm.Program per (benchmark, scale), so each image is hashed
+// once per process no matter how many stores, sessions or model caches
+// ask for its identity.
+var (
+	fpMu sync.Mutex
+	fps  = map[*asm.Program]string{}
+)
+
+// Fingerprint returns the stable identity of an assembled program: the
+// hex SHA-256 over its load images and entry point. It is the program
+// half of every durable measurement identity — the on-disk Store's entry
+// names and the core session's model-cache keys both derive from it —
+// so, unlike the pointer-based in-memory Key, it survives process
+// restarts and is comparable across replicas.
+func Fingerprint(p *asm.Program) string {
+	fpMu.Lock()
+	fp, ok := fps[p]
+	fpMu.Unlock()
+	if ok {
+		return fp
+	}
+
+	h := sha256.New()
+	var word [4]byte
+	binary.BigEndian.PutUint32(word[:], p.TextBase)
+	h.Write(word[:])
+	for _, w := range p.Text {
+		binary.BigEndian.PutUint32(word[:], w)
+		h.Write(word[:])
+	}
+	binary.BigEndian.PutUint32(word[:], p.DataBase)
+	h.Write(word[:])
+	h.Write(p.Data)
+	binary.BigEndian.PutUint32(word[:], p.Entry)
+	h.Write(word[:])
+	fp = hex.EncodeToString(h.Sum(nil))
+
+	fpMu.Lock()
+	fps[p] = fp
+	fpMu.Unlock()
+	return fp
+}
+
 // DefaultCacheEntries bounds the shared Default() cache. The full-space
 // model builds, every figure and the Section 5 sweeps together touch a
 // few hundred distinct keys per workload scale, so the default keeps a
@@ -102,9 +150,9 @@ func Default() *Cache { return defaultProvider }
 
 // Observed wraps a provider with a completion hook: OnMeasure fires
 // after every successful Measure, whether it was simulated, loaded from
-// disk or answered by a cache layer below. It is the progress surface a
-// serving system uses to stream "k of N measurements done" without the
-// measurement stack knowing anything about jobs.
+// disk or answered by a cache layer below. It is the progress surface
+// the core session's Observer is built on — "k of N measurements done"
+// without the measurement stack knowing anything about requests.
 type Observed struct {
 	Inner Provider
 	// OnMeasure is invoked (possibly concurrently, from the measuring

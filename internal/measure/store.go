@@ -3,7 +3,6 @@ package measure
 import (
 	"context"
 	"crypto/sha256"
-	"encoding/binary"
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
@@ -77,9 +76,6 @@ type Store struct {
 	statsActivity uint64
 	statsEnts     int
 	statsBytes    int64
-
-	mu  sync.Mutex
-	fps map[*asm.Program]string // memoized program fingerprints
 }
 
 // NewStore opens (creating if needed) a report store rooted at dir,
@@ -87,7 +83,7 @@ type Store struct {
 // The handshake runs before the version directory is created, so
 // refusing a newer fleet's store leaves it untouched.
 func NewStore(dir string) (*Store, error) {
-	s := &Store{dir: dir, fps: make(map[*asm.Program]string)}
+	s := &Store{dir: dir}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("measure: opening store: %w", err)
 	}
@@ -153,39 +149,6 @@ func (s *Store) versionDir() string {
 	return filepath.Join(s.dir, fmt.Sprintf("v%d", StoreVersion))
 }
 
-// fingerprint returns the stable identity of an assembled program: a
-// SHA-256 over its load images and entry point. Memoized per pointer —
-// package progs hands out one pointer per (benchmark, scale), so the hash
-// is computed once per workload.
-func (s *Store) fingerprint(p *asm.Program) string {
-	s.mu.Lock()
-	if fp, ok := s.fps[p]; ok {
-		s.mu.Unlock()
-		return fp
-	}
-	s.mu.Unlock()
-
-	h := sha256.New()
-	var word [4]byte
-	binary.BigEndian.PutUint32(word[:], p.TextBase)
-	h.Write(word[:])
-	for _, w := range p.Text {
-		binary.BigEndian.PutUint32(word[:], w)
-		h.Write(word[:])
-	}
-	binary.BigEndian.PutUint32(word[:], p.DataBase)
-	h.Write(word[:])
-	h.Write(p.Data)
-	binary.BigEndian.PutUint32(word[:], p.Entry)
-	h.Write(word[:])
-	fp := hex.EncodeToString(h.Sum(nil))
-
-	s.mu.Lock()
-	s.fps[p] = fp
-	s.mu.Unlock()
-	return fp
-}
-
 // path maps a key to its file. The hash input uses the configuration's
 // canonical String() of the timing key, so the identity survives process
 // restarts (pointer-based Key identity does not). The interval length is
@@ -194,7 +157,7 @@ func (s *Store) fingerprint(p *asm.Program) string {
 func (s *Store) path(key Key) string {
 	h := sha256.New()
 	fmt.Fprintf(h, "prog=%s\ncfg=%s\nram=%d\nmaxi=%d\nsample=%d\n",
-		s.fingerprint(key.Prog), key.Cfg.String(), key.RAM, key.MaxI, key.Sample)
+		Fingerprint(key.Prog), key.Cfg.String(), key.RAM, key.MaxI, key.Sample)
 	if key.Interval > 0 {
 		fmt.Fprintf(h, "interval=%d\n", key.Interval)
 	}

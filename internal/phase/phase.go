@@ -77,6 +77,21 @@ type Trace struct {
 
 // Detect clusters an interval profile into phases. The intervals must
 // come from one run profiled at intervalLen.
+//
+// Detection is deterministic passes over deterministic input. The
+// leader pass clusters intervals against founding signatures, which can
+// oversplit two ways: a phase whose founding interval sits near the
+// cluster boundary founds a near-duplicate of an existing phase, and
+// the one interval straddling each true phase boundary (a mixture of
+// its neighbours' signatures) founds a spurious singleton phase. The
+// refinement therefore (1) computes each cluster's medoid — the member
+// signature minimizing the total L1 distance to its cluster mates, ties
+// broken by earliest interval — and merges clusters whose medoids lie
+// within the same threshold, pairs in ascending phase-ID order, then
+// (2) absorbs singleton clusters into the nearest supported phase by
+// medoid distance (see mergePhases). Phase IDs are re-ranked by first
+// appearance after each pass, preserving the stable-ID property, and
+// every step is byte-reproducible.
 func Detect(intervals []platform.Interval, intervalLen uint64, opts Options) *Trace {
 	threshold := opts.Threshold
 	if threshold <= 0 {
@@ -87,9 +102,11 @@ func Detect(intervals []platform.Interval, intervalLen uint64, opts Options) *Tr
 		Threshold:            threshold,
 		Assignments:          make([]int, len(intervals)),
 	}
+	sigs := make([][]float64, len(intervals))
 	var leaders [][]float64
 	for i, iv := range intervals {
 		sig := normalize(iv.Signature)
+		sigs[i] = sig
 		best, bestDist := -1, threshold
 		for p, leader := range leaders {
 			// Strict < keeps the earliest phase on ties — stable IDs.
@@ -103,7 +120,14 @@ func Detect(intervals []platform.Interval, intervalLen uint64, opts Options) *Tr
 		}
 		t.Assignments[i] = best
 	}
-	t.Phases = len(leaders)
+
+	mergePhases(t.Assignments, sigs, len(leaders), threshold)
+	t.Phases = 0
+	for _, p := range t.Assignments {
+		if p+1 > t.Phases {
+			t.Phases = p + 1
+		}
+	}
 
 	for i, p := range t.Assignments {
 		iv := intervals[i]
@@ -123,6 +147,147 @@ func Detect(intervals []platform.Interval, intervalLen uint64, opts Options) *Tr
 		})
 	}
 	return t
+}
+
+// mergePhases is the deterministic medoid-merge refinement: clusters of
+// the leader pass whose medoid signatures lie within threshold collapse
+// into one phase. assignments is rewritten in place with phase IDs
+// re-ranked by first appearance.
+func mergePhases(assignments []int, sigs [][]float64, phases int, threshold float64) {
+	if phases < 2 {
+		return
+	}
+
+	// Medoid per cluster: the member minimizing the summed L1 distance
+	// to its cluster mates; the earliest interval wins ties, so the
+	// choice is independent of anything but the profile itself.
+	members := make([][]int, phases)
+	for i, p := range assignments {
+		members[p] = append(members[p], i)
+	}
+	medoids := make([][]float64, phases)
+	for p, m := range members {
+		medoids[p] = sigs[medoid(m, sigs)]
+	}
+
+	// Union-find over the original medoids, pairs in ascending (i, j)
+	// order; the lowest phase ID of a merged set is its root.
+	parent := make([]int, phases)
+	for p := range parent {
+		parent[p] = p
+	}
+	var find func(int) int
+	find = func(p int) int {
+		if parent[p] != p {
+			parent[p] = find(parent[p])
+		}
+		return parent[p]
+	}
+	for i := 0; i < phases; i++ {
+		for j := i + 1; j < phases; j++ {
+			if ri, rj := find(i), find(j); ri != rj && l1(medoids[i], medoids[j]) < threshold {
+				if ri < rj {
+					parent[rj] = ri
+				} else {
+					parent[ri] = rj
+				}
+			}
+		}
+	}
+
+	// Re-rank the merged roots by first appearance in the run.
+	relabel(assignments, find)
+
+	// Boundary absorption: a cluster left with a single interval after
+	// merging is usually the one interval straddling a true phase
+	// boundary — a convex mixture of its neighbours' signatures, not a
+	// phase of its own (at most one interval straddles each boundary, so
+	// genuine phases at sane interval lengths have support). A mixture
+	// m = αP + (1-α)Q sits within half the parents' distance of its
+	// nearer parent, i.e. within 2·threshold even for maximally distant
+	// parents under unit-L1 signatures — while a genuinely distinct
+	// singleton phase sits farther. Fold each singleton within that
+	// bound into the nearest supported phase by medoid distance, phases
+	// in ascending ID order, ties to the lowest ID.
+	merged := 0
+	for _, p := range assignments {
+		if p+1 > merged {
+			merged = p + 1
+		}
+	}
+	if merged < 2 {
+		return
+	}
+	mMembers := make([][]int, merged)
+	for i, p := range assignments {
+		mMembers[p] = append(mMembers[p], i)
+	}
+	mMedoids := make([][]float64, merged)
+	for p, m := range mMembers {
+		mMedoids[p] = sigs[medoid(m, sigs)]
+	}
+	supported := func(p int) bool { return len(mMembers[p]) > 1 }
+	anySupport := false
+	for p := range mMembers {
+		if supported(p) {
+			anySupport = true
+			break
+		}
+	}
+	if !anySupport {
+		return
+	}
+	target := make([]int, merged)
+	for p := range target {
+		target[p] = p
+		if supported(p) {
+			continue
+		}
+		best, bestDist := -1, 0.0
+		for q := 0; q < merged; q++ {
+			if !supported(q) {
+				continue
+			}
+			if d := l1(mMedoids[p], mMedoids[q]); best < 0 || d < bestDist {
+				best, bestDist = q, d
+			}
+		}
+		if best >= 0 && bestDist < 2*threshold {
+			target[p] = best
+		}
+	}
+	relabel(assignments, func(p int) int { return target[p] })
+}
+
+// medoid returns the member index minimizing the summed L1 distance to
+// its cluster mates; the earliest interval wins ties.
+func medoid(members []int, sigs [][]float64) int {
+	best, bestCost := members[0], -1.0
+	for _, i := range members {
+		cost := 0.0
+		for _, j := range members {
+			cost += l1(sigs[i], sigs[j])
+		}
+		if bestCost < 0 || cost < bestCost {
+			best, bestCost = i, cost
+		}
+	}
+	return best
+}
+
+// relabel rewrites assignments through the phase map `to`, re-ranking
+// the resulting IDs by first appearance in the run.
+func relabel(assignments []int, to func(int) int) {
+	rank := make(map[int]int)
+	for i, p := range assignments {
+		root := to(p)
+		id, ok := rank[root]
+		if !ok {
+			id = len(rank)
+			rank[root] = id
+		}
+		assignments[i] = id
+	}
 }
 
 // normalize scales a signature to unit L1 mass. An all-zero signature

@@ -56,7 +56,7 @@ func TestPhaseJobMatchesCLI(t *testing.T) {
 	if string(gotJSON) != string(wantJSON) {
 		t.Errorf("daemon phase report differs from in-process tuning:\n%s\nvs\n%s", gotJSON, wantJSON)
 	}
-	if st.PhaseResult.Trace == nil || st.PhaseResult.Trace.Phases == 0 {
+	if st.PhaseResult.Phases == nil || st.PhaseResult.Phases.Trace == nil || st.PhaseResult.Phases.Trace.Phases == 0 {
 		t.Error("phase result has no trace")
 	}
 }
@@ -161,7 +161,7 @@ func TestPhaseJobDedupDistinctFromPlain(t *testing.T) {
 	if ost.PhaseResult == nil {
 		t.Fatal("second phase job has no result")
 	}
-	if fst.PhaseResult.IntervalInstructions == ost.PhaseResult.IntervalInstructions {
+	if fst.PhaseResult.Phases.IntervalInstructions == ost.PhaseResult.Phases.IntervalInstructions {
 		t.Error("distinct intervals coalesced onto one flight")
 	}
 }

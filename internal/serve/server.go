@@ -1,14 +1,18 @@
 // Package serve is the autoarchd tuning service: an HTTP/JSON surface
 // over the paper's technique. Clients submit tuning jobs (application,
 // workload scale, decision space, objective weights); a bounded worker
-// scheduler runs them against one shared measurement provider, so
-// concurrent jobs — and repeated jobs for the same application — reuse
-// each other's simulated runs exactly as the figure harnesses do in
-// process. Results are core.TuneReport documents, the same serialization
-// `autoarch -json` prints; phase jobs (JobRequest.Phases) return
-// core.PhaseReport documents, the `autoarch -phases -json` output.
-// Running jobs stream per-measurement progress ("k of N") through their
-// ndjson status.
+// scheduler maps each JobRequest onto a core.Request and runs it
+// through one shared core.Session, so concurrent jobs — and repeated
+// jobs for the same application — reuse each other's simulated runs
+// through the session's measurement provider AND each other's model
+// builds through its shared model layer (a job differing only in
+// weights performs zero new simulations and zero model builds; see
+// models.{hits,misses,builds} under /v1/metrics). Results are
+// core.Report documents, the same serialization `autoarch -json`
+// prints; phase jobs (JobRequest.Phases) return the same document with
+// the phases block, the `autoarch -phases -json` output. Running jobs
+// stream per-measurement progress ("k of N") through their ndjson
+// status.
 //
 // The scheduler is built for a long-lived, multi-replica deployment
 // (DESIGN.md §14): identical in-flight requests coalesce onto one
@@ -25,7 +29,7 @@
 //	GET    /v1/jobs/{id}/stream  ndjson stream of JobStatus snapshots
 //	                             until the job reaches a terminal state
 //	DELETE /v1/jobs/{id}     cancel a queued or running job
-//	GET    /v1/metrics       cache, pool and scheduler counters
+//	GET    /v1/metrics       cache, store, model-layer, pool and scheduler counters
 //	GET    /v1/healthz       liveness
 package serve
 
@@ -36,7 +40,6 @@ import (
 	"net/http"
 	"sort"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"liquidarch/internal/config"
@@ -80,6 +83,9 @@ type Options struct {
 	RetainJobs int
 	// JobTTL drops terminal jobs older than this (0 = no age bound).
 	JobTTL time.Duration
+	// ModelCacheEntries bounds the session's shared model layer
+	// (<= 0 means core.DefaultModelCacheEntries).
+	ModelCacheEntries int
 }
 
 // retain resolves the configured terminal-job cap (-1 = unlimited).
@@ -102,7 +108,9 @@ type JobRequest struct {
 	// Space is the decision space: "full" (default) or "dcache".
 	Space string `json:"space,omitempty"`
 	// W1/W2/W3 are the objective weights (default: the paper's runtime
-	// weighting w1=100, w2=1).
+	// weighting w1=100, w2=1). An explicitly all-zero weighting — a
+	// degenerate objective that scores every configuration 0 — is
+	// treated as unspecified and gets the same default.
 	W1 *float64 `json:"w1,omitempty"`
 	W2 *float64 `json:"w2,omitempty"`
 	W3 *float64 `json:"w3,omitempty"`
@@ -113,15 +121,16 @@ type JobRequest struct {
 	// IncludeModel embeds the full perturbation model in the result.
 	IncludeModel bool `json:"include_model,omitempty"`
 
-	// Phases switches the job to phase-aware tuning: the result is a
-	// core.PhaseReport (JobStatus.PhaseResult) instead of a TuneReport —
-	// per-phase recommendations plus the switch-penalty decision against
+	// Phases switches the job to phase-aware tuning: the result
+	// (JobStatus.PhaseResult) is the core.Report with the phases block —
+	// per-phase recommendations plus the switch-cost decision against
 	// the whole-program configuration.
 	Phases bool `json:"phases,omitempty"`
 	// IntervalInstructions is the phase-profiling interval length
 	// (0 = core.DefaultIntervalInstructions); phase jobs only.
 	IntervalInstructions uint64 `json:"interval_instructions,omitempty"`
-	// SwitchPenaltyCycles prices one mid-run reconfiguration
+	// SwitchPenaltyCycles prices a full mid-run reconfiguration, of
+	// which each switch is charged its changed-parameter share
 	// (0 = core.DefaultSwitchPenaltyCycles); phase jobs only.
 	SwitchPenaltyCycles uint64 `json:"switch_penalty_cycles,omitempty"`
 	// PhaseThreshold overrides the phase-detection clustering threshold
@@ -242,6 +251,7 @@ type Server struct {
 	opts     Options
 	provider measure.Provider
 	cache    *measure.Cache // non-nil when the provider stack exposes one
+	session  *core.Session  // the unified tuning pipeline every job runs through
 
 	baseCtx context.Context
 	stop    context.CancelFunc
@@ -280,11 +290,15 @@ func New(opts Options) *Server {
 		opts:     opts,
 		provider: provider,
 		cache:    cache,
-		baseCtx:  ctx,
-		stop:     stop,
-		queue:    make(chan *flight, opts.QueueDepth),
-		jobs:     make(map[string]*job),
-		flights:  make(map[string]*flight),
+		session: core.NewSession(core.SessionOptions{
+			Provider:          provider,
+			ModelCacheEntries: opts.ModelCacheEntries,
+		}),
+		baseCtx: ctx,
+		stop:    stop,
+		queue:   make(chan *flight, opts.QueueDepth),
+		jobs:    make(map[string]*job),
+		flights: make(map[string]*flight),
 	}
 	for i := 0; i < opts.Workers; i++ {
 		s.wg.Add(1)
@@ -445,13 +459,11 @@ func (s *Server) runFlight(f *flight) {
 		})
 	}
 
-	// Per-measurement progress: every completed measurement (simulated
-	// or cache-answered) bumps the flight's counter and is broadcast to
-	// every attached job's ndjson stream.
-	total := measureTotal(f.req)
-	var done atomic.Int64
-	provider := measure.Observed{Inner: s.provider, OnMeasure: func() {
-		d := int(done.Add(1))
+	// Per-measurement progress: every completed measurement (simulated,
+	// cache-answered, or satisfied wholesale by a model-layer hit) is
+	// broadcast to every attached job's ndjson stream through the
+	// session's one observer surface.
+	observer := core.ObserverFunc(func(done, total int) {
 		s.mu.Lock()
 		watchers := append([]*job(nil), f.jobs...)
 		s.mu.Unlock()
@@ -463,14 +475,14 @@ func (s *Server) runFlight(f *flight) {
 				// Concurrent measurements broadcast concurrently; only
 				// ever move the counter forward so the stream's Done is
 				// monotonic.
-				if st.Progress == nil || d > st.Progress.Done {
-					st.Progress = &MeasureProgress{Done: d, Total: total}
+				if st.Progress == nil || done > st.Progress.Done {
+					st.Progress = &MeasureProgress{Done: done, Total: total}
 				}
 			})
 		}
-	}}
+	})
 
-	report, phaseReport, err := s.tune(f.ctx, f.req, provider)
+	report, err := s.tune(f.ctx, f.req, observer)
 
 	// Delete-then-broadcast under the table lock: once the flight is out
 	// of the map no new submission can attach, so the snapshot below is
@@ -497,8 +509,11 @@ func (s *Server) runFlight(f *flight) {
 			switch {
 			case err == nil:
 				st.State = StateDone
-				st.Result = report
-				st.PhaseResult = phaseReport
+				if f.req.Phases {
+					st.PhaseResult = report
+				} else {
+					st.Result = report
+				}
 			case f.ctx.Err() != nil && s.baseCtx.Err() == nil:
 				st.State = StateCancelled
 				st.Error = context.Canceled.Error()
@@ -510,62 +525,42 @@ func (s *Server) runFlight(f *flight) {
 	}
 }
 
-// measureTotal is the flight's expected measurement count, the Total of
-// its progress: the base run plus one per decision variable, plus the
-// validation run for plain jobs (phase jobs compare models, they do not
-// re-validate).
-func measureTotal(req JobRequest) int {
-	space, err := config.SpaceByName(req.Space)
-	if err != nil {
-		return 0
-	}
-	n := 1 + space.Len()
-	if !req.Phases {
-		n++
-	}
-	return n
-}
-
-// tune executes one job against the given provider (the server's shared
-// stack wrapped with the flight's progress observer): the same flow the
-// autoarch CLI runs — BuildModel → solve → validate for plain jobs,
-// core.TunePhases for phase jobs.
-func (s *Server) tune(ctx context.Context, req JobRequest, provider measure.Provider) (*core.TuneReport, *core.PhaseReport, error) {
+// coreRequest maps the wire JobRequest onto the unified core.Request —
+// the only translation between the daemon's v1 format and the library.
+func coreRequest(req JobRequest) (core.Request, error) {
 	b, sc, space, w, err := resolve(req)
 	if err != nil {
-		return nil, nil, err
+		return core.Request{}, err
 	}
-	tuner := &core.Tuner{
-		Space:              space,
+	creq := core.Request{
+		App:                b.Name,
 		Scale:              sc,
-		Workers:            req.Workers,
-		Provider:           provider,
+		Space:              space,
+		Weights:            w,
 		SampleInstructions: req.SampleInstructions,
+		Workers:            req.Workers,
+		IncludeModel:       req.IncludeModel,
 	}
 	if req.Phases {
-		rep, err := tuner.TunePhases(ctx, b, w, core.PhaseOptions{
+		creq.Phases = &core.PhaseOptions{
 			IntervalInstructions: req.IntervalInstructions,
 			SwitchPenaltyCycles:  req.SwitchPenaltyCycles,
 			Threshold:            req.PhaseThreshold,
-		})
-		if err != nil {
-			return nil, nil, err
 		}
-		return nil, rep, nil
 	}
-	model, err := tuner.BuildModel(ctx, b)
+	return creq, nil
+}
+
+// tune executes one job through the shared session: the same
+// Request→Report pipeline the autoarch CLI and the library consumers
+// run, with the flight's observer attached for progress streaming.
+func (s *Server) tune(ctx context.Context, req JobRequest, obs core.Observer) (*core.Report, error) {
+	creq, err := coreRequest(req)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	rec, err := tuner.RecommendFromModel(model, w)
-	if err != nil {
-		return nil, nil, err
-	}
-	val, err := tuner.Validate(ctx, b, model, rec)
-	if err != nil {
-		return nil, nil, err
-	}
-	return core.NewTuneReport(model, rec, val, req.IncludeModel), nil, nil
+	creq.Observer = obs
+	return s.session.Tune(ctx, creq)
 }
 
 // Submit enqueues a job (the programmatic form of POST /v1/jobs). An
@@ -800,13 +795,17 @@ type SchedulerStats struct {
 	TTLSeconds float64 `json:"ttl_seconds,omitempty"`
 }
 
-// Metrics is the GET /v1/metrics document.
+// Metrics is the GET /v1/metrics document. Models reports the session's
+// shared model layer: models.hits/misses/builds say how often a job's
+// model came from an earlier build — a warm daemon serving many
+// weightings of one application shows builds frozen while hits grow.
 type Metrics struct {
-	Cache     *measure.CacheStats `json:"cache,omitempty"`
-	Store     *measure.StoreStats `json:"store,omitempty"`
-	Pool      platform.PoolStats  `json:"pool"`
-	Jobs      map[string]int      `json:"jobs"`
-	Scheduler SchedulerStats      `json:"scheduler"`
+	Cache     *measure.CacheStats   `json:"cache,omitempty"`
+	Store     *measure.StoreStats   `json:"store,omitempty"`
+	Models    *core.ModelCacheStats `json:"models,omitempty"`
+	Pool      platform.PoolStats    `json:"pool"`
+	Jobs      map[string]int        `json:"jobs"`
+	Scheduler SchedulerStats        `json:"scheduler"`
 }
 
 // MetricsSnapshot assembles the current counters.
@@ -815,6 +814,8 @@ func (s *Server) MetricsSnapshot() Metrics {
 		Pool: platform.PoolSnapshot(),
 		Jobs: map[string]int{},
 	}
+	models := s.session.ModelStats()
+	m.Models = &models
 	if s.cache != nil {
 		st := s.cache.Stats()
 		m.Cache = &st
