@@ -8,6 +8,7 @@ package liquidarch_test
 
 import (
 	"context"
+	"slices"
 	"testing"
 	"time"
 
@@ -103,7 +104,12 @@ func BenchmarkFig7ResourceOptimization(b *testing.B) {
 // benchmarkSimulator measures raw simulation speed for one application.
 // Instructions are accumulated across iterations (not last-run × b.N), so
 // the Minstr/s metric stays correct even if per-run instruction counts
-// ever diverge.
+// ever diverge. Two untimed warm-up runs precede the timer: the first
+// pays one-time engine construction (memory load, text predecode), the
+// second runs on the pooled engine with its superblocks already compiled
+// — so every timed iteration measures the same steady state and the
+// run-to-run spread benchstat gates on comes from the machine, not from
+// which iteration paid the warm-up.
 func benchmarkSimulator(b *testing.B, app string) {
 	bench, _ := progs.ByName(app)
 	prog, err := bench.Assemble(benchScale)
@@ -111,6 +117,11 @@ func benchmarkSimulator(b *testing.B, app string) {
 		b.Fatal(err)
 	}
 	cfg := config.Default()
+	for i := 0; i < 2; i++ {
+		if _, err := platform.Run(prog, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
 	var instructions uint64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -131,13 +142,16 @@ func BenchmarkSimulatorMix(b *testing.B)    { benchmarkSimulator(b, "mix") }
 
 // BenchmarkSimulatorIntervalOverhead prices interval profiling on the
 // fast path: alternating BLASTN runs with and without 100k-instruction
-// interval profiling, comparing the *fastest* run of each side. Minima
-// are the noise-robust estimator here — scheduler interference only
-// ever adds time, and a gate on a shared CI machine must measure the
-// code, not the neighbours. The profiled runs pay only the
-// per-taken-CTI signature increment plus one snapshot per interval; the
-// benchmark asserts the overhead stays under 5% and reports it as a
-// metric.
+// interval profiling. Each back-to-back pair yields one overhead delta
+// (profiled minus plain, both sides equally exposed to the machine's
+// noise at that moment); the reported estimate is the *median* pair
+// delta over the fastest observed plain run. Independent minima — the
+// previous estimator — could go negative whenever the profiled side got
+// the luckier scheduling slot; a paired median cannot be dragged below
+// zero by one lucky run, and a genuine regression shifts every pair, so
+// the <5% gate measures the code, not the neighbours. The profiled runs
+// pay only the per-taken-CTI signature increment plus one snapshot per
+// interval.
 func BenchmarkSimulatorIntervalOverhead(b *testing.B) {
 	bench, _ := progs.ByName("blastn")
 	prog, err := bench.Assemble(benchScale)
@@ -157,30 +171,39 @@ func BenchmarkSimulatorIntervalOverhead(b *testing.B) {
 	runOnce(platform.Options{})
 	runOnce(ivOpts)
 	const pairsPerIter = 4
-	minPlain, minProfiled := time.Duration(1<<62), time.Duration(1<<62)
+	var deltas []time.Duration
+	minPlain := time.Duration(1 << 62)
+	samplePairs := func(n int) {
+		for k := 0; k < n; k++ {
+			plain := runOnce(platform.Options{})
+			profiled := runOnce(ivOpts)
+			minPlain = min(minPlain, plain)
+			deltas = append(deltas, profiled-plain)
+		}
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		for k := 0; k < pairsPerIter; k++ {
-			minPlain = min(minPlain, runOnce(platform.Options{}))
-			minProfiled = min(minProfiled, runOnce(ivOpts))
-		}
+		samplePairs(pairsPerIter)
 	}
 	overhead := func() float64 {
-		return 100 * (minProfiled.Seconds() - minPlain.Seconds()) / minPlain.Seconds()
+		sorted := append([]time.Duration(nil), deltas...)
+		slices.Sort(sorted)
+		med := sorted[len(sorted)/2]
+		if med < 0 {
+			med = 0 // profiling cannot make runs faster; below zero is noise
+		}
+		return 100 * med.Seconds() / minPlain.Seconds()
 	}
 	// Converge before judging: when the estimate is over budget, the
-	// minima usually have not bottomed out yet — take more pairs (they
-	// can only tighten the minima) before calling it a regression.
+	// median usually has not settled yet — take more pairs before calling
+	// it a regression.
 	for round := 0; overhead() > 5.0 && round < 3; round++ {
-		for k := 0; k < pairsPerIter; k++ {
-			minPlain = min(minPlain, runOnce(platform.Options{}))
-			minProfiled = min(minProfiled, runOnce(ivOpts))
-		}
+		samplePairs(pairsPerIter)
 	}
 	b.ReportMetric(overhead(), "overhead%")
 	if o := overhead(); o > 5.0 {
-		b.Fatalf("interval profiling overhead %.2f%% (best %v profiled vs %v plain) exceeds the 5%% budget",
-			o, minProfiled, minPlain)
+		b.Fatalf("interval profiling overhead %.2f%% (median of %d paired deltas) exceeds the 5%% budget",
+			o, len(deltas))
 	}
 }
 

@@ -35,6 +35,8 @@ import (
 
 	"liquidarch/internal/config"
 	"liquidarch/internal/core"
+	"liquidarch/internal/cpu"
+	"liquidarch/internal/platform"
 	"liquidarch/internal/progs"
 	"liquidarch/internal/workload"
 )
@@ -62,6 +64,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		loadModel = fs.String("load-model", "", "reuse a previously saved model instead of measuring")
 		jsonOut   = fs.Bool("json", false, "emit the result as a core.Report JSON document on stdout")
 
+		superblocks = fs.Int("superblocks", 0, "superblock compilation threshold: taken-branch heat before a hot block is specialized (0 = default, negative = off); never changes results, only speed")
+		intraRun    = fs.Int("intra-run-workers", 0, "workers for checkpointed parallel replay of repeated interval-profiled runs (0 or 1 = serial); never changes results, only speed")
+
 		phases    = fs.Bool("phases", false, "phase-aware tuning: one configuration per detected execution phase")
 		interval  = fs.Uint64("interval", core.DefaultIntervalInstructions, "phase profiling interval length in instructions")
 		switchPen = fs.Uint64("switch-penalty", core.DefaultSwitchPenaltyCycles, "cycle cost of a full mid-run reconfiguration; each switch is charged the share of it proportional to the parameters it changes")
@@ -76,6 +81,14 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	progress := stdout
 	if *jsonOut {
 		progress = stderr
+	}
+
+	if *superblocks != 0 || *intraRun != 0 {
+		sb := *superblocks
+		if sb == 0 {
+			sb = cpu.DefaultSuperblockThreshold
+		}
+		platform.SetDefaultTuning(sb, *intraRun)
 	}
 
 	if _, ok := progs.ByName(*app); !ok {

@@ -66,6 +66,8 @@ func main() {
 		storeLease    = flag.Duration("store-lease", 0, "cross-replica measurement claim TTL for the shared -cache-dir (0 = off)")
 		enginePool    = flag.Int("engine-pool", 0, "platform engine pool size (0 = default)")
 		memPool       = flag.Int("mem-pool", 0, "platform loaded-memory pool size (0 = default)")
+		superblocks   = flag.Int("superblocks", 0, "superblock compilation threshold: taken-branch heat before a hot block is specialized (0 = default, negative = off); never changes results, only speed")
+		intraRun      = flag.Int("intra-run-workers", 0, "workers for checkpointed parallel replay of repeated interval-profiled runs (0 or 1 = serial); never changes results, only speed")
 	)
 	flag.Parse()
 
@@ -98,13 +100,15 @@ func main() {
 	cache := measure.NewCache(provider, *cacheEntries)
 
 	server := serve.New(serve.Options{
-		Workers:           *jobs,
-		QueueDepth:        *queueDepth,
-		Provider:          cache,
-		Store:             store,
-		RetainJobs:        *jobRetain,
-		JobTTL:            *jobTTL,
-		ModelCacheEntries: *modelCache,
+		Workers:             *jobs,
+		QueueDepth:          *queueDepth,
+		Provider:            cache,
+		Store:               store,
+		RetainJobs:          *jobRetain,
+		JobTTL:              *jobTTL,
+		ModelCacheEntries:   *modelCache,
+		SuperblockThreshold: *superblocks,
+		IntraRunWorkers:     *intraRun,
 	})
 	defer server.Close()
 

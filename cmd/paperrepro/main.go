@@ -39,12 +39,14 @@ func main() {
 
 func run(ctx context.Context) int {
 	var (
-		figure     = flag.String("figure", "", "experiment id to regenerate (figure1..figure7, space)")
-		all        = flag.Bool("all", false, "regenerate every table")
-		scale      = flag.String("scale", "small", "workload scale: tiny, small, medium, paper")
-		workers    = flag.Int("workers", 0, "parallel measurement runs (0 = NumCPU)")
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
-		memprofile = flag.String("memprofile", "", "write a heap profile at exit to this file")
+		figure       = flag.String("figure", "", "experiment id to regenerate (figure1..figure7, space)")
+		all          = flag.Bool("all", false, "regenerate every table")
+		scale        = flag.String("scale", "small", "workload scale: tiny, small, medium, paper")
+		workers      = flag.Int("workers", 0, "parallel measurement runs (0 = NumCPU)")
+		cpuprofile   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memprofile   = flag.String("memprofile", "", "write a heap profile at exit to this file")
+		mutexprofile = flag.String("mutexprofile", "", "write a mutex-contention profile at exit to this file")
+		blockprofile = flag.String("blockprofile", "", "write a goroutine-blocking profile at exit to this file")
 	)
 	flag.Parse()
 
@@ -76,6 +78,18 @@ func run(ctx context.Context) int {
 		}()
 	}
 
+	// Mutex and block profiles cover the concurrency layers the CPU
+	// profile cannot see — engine-pool contention and the segment fan-out
+	// of parallel interval runs (DESIGN.md §17) show up here.
+	if *mutexprofile != "" {
+		runtime.SetMutexProfileFraction(1)
+		defer writeProfile("mutex", *mutexprofile)
+	}
+	if *blockprofile != "" {
+		runtime.SetBlockProfileRate(1)
+		defer writeProfile("block", *blockprofile)
+	}
+
 	sc, ok := workload.ParseScale(*scale)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "paperrepro: unknown scale %q\n", *scale)
@@ -105,4 +119,17 @@ func run(ctx context.Context) int {
 		fmt.Printf("[%s regenerated in %v at scale %s]\n\n", id, time.Since(start).Round(time.Millisecond), sc)
 	}
 	return 0
+}
+
+// writeProfile dumps the named runtime/pprof profile to path.
+func writeProfile(name, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "paperrepro: %sprofile: %v\n", name, err)
+		return
+	}
+	defer f.Close()
+	if err := pprof.Lookup(name).WriteTo(f, 0); err != nil {
+		fmt.Fprintf(os.Stderr, "paperrepro: %sprofile: %v\n", name, err)
+	}
 }

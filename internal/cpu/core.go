@@ -92,6 +92,18 @@ type Core struct {
 	bbv      []uint32
 	bbvShift uint32
 
+	// Superblock specialization (superblock.go). sbHeat counts taken
+	// branches per target text index; when an entry crosses sbThreshold
+	// the region is compiled into sbBlocks and sbIndex maps its head to
+	// the block (1-based handle; -1 marks a rejected head). All nil/zero
+	// when disabled. The compiled set survives Reset: compilation is
+	// timing-transparent, so reuse across runs cannot change results.
+	sbHeat      []uint32
+	sbIndex     []int32
+	sbBlocks    []sbBlock
+	sbThreshold uint32
+	sbStats     SuperblockStats
+
 	traceW     io.Writer
 	traceLimit uint64
 }
@@ -222,6 +234,12 @@ func (c *Core) LoadText(base uint32, words int) error {
 	c.textBase = base
 	c.fastRI = make([]uint32, words)
 	c.patchFastRI()
+	if c.sbThreshold > 0 {
+		// New text invalidates any compiled superblocks; re-arm discovery
+		// for the new region.
+		c.sbHeat = nil
+		c.EnableSuperblocks(int(c.sbThreshold))
+	}
 	return nil
 }
 

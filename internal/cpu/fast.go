@@ -437,6 +437,24 @@ func (c *Core) patchFastRI() {
 		}
 		c.fastRI[i] = packRI(c.viewR[f.rs1&31], c.viewR[f.rs2&31], rd)
 	}
+	// Compiled superblock plans cache resolved indices too; re-resolve
+	// them for the new window (their text positions are static).
+	for bi := range c.sbBlocks {
+		blk := &c.sbBlocks[bi]
+		for k := range blk.ops {
+			blk.ops[k].ri = c.fastRI[blk.head+uint32(k)]
+		}
+		if blk.tIdx >= 0 {
+			blk.tRI = c.fastRI[blk.tIdx]
+			if blk.tFlags&fgSlotALU != 0 {
+				si := blk.tIdx + 1
+				if blk.tCode != fBicc {
+					si = blk.tIdx + 2
+				}
+				blk.slot.ri = c.fastRI[si]
+			}
+		}
+	}
 	c.fastCwp = c.cwp
 }
 
@@ -589,6 +607,15 @@ func (c *Core) runFastInner(target uint64, fetchLine uint32) (stepNext bool, ret
 		fastRI   = c.fastRI
 		dcLine   = noLine // dcache line known resident from the last probe
 		fb       fastBatch
+		// Superblock dispatch state (superblock.go): nil when
+		// specialization is off, making the per-dispatch check one
+		// predictable branch. sbHits/sbDeopts batch the diagnostic
+		// counters the way fb batches the profile.
+		sbIdx    = c.sbIndex
+		sbHeat   = c.sbHeat
+		sbThresh = c.sbThreshold
+		sbHits   = uint64(0)
+		sbDeopts = uint64(0)
 		// Write watermarks for the direct RAM stores below; folded into
 		// the memory's dirty range on exit (mem.Widen).
 		wlo = uint64(len(ram))
@@ -627,6 +654,786 @@ loop:
 		if f.code == fFallback {
 			stepNext = true
 			break loop
+		}
+
+		// Superblock dispatch: a compiled head reached in sequential
+		// context executes its whole plan (and chains into compiled
+		// successors) without returning to the generic dispatch below.
+		// Entry requires the block's worst-case instruction count to fit
+		// under target so sampling/interval boundaries stay exact; near a
+		// boundary the generic loop finishes the block op by op.
+		if sbIdx != nil {
+			if s := sbIdx[idx]; s > 0 {
+				blk := &c.sbBlocks[s-1]
+				if npc != pc+4 {
+					// DCTI couple: the head is executing as another CTI's
+					// delay slot; the plan assumes sequential flow. Deopt.
+					sbDeopts++
+				} else if instrs+uint64(blk.maxInstrs) <= target {
+					spc := pc
+					sbDead := false
+					// A hazard left by the previously dispatched load is
+					// checked once against the block's first instruction —
+					// exactly the generic loop's probe; interior load-use
+					// charges are static (sbInterlock bits). On every
+					// chained entry the hazard is clear by construction.
+					if hazard != noHazard {
+						if (f.flags&fgReadsRs1 != 0 && c.hazardIndex(f.rs1) == hazard) ||
+							(f.flags&fgReadsRs2 != 0 && c.hazardIndex(f.rs2) == hazard) ||
+							(f.flags&fgReadsRd != 0 && c.hazardIndex(f.rd) == hazard) {
+							fb.interlocks++
+							extra += c.loadInterlock
+						}
+						hazard = noHazard
+					}
+				chain:
+					for {
+						sbHits++
+						ops := blk.ops
+						for k := 0; k < len(ops); k++ {
+							op := ops[k]
+							if op.flags&sbOpProbe != 0 {
+								// Block head or a static icache line boundary:
+								// the only interior fetches whose hit/miss is
+								// dynamic. Every other fetch is a same-line hit
+								// credited in the batched commit below.
+								opc := spc + uint32(k)*4
+								if line := opc >> icShift; line == fetchLine {
+									fb.icHits++
+								} else {
+									if icTags != nil {
+										if icTags[line&icMask] == opc>>icTagShift {
+											fb.icHits++
+										} else {
+											icTags[line&icMask] = opc >> icTagShift
+											fb.icMisses++
+											extra += imissPen
+										}
+									} else if !c.icache.Read(opc) {
+										c.stats.ICacheStall += imissPen
+										extra += imissPen
+									}
+									fetchLine = line
+								}
+							}
+							ri := op.ri
+							switch op.code {
+							case fAdd:
+								b := op.imm
+								if op.flags&sbOpImm == 0 {
+									b = rf[ri>>10&riMask]
+								}
+								setRF(rf, ri, rf[ri>>20&riMask]+b)
+							case fAddCC:
+								a, b := rf[ri>>20&riMask], op.imm
+								if op.flags&sbOpImm == 0 {
+									b = rf[ri>>10&riMask]
+								}
+								r := a + b
+								setRF(rf, ri, r)
+								iccIdx = iccIndex(int32(r) < 0, r == 0, (^(a^b)&(a^r))>>31 != 0, r < a)
+							case fSub:
+								b := op.imm
+								if op.flags&sbOpImm == 0 {
+									b = rf[ri>>10&riMask]
+								}
+								setRF(rf, ri, rf[ri>>20&riMask]-b)
+							case fSubCC:
+								a, b := rf[ri>>20&riMask], op.imm
+								if op.flags&sbOpImm == 0 {
+									b = rf[ri>>10&riMask]
+								}
+								r := a - b
+								setRF(rf, ri, r)
+								iccIdx = iccIndex(int32(r) < 0, r == 0, ((a^b)&(a^r))>>31 != 0, b > a)
+							case fAnd:
+								b := op.imm
+								if op.flags&sbOpImm == 0 {
+									b = rf[ri>>10&riMask]
+								}
+								setRF(rf, ri, rf[ri>>20&riMask]&b)
+							case fAndCC:
+								b := op.imm
+								if op.flags&sbOpImm == 0 {
+									b = rf[ri>>10&riMask]
+								}
+								r := rf[ri>>20&riMask] & b
+								setRF(rf, ri, r)
+								iccIdx = iccIndex(int32(r) < 0, r == 0, false, false)
+							case fOr:
+								b := op.imm
+								if op.flags&sbOpImm == 0 {
+									b = rf[ri>>10&riMask]
+								}
+								setRF(rf, ri, rf[ri>>20&riMask]|b)
+							case fOrCC:
+								b := op.imm
+								if op.flags&sbOpImm == 0 {
+									b = rf[ri>>10&riMask]
+								}
+								r := rf[ri>>20&riMask] | b
+								setRF(rf, ri, r)
+								iccIdx = iccIndex(int32(r) < 0, r == 0, false, false)
+							case fXor:
+								b := op.imm
+								if op.flags&sbOpImm == 0 {
+									b = rf[ri>>10&riMask]
+								}
+								setRF(rf, ri, rf[ri>>20&riMask]^b)
+							case fXorCC:
+								b := op.imm
+								if op.flags&sbOpImm == 0 {
+									b = rf[ri>>10&riMask]
+								}
+								r := rf[ri>>20&riMask] ^ b
+								setRF(rf, ri, r)
+								iccIdx = iccIndex(int32(r) < 0, r == 0, false, false)
+							case fAndN:
+								b := op.imm
+								if op.flags&sbOpImm == 0 {
+									b = rf[ri>>10&riMask]
+								}
+								setRF(rf, ri, rf[ri>>20&riMask]&^b)
+							case fOrN:
+								b := op.imm
+								if op.flags&sbOpImm == 0 {
+									b = rf[ri>>10&riMask]
+								}
+								setRF(rf, ri, rf[ri>>20&riMask]|^b)
+							case fXnor:
+								b := op.imm
+								if op.flags&sbOpImm == 0 {
+									b = rf[ri>>10&riMask]
+								}
+								setRF(rf, ri, ^(rf[ri>>20&riMask] ^ b))
+							case fSll:
+								b := op.imm
+								if op.flags&sbOpImm == 0 {
+									b = rf[ri>>10&riMask]
+								}
+								setRF(rf, ri, rf[ri>>20&riMask]<<(b&31))
+							case fSrl:
+								b := op.imm
+								if op.flags&sbOpImm == 0 {
+									b = rf[ri>>10&riMask]
+								}
+								setRF(rf, ri, rf[ri>>20&riMask]>>(b&31))
+							case fSra:
+								b := op.imm
+								if op.flags&sbOpImm == 0 {
+									b = rf[ri>>10&riMask]
+								}
+								setRF(rf, ri, uint32(int32(rf[ri>>20&riMask])>>(b&31)))
+							case fSethi:
+								setRF(rf, ri, op.imm)
+							case fUMul, fUMulCC:
+								b := op.imm
+								if op.flags&sbOpImm == 0 {
+									b = rf[ri>>10&riMask]
+								}
+								p := uint64(rf[ri>>20&riMask]) * uint64(b)
+								c.y = uint32(p >> 32)
+								r := uint32(p)
+								setRF(rf, ri, r)
+								if op.code == fUMulCC {
+									iccIdx = iccIndex(int32(r) < 0, r == 0, false, false)
+								}
+							case fSMul, fSMulCC:
+								b := op.imm
+								if op.flags&sbOpImm == 0 {
+									b = rf[ri>>10&riMask]
+								}
+								p := int64(int32(rf[ri>>20&riMask])) * int64(int32(b))
+								c.y = uint32(uint64(p) >> 32)
+								r := uint32(p)
+								setRF(rf, ri, r)
+								if op.code == fSMulCC {
+									iccIdx = iccIndex(int32(r) < 0, r == 0, false, false)
+								}
+							case fLd, fLdUB, fLdSB, fLdUH, fLdSH:
+								b := op.imm
+								if op.flags&sbOpImm == 0 {
+									b = rf[ri>>10&riMask]
+								}
+								addr := rf[ri>>20&riMask] + b
+								if addr < deviceBase {
+									if line := addr >> dcShift; dcSkip && line == dcLine {
+										fb.dcHits++
+									} else {
+										if dcDirect {
+											if dcTags[line&dcMask] == addr>>dcTagShift {
+												fb.dcHits++
+											} else {
+												dcTags[line&dcMask] = addr >> dcTagShift
+												fb.dcMisses++
+												extra += c.dmissPenalty
+											}
+										} else if !c.dcache.Read(addr) {
+											c.stats.DCacheStall += c.dmissPenalty
+											extra += c.dmissPenalty
+										}
+										dcLine = line
+									}
+								}
+								var v uint32
+								off := uint64(addr) - uint64(mem.RAMBase)
+								switch op.code {
+								case fLd:
+									if off+4 <= uint64(len(ram)) && addr&3 == 0 {
+										v = uint32(ram[off])<<24 | uint32(ram[off+1])<<16 |
+											uint32(ram[off+2])<<8 | uint32(ram[off+3])
+									} else {
+										w, err := c.memory.Read32(addr)
+										if err != nil {
+											instrs, extra, iccSetAt = c.sbAbort(blk, k, instrs, extra, iccSetAt, &fb)
+											fpc := spc + uint32(k)*4
+											pc, npc = fpc, fpc+4
+											retErr = fmt.Errorf("%w at %#08x", err, fpc)
+											break loop
+										}
+										v = w
+									}
+								case fLdUB, fLdSB:
+									if off < uint64(len(ram)) {
+										v = uint32(ram[off])
+									} else {
+										by, err := c.memory.Read8(addr)
+										if err != nil {
+											instrs, extra, iccSetAt = c.sbAbort(blk, k, instrs, extra, iccSetAt, &fb)
+											fpc := spc + uint32(k)*4
+											pc, npc = fpc, fpc+4
+											retErr = fmt.Errorf("%w at %#08x", err, fpc)
+											break loop
+										}
+										v = uint32(by)
+									}
+									if op.code == fLdSB {
+										v = uint32(int32(int8(v)))
+									}
+								case fLdUH, fLdSH:
+									if off+2 <= uint64(len(ram)) && addr&1 == 0 {
+										v = uint32(ram[off])<<8 | uint32(ram[off+1])
+									} else {
+										h, err := c.memory.Read16(addr)
+										if err != nil {
+											instrs, extra, iccSetAt = c.sbAbort(blk, k, instrs, extra, iccSetAt, &fb)
+											fpc := spc + uint32(k)*4
+											pc, npc = fpc, fpc+4
+											retErr = fmt.Errorf("%w at %#08x", err, fpc)
+											break loop
+										}
+										v = uint32(h)
+									}
+									if op.code == fLdSH {
+										v = uint32(int32(int16(v)))
+									}
+								}
+								setRF(rf, ri, v)
+								// No dynamic hazard arming: every in-block
+								// consumer is charged statically, the
+								// terminal's read is tInterlock, and a
+								// terminal-less block arms exitHazardRd.
+							case fSt, fStB, fStH:
+								b := op.imm
+								if op.flags&sbOpImm == 0 {
+									b = rf[ri>>10&riMask]
+								}
+								addr := rf[ri>>20&riMask] + b
+								v := rf[ri&riMask]
+								if addr < deviceBase {
+									if line := addr >> dcShift; dcSkip && line == dcLine {
+										fb.dwHits++
+									} else if dcDirect {
+										if dcTags[line&dcMask] == addr>>dcTagShift {
+											fb.dwHits++
+											dcLine = line
+										} else {
+											fb.dwMisses++
+										}
+									} else {
+										c.dcache.Write(addr)
+									}
+									// The batched charges of ops[0..k] haven't
+									// landed in instrs/extra yet; op.prefix and
+									// the op offset reconstruct the exact issue
+									// cycle the generic loop would use.
+									stall := c.wbuf.Store(cyclesBase + (instrs - instrsBase) + uint64(k+1) + extra + uint64(op.prefix))
+									fb.wbStall += stall
+									extra += stall
+								}
+								off := uint64(addr) - uint64(mem.RAMBase)
+								switch op.code {
+								case fSt:
+									if off+4 <= uint64(len(ram)) && addr&3 == 0 {
+										if off < wlo {
+											wlo = off
+										}
+										if off+4 > whi {
+											whi = off + 4
+										}
+										ram[off] = byte(v >> 24)
+										ram[off+1] = byte(v >> 16)
+										ram[off+2] = byte(v >> 8)
+										ram[off+3] = byte(v)
+									} else if err := c.memory.Write32(addr, v); err != nil {
+										instrs, extra, iccSetAt = c.sbAbort(blk, k, instrs, extra, iccSetAt, &fb)
+										fpc := spc + uint32(k)*4
+										pc, npc = fpc, fpc+4
+										retErr = fmt.Errorf("%w at %#08x", err, fpc)
+										break loop
+									}
+								case fStB:
+									if off < uint64(len(ram)) {
+										if off < wlo {
+											wlo = off
+										}
+										if off+1 > whi {
+											whi = off + 1
+										}
+										ram[off] = uint8(v)
+									} else if err := c.memory.Write8(addr, uint8(v)); err != nil {
+										instrs, extra, iccSetAt = c.sbAbort(blk, k, instrs, extra, iccSetAt, &fb)
+										fpc := spc + uint32(k)*4
+										pc, npc = fpc, fpc+4
+										retErr = fmt.Errorf("%w at %#08x", err, fpc)
+										break loop
+									}
+								case fStH:
+									if off+2 <= uint64(len(ram)) && addr&1 == 0 {
+										if off < wlo {
+											wlo = off
+										}
+										if off+2 > whi {
+											whi = off + 2
+										}
+										ram[off] = byte(v >> 8)
+										ram[off+1] = byte(v)
+									} else if err := c.memory.Write16(addr, uint16(v)); err != nil {
+										instrs, extra, iccSetAt = c.sbAbort(blk, k, instrs, extra, iccSetAt, &fb)
+										fpc := spc + uint32(k)*4
+										pc, npc = fpc, fpc+4
+										retErr = fmt.Errorf("%w at %#08x", err, fpc)
+										break loop
+									}
+								}
+								if addr-textBase < uint32(len(fast))*4 {
+									// Self-modifying store: finish the pass on
+									// the already-read plan (the generic loop
+									// would execute the same stale predecode),
+									// then invalidate below.
+									sbDead = true
+								}
+							}
+						}
+						// Commit the pass's static charges in one batch:
+						// instruction count, fixed cycle charges (load/store/
+						// multiply latency, interlocks) and the event counts,
+						// including every statically-known icache line hit.
+						instrs += uint64(len(ops))
+						extra += blk.staticExtra
+						fb.loads += uint64(blk.nLoads)
+						fb.stores += uint64(blk.nStores)
+						fb.mults += uint64(blk.nMults)
+						fb.interlocks += uint64(blk.nInterlocks)
+						fb.icHits += uint64(blk.icStatic)
+						if blk.lastSetsCC {
+							iccSetAt = instrs
+						}
+						spc += uint32(len(ops)) * 4
+						if sbDead {
+							// The pass stored into the text segment: drop every
+							// compiled block and stop compiling; the rest of
+							// the run executes on the generic loop.
+							c.sbInvalidate()
+							sbIdx, sbHeat = nil, nil
+							sbDeopts++
+							sbDead = false
+						}
+						if blk.tIdx < 0 {
+							// Block ends at a non-superblockable op: exit to
+							// the generic dispatch at a clean boundary,
+							// arming the hazard a last-position load left.
+							if blk.exitHazardRd != 0 {
+								hazard = c.hazardIndex(blk.exitHazardRd)
+							}
+							if len(ops) == sbMaxOps && sbHeat != nil {
+								// Length-capped block: its sequential
+								// continuation is just as hot — heat it so the
+								// region compiles as a follow-on block.
+								if t := uint64(spc-textBase) >> 2; t < uint64(len(sbHeat)) && sbIdx[t] == 0 {
+									sbHeat[t]++
+									if sbHeat[t] == sbThresh {
+										c.compileSB(uint32(t))
+									}
+								}
+							}
+							pc, npc = spc, spc+4
+							continue loop
+						}
+
+						// Terminal branch at spc, sequential by construction
+						// (architectural npc == spc+4); its fields were copied
+						// into the plan at compile time, and the line
+						// crossings of every fetch around it are static (sbf
+						// bits) — only crossing fetches probe the cache, the
+						// rest credit hits directly. The code mirrors the
+						// generic fBicc / fused compare-and-branch cases.
+						if blk.sbf&sbfT0 != 0 {
+							// Empty interior: the preceding fetch is the
+							// caller's, so this one compares dynamically.
+							if line := spc >> icShift; line == fetchLine {
+								fb.icHits++
+							} else {
+								if icTags != nil {
+									if icTags[line&icMask] == spc>>icTagShift {
+										fb.icHits++
+									} else {
+										icTags[line&icMask] = spc >> icTagShift
+										fb.icMisses++
+										extra += imissPen
+									}
+								} else if !c.icache.Read(spc) {
+									c.stats.ICacheStall += imissPen
+									extra += imissPen
+								}
+								fetchLine = line
+							}
+						} else if blk.sbf&sbfCrossT != 0 {
+							line := spc >> icShift
+							if icTags != nil {
+								if icTags[line&icMask] == spc>>icTagShift {
+									fb.icHits++
+								} else {
+									icTags[line&icMask] = spc >> icTagShift
+									fb.icMisses++
+									extra += imissPen
+								}
+							} else if !c.icache.Read(spc) {
+								c.stats.ICacheStall += imissPen
+								extra += imissPen
+							}
+							fetchLine = line
+						} else {
+							fb.icHits++
+						}
+						instrs++
+						if blk.tInterlock {
+							fb.interlocks++
+							extra += c.loadInterlock
+						}
+						tnpc := spc + 4
+						var nextPC, nextNPC uint32
+						slotRuns := false
+						slotCross := false
+						var succPtr *int32
+						if blk.tCode == fBicc {
+							fb.branches++
+							if iccSetAt+1 == instrs && c.iccHold {
+								fb.iccHolds++
+								extra++
+							}
+							taken := blk.tCondMask>>iccIdx&1 != 0
+							switch {
+							case taken && blk.tFlags&fgBAAnnul != 0:
+								fb.taken++
+								extra += 1 + c.decodeExtra
+								if bbv != nil {
+									bbv[blk.tTarget>>bbvShift&bbvMask]++
+								}
+								if blk.sbf&sbfCross1 != 0 {
+									if !c.icache.Read(tnpc) {
+										c.stats.ICacheStall += imissPen
+										extra += imissPen
+									}
+									fetchLine = tnpc >> icShift
+								} else {
+									fb.icHits++
+								}
+								extra++
+								fb.annulled++
+								nextPC, nextNPC = blk.tTarget, blk.tTarget+4
+								succPtr = &blk.succT
+							case taken:
+								fb.taken++
+								extra += 1 + c.decodeExtra
+								if bbv != nil {
+									bbv[blk.tTarget>>bbvShift&bbvMask]++
+								}
+								nextPC, nextNPC = tnpc, blk.tTarget
+								slotRuns = true
+								slotCross = blk.sbf&sbfCross1 != 0
+								succPtr = &blk.succT
+							case blk.tFlags&fgAnnul != 0:
+								if blk.sbf&sbfCross1 != 0 {
+									if !c.icache.Read(tnpc) {
+										c.stats.ICacheStall += imissPen
+										extra += imissPen
+									}
+									fetchLine = tnpc >> icShift
+								} else {
+									fb.icHits++
+								}
+								extra++
+								fb.annulled++
+								nextPC, nextNPC = tnpc+4, tnpc+8
+								succPtr = &blk.succF
+							default:
+								nextPC, nextNPC = tnpc, tnpc+4
+								slotRuns = true
+								slotCross = blk.sbf&sbfCross1 != 0
+								succPtr = &blk.succF
+							}
+						} else {
+							// Fused compare-and-branch. ALU half at spc; the
+							// entry bound guarantees instrs < target for the
+							// branch half, and flow is sequential, so the
+							// generic case's delay-slot/boundary demotion
+							// cannot trigger here.
+							tri := blk.tRI
+							a, b := rf[tri>>20&riMask], blk.tImm
+							if blk.tFlags&fgUseImm == 0 {
+								b = rf[tri>>10&riMask]
+							}
+							var r uint32
+							switch blk.tCode {
+							case fAddCCBicc:
+								r = a + b
+								iccIdx = iccIndex(int32(r) < 0, r == 0, (^(a^b)&(a^r))>>31 != 0, r < a)
+							case fSubCCBicc:
+								r = a - b
+								iccIdx = iccIndex(int32(r) < 0, r == 0, ((a^b)&(a^r))>>31 != 0, b > a)
+							case fAndCCBicc:
+								r = a & b
+								iccIdx = iccIndex(int32(r) < 0, r == 0, false, false)
+							case fOrCCBicc:
+								r = a | b
+								iccIdx = iccIndex(int32(r) < 0, r == 0, false, false)
+							case fXorCCBicc:
+								r = a ^ b
+								iccIdx = iccIndex(int32(r) < 0, r == 0, false, false)
+							}
+							setRF(rf, tri, r)
+							iccSetAt = instrs
+							pc2 := tnpc
+							if blk.sbf&sbfCross1 != 0 {
+								if !c.icache.Read(pc2) {
+									c.stats.ICacheStall += imissPen
+									extra += imissPen
+								}
+								fetchLine = pc2 >> icShift
+							} else {
+								fb.icHits++
+							}
+							instrs++
+							fb.branches++
+							if c.iccHold {
+								fb.iccHolds++
+								extra++
+							}
+							taken := blk.tCondMask>>iccIdx&1 != 0
+							npc2 := pc2 + 4
+							switch {
+							case taken && blk.tFlags&fgBAAnnul != 0:
+								fb.taken++
+								extra += 1 + c.decodeExtra
+								if bbv != nil {
+									bbv[blk.tTarget>>bbvShift&bbvMask]++
+								}
+								if blk.sbf&sbfCross2 != 0 {
+									if !c.icache.Read(npc2) {
+										c.stats.ICacheStall += imissPen
+										extra += imissPen
+									}
+									fetchLine = npc2 >> icShift
+								} else {
+									fb.icHits++
+								}
+								extra++
+								fb.annulled++
+								nextPC, nextNPC = blk.tTarget, blk.tTarget+4
+								succPtr = &blk.succT
+							case taken:
+								fb.taken++
+								extra += 1 + c.decodeExtra
+								if bbv != nil {
+									bbv[blk.tTarget>>bbvShift&bbvMask]++
+								}
+								nextPC, nextNPC = npc2, blk.tTarget
+								slotRuns = true
+								slotCross = blk.sbf&sbfCross2 != 0
+								succPtr = &blk.succT
+							case blk.tFlags&fgAnnul != 0:
+								if blk.sbf&sbfCross2 != 0 {
+									if !c.icache.Read(npc2) {
+										c.stats.ICacheStall += imissPen
+										extra += imissPen
+									}
+									fetchLine = npc2 >> icShift
+								} else {
+									fb.icHits++
+								}
+								extra++
+								fb.annulled++
+								nextPC, nextNPC = npc2+4, npc2+8
+								succPtr = &blk.succF
+							default:
+								nextPC, nextNPC = npc2, npc2+4
+								slotRuns = true
+								slotCross = blk.sbf&sbfCross2 != 0
+								succPtr = &blk.succF
+							}
+						}
+						if slotRuns {
+							if blk.tFlags&fgSlotALU == 0 {
+								// The slot is not a fusable ALU op: exit and
+								// let the generic loop execute it with full
+								// DCTI semantics. nextPC is the slot, so the
+								// successor caches don't apply.
+								succPtr = nil
+							} else {
+								// Inlined delay slot, pre-resolved in the
+								// plan, exactly as the generic loop runs it.
+								if slotCross {
+									sspc := nextPC
+									line := sspc >> icShift
+									if icTags != nil {
+										if icTags[line&icMask] == sspc>>icTagShift {
+											fb.icHits++
+										} else {
+											icTags[line&icMask] = sspc >> icTagShift
+											fb.icMisses++
+											extra += imissPen
+										}
+									} else if !c.icache.Read(sspc) {
+										c.stats.ICacheStall += imissPen
+										extra += imissPen
+									}
+									fetchLine = line
+								} else {
+									fb.icHits++
+								}
+								instrs++
+								sl := blk.slot
+								sa, sb := rf[sl.ri>>20&riMask], sl.imm
+								if sl.flags&sbOpImm == 0 {
+									sb = rf[sl.ri>>10&riMask]
+								}
+								var sr uint32
+								cc := false
+								switch sl.code {
+								case fAdd:
+									sr = sa + sb
+								case fAddCC:
+									sr = sa + sb
+									iccIdx = iccIndex(int32(sr) < 0, sr == 0, (^(sa^sb)&(sa^sr))>>31 != 0, sr < sa)
+									cc = true
+								case fSub:
+									sr = sa - sb
+								case fSubCC:
+									sr = sa - sb
+									iccIdx = iccIndex(int32(sr) < 0, sr == 0, ((sa^sb)&(sa^sr))>>31 != 0, sb > sa)
+									cc = true
+								case fAnd:
+									sr = sa & sb
+								case fAndCC:
+									sr = sa & sb
+									iccIdx = iccIndex(int32(sr) < 0, sr == 0, false, false)
+									cc = true
+								case fOr:
+									sr = sa | sb
+								case fOrCC:
+									sr = sa | sb
+									iccIdx = iccIndex(int32(sr) < 0, sr == 0, false, false)
+									cc = true
+								case fXor:
+									sr = sa ^ sb
+								case fXorCC:
+									sr = sa ^ sb
+									iccIdx = iccIndex(int32(sr) < 0, sr == 0, false, false)
+									cc = true
+								case fAndN:
+									sr = sa &^ sb
+								case fOrN:
+									sr = sa | ^sb
+								case fXnor:
+									sr = ^(sa ^ sb)
+								case fSll:
+									sr = sa << (sb & 31)
+								case fSrl:
+									sr = sa >> (sb & 31)
+								case fSra:
+									sr = uint32(int32(sa) >> (sb & 31))
+								case fSethi:
+									sr = sl.imm
+								}
+								setRF(rf, sl.ri, sr)
+								if cc {
+									iccSetAt = instrs
+								}
+								nextPC, nextNPC = nextNPC, nextNPC+4
+							}
+						}
+
+						// Chain: when flow continues sequentially at a
+						// compiled head with room below the target, stay in
+						// the executor — a hot loop whose back edge lands on
+						// its own head never leaves this for-loop. The
+						// successor for the edge just taken is cached in the
+						// block, so the steady state needs no index or heat
+						// lookups; an unresolved edge heats its target until
+						// it compiles (or is pinned unreachable).
+						if succPtr != nil && sbIdx != nil {
+							s2 := *succPtr
+							if s2 == 0 {
+								if t := uint64(nextPC-textBase) >> 2; t < uint64(len(sbIdx)) {
+									if h := sbIdx[t]; h > 0 {
+										*succPtr, s2 = h, h
+									} else if h == 0 {
+										sbHeat[t]++
+										if sbHeat[t] == sbThresh {
+											c.compileSB(uint32(t))
+											if h = sbIdx[t]; h > 0 {
+												*succPtr, s2 = h, h
+											}
+										}
+									} else {
+										*succPtr = -1
+									}
+								} else {
+									*succPtr = -1
+								}
+							}
+							if s2 > 0 {
+								nblk := &c.sbBlocks[s2-1]
+								if instrs+uint64(nblk.maxInstrs) <= target {
+									blk, spc = nblk, nextPC
+									continue chain
+								}
+							}
+						} else if nextNPC == nextPC+4 {
+							if nIdx := uint64(nextPC-textBase) >> 2; nIdx < uint64(len(sbIdx)) {
+								if s2 := sbIdx[nIdx]; s2 > 0 {
+									nblk := &c.sbBlocks[s2-1]
+									if instrs+uint64(nblk.maxInstrs) <= target {
+										blk, spc = nblk, nextPC
+										continue chain
+									}
+								} else if s2 == 0 {
+									// Sequential continuation not compiled
+									// yet: heat it, so hot regions grow block
+									// chains forward past their branches.
+									sbHeat[nIdx]++
+									if sbHeat[nIdx] == sbThresh {
+										c.compileSB(uint32(nIdx))
+									}
+								}
+							}
+						}
+						pc, npc = nextPC, nextNPC
+						continue loop
+					}
+				}
+			}
 		}
 		ri := fastRI[idx]
 
@@ -1038,6 +1845,14 @@ loop:
 				if bbv != nil {
 					bbv[f.target>>bbvShift&bbvMask]++
 				}
+				if sbHeat != nil {
+					if t := uint64(f.target-textBase) >> 2; t < uint64(len(sbHeat)) {
+						sbHeat[t]++
+						if sbHeat[t] == sbThresh {
+							c.compileSB(uint32(t))
+						}
+					}
+				}
 				// Annulled slot at npc: fetched, occupies a slot, no effect.
 				if line := npc >> icShift; line == fetchLine {
 					fb.icHits++
@@ -1057,6 +1872,14 @@ loop:
 				extra += 1 + c.decodeExtra
 				if bbv != nil {
 					bbv[f.target>>bbvShift&bbvMask]++
+				}
+				if sbHeat != nil {
+					if t := uint64(f.target-textBase) >> 2; t < uint64(len(sbHeat)) {
+						sbHeat[t]++
+						if sbHeat[t] == sbThresh {
+							c.compileSB(uint32(t))
+						}
+					}
 				}
 				nextPC, nextNPC = npc, f.target
 				slotRuns = true
@@ -1094,6 +1917,14 @@ loop:
 			if bbv != nil {
 				bbv[f.target>>bbvShift&bbvMask]++
 			}
+			if sbHeat != nil {
+				if t := uint64(f.target-textBase) >> 2; t < uint64(len(sbHeat)) {
+					sbHeat[t]++
+					if sbHeat[t] == sbThresh {
+						c.compileSB(uint32(t))
+					}
+				}
+			}
 			nextPC, nextNPC = npc, f.target
 
 		case fJmpl:
@@ -1111,6 +1942,14 @@ loop:
 			extra += 1 + c.decodeExtra + c.jumpExtra
 			if bbv != nil {
 				bbv[jt>>bbvShift&bbvMask]++
+			}
+			if sbHeat != nil {
+				if t := uint64(jt-textBase) >> 2; t < uint64(len(sbHeat)) {
+					sbHeat[t]++
+					if sbHeat[t] == sbThresh {
+						c.compileSB(uint32(t))
+					}
+				}
 			}
 			nextPC, nextNPC = npc, jt
 
@@ -1175,6 +2014,14 @@ loop:
 				if bbv != nil {
 					bbv[f.target>>bbvShift&bbvMask]++
 				}
+				if sbHeat != nil {
+					if t := uint64(f.target-textBase) >> 2; t < uint64(len(sbHeat)) {
+						sbHeat[t]++
+						if sbHeat[t] == sbThresh {
+							c.compileSB(uint32(t))
+						}
+					}
+				}
 				if line := npc2 >> icShift; line == fetchLine {
 					fb.icHits++
 				} else {
@@ -1192,6 +2039,14 @@ loop:
 				extra += 1 + c.decodeExtra
 				if bbv != nil {
 					bbv[f.target>>bbvShift&bbvMask]++
+				}
+				if sbHeat != nil {
+					if t := uint64(f.target-textBase) >> 2; t < uint64(len(sbHeat)) {
+						sbHeat[t]++
+						if sbHeat[t] == sbThresh {
+							c.compileSB(uint32(t))
+						}
+					}
 				}
 				nextPC, nextNPC = npc2, f.target
 				slotRuns = true
@@ -1496,6 +2351,8 @@ loop:
 		c.memory.Widen(int(wlo), int(whi))
 	}
 	fb.flush(c)
+	c.sbStats.Hits += sbHits
+	c.sbStats.Deopts += sbDeopts
 	return stepNext, retErr
 }
 

@@ -1,0 +1,86 @@
+package cpu
+
+import (
+	"liquidarch/internal/cache"
+	"liquidarch/internal/isa"
+	"liquidarch/internal/mem"
+	"liquidarch/internal/profiler"
+)
+
+// CoreState is a complete mid-run snapshot of a core's mutable state —
+// architectural registers, window/hazard/ICC bookkeeping, the profile,
+// and the full cache and write-buffer timing state. Together with a
+// mem.MemoryState it is an exact resume point: a core of the same
+// configuration restored from it retires the identical instruction and
+// cycle stream the snapshotted core would have from that point on. The
+// platform captures one per interval boundary to fan interval segments
+// across workers (DESIGN.md §17).
+//
+// Diagnostic-only state is deliberately excluded: superblock heat and
+// compiled blocks (timing-transparent by contract), the block-signature
+// accumulator (zero at interval boundaries, where TakeBlockVector just
+// drained it), and trace writers (tracing disables checkpointing).
+type CoreState struct {
+	regs          []uint32
+	cwp           int
+	resid         int
+	y             uint32
+	icc           isa.ICC
+	pc, npc       uint32
+	loadHazardReg int
+	iccJustSet    bool
+	stats         profiler.Stats
+	halted        bool
+	exit          uint32
+	icache        cache.State
+	dcache        cache.State
+	wbuf          mem.WriteBufferState
+}
+
+// SaveState captures the core's mutable state into s, reusing s's
+// buffers when they fit so steady-state checkpointing allocates nothing.
+func (c *Core) SaveState(s *CoreState) {
+	s.regs = append(s.regs[:0], c.regfile[:8+c.nwin+1]...)
+	s.cwp = c.cwp
+	s.resid = c.resid
+	s.y = c.y
+	s.icc = c.icc
+	s.pc, s.npc = c.pc, c.npc
+	s.loadHazardReg = c.loadHazardReg
+	s.iccJustSet = c.iccJustSet
+	s.stats = c.stats
+	s.halted = c.halted
+	s.exit = c.exit
+	c.icache.SaveState(&s.icache)
+	c.dcache.SaveState(&s.dcache)
+	s.wbuf = c.wbuf.SaveState()
+}
+
+// RestoreState restores a snapshot taken from a core of the same
+// configuration and text; the attached memory must be restored
+// separately (mem.MemoryState). Checkpoint snapshots are never halted,
+// so a restored core resumes at the snapshot's pc; restoring a
+// snapshot of a finished run carries the halt state and exit code over
+// (how the platform folds a parallel run's final segment back into its
+// primary engine).
+func (c *Core) RestoreState(s *CoreState) {
+	copy(c.regfile[:len(s.regs)], s.regs)
+	c.cwp = s.cwp
+	c.resid = s.resid
+	c.rebuildViews()
+	if c.fastRI != nil && c.fastCwp != c.cwp {
+		c.patchFastRI()
+	}
+	c.y = s.y
+	c.icc = s.icc
+	c.pc, c.npc = s.pc, s.npc
+	c.loadHazardReg = s.loadHazardReg
+	c.iccJustSet = s.iccJustSet
+	c.stats = s.stats
+	c.icache.RestoreState(&s.icache)
+	c.dcache.RestoreState(&s.dcache)
+	c.wbuf.RestoreState(s.wbuf)
+	c.halted = s.halted
+	c.exit = s.exit
+	clear(c.bbv)
+}

@@ -1,0 +1,198 @@
+package cpu_test
+
+import (
+	"reflect"
+	"testing"
+
+	"liquidarch/internal/cache"
+	"liquidarch/internal/config"
+	"liquidarch/internal/cpu"
+	"liquidarch/internal/isa"
+	"liquidarch/internal/mem"
+	"liquidarch/internal/profiler"
+	"liquidarch/internal/progs"
+	"liquidarch/internal/workload"
+)
+
+// sbRunResult captures everything a superblock run must reproduce exactly.
+type sbRunResult struct {
+	stats    profiler.Stats
+	icache   cache.Stats
+	dcache   cache.Stats
+	exit     uint32
+	checksum uint32
+	console  string
+	halted   bool
+	bbv      []uint32
+	sb       cpu.SuperblockStats
+}
+
+// sbRun executes prog to completion (or through chunked RunFor calls when
+// chunk > 0, stressing entry declines at stop boundaries) with the given
+// superblock threshold (0 = disabled).
+func sbRun(t *testing.T, prog interface {
+	Load(*mem.Memory) error
+}, textBase uint32, textWords int, entry uint32, cfg config.Config, threshold int, chunk uint64) sbRunResult {
+	t.Helper()
+	m := mem.New(mem.DefaultRAMBytes)
+	if err := prog.Load(m); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	core, err := cpu.New(cfg, m)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := core.LoadText(textBase, textWords); err != nil {
+		t.Fatalf("LoadText: %v", err)
+	}
+	core.EnableBlockVector(64, 4)
+	core.EnableSuperblocks(threshold)
+	core.Reset(entry)
+	var bbv []uint32
+	if chunk == 0 {
+		if err := core.Run(1 << 32); err != nil {
+			t.Fatalf("Run: %v (pc=%#x)", err, core.PC())
+		}
+		bbv = append([]uint32(nil), core.TakeBlockVector()...)
+	} else {
+		for !core.Halted() {
+			if _, err := core.RunFor(chunk); err != nil {
+				t.Fatalf("RunFor: %v (pc=%#x)", err, core.PC())
+			}
+			bbv = append(bbv, core.TakeBlockVector()...)
+		}
+	}
+	return sbRunResult{
+		stats:    core.Stats(),
+		icache:   core.ICacheStats(),
+		dcache:   core.DCacheStats(),
+		exit:     core.ExitCode(),
+		checksum: core.Reg(9),
+		console:  core.Memory().Console(),
+		halted:   core.Halted(),
+		bbv:      bbv,
+		sb:       core.SuperblockStats(),
+	}
+}
+
+// TestSuperblockEquivalence proves superblock execution cycle-exact
+// against the generic fast loop on every benchmark × configuration, both
+// run to completion and through odd-sized RunFor chunks (which force the
+// executor to decline entry near stop boundaries and let the generic loop
+// finish blocks op by op). A threshold of 4 compiles far more blocks than
+// the production default, maximising superblock coverage.
+func TestSuperblockEquivalence(t *testing.T) {
+	const scale = workload.Tiny
+	anyHits := false
+	for _, b := range progs.All() {
+		prog, err := b.Assemble(scale)
+		if err != nil {
+			t.Fatalf("%s: assemble: %v", b.Name, err)
+		}
+		for name, cfg := range equivConfigs() {
+			for _, chunk := range []uint64{0, 7_777} {
+				mode := "full"
+				if chunk > 0 {
+					mode = "chunked"
+				}
+				t.Run(b.Name+"/"+name+"/"+mode, func(t *testing.T) {
+					ref := sbRun(t, prog, prog.TextBase, prog.TextWords(), prog.Entry, cfg, 0, chunk)
+					got := sbRun(t, prog, prog.TextBase, prog.TextWords(), prog.Entry, cfg, 4, chunk)
+					if got.stats != ref.stats {
+						t.Errorf("stats diverge:\nsb:  %+v\nref: %+v", got.stats, ref.stats)
+					}
+					if got.icache != ref.icache {
+						t.Errorf("icache stats diverge: sb %+v ref %+v", got.icache, ref.icache)
+					}
+					if got.dcache != ref.dcache {
+						t.Errorf("dcache stats diverge: sb %+v ref %+v", got.dcache, ref.dcache)
+					}
+					if got.exit != ref.exit || got.checksum != ref.checksum ||
+						got.console != ref.console || got.halted != ref.halted {
+						t.Errorf("architectural state diverges: sb %+v ref %+v", got, ref)
+					}
+					if !reflect.DeepEqual(got.bbv, ref.bbv) {
+						t.Errorf("block signature vectors diverge:\nsb:  %v\nref: %v", got.bbv, ref.bbv)
+					}
+					if got.sb.Hits > 0 {
+						anyHits = true
+					}
+				})
+			}
+		}
+	}
+	if !anyHits {
+		t.Error("no benchmark executed a single superblock — the specializer is dead code")
+	}
+}
+
+// TestSuperblockSelfModifyingDeopt pins the self-modifying-store deopt: a
+// hot loop that eventually stores into the text segment must invalidate
+// every compiled block, keep running on the generic loop, and still match
+// a superblock-free run exactly.
+func TestSuperblockSelfModifyingDeopt(t *testing.T) {
+	// %g1 counts down from 200; every iteration stores %g1 to a scratch
+	// slot and %g0 over the dead landing pad at the end of the text
+	// segment (never fetched, so predecoded execution is unaffected and
+	// the runs stay comparable). Once the loop head compiles, the first
+	// superblock pass hits the text store mid-block and must deopt.
+	prog := []isa.Instr{
+		aluImm(isa.OpAdd, 1, 0, 200), // %g1 = 200
+	}
+	prog = append(prog, set32(2, textBase+64*4)...)   // %g2 = &pad (in text)
+	prog = append(prog, set32(3, textBase+0x4000)...) // %g3 = &scratch (past text)
+	prog = append(prog,
+		// loop:
+		aluImm(isa.OpSubCC, 1, 1, 1),                          // %g1-- (sets icc)
+		isa.Instr{Op: isa.OpSt, Rd: 1, Rs1: 3, UseImm: true},  // st %g1, [%g3]
+		isa.Instr{Op: isa.OpSt, Rd: 0, Rs1: 2, UseImm: true},  // st %g0, [%g2] — into text!
+		aluImm(isa.OpSubCC, 0, 1, 0),                          // cmp %g1, 0
+		isa.Instr{Op: isa.OpBicc, Cond: isa.CondNE, Disp: -4}, // bne loop
+		nop(), //   (delay)
+		halt(),
+	)
+	for len(prog) < 64 {
+		prog = append(prog, nop())
+	}
+	prog = append(prog, nop()) // the pad the store hits
+
+	ref := buildCore(t, config.Default(), prog)
+	if err := ref.Run(1 << 20); err != nil {
+		t.Fatalf("reference: %v (pc=%#x)", err, ref.PC())
+	}
+
+	sb := buildCore(t, config.Default(), prog)
+	sb.EnableSuperblocks(4)
+	if err := sb.Run(1 << 20); err != nil {
+		t.Fatalf("superblock run: %v (pc=%#x)", err, sb.PC())
+	}
+
+	if got, want := sb.Stats(), ref.Stats(); got != want {
+		t.Errorf("stats diverge:\nsb:  %+v\nref: %+v", got, want)
+	}
+	st := sb.SuperblockStats()
+	if st.Compiled == 0 {
+		t.Errorf("expected the hot loop to compile at least one block, got %+v", st)
+	}
+	if st.Deopts == 0 {
+		t.Errorf("expected the text store to count a deopt, got %+v", st)
+	}
+	if sb.SuperblocksEnabled() {
+		t.Error("superblocks still enabled after a self-modifying store")
+	}
+}
+
+// TestSuperblockDisable pins the knob semantics: a non-positive threshold
+// disables specialization and discards state.
+func TestSuperblockDisable(t *testing.T) {
+	prog := []isa.Instr{halt()}
+	c := buildCore(t, config.Default(), prog)
+	c.EnableSuperblocks(8)
+	if !c.SuperblocksEnabled() {
+		t.Fatal("EnableSuperblocks(8) left superblocks off")
+	}
+	c.EnableSuperblocks(-1)
+	if c.SuperblocksEnabled() {
+		t.Fatal("EnableSuperblocks(-1) left superblocks on")
+	}
+}

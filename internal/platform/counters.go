@@ -1,0 +1,86 @@
+package platform
+
+import (
+	"sync/atomic"
+
+	"liquidarch/internal/cpu"
+)
+
+// Process-wide tuning defaults and diagnostic counters. Options inherit
+// the defaults when their tuning fields are zero, so one SetDefaultTuning
+// call (a CLI flag, a daemon option) retunes every subsequent run without
+// threading knobs through each call site. The counters aggregate
+// superblock and parallel-interval activity across all engines for the
+// daemon's /v1/metrics endpoint; none of them feed any report.
+var (
+	defaultSBThreshold atomic.Int64
+	defaultWorkers     atomic.Int64
+
+	ctrSBCompiled atomic.Uint64
+	ctrSBHits     atomic.Uint64
+	ctrSBDeopts   atomic.Uint64
+	ctrParRuns    atomic.Uint64
+)
+
+func init() {
+	defaultSBThreshold.Store(cpu.DefaultSuperblockThreshold)
+	defaultWorkers.Store(1)
+}
+
+// SetDefaultTuning sets the process-wide execution-tuning defaults.
+// superblockThreshold <= 0 disables superblock specialization by default;
+// a positive value compiles hot blocks at that taken-branch heat.
+// intraRunWorkers <= 1 keeps interval-profiled runs serial by default; a
+// larger value lets identical re-runs fan checkpointed interval segments
+// across that many goroutines. Neither knob changes any reported result —
+// only wall-clock speed (DESIGN.md §17).
+func SetDefaultTuning(superblockThreshold, intraRunWorkers int) {
+	if superblockThreshold < 0 {
+		superblockThreshold = 0
+	}
+	defaultSBThreshold.Store(int64(superblockThreshold))
+	if intraRunWorkers < 1 {
+		intraRunWorkers = 1
+	}
+	defaultWorkers.Store(int64(intraRunWorkers))
+}
+
+// TuningCounters is a point-in-time snapshot of the process-wide
+// execution-tuning activity, for the daemon's metrics endpoint.
+type TuningCounters struct {
+	// SuperblockCompiled, SuperblockHits and SuperblockDeopts aggregate
+	// the per-core superblock counters over every run this process
+	// executed.
+	SuperblockCompiled uint64 `json:"superblock_compiled"`
+	SuperblockHits     uint64 `json:"superblock_hits"`
+	SuperblockDeopts   uint64 `json:"superblock_deopts"`
+	// ParallelRuns counts interval-profiled runs that executed as a
+	// checkpointed parallel re-run; ParallelWorkers is the current
+	// process-default worker bound.
+	ParallelRuns    uint64 `json:"parallel_runs"`
+	ParallelWorkers int    `json:"parallel_workers"`
+}
+
+// Counters returns the current tuning-counter snapshot.
+func Counters() TuningCounters {
+	return TuningCounters{
+		SuperblockCompiled: ctrSBCompiled.Load(),
+		SuperblockHits:     ctrSBHits.Load(),
+		SuperblockDeopts:   ctrSBDeopts.Load(),
+		ParallelRuns:       ctrParRuns.Load(),
+		ParallelWorkers:    int(defaultWorkers.Load()),
+	}
+}
+
+// foldSuperblockCounters folds the delta since the engine's last run into
+// the process-wide counters.
+func (e *Engine) foldSuperblockCounters() {
+	sb := e.core.SuperblockStats()
+	if sb == e.lastSB {
+		return
+	}
+	ctrSBCompiled.Add(sb.Compiled - e.lastSB.Compiled)
+	ctrSBHits.Add(sb.Hits - e.lastSB.Hits)
+	ctrSBDeopts.Add(sb.Deopts - e.lastSB.Deopts)
+	e.lastSB = sb
+}

@@ -1,0 +1,296 @@
+package platform
+
+// Parallel interval simulation (DESIGN.md §17). Simulation is inherently
+// serial — every cycle depends on the full microarchitectural history —
+// so a single run cannot be split. But the measurement workloads
+// (52-config model builds, phase tunes, daemon jobs) repeat *identical*
+// interval-profiled runs, and those can: the first, serial execution of
+// a run checkpoints the complete engine state (registers, caches, write
+// buffer, dirty RAM, console) at interval boundaries; an identical
+// re-run then fans disjoint interval segments across workers, each
+// resuming from a checkpoint, and concatenates the per-segment interval
+// snapshots. Because a checkpoint is exact, every segment retires the
+// same instruction and cycle stream the serial run would — the merged
+// RunReport is byte-identical to serial execution, which the
+// parallel-equivalence suite enforces.
+
+import (
+	"fmt"
+	"sync"
+
+	"liquidarch/internal/cpu"
+	"liquidarch/internal/mem"
+)
+
+// Checkpoint budgets: capture thins itself (dropping every other
+// checkpoint and doubling its stride) whenever the set would exceed
+// either bound, so long runs keep a bounded, roughly even spread.
+const (
+	maxCheckpoints     = 64
+	maxCheckpointBytes = 128 << 20
+)
+
+// checkpoint is one resumable interval boundary.
+type checkpoint struct {
+	idx  int // intervals completed when the snapshot was taken
+	core cpu.CoreState
+	mem  mem.MemoryState
+}
+
+// ckCapture tracks checkpoint capture during a serial interval run.
+type ckCapture struct {
+	stride int
+	bytes  int
+}
+
+// startCapture arms checkpoint capture for this run, or returns nil when
+// capture is pointless (serial tuning, traced run) or already complete.
+func (e *Engine) startCapture() *ckCapture {
+	if e.ckDone || e.opts.IntraRunWorkers <= 1 || e.opts.TraceWriter != nil {
+		return nil
+	}
+	e.cks = e.cks[:0]
+	return &ckCapture{stride: 1}
+}
+
+// note captures a checkpoint at an interval boundary (done intervals
+// complete, run still live) when the boundary falls on the current
+// stride.
+func (c *ckCapture) note(e *Engine, done int) {
+	if done == 0 || done%c.stride != 0 {
+		return
+	}
+	var ck checkpoint
+	ck.idx = done
+	e.core.SaveState(&ck.core)
+	e.m.SaveState(&ck.mem)
+	c.bytes += ck.mem.Bytes()
+	e.cks = append(e.cks, ck)
+	if len(e.cks) <= maxCheckpoints && c.bytes <= maxCheckpointBytes {
+		return
+	}
+	// Thin: keep every other checkpoint and double the stride. The
+	// invariant cks[i].idx == (i+1)*stride holds before and after, so
+	// capture stays evenly spread no matter how long the run gets.
+	kept := e.cks[:0]
+	for i := range e.cks {
+		if i%2 == 1 {
+			kept = append(kept, e.cks[i])
+		}
+	}
+	for i := len(kept); i < len(e.cks); i++ {
+		e.cks[i] = checkpoint{} // release the dropped snapshots
+	}
+	e.cks = kept
+	c.stride *= 2
+	c.bytes = 0
+	for i := range e.cks {
+		c.bytes += e.cks[i].mem.Bytes()
+	}
+}
+
+// finishCapture marks the checkpoint set complete at the end of a
+// successful serial run of total intervals.
+func (e *Engine) finishCapture(c *ckCapture, total int) {
+	if c == nil {
+		return
+	}
+	e.nIntervals = total
+	e.ckDone = len(e.cks) > 0
+	if !e.ckDone {
+		e.cks = nil
+	}
+}
+
+// discardCapture drops a partial checkpoint set after a failed run.
+func (e *Engine) discardCapture(c *ckCapture) {
+	if c == nil {
+		return
+	}
+	e.cks = nil
+	e.ckDone = false
+}
+
+// canRunParallel reports whether this run can take the checkpointed
+// parallel path.
+func (e *Engine) canRunParallel() bool {
+	return e.ckDone && len(e.cks) > 0 && e.opts.IntraRunWorkers > 1 &&
+		e.opts.TraceWriter == nil
+}
+
+// segEngine is a worker's private core+memory pair for segment replay.
+// Clones are cached on the engine, so repeated parallel runs reuse them.
+type segEngine struct {
+	m    *mem.Memory
+	core *cpu.Core
+}
+
+func (e *Engine) newSegEngine() (*segEngine, error) {
+	m := mem.New(e.opts.RAMBytes)
+	if err := e.prog.Load(m); err != nil {
+		return nil, fmt.Errorf("platform: %w", err)
+	}
+	m.Snapshot()
+	core, err := cpu.New(e.cfg, m)
+	if err != nil {
+		return nil, fmt.Errorf("platform: %w", err)
+	}
+	if err := core.LoadText(e.prog.TextBase, e.prog.TextWords()); err != nil {
+		return nil, fmt.Errorf("platform: %w", err)
+	}
+	core.EnableSuperblocks(e.opts.SuperblockThreshold)
+	core.EnableBlockVector(SignatureBuckets, signatureShift)
+	return &segEngine{m: m, core: core}, nil
+}
+
+// runIntervalsParallel replays an already-checkpointed run as disjoint
+// interval segments across up to IntraRunWorkers goroutines and merges
+// the results. The caller (Engine.Run) has already restored memory and
+// reset the primary core, which executes segment 0 from the top of the
+// program; every other segment resumes a cached clone from a checkpoint.
+func (e *Engine) runIntervalsParallel() ([]Interval, bool, error) {
+	// Plan: cut the checkpoint list into contiguous spans of roughly
+	// nIntervals/W intervals. starts[0] == nil is segment 0 (from reset);
+	// segment s runs counts[s] intervals (-1: to the end of the run).
+	w := e.opts.IntraRunWorkers
+	per := (e.nIntervals + w - 1) / w
+	if per < 1 {
+		per = 1
+	}
+	starts := []*checkpoint{nil}
+	next := per
+	for i := range e.cks {
+		if len(starts) >= w {
+			break
+		}
+		if e.cks[i].idx >= next {
+			starts = append(starts, &e.cks[i])
+			next = e.cks[i].idx + per
+		}
+	}
+	n := len(starts)
+	if n == 1 {
+		return e.runIntervals()
+	}
+	counts := make([]int, n)
+	for s := range counts {
+		startIdx := 0
+		if starts[s] != nil {
+			startIdx = starts[s].idx
+		}
+		if s+1 < n {
+			counts[s] = starts[s+1].idx - startIdx
+		} else {
+			counts[s] = -1
+		}
+	}
+	for len(e.clones) < n-1 {
+		se, err := e.newSegEngine()
+		if err != nil {
+			return nil, false, err
+		}
+		e.clones = append(e.clones, se)
+	}
+
+	type segResult struct {
+		intervals []Interval
+		sampled   bool
+		err       error
+	}
+	results := make([]segResult, n)
+	var wg sync.WaitGroup
+	for s := 0; s < n; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			core := e.core
+			if s == 0 {
+				core.EnableBlockVector(SignatureBuckets, signatureShift)
+			} else {
+				se := e.clones[s-1]
+				se.m.RestoreState(&starts[s].mem)
+				se.core.RestoreState(&starts[s].core)
+				core = se.core
+			}
+			iv, sampled, err := runIntervalSegment(core, e.opts, counts[s])
+			results[s] = segResult{iv, sampled, err}
+		}(s)
+	}
+	wg.Wait()
+
+	var intervals []Interval
+	for s := range results {
+		if results[s].err != nil {
+			return nil, false, results[s].err
+		}
+		intervals = append(intervals, results[s].intervals...)
+	}
+	for i := range intervals {
+		intervals[i].Index = i
+	}
+	// Fold the final segment's end-of-run state into the primary engine:
+	// its absolute counters, registers, RAM and console ARE the whole
+	// run's (each segment resumed exact state, so the last one ends
+	// exactly where a serial run would). Run then extracts the report
+	// from the primary core/memory as usual.
+	last := e.clones[n-2]
+	var fin checkpoint
+	last.core.SaveState(&fin.core)
+	last.m.SaveState(&fin.mem)
+	e.core.RestoreState(&fin.core)
+	e.m.RestoreState(&fin.mem)
+	ctrParRuns.Add(1)
+	return intervals, results[n-1].sampled, nil
+}
+
+// runIntervalSegment drives one segment of an interval-profiled run:
+// the serial boundary loop, stopping after count intervals (count < 0:
+// run to the halt trap or the sample limit). The core's counters are
+// absolute (restored from the checkpoint), so the sample and runaway
+// clamps behave exactly as in the serial run.
+func runIntervalSegment(core *cpu.Core, opts Options, count int) ([]Interval, bool, error) {
+	every := opts.IntervalInstructions
+	sample := opts.SampleInstructions
+	prev := core.Stats()
+	prevIC, prevDC := core.ICacheStats(), core.DCacheStats()
+	var intervals []Interval
+	for {
+		done := prev.Instructions
+		step := every
+		if sample > 0 && step > sample-done {
+			step = sample - done
+		}
+		if step > opts.MaxInstructions-done {
+			step = opts.MaxInstructions - done
+		}
+		halted, err := core.RunFor(step)
+		if err != nil {
+			return nil, false, fmt.Errorf("platform: %w", err)
+		}
+		st, ic, dc := core.Stats(), core.ICacheStats(), core.DCacheStats()
+		if st.Instructions > prev.Instructions {
+			intervals = append(intervals, Interval{
+				Index:        len(intervals),
+				Instructions: st.Instructions - prev.Instructions,
+				Stats:        st.Sub(prev),
+				ICache:       ic.Sub(prevIC),
+				DCache:       dc.Sub(prevDC),
+				Signature:    core.TakeBlockVector(),
+			})
+		}
+		prev, prevIC, prevDC = st, ic, dc
+		if halted {
+			return intervals, false, nil
+		}
+		if sample > 0 && st.Instructions >= sample {
+			return intervals, true, nil
+		}
+		if st.Instructions >= opts.MaxInstructions {
+			return nil, false, fmt.Errorf("platform: instruction limit %d reached at pc %#08x",
+				opts.MaxInstructions, core.PC())
+		}
+		if count >= 0 && len(intervals) >= count {
+			return intervals, false, nil
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package platform_test
+
+import (
+	"reflect"
+	"testing"
+
+	"liquidarch/internal/asm"
+	"liquidarch/internal/config"
+	"liquidarch/internal/platform"
+	"liquidarch/internal/progs"
+	"liquidarch/internal/workload"
+)
+
+// parallelProg assembles one program instance: the engine pool keys on
+// program identity, so both runs of a pair must share the same *Program
+// for the second to inherit the first's checkpoints.
+func parallelProg(t *testing.T, app string) *asm.Program {
+	t.Helper()
+	// The default engine pool (8) may already be full of other tests'
+	// engines; checkpoints live on the pooled engine, so give it room or
+	// every capture run's engine gets evicted on release.
+	platform.SetPoolLimits(32, 0)
+	b, ok := progs.ByName(app)
+	if !ok {
+		t.Fatalf("unknown app %s", app)
+	}
+	prog, err := b.Assemble(workload.Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+// runPair executes the same options twice against one pooled engine: the
+// first run is the serial capture pass, the second takes the parallel
+// path when checkpoints exist. It returns both reports and whether the
+// second run actually executed in parallel (per the process counters).
+func runPair(t *testing.T, prog *asm.Program, opts platform.Options) (first, second *platform.RunReport, parallel bool) {
+	t.Helper()
+	first, err := platform.RunWith(prog, config.Default(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := platform.Counters().ParallelRuns
+	second, err = platform.RunWith(prog, config.Default(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return first, second, platform.Counters().ParallelRuns > before
+}
+
+// TestParallelIntervalEquivalence: an interval-profiled run replayed as
+// checkpointed parallel segments must produce a report byte-identical to
+// the serial run — same stats, cycles, intervals, console, checksum.
+// The serial reference uses IntraRunWorkers=1 (a distinct engine, no
+// capture); the worker pair shares one engine so its second run takes
+// the parallel path.
+func TestParallelIntervalEquivalence(t *testing.T) {
+	for _, app := range []string{"blastn", "arith"} {
+		app := app
+		t.Run(app, func(t *testing.T) {
+			prog := parallelProg(t, app)
+			serialOpts := platform.Options{IntervalInstructions: 5_000, IntraRunWorkers: 1}
+			parOpts := platform.Options{IntervalInstructions: 5_000, IntraRunWorkers: 4}
+			serial, err := platform.RunWith(prog, config.Default(), serialOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The pooled engine can be evicted between the capture run and
+			// the replay under pool pressure; retry the pair until the
+			// parallel path actually executes. Equivalence must hold on
+			// every attempt regardless of which path ran.
+			var parallel bool
+			for attempt := 0; attempt < 5 && !parallel; attempt++ {
+				var first, second *platform.RunReport
+				first, second, parallel = runPair(t, prog, parOpts)
+				if !reflect.DeepEqual(serial, first) {
+					t.Fatalf("capture run diverged from serial reference:\nserial %+v\ncapture %+v", serial, first)
+				}
+				if !reflect.DeepEqual(serial, second) {
+					t.Fatalf("replay (parallel=%v) diverged from serial reference:\nserial %+v\nreplay %+v", parallel, serial, second)
+				}
+			}
+			if !parallel {
+				t.Fatal("parallel path never executed; engine pool kept evicting checkpoints")
+			}
+		})
+	}
+}
+
+// TestParallelIntervalSampledEquivalence covers the truncated-run shape:
+// a sample limit ends the run mid-program, so the last parallel segment
+// must stop at exactly the same boundary the serial run does.
+func TestParallelIntervalSampledEquivalence(t *testing.T) {
+	prog := parallelProg(t, "blastn")
+	serialOpts := platform.Options{
+		IntervalInstructions: 2_000, SampleInstructions: 20_000, IntraRunWorkers: 1}
+	parOpts := platform.Options{
+		IntervalInstructions: 2_000, SampleInstructions: 20_000, IntraRunWorkers: 3}
+	serial, err := platform.RunWith(prog, config.Default(), serialOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !serial.Sampled {
+		t.Fatal("sample limit did not truncate the run; pick a smaller limit")
+	}
+	var parallel bool
+	for attempt := 0; attempt < 5 && !parallel; attempt++ {
+		var second *platform.RunReport
+		_, second, parallel = runPair(t, prog, parOpts)
+		if !reflect.DeepEqual(serial, second) {
+			t.Fatalf("sampled replay (parallel=%v) diverged:\nserial %+v\nreplay %+v", parallel, serial, second)
+		}
+	}
+	if !parallel {
+		t.Fatal("parallel path never executed for the sampled shape")
+	}
+}

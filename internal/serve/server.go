@@ -44,6 +44,7 @@ import (
 
 	"liquidarch/internal/config"
 	"liquidarch/internal/core"
+	"liquidarch/internal/cpu"
 	"liquidarch/internal/measure"
 	"liquidarch/internal/phase"
 	"liquidarch/internal/platform"
@@ -86,6 +87,13 @@ type Options struct {
 	// ModelCacheEntries bounds the session's shared model layer
 	// (<= 0 means core.DefaultModelCacheEntries).
 	ModelCacheEntries int
+	// SuperblockThreshold and IntraRunWorkers retune the process-wide
+	// execution defaults (platform.SetDefaultTuning) when nonzero:
+	// superblock compilation heat (negative disables) and the worker
+	// bound for checkpointed parallel interval re-runs. Neither changes
+	// any measured result — only how fast the daemon produces it.
+	SuperblockThreshold int
+	IntraRunWorkers     int
 }
 
 // retain resolves the configured terminal-job cap (-1 = unlimited).
@@ -276,6 +284,13 @@ func New(opts Options) *Server {
 	}
 	if opts.QueueDepth <= 0 {
 		opts.QueueDepth = 256
+	}
+	if opts.SuperblockThreshold != 0 || opts.IntraRunWorkers != 0 {
+		sb := opts.SuperblockThreshold
+		if sb == 0 {
+			sb = cpu.DefaultSuperblockThreshold
+		}
+		platform.SetDefaultTuning(sb, opts.IntraRunWorkers)
 	}
 	provider := opts.Provider
 	var cache *measure.Cache
@@ -806,13 +821,18 @@ type Metrics struct {
 	Pool      platform.PoolStats    `json:"pool"`
 	Jobs      map[string]int        `json:"jobs"`
 	Scheduler SchedulerStats        `json:"scheduler"`
+	// Tuning aggregates the execution-tuning activity: superblock
+	// compiles/hits/deopts across every simulated run, and how many
+	// interval-profiled runs replayed as parallel segments.
+	Tuning platform.TuningCounters `json:"tuning"`
 }
 
 // MetricsSnapshot assembles the current counters.
 func (s *Server) MetricsSnapshot() Metrics {
 	m := Metrics{
-		Pool: platform.PoolSnapshot(),
-		Jobs: map[string]int{},
+		Pool:   platform.PoolSnapshot(),
+		Jobs:   map[string]int{},
+		Tuning: platform.Counters(),
 	}
 	models := s.session.ModelStats()
 	m.Models = &models
