@@ -20,6 +20,7 @@ import (
 	"liquidarch/internal/exhaustive"
 	"liquidarch/internal/experiments"
 	"liquidarch/internal/fpga"
+	"liquidarch/internal/measure"
 	"liquidarch/internal/platform"
 	"liquidarch/internal/progs"
 	"liquidarch/internal/workload"
@@ -264,6 +265,79 @@ func BenchmarkSolverFullSpace(b *testing.B) {
 			b.Fatal("not proven")
 		}
 	}
+}
+
+// BenchmarkSessionTune prices the serving stack's three temperatures for
+// one full tuning request (model build + solve + validation), always
+// through a session restarted per iteration so nothing hides in the
+// in-memory model layer: cold (empty measurement store — every
+// measurement simulates), warm-store (a populated store replays the ~21
+// measurements from disk, the model still rebuilds), and warm-artifact
+// (the durable model tier answers the whole model set in one read — the
+// restarted-replica fast path, required to be >= 5x the cold latency).
+func benchmarkSessionTune(b *testing.B, warmStore, warmArtifact bool) {
+	ctx := context.Background()
+	req := core.Request{App: "arith", Scale: workload.Tiny, Space: config.DcacheGeometrySpace()}
+	cacheDir, modelDir := b.TempDir(), b.TempDir()
+
+	// Untimed warm-up: one-time engine construction and superblock
+	// compilation belong to the process, not to any temperature.
+	warm := core.NewSession(core.SessionOptions{Provider: measure.NewCache(measure.Simulator{}, 256)})
+	if _, err := warm.Tune(ctx, req); err != nil {
+		b.Fatal(err)
+	}
+	if warmStore || warmArtifact {
+		store, err := measure.NewStore(cacheDir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var ms *core.ModelStore
+		if warmArtifact {
+			if ms, err = core.NewModelStore(modelDir); err != nil {
+				b.Fatal(err)
+			}
+		}
+		sess := core.NewSession(core.SessionOptions{
+			Provider:     measure.NewCache(measure.NewPersistent(measure.Simulator{}, store), 256),
+			ModelStore:   ms,
+			MeasureStore: store,
+		})
+		if _, err := sess.Tune(ctx, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		if !warmStore && !warmArtifact {
+			cacheDir = b.TempDir() // cold: a never-written store every iteration
+		}
+		store, err := measure.NewStore(cacheDir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var ms *core.ModelStore
+		if warmArtifact {
+			if ms, err = core.NewModelStore(modelDir); err != nil {
+				b.Fatal(err)
+			}
+		}
+		sess := core.NewSession(core.SessionOptions{
+			Provider:   measure.NewCache(measure.NewPersistent(measure.Simulator{}, store), 256),
+			ModelStore: ms,
+		})
+		b.StartTimer()
+		if _, err := sess.Tune(ctx, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSessionTune(b *testing.B) {
+	b.Run("cold", func(b *testing.B) { benchmarkSessionTune(b, false, false) })
+	b.Run("warm-store", func(b *testing.B) { benchmarkSessionTune(b, true, false) })
+	b.Run("warm-artifact", func(b *testing.B) { benchmarkSessionTune(b, false, true) })
 }
 
 // ---- Ablation benchmarks (design choices called out in DESIGN.md) ----

@@ -9,6 +9,12 @@
 //
 //	autoarch -app blastn [-w1 100 -w2 1] [-scale small] [-space full|dcache] [-model] [-json]
 //	autoarch -app mix -phases [-interval N] [-switch-penalty N] [-phase-threshold T] [-json]
+//	autoarch -app blastn [-model-dir DIR] [-auto-workers] ...
+//
+// With -model-dir the built model set is spilled to a durable artifact
+// and reused by later runs (and by an autoarchd sharing the directory);
+// -auto-workers replaces the static parallelism defaults with a measured
+// split of the host between concurrent runs and intra-run replay.
 //
 // With -json the result is the core.Report document — the same
 // serialization the autoarchd daemon returns for a finished job — on
@@ -66,6 +72,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 
 		superblocks = fs.Int("superblocks", 0, "superblock compilation threshold: taken-branch heat before a hot block is specialized (0 = default, negative = off); never changes results, only speed")
 		intraRun    = fs.Int("intra-run-workers", 0, "workers for checkpointed parallel replay of repeated interval-profiled runs (0 or 1 = serial); never changes results, only speed")
+		modelDir    = fs.String("model-dir", "", "spill built model sets to durable artifacts in this directory and reuse them on later runs (empty = build in memory every run)")
+		autoWorkers = fs.Bool("auto-workers", false, "measure the host's effective parallelism once and split it between concurrent runs and intra-run replay (ignored when -workers is set); never changes results, only speed")
 
 		phases    = fs.Bool("phases", false, "phase-aware tuning: one configuration per detected execution phase")
 		interval  = fs.Uint64("interval", core.DefaultIntervalInstructions, "phase profiling interval length in instructions")
@@ -116,7 +124,18 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		Workers:      *workers,
 		IncludeModel: *showModel,
 	}
-	sess := core.NewSession(core.SessionOptions{})
+	var modelStore *core.ModelStore
+	if *modelDir != "" {
+		modelStore, err = core.NewModelStore(*modelDir)
+		if err != nil {
+			fmt.Fprintf(stderr, "autoarch: %v\n", err)
+			return 1
+		}
+	}
+	sess := core.NewSession(core.SessionOptions{
+		ModelStore:  modelStore,
+		AutoWorkers: *autoWorkers,
+	})
 
 	if *phases {
 		if *loadModel != "" || *saveModel != "" || *showModel {

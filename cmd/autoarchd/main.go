@@ -17,16 +17,21 @@
 // replicas may share one -cache-dir (writes are atomic, corrupt entries
 // are read-repaired, a store-version manifest keeps mixed fleets from
 // clobbering each other, and -store-lease dedupes concurrent
-// simulations of one key across replicas with a TTL claim file). See
-// DESIGN.md §14-§15.
+// simulations of one key across replicas with a TTL claim file). With
+// -model-dir, completed model sets additionally spill to durable
+// artifacts, so a restarted or sibling replica serves a previously
+// modeled application without a single simulation or model rebuild;
+// -auto-workers replaces the static parallelism defaults with a
+// measured split of the host between concurrent runs and intra-run
+// replay. See DESIGN.md §14-§15, §18.
 //
 // Usage:
 //
 //	autoarchd [-addr :8723] [-jobs 2] [-queue 256] [-cache-entries 4096]
-//	          [-model-cache 128] [-cache-dir DIR] [-job-retain 1024]
-//	          [-job-ttl 0] [-store-max-bytes 0] [-store-max-age 0]
-//	          [-store-gc-every 64] [-store-lease 0] [-engine-pool N]
-//	          [-mem-pool N]
+//	          [-model-cache 128] [-cache-dir DIR] [-model-dir DIR]
+//	          [-job-retain 1024] [-job-ttl 0] [-store-max-bytes 0]
+//	          [-store-max-age 0] [-store-gc-every 64] [-store-lease 0]
+//	          [-engine-pool N] [-mem-pool N] [-auto-workers]
 //
 // Endpoints: POST/GET /v1/jobs, GET /v1/jobs/{id}, GET
 // /v1/jobs/{id}/stream (ndjson), DELETE /v1/jobs/{id}, GET /v1/metrics,
@@ -58,6 +63,7 @@ func main() {
 		cacheEntries  = flag.Int("cache-entries", measure.DefaultCacheEntries, "bounded measurement-cache entry cap")
 		modelCache    = flag.Int("model-cache", core.DefaultModelCacheEntries, "shared model-layer entry cap (model builds reused across weightings)")
 		cacheDir      = flag.String("cache-dir", "", "persist measurement reports to this directory (empty = in-memory only; shareable across replicas)")
+		modelDir      = flag.String("model-dir", "", "spill built model sets to durable artifacts in this directory and load them on model-cache misses (empty = in-memory model layer only; shareable across replicas)")
 		jobRetain     = flag.Int("job-retain", serve.DefaultRetainJobs, "terminal jobs kept in the job table (0 = default, -1 = unlimited, minimum cap 1)")
 		jobTTL        = flag.Duration("job-ttl", 0, "drop terminal jobs older than this (0 = no age bound)")
 		storeMaxBytes = flag.Int64("store-max-bytes", 0, "GC the -cache-dir store down to this many bytes (0 = unbounded)")
@@ -68,6 +74,7 @@ func main() {
 		memPool       = flag.Int("mem-pool", 0, "platform loaded-memory pool size (0 = default)")
 		superblocks   = flag.Int("superblocks", 0, "superblock compilation threshold: taken-branch heat before a hot block is specialized (0 = default, negative = off); never changes results, only speed")
 		intraRun      = flag.Int("intra-run-workers", 0, "workers for checkpointed parallel replay of repeated interval-profiled runs (0 or 1 = serial); never changes results, only speed")
+		autoWorkers   = flag.Bool("auto-workers", false, "measure the host's effective parallelism once and split it between concurrent runs and intra-run replay for jobs that do not pin a worker count; never changes results, only speed")
 	)
 	flag.Parse()
 
@@ -99,6 +106,17 @@ func main() {
 	}
 	cache := measure.NewCache(provider, *cacheEntries)
 
+	var modelStore *core.ModelStore
+	if *modelDir != "" {
+		var err error
+		modelStore, err = core.NewModelStore(*modelDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "autoarchd: %v\n", err)
+			os.Exit(1)
+		}
+		log.Printf("model artifacts at %s (v%d)", modelStore.Dir(), core.ModelSetVersion)
+	}
+
 	server := serve.New(serve.Options{
 		Workers:             *jobs,
 		QueueDepth:          *queueDepth,
@@ -109,6 +127,8 @@ func main() {
 		ModelCacheEntries:   *modelCache,
 		SuperblockThreshold: *superblocks,
 		IntraRunWorkers:     *intraRun,
+		ModelStore:          modelStore,
+		AutoWorkers:         *autoWorkers,
 	})
 	defer server.Close()
 

@@ -30,10 +30,13 @@ import (
 // A Session is safe for concurrent use; concurrent Tune calls for the
 // same (program, space, scale, interval) join one model build.
 type Session struct {
-	provider measure.Provider
-	workers  int
-	solver   binlp.Options
-	models   *modelCache
+	provider     measure.Provider
+	workers      int
+	solver       binlp.Options
+	models       *modelCache
+	store        *ModelStore
+	measureStore *measure.Store
+	autoWorkers  bool
 }
 
 // SessionOptions configures a Session. The zero value is usable: the
@@ -54,6 +57,24 @@ type SessionOptions struct {
 	// ModelCacheEntries bounds the shared model layer (<= 0 means
 	// DefaultModelCacheEntries).
 	ModelCacheEntries int
+	// ModelStore, when set, makes the model layer durable: every
+	// successfully built model set is spilled to an on-disk artifact, and
+	// a model-cache miss tries the store before rebuilding — a restarted
+	// or sibling replica skips both the ~52 measurement reads and the
+	// rebuild. Corrupt or mismatched artifacts read as misses; failed
+	// builds are never spilled.
+	ModelStore *ModelStore
+	// MeasureStore, when set alongside ModelStore, receives a set
+	// manifest (measure.Store.SaveSet) for every spilled model set,
+	// naming the measurement entries the build consumed — the store's GC
+	// then evicts a build's entries as one cohesive unit instead of
+	// breaking warm sets one file at a time.
+	MeasureStore *measure.Store
+	// AutoWorkers picks each request's measurement parallelism split —
+	// concurrent runs × intra-run replay workers — from a one-shot
+	// calibration of the host (measure.AutoPlan). It applies only when
+	// neither the request nor Workers names an explicit value.
+	AutoWorkers bool
 }
 
 // DefaultModelCacheEntries bounds a session's model layer when
@@ -69,10 +90,13 @@ func NewSession(opts SessionOptions) *Session {
 		p = measure.Default()
 	}
 	return &Session{
-		provider: p,
-		workers:  opts.Workers,
-		solver:   opts.SolverOptions,
-		models:   newModelCache(opts.ModelCacheEntries),
+		provider:     p,
+		workers:      opts.Workers,
+		solver:       opts.SolverOptions,
+		models:       newModelCache(opts.ModelCacheEntries),
+		store:        opts.ModelStore,
+		measureStore: opts.MeasureStore,
+		autoWorkers:  opts.AutoWorkers,
 	}
 }
 
@@ -81,8 +105,17 @@ func NewSession(opts SessionOptions) *Session {
 // the session's cache stack.
 func (s *Session) Provider() measure.Provider { return s.provider }
 
-// ModelStats returns a snapshot of the shared model layer's counters.
-func (s *Session) ModelStats() ModelCacheStats { return s.models.stats() }
+// ModelStats returns a snapshot of the shared model layer's counters,
+// including the durable tier's disk traffic when a ModelStore is wired.
+func (s *Session) ModelStats() ModelCacheStats {
+	st := s.models.stats()
+	if s.store != nil {
+		st.DiskHits = s.store.hits.Load()
+		st.DiskMisses = s.store.misses.Load()
+		st.Spills = s.store.spills.Load()
+	}
+	return st
+}
 
 // Tune runs one tuning request end to end and assembles its Report:
 // resolve the request, obtain the model(s) — from the shared model
@@ -102,6 +135,14 @@ func (s *Session) Tune(ctx context.Context, req Request) (*Report, error) {
 		popts = req.Phases.normalized()
 	}
 
+	workers := req.workers(s.workers)
+	intraRun := 0
+	if s.autoWorkers && workers == 0 {
+		// Neither the request nor the session named a split: plan it from
+		// the calibrated host parallelism and this request's sweep width.
+		plan := measure.AutoPlan(1 + space.Len())
+		workers, intraRun = plan.SweepWorkers, plan.IntraRunWorkers
+	}
 	prog := &progressCounter{obs: req.Observer, total: tuneTotal(space, req)}
 	tuner := &Tuner{
 		Space: space,
@@ -109,7 +150,8 @@ func (s *Session) Tune(ctx context.Context, req Request) (*Report, error) {
 		// The per-measurement hook fires on cache and store hits too —
 		// the layers below answered them, the request still consumed them.
 		Provider:           measure.Observed{Inner: s.provider, OnMeasure: prog.step},
-		Workers:            req.workers(s.workers),
+		Workers:            workers,
+		IntraRunWorkers:    intraRun,
 		SolverOptions:      s.solver,
 		SampleInstructions: req.SampleInstructions,
 	}
@@ -133,23 +175,56 @@ func (s *Session) Tune(ctx context.Context, req Request) (*Report, error) {
 			key.threshold = popts.threshold()
 		}
 		var shared bool
-		set, shared, err = s.models.get(ctx, key, func() (*modelSet, error) {
+		var fromDisk atomic.Bool
+		set, shared, err = s.models.get(ctx, key, func() (*modelSet, bool, error) {
+			// Disk before rebuild: a completed build spilled by an earlier
+			// incarnation (or a sibling replica) answers the miss without
+			// a single measurement — and without counting as a build.
+			if s.store != nil {
+				if ds, ok := s.store.load(key); ok {
+					fromDisk.Store(true)
+					return ds, false, nil
+				}
+			}
+			bt := *tuner
+			var rec *measure.KeyRecorder
+			if s.store != nil && s.measureStore != nil {
+				// Record the measurement keys the build consumes (cache
+				// hits included) so the spill can name its cohesive set.
+				// Validation runs happen outside this closure and stay out.
+				rec = measure.NewKeyRecorder(bt.Provider)
+				bt.Provider = rec
+			}
+			var built *modelSet
 			if phased {
-				return buildPhaseSet(ctx, tuner, b, popts)
+				ps, perr := buildPhaseSet(ctx, &bt, b, popts)
+				if perr != nil {
+					return nil, false, perr
+				}
+				built = ps
+			} else {
+				m, merr := bt.BuildModel(ctx, b)
+				if merr != nil {
+					return nil, false, merr
+				}
+				built = &modelSet{models: []*Model{m}, baseRes: m.BaseResources}
 			}
-			m, err := tuner.BuildModel(ctx, b)
-			if err != nil {
-				return nil, err
+			if s.store != nil {
+				// Spill best-effort: a full disk must not fail the tune.
+				if serr := s.store.save(key, built); serr == nil && rec != nil {
+					_ = s.measureStore.SaveSet(key.artifactID(), rec.Keys())
+				}
 			}
-			return &modelSet{models: []*Model{m}, baseRes: m.BaseResources}, nil
+			return built, true, nil
 		})
 		if err != nil {
 			return nil, err
 		}
-		if shared {
+		if shared || fromDisk.Load() {
 			// The build's measurements were already performed (by an
-			// earlier request or a concurrent one we joined): account
-			// them to this request's progress in one step.
+			// earlier request, a concurrent one we joined, or a finished
+			// incarnation whose artifact we loaded): account them to this
+			// request's progress in one step.
 			prog.jump(1 + space.Len())
 		}
 	}
@@ -268,10 +343,18 @@ type ModelCacheStats struct {
 	Misses uint64 `json:"misses"`
 	// Builds counts the model builds that actually completed — with N
 	// weightings of one application, Builds stays at 1 while Hits grows.
+	// A model set loaded from the durable tier does NOT count as a build.
 	Builds uint64 `json:"builds"`
 	// Entries is the current resident set count, Capacity the bound.
 	Entries  int `json:"entries"`
 	Capacity int `json:"capacity"`
+	// DiskHits counts model sets answered by the durable tier's on-disk
+	// artifacts, DiskMisses the lookups that fell through to a build, and
+	// Spills the completed builds written out. All zero when the session
+	// has no ModelStore.
+	DiskHits   uint64 `json:"disk_hits,omitempty"`
+	DiskMisses uint64 `json:"disk_misses,omitempty"`
+	Spills     uint64 `json:"spills,omitempty"`
 }
 
 // modelCache is the shared model layer: a bounded, singleflighted LRU
@@ -322,8 +405,11 @@ func (c *modelCache) stats() ModelCacheStats {
 
 // get returns the model set for key, building it with build on a miss.
 // shared is true when the set came from the cache (resident or joined
-// in-flight) — i.e. this caller performed no measurements.
-func (c *modelCache) get(ctx context.Context, key modelKey, build func() (*modelSet, error)) (set *modelSet, shared bool, err error) {
+// in-flight) — i.e. this caller performed no measurements. build
+// additionally reports whether it actually performed a build (false
+// when it answered from the durable tier), which is what keeps Builds
+// an honest count of measurement work.
+func (c *modelCache) get(ctx context.Context, key modelKey, build func() (*modelSet, bool, error)) (set *modelSet, shared bool, err error) {
 	for {
 		set, shared, err, retry := c.getOnce(ctx, key, build)
 		if retry && ctx.Err() == nil {
@@ -336,7 +422,7 @@ func (c *modelCache) get(ctx context.Context, key modelKey, build func() (*model
 // getOnce performs one lookup-or-build round. retry is true when the
 // caller waited on another caller's flight that failed with that
 // owner's context error.
-func (c *modelCache) getOnce(ctx context.Context, key modelKey, build func() (*modelSet, error)) (set *modelSet, shared bool, err error, retry bool) {
+func (c *modelCache) getOnce(ctx context.Context, key modelKey, build func() (*modelSet, bool, error)) (set *modelSet, shared bool, err error, retry bool) {
 	c.mu.Lock()
 	if el, ok := c.entries[key]; ok {
 		c.hits++
@@ -363,7 +449,7 @@ func (c *modelCache) getOnce(ctx context.Context, key modelKey, build func() (*m
 	}
 	c.mu.Unlock()
 
-	built, err := build()
+	built, didBuild, err := build()
 	if err == nil {
 		ent.models = built.models
 		ent.baseRes = built.baseRes
@@ -380,7 +466,7 @@ func (c *modelCache) getOnce(ctx context.Context, key modelKey, build func() (*m
 		}
 		c.mu.Unlock()
 	}
-	if err == nil {
+	if err == nil && didBuild {
 		c.mu.Lock()
 		c.builds++
 		c.mu.Unlock()
@@ -410,6 +496,7 @@ func buildPhaseSet(ctx context.Context, t *Tuner, b *progs.Benchmark, opts Phase
 	runOpts := platform.Options{
 		SampleInstructions:   t.SampleInstructions,
 		IntervalInstructions: opts.IntervalInstructions,
+		IntraRunWorkers:      t.IntraRunWorkers,
 	}
 	baseRep, err := t.provider().Measure(ctx, prog, config.Default(), runOpts)
 	if err != nil {

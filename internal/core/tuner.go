@@ -28,6 +28,12 @@ type Tuner struct {
 	Scale workload.Scale
 	// Workers bounds the parallel measurement runs (default NumCPU).
 	Workers int
+	// IntraRunWorkers, when nonzero, overrides the process-wide worker
+	// bound for checkpointed parallel interval replay inside each
+	// measurement run (platform.Options.IntraRunWorkers). The session's
+	// auto planner sets it together with Workers so sweep-level and
+	// intra-run parallelism split the host instead of oversubscribing it.
+	IntraRunWorkers int
 	// Provider supplies the measurements; nil means the process-wide
 	// shared bounded cache over the simulator (measure.Default()). A
 	// serving system injects its own stack here so concurrent tuning jobs
@@ -85,7 +91,10 @@ func (t *Tuner) measure(ctx context.Context, b *progs.Benchmark, cfg config.Conf
 	if err != nil {
 		return measurement{}, err
 	}
-	opts := platform.Options{SampleInstructions: t.SampleInstructions}
+	opts := platform.Options{
+		SampleInstructions: t.SampleInstructions,
+		IntraRunWorkers:    t.IntraRunWorkers,
+	}
 	rep, err := t.provider().Measure(ctx, prog, cfg, opts)
 	if err != nil {
 		return measurement{}, err

@@ -1,0 +1,160 @@
+package measure
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Auto parallelism split: a measurement sweep has two levers — how many
+// runs execute concurrently (the ForEach worker count) and how many
+// workers each interval-profiled run may spend on checkpointed parallel
+// replay (platform.Options.IntraRunWorkers). Splitting GOMAXPROCS
+// between them statically either starves the sweep on wide fan-outs or
+// oversubscribes the host on narrow ones. AutoPlan measures the host's
+// effective CPU parallelism once per process (a one-shot calibration —
+// hyperthread-shared cores and cgroup throttling both make NumCPU an
+// overestimate) and splits it: sweep-level concurrency first (it scales
+// embarrassingly), intra-run replay with whatever remains.
+
+// Plan is one parallelism split for a measurement sweep.
+type Plan struct {
+	// SweepWorkers bounds the concurrently executing runs (the ForEach
+	// worker count).
+	SweepWorkers int
+	// IntraRunWorkers bounds each run's checkpointed parallel interval
+	// replay; 1 means serial runs (all parallelism spent at sweep level).
+	IntraRunWorkers int
+}
+
+// PlannerStats is a point-in-time snapshot of the process-wide planner.
+type PlannerStats struct {
+	// Calibrations counts the one-shot probes run (0 before the first
+	// AutoPlan, 1 after — the result is cached per process).
+	Calibrations uint64 `json:"calibrations"`
+	// GOMAXPROCS is the scheduler's processor bound; EffectiveParallelism
+	// the calibrated usable parallelism (<= GOMAXPROCS; 0 until the first
+	// calibration).
+	GOMAXPROCS           int `json:"gomaxprocs"`
+	EffectiveParallelism int `json:"effective_parallelism"`
+	// Plans counts AutoPlan calls; the Last* fields echo the most recent
+	// split handed out.
+	Plans               uint64 `json:"plans"`
+	LastSweepWorkers    int    `json:"last_sweep_workers,omitempty"`
+	LastIntraRunWorkers int    `json:"last_intra_run_workers,omitempty"`
+}
+
+var (
+	calibrateOnce sync.Once
+	calibratedPar atomic.Int64
+
+	planCalibrations atomic.Uint64
+	planCount        atomic.Uint64
+	planLastSweep    atomic.Int64
+	planLastIntra    atomic.Int64
+)
+
+// probeIterations sizes one calibration work unit: a few milliseconds of
+// pure-CPU xorshift, long enough to dominate goroutine startup, short
+// enough that the once-per-process calibration is invisible next to a
+// single simulation.
+const probeIterations = 1 << 22
+
+// probeSink defeats dead-code elimination of the probe loop.
+var probeSink atomic.Uint64
+
+func probeWork() {
+	x := uint64(0x9e3779b97f4a7c15)
+	for i := 0; i < probeIterations; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+	}
+	probeSink.Add(x)
+}
+
+// probe runs par concurrent work units and returns the wall time.
+func probe(par int) time.Duration {
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < par; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			probeWork()
+		}()
+	}
+	wg.Wait()
+	return time.Since(start)
+}
+
+// effectiveParallelism returns the host's calibrated usable parallelism,
+// measuring it on first use: n units of work run n-way concurrent
+// against one unit serial — perfect scaling gives speedup n, shared
+// hyperthreads or a throttled cgroup give less. Cached per process.
+func effectiveParallelism() int {
+	calibrateOnce.Do(func() {
+		planCalibrations.Add(1)
+		n := runtime.GOMAXPROCS(0)
+		if n <= 1 {
+			calibratedPar.Store(1)
+			return
+		}
+		probeWork() // warm the scheduler and clock up, untimed
+		t1 := probe(1)
+		tn := probe(n)
+		p := n
+		if tn > 0 {
+			p = int(float64(n)*t1.Seconds()/tn.Seconds() + 0.5)
+		}
+		if p < 1 {
+			p = 1
+		}
+		if p > n {
+			p = n
+		}
+		calibratedPar.Store(int64(p))
+	})
+	return int(calibratedPar.Load())
+}
+
+// AutoPlan picks the parallelism split for a sweep of width runs:
+// sweep-level workers get min(width, P) of the calibrated effective
+// parallelism P (concurrent runs scale embarrassingly and share
+// nothing), and each run's intra-run replay gets the P/SweepWorkers
+// that remain — >1 only when the sweep is too narrow to fill the host
+// by itself.
+func AutoPlan(width int) Plan {
+	if width < 1 {
+		width = 1
+	}
+	p := effectiveParallelism()
+	sweep := p
+	if sweep > width {
+		sweep = width
+	}
+	if sweep < 1 {
+		sweep = 1
+	}
+	intra := p / sweep
+	if intra < 1 {
+		intra = 1
+	}
+	planCount.Add(1)
+	planLastSweep.Store(int64(sweep))
+	planLastIntra.Store(int64(intra))
+	return Plan{SweepWorkers: sweep, IntraRunWorkers: intra}
+}
+
+// PlannerSnapshot assembles the planner's current counters.
+func PlannerSnapshot() PlannerStats {
+	return PlannerStats{
+		Calibrations:         planCalibrations.Load(),
+		GOMAXPROCS:           runtime.GOMAXPROCS(0),
+		EffectiveParallelism: int(calibratedPar.Load()),
+		Plans:                planCount.Load(),
+		LastSweepWorkers:     int(planLastSweep.Load()),
+		LastIntraRunWorkers:  int(planLastIntra.Load()),
+	}
+}

@@ -1,0 +1,52 @@
+package measure
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestAutoPlanInvariants: whatever the calibration measures, the split
+// must be sane — no lever below 1, sweep never wider than the work, and
+// the product never oversubscribing the calibrated parallelism.
+func TestAutoPlanInvariants(t *testing.T) {
+	p := effectiveParallelism()
+	if p < 1 || p > runtime.GOMAXPROCS(0) {
+		t.Fatalf("effective parallelism %d outside [1, GOMAXPROCS=%d]", p, runtime.GOMAXPROCS(0))
+	}
+	for _, width := range []int{-1, 0, 1, 2, 3, 52, 53, 1000} {
+		plan := AutoPlan(width)
+		if plan.SweepWorkers < 1 || plan.IntraRunWorkers < 1 {
+			t.Errorf("AutoPlan(%d) = %+v: levers below 1", width, plan)
+		}
+		if width >= 1 && plan.SweepWorkers > width {
+			t.Errorf("AutoPlan(%d) = %+v: more sweep workers than runs", width, plan)
+		}
+		if plan.SweepWorkers*plan.IntraRunWorkers > max(p, 1) {
+			t.Errorf("AutoPlan(%d) = %+v oversubscribes effective parallelism %d", width, plan, p)
+		}
+		// A sweep at least as wide as the host needs no intra-run split.
+		if width >= p && plan.IntraRunWorkers != 1 {
+			t.Errorf("AutoPlan(%d) = %+v: intra-run replay on a saturating sweep", width, plan)
+		}
+	}
+}
+
+// TestPlannerSnapshotCounters: the snapshot reflects the calibration
+// (exactly one per process) and the plans handed out.
+func TestPlannerSnapshotCounters(t *testing.T) {
+	before := PlannerSnapshot().Plans
+	plan := AutoPlan(52)
+	st := PlannerSnapshot()
+	if st.Calibrations != 1 {
+		t.Errorf("calibrations = %d, want exactly 1 per process", st.Calibrations)
+	}
+	if st.Plans != before+1 {
+		t.Errorf("plans = %d, want %d", st.Plans, before+1)
+	}
+	if st.LastSweepWorkers != plan.SweepWorkers || st.LastIntraRunWorkers != plan.IntraRunWorkers {
+		t.Errorf("snapshot %+v does not echo the last plan %+v", st, plan)
+	}
+	if st.EffectiveParallelism < 1 || st.EffectiveParallelism > st.GOMAXPROCS {
+		t.Errorf("snapshot parallelism %d outside [1, %d]", st.EffectiveParallelism, st.GOMAXPROCS)
+	}
+}

@@ -1,0 +1,52 @@
+package measure
+
+import (
+	"context"
+	"sync"
+
+	"liquidarch/internal/asm"
+	"liquidarch/internal/config"
+	"liquidarch/internal/platform"
+)
+
+// KeyRecorder wraps a provider and records the distinct measurement keys
+// of every successful Measure that flows through it — cache and store
+// hits included, since the layers below answering a request does not
+// change which entries the request depends on. The core session wraps a
+// model build's provider in one so the spilled model set can name its
+// cohesive measurement set (Store.SaveSet) without the measurement stack
+// knowing anything about model builds.
+type KeyRecorder struct {
+	inner Provider
+
+	mu   sync.Mutex
+	keys []Key
+	seen map[Key]bool
+}
+
+// NewKeyRecorder wraps inner.
+func NewKeyRecorder(inner Provider) *KeyRecorder {
+	return &KeyRecorder{inner: inner, seen: make(map[Key]bool)}
+}
+
+// Measure implements Provider.
+func (r *KeyRecorder) Measure(ctx context.Context, prog *asm.Program, cfg config.Config, opts platform.Options) (*platform.RunReport, error) {
+	rep, err := r.inner.Measure(ctx, prog, cfg, opts)
+	if err == nil && opts.TraceWriter == nil {
+		key := KeyFor(prog, cfg, opts)
+		r.mu.Lock()
+		if !r.seen[key] {
+			r.seen[key] = true
+			r.keys = append(r.keys, key)
+		}
+		r.mu.Unlock()
+	}
+	return rep, err
+}
+
+// Keys returns the distinct recorded keys in first-measurement order.
+func (r *KeyRecorder) Keys() []Key {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Key(nil), r.keys...)
+}

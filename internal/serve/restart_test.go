@@ -1,0 +1,96 @@
+package serve_test
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"liquidarch/internal/core"
+	"liquidarch/internal/measure"
+	"liquidarch/internal/serve"
+)
+
+// TestRestartReplaysModelArtifact is the durable-model-tier acceptance
+// test: a daemon restarted on its -cache-dir and -model-dir serves a
+// previously modeled application with zero simulations AND zero model
+// builds — the model set comes back as one artifact read instead of ~52
+// store reads plus a rebuild. It extends TestTwoReplicasShareOneStore
+// one tier up: the store alone already removes the simulations; the
+// model artifact also removes the rebuild.
+func TestRestartReplaysModelArtifact(t *testing.T) {
+	t.Parallel()
+	cacheDir, modelDir := t.TempDir(), t.TempDir()
+	req := serve.JobRequest{App: "arith", Scale: "tiny", Space: "dcache"}
+
+	type incarnation struct {
+		counting *countingProvider
+		server   *serve.Server
+		ts       *httptest.Server
+	}
+	boot := func() incarnation {
+		store, err := measure.NewStore(cacheDir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		models, err := core.NewModelStore(modelDir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counting := &countingProvider{inner: measure.Simulator{}}
+		s := serve.New(serve.Options{
+			Workers:    1,
+			Provider:   measure.NewCache(measure.NewPersistent(counting, store), 256),
+			Store:      store,
+			ModelStore: models,
+		})
+		return incarnation{counting, s, httptest.NewServer(s.Handler())}
+	}
+
+	// First incarnation does the work and spills both tiers…
+	a := boot()
+	sa := waitDone(t, a.ts, postJob(t, a.ts, req).ID)
+	if sa.State != serve.StateDone {
+		t.Fatalf("first incarnation: %s %q", sa.State, sa.Error)
+	}
+	if a.counting.calls.Load() == 0 {
+		t.Fatal("first incarnation ran no simulations")
+	}
+	ma := metricsOf(t, a.ts)
+	if ma.Models == nil || ma.Models.Builds != 1 || ma.Models.Spills != 1 {
+		t.Fatalf("first incarnation model metrics %+v, want 1 build / 1 spill", ma.Models)
+	}
+	// …and shuts down, as a restart would.
+	a.ts.Close()
+	a.server.Close()
+
+	// The restarted incarnation replays everything from disk.
+	b := boot()
+	defer func() {
+		b.ts.Close()
+		b.server.Close()
+	}()
+	sb := waitDone(t, b.ts, postJob(t, b.ts, req).ID)
+	if sb.State != serve.StateDone {
+		t.Fatalf("restarted incarnation: %s %q", sb.State, sb.Error)
+	}
+	if n := b.counting.calls.Load(); n != 0 {
+		t.Errorf("restarted incarnation ran %d simulations, want 0", n)
+	}
+	mb := metricsOf(t, b.ts)
+	if mb.Models == nil {
+		t.Fatal("restarted incarnation metrics missing model stats")
+	}
+	if mb.Models.Builds != 0 {
+		t.Errorf("restarted incarnation built %d models, want 0", mb.Models.Builds)
+	}
+	if mb.Models.DiskHits < 1 {
+		t.Errorf("restarted incarnation disk hits = %d, want >= 1", mb.Models.DiskHits)
+	}
+	if sa.Result.Recommendation.Config != sb.Result.Recommendation.Config {
+		t.Errorf("incarnations disagree:\n%s\nvs\n%s",
+			sa.Result.Recommendation.Config, sb.Result.Recommendation.Config)
+	}
+	if sa.Result.Base.Cycles != sb.Result.Base.Cycles {
+		t.Errorf("incarnations disagree on base cycles: %d vs %d",
+			sa.Result.Base.Cycles, sb.Result.Base.Cycles)
+	}
+}

@@ -94,6 +94,18 @@ type Options struct {
 	// any measured result — only how fast the daemon produces it.
 	SuperblockThreshold int
 	IntraRunWorkers     int
+	// ModelStore, when set, is the durable model tier: completed model
+	// sets spill there and model-cache misses try it before rebuilding,
+	// so a restarted (or sibling) replica serves a previously modeled
+	// application with zero simulations and zero model builds. When
+	// Store is also set, each spill records its measurement set in the
+	// store so the store's GC evicts the set cohesively.
+	ModelStore *core.ModelStore
+	// AutoWorkers makes jobs that do not pin a worker count split the
+	// host's measured effective parallelism between sweep-level
+	// concurrency and intra-run interval replay (measure.AutoPlan)
+	// instead of using the static defaults.
+	AutoWorkers bool
 }
 
 // retain resolves the configured terminal-job cap (-1 = unlimited).
@@ -308,6 +320,9 @@ func New(opts Options) *Server {
 		session: core.NewSession(core.SessionOptions{
 			Provider:          provider,
 			ModelCacheEntries: opts.ModelCacheEntries,
+			ModelStore:        opts.ModelStore,
+			MeasureStore:      opts.Store,
+			AutoWorkers:       opts.AutoWorkers,
 		}),
 		baseCtx: ctx,
 		stop:    stop,
@@ -814,10 +829,17 @@ type SchedulerStats struct {
 // shared model layer: models.hits/misses/builds say how often a job's
 // model came from an earlier build — a warm daemon serving many
 // weightings of one application shows builds frozen while hits grow.
+// With a durable model tier (-model-dir), models.disk_hits/disk_misses/
+// spills track the artifact traffic: a restarted replica serving a
+// previously modeled application shows disk_hits growing while builds
+// stays frozen at zero.
 type Metrics struct {
-	Cache     *measure.CacheStats   `json:"cache,omitempty"`
-	Store     *measure.StoreStats   `json:"store,omitempty"`
-	Models    *core.ModelCacheStats `json:"models,omitempty"`
+	Cache  *measure.CacheStats   `json:"cache,omitempty"`
+	Store  *measure.StoreStats   `json:"store,omitempty"`
+	Models *core.ModelCacheStats `json:"models,omitempty"`
+	// Planner reports the auto parallelism planner (present only when
+	// Options.AutoWorkers is on).
+	Planner   *measure.PlannerStats `json:"planner,omitempty"`
 	Pool      platform.PoolStats    `json:"pool"`
 	Jobs      map[string]int        `json:"jobs"`
 	Scheduler SchedulerStats        `json:"scheduler"`
@@ -843,6 +865,10 @@ func (s *Server) MetricsSnapshot() Metrics {
 	if s.opts.Store != nil {
 		st := s.opts.Store.Stats()
 		m.Store = &st
+	}
+	if s.opts.AutoWorkers {
+		st := measure.PlannerSnapshot()
+		m.Planner = &st
 	}
 	for _, js := range s.Jobs() {
 		m.Jobs[js.State]++
