@@ -340,6 +340,37 @@ func BenchmarkSessionTune(b *testing.B) {
 	b.Run("warm-artifact", func(b *testing.B) { benchmarkSessionTune(b, false, true) })
 }
 
+// BenchmarkScheduleReplay prices the conformance loop: the incremental
+// cost of -replay -online on a warm session, i.e. one schedule-replaying
+// simulation plus one online-adaptive simulation on top of the (cached)
+// phase tuning. The reported metric is the modeled-vs-replayed error the
+// loop exists to measure.
+func BenchmarkScheduleReplay(b *testing.B) {
+	ctx := context.Background()
+	req := core.Request{
+		App:    "mix",
+		Scale:  workload.Tiny,
+		Space:  config.DcacheGeometrySpace(),
+		Phases: &core.PhaseOptions{IntervalInstructions: 20_000},
+		Replay: true,
+		Online: true,
+	}
+	sess := core.NewSession(core.SessionOptions{Provider: measure.NewCache(measure.Simulator{}, 256)})
+	if _, err := sess.Tune(ctx, req); err != nil {
+		b.Fatal(err) // untimed warm-up: model build and superblock compilation
+	}
+	var errPct float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := sess.Tune(ctx, req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		errPct = rep.Replay.ErrorPct
+	}
+	b.ReportMetric(abs(errPct), "replayerr%")
+}
+
 // ---- Ablation benchmarks (design choices called out in DESIGN.md) ----
 
 // BenchmarkAblationLinearLUT compares the paper's linear-LUT simplification

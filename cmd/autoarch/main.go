@@ -9,6 +9,7 @@
 //
 //	autoarch -app blastn [-w1 100 -w2 1] [-scale small] [-space full|dcache] [-model] [-json]
 //	autoarch -app mix -phases [-interval N] [-switch-penalty N] [-phase-threshold T] [-json]
+//	autoarch -app mix -replay [-online] ...
 //	autoarch -app blastn [-model-dir DIR] [-auto-workers] ...
 //
 // With -model-dir the built model set is spilled to a durable artifact
@@ -27,6 +28,15 @@
 // configuration parameter changed at each mid-run reconfiguration) is
 // weighed against the single whole-program recommendation. The report
 // then carries the "phases" block the daemon's phase jobs return.
+//
+// With -replay the per-phase schedule is additionally executed for real
+// — one simulation that reshapes the platform at every segment boundary
+// — and the report gains the "replay" block with the actual per-segment
+// cycles and the modeled-vs-replayed conformance error. -online further
+// runs the closed-loop mode: the platform classifies each live
+// interval's block signature against the detected phases and switches
+// with no precomputed schedule, reporting how often it diverged from
+// one. Both imply -phases and never touch cached measurements.
 package main
 
 import (
@@ -79,6 +89,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		interval  = fs.Uint64("interval", core.DefaultIntervalInstructions, "phase profiling interval length in instructions")
 		switchPen = fs.Uint64("switch-penalty", core.DefaultSwitchPenaltyCycles, "cycle cost of a full mid-run reconfiguration; each switch is charged the share of it proportional to the parameters it changes")
 		phaseThr  = fs.Float64("phase-threshold", 0, "phase-detection clustering threshold (0 = default)")
+		replay    = fs.Bool("replay", false, "replay the per-phase schedule for real and report the modeled-vs-replayed error (implies -phases)")
+		online    = fs.Bool("online", false, "additionally run the closed-loop mode: classify live intervals and switch with no precomputed schedule (implies -phases)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -137,6 +149,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		AutoWorkers: *autoWorkers,
 	})
 
+	if *replay || *online {
+		*phases = true
+	}
 	if *phases {
 		if *loadModel != "" || *saveModel != "" || *showModel {
 			fmt.Fprintln(stderr, "autoarch: -phases is incompatible with -model, -save-model and -load-model (phase runs build one model per phase)")
@@ -148,6 +163,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			SwitchPenaltyCycles:  *switchPen,
 			Threshold:            *phaseThr,
 		}
+		req.Replay = *replay
+		req.Online = *online
 		return runPhases(ctx, sess, req, *jsonOut, stdout, stderr, progress)
 	}
 
@@ -276,5 +293,31 @@ func runPhases(ctx context.Context, sess *core.Session, req core.Request, jsonOu
 	} else {
 		fmt.Fprintf(stdout, "verdict: single whole-program configuration wins by %.2f%%\n", -ph.SavingsPct)
 	}
+	if rep.Replay != nil {
+		printReplay(stdout, "replay", rep.Replay)
+	}
+	if rep.Online != nil {
+		printReplay(stdout, "online", &rep.Online.ReplayBlock)
+		fmt.Fprintf(stdout, "  divergences from schedule: %d intervals, unclassified: %d\n",
+			rep.Online.Divergences, rep.Online.Unclassified)
+	}
 	return 0
+}
+
+// printReplay renders one replayed (or online-adapted) run: the actual
+// per-segment cycles and the conformance error against the modeled
+// schedule cost.
+func printReplay(stdout io.Writer, mode string, blk *core.ReplayBlock) {
+	fmt.Fprintf(stdout, "\n%s: %d segments, %d switches costing %d cycles\n",
+		mode, len(blk.Segments), blk.Switches, blk.SwitchCostCycles)
+	for _, seg := range blk.Segments {
+		marker := ""
+		if seg.Switch {
+			marker = fmt.Sprintf("  (switch: %d parameters, %d cycles)", seg.ChangedVars, seg.SwitchCostCycles)
+		}
+		fmt.Fprintf(stdout, "  segment %d phase %d intervals %d-%d: %d cycles%s\n",
+			seg.Segment, seg.Phase, seg.Start, seg.End, seg.Cycles, marker)
+	}
+	fmt.Fprintf(stdout, "  actual %d cycles (simulated %d + switch %d) vs modeled %.0f: error %+.3f%%\n",
+		blk.ActualCycles, blk.SimulatedCycles, blk.SwitchCostCycles, blk.ModeledCycles, blk.ErrorPct)
 }

@@ -7,6 +7,7 @@ import (
 	"flag"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"liquidarch/internal/core"
@@ -132,5 +133,44 @@ func TestJSONStdoutClean(t *testing.T) {
 	}
 	if stderr.Len() == 0 {
 		t.Error("expected progress lines on stderr in -json mode")
+	}
+}
+
+// TestReplayFlag: `autoarch -replay -online` (each implying -phases)
+// must surface the modeled-vs-replayed error figure and the online
+// divergence count in both output modes — the CLI half of the
+// conformance loop.
+func TestReplayFlag(t *testing.T) {
+	args := []string{"-app", "mix", "-scale", "tiny", "-space", "dcache",
+		"-interval", "20000", "-replay", "-online"}
+	var stdout, stderr bytes.Buffer
+	code := run(context.Background(), args, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("run exited %d, stderr:\n%s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"replay:", "online:", "error ", "divergences from schedule:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text output missing %q:\n%s", want, out)
+		}
+	}
+
+	var jsonOut bytes.Buffer
+	code = run(context.Background(), append(args, "-json"), &jsonOut, &stderr)
+	if code != 0 {
+		t.Fatalf("-json run exited %d, stderr:\n%s", code, stderr.String())
+	}
+	var report core.Report
+	if err := json.Unmarshal(jsonOut.Bytes(), &report); err != nil {
+		t.Fatalf("output is not a core.Report: %v", err)
+	}
+	if report.Replay == nil || report.Online == nil {
+		t.Fatal("report missing replay/online blocks")
+	}
+	if report.Replay.ActualCycles == 0 || report.Replay.ModeledCycles == 0 {
+		t.Error("replay block missing the modeled-vs-replayed figures")
+	}
+	if report.Replay.ActualCycles != report.Replay.SimulatedCycles+report.Replay.SwitchCostCycles {
+		t.Error("replay actual cycles do not account simulated + switch cost")
 	}
 }

@@ -1,0 +1,92 @@
+// Schedule replay and online adaptation walkthrough: closing the loop
+// on phase-aware tuning.
+//
+// Phase tuning produces a *modeled* verdict — per-phase cycle
+// predictions plus priced reconfigurations. This example checks that
+// model against reality twice:
+//
+//   - Replay executes the precomputed schedule in one simulation,
+//     reshaping the platform at every segment boundary (architectural
+//     state carries across via the same window-flush handoff a context
+//     switch performs) and reports the actual cycles next to the
+//     modeled ones — the conformance error.
+//
+//   - Online drops the schedule entirely: after every interval the
+//     platform classifies the live 64-bucket block signature against
+//     the detected phases' representative signatures and switches
+//     configuration on its own — a closed-loop controller. Its report
+//     counts how often that controller diverged from the schedule (with
+//     stable phases: at most one reaction-lag interval per switch).
+//
+// Pass -scale tiny for a sub-second run (the CI smoke test does).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+
+	"liquidarch/internal/core"
+	"liquidarch/internal/workload"
+)
+
+func main() {
+	scaleName := flag.String("scale", "small", "workload scale: tiny, small, medium, paper")
+	flag.Parse()
+	scale, ok := workload.ParseScale(*scaleName)
+	if !ok {
+		log.Fatalf("unknown scale %q", *scaleName)
+	}
+
+	sess := core.NewSession(core.SessionOptions{})
+	interval := uint64(core.DefaultIntervalInstructions)
+	if scale == workload.Tiny {
+		interval = 20_000 // tiny runs retire too few instructions for the default slicing
+	}
+
+	// One request carries the whole loop: profile, detect, tune per
+	// phase, then replay the schedule and run the online controller.
+	// Replay and Online are decision-half flags — every measurement
+	// below them is the same cached single-change run plain phase
+	// tuning performs.
+	rep, err := sess.Tune(context.Background(), core.Request{
+		App:     "mix",
+		Scale:   scale,
+		Weights: core.RuntimeWeights(),
+		Phases:  &core.PhaseOptions{IntervalInstructions: interval},
+		Replay:  true,
+		Online:  true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ph := rep.Phases
+	fmt.Printf("%s at %s scale: %d phases, modeled schedule cost %.0f cycles\n\n",
+		rep.App, rep.Scale, ph.Trace.Phases, ph.PerPhaseCycles)
+
+	fmt.Printf("schedule replay (%d segments, %d switches):\n",
+		len(rep.Replay.Segments), rep.Replay.Switches)
+	for _, seg := range rep.Replay.Segments {
+		marker := ""
+		if seg.Switch {
+			marker = fmt.Sprintf("  <- switch, %d cycles", seg.SwitchCostCycles)
+		}
+		fmt.Printf("  intervals %2d-%2d under phase %d config: %8d cycles%s\n",
+			seg.Start, seg.End, seg.Phase, seg.Cycles, marker)
+	}
+	fmt.Printf("replayed %d cycles vs modeled %.0f: conformance error %+.3f%%\n\n",
+		rep.Replay.ActualCycles, rep.Replay.ModeledCycles, rep.Replay.ErrorPct)
+
+	on := rep.Online
+	fmt.Printf("online adaptation (no schedule, %d switches):\n", on.Switches)
+	for _, seg := range on.Segments {
+		fmt.Printf("  intervals %2d-%2d classified as phase %d: %8d cycles\n",
+			seg.Start, seg.End, seg.Phase, seg.Cycles)
+	}
+	fmt.Printf("online %d cycles vs modeled %.0f: error %+.3f%%\n",
+		on.ActualCycles, on.ModeledCycles, on.ErrorPct)
+	fmt.Printf("divergence from the precomputed schedule: %d of %d intervals (%d unclassified)\n",
+		on.Divergences, len(ph.Trace.Assignments), on.Unclassified)
+}

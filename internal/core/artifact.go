@@ -31,8 +31,11 @@ import (
 
 // ModelSetVersion is the on-disk model-artifact format version.
 // Artifacts live under dir/v<version>/; bumping it orphans (but does not
-// delete) artifacts written by older code.
-const ModelSetVersion = 1
+// delete) artifacts written by older code. v2 added the trace's
+// per-phase representative signatures (phase.Trace.Representatives),
+// which online adaptation classifies against — v1 phase artifacts lack
+// them and must re-detect, so they read as misses.
+const ModelSetVersion = 2
 
 // ModelStore is the durable model tier: one JSON artifact per built
 // model set under dir/v<version>/, named by the set's key hash. It is
@@ -146,9 +149,14 @@ func decodeModelSet(data []byte, key modelKey) (*modelSet, error) {
 	}
 	if in.Trace != nil {
 		// A phase artifact must be internally consistent: one model per
-		// phase beyond the whole-program one, one base profile per phase.
+		// phase beyond the whole-program one, one base profile per phase,
+		// one representative signature per phase (the online classifier's
+		// references).
 		if len(in.Models) != 1+in.Trace.Phases || len(in.BaseProfiles) != in.Trace.Phases {
 			return nil, fmt.Errorf("core: phase model artifact is inconsistent")
+		}
+		if len(in.Trace.Representatives) != in.Trace.Phases {
+			return nil, fmt.Errorf("core: phase model artifact lacks phase representatives")
 		}
 	} else if len(in.Models) != 1 {
 		return nil, fmt.Errorf("core: plain model artifact holds %d models", len(in.Models))

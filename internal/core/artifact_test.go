@@ -3,6 +3,7 @@ package core_test
 import (
 	"context"
 	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -19,7 +20,7 @@ import (
 // artifactFiles lists the model artifacts resident in dir's store.
 func artifactFiles(t *testing.T, dir string) []string {
 	t.Helper()
-	files, err := filepath.Glob(filepath.Join(dir, "v1", "*.json"))
+	files, err := filepath.Glob(filepath.Join(dir, fmt.Sprintf("v%d", core.ModelSetVersion), "*.json"))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -46,6 +46,16 @@ type Report struct {
 	// Phases is present iff phase-aware tuning was requested.
 	Phases *PhaseBlock `json:"phases,omitempty"`
 
+	// Replay is present iff schedule replay was requested
+	// (Request.Replay): the per-phase schedule executed for real, with
+	// the modeled-vs-replayed conformance error.
+	Replay *ReplayBlock `json:"replay,omitempty"`
+
+	// Online is present iff closed-loop adaptation was requested
+	// (Request.Online): a replay driven by live signature
+	// classification instead of the precomputed schedule.
+	Online *OnlineBlock `json:"online,omitempty"`
+
 	// Artifacts carries the in-memory objects behind the document —
 	// typed configurations, the full model, the raw solver outcomes —
 	// for library consumers; it never serializes.
@@ -167,6 +177,78 @@ type ScheduleEntry struct {
 	Switch           bool   `json:"switch,omitempty"`
 	ChangedVars      int    `json:"changed_vars,omitempty"`
 	SwitchCostCycles uint64 `json:"switch_cost_cycles,omitempty"`
+}
+
+// ReplayBlock is the schedule-replay portion of a Report: the
+// per-phase schedule executed as one real simulation that reshapes the
+// configuration at each boundary, and the conformance figure comparing
+// that actual cost against the model's prediction.
+type ReplayBlock struct {
+	// IntervalInstructions is the boundary grid the replay ran at (the
+	// trace's profiling interval length).
+	IntervalInstructions uint64 `json:"interval_instructions"`
+	// Segments are the executed stretches in order, each with its actual
+	// simulated cost and the switch accounting at its entry boundary.
+	Segments []ReplaySegmentReport `json:"segments"`
+	// Switches counts the mid-run reconfigurations performed;
+	// SwitchCostCycles their total modeled cost under the same
+	// partial-reconfiguration pricing the schedule uses.
+	Switches         int    `json:"switches"`
+	SwitchCostCycles uint64 `json:"switch_cost_cycles"`
+	// SimulatedCycles is the replay's raw simulated cost; ActualCycles
+	// adds the modeled switch cost — the number the prediction is
+	// judged against.
+	SimulatedCycles uint64 `json:"simulated_cycles"`
+	ActualCycles    uint64 `json:"actual_cycles"`
+	// ModeledCycles is the phase block's predicted schedule cost
+	// (per-phase predictions plus switch cost); ErrorPct the
+	// modeled-vs-replayed conformance error, signed:
+	// 100*(modeled-actual)/actual.
+	ModeledCycles float64 `json:"modeled_cycles"`
+	ErrorPct      float64 `json:"error_pct"`
+	// ExitCode and Checksum are the replayed program's architectural
+	// results — identical to any single-configuration run's, which the
+	// replay verifies by construction. Sampled records a truncated run.
+	ExitCode uint32 `json:"exit_code"`
+	Checksum uint32 `json:"checksum"`
+	Sampled  bool   `json:"sampled,omitempty"`
+}
+
+// ReplaySegmentReport is one executed stretch of a replay.
+type ReplaySegmentReport struct {
+	// Segment indexes the stretch; Phase is the phase whose
+	// configuration it ran under (the classifier's pick, for online
+	// runs); Start and End its interval span, inclusive.
+	Segment int `json:"segment"`
+	Phase   int `json:"phase"`
+	Start   int `json:"start"`
+	End     int `json:"end"`
+	// Config is the configuration the stretch ran under.
+	Config string `json:"config"`
+	// Instructions and Cycles are the stretch's actual simulated cost.
+	Instructions uint64 `json:"instructions"`
+	Cycles       uint64 `json:"cycles"`
+	// Switch marks a reconfiguration at the stretch's entry;
+	// ChangedVars and SwitchCostCycles mirror ScheduleEntry's
+	// accounting.
+	Switch           bool   `json:"switch,omitempty"`
+	ChangedVars      int    `json:"changed_vars,omitempty"`
+	SwitchCostCycles uint64 `json:"switch_cost_cycles,omitempty"`
+}
+
+// OnlineBlock is the closed-loop portion of a Report: a replay whose
+// configuration choices came from live signature classification
+// instead of the precomputed schedule.
+type OnlineBlock struct {
+	ReplayBlock
+	// Divergences counts the intervals the online run executed under a
+	// configuration differing from the precomputed schedule's choice
+	// for that interval — zero when every phase is stable enough to
+	// classify back to itself. Unclassified counts the boundary
+	// decisions where no representative lay within the acceptance
+	// bound (the run then keeps its current configuration).
+	Divergences  int `json:"divergences"`
+	Unclassified int `json:"unclassified"`
 }
 
 // TuneReport is the pre-unification name of the plain-run document.

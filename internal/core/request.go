@@ -55,6 +55,23 @@ type Request struct {
 	// values select the phase defaults.
 	Phases *PhaseOptions
 
+	// Replay, valid only with Phases, replays the per-phase schedule for
+	// real: one extra simulation reshapes the platform configuration at
+	// every schedule boundary, and the report gains the Replay block
+	// with the actual per-segment cycles and the modeled-vs-replayed
+	// conformance error. Like the execution-tuning knobs, Replay is a
+	// decision-half flag: it never touches the measurement provider, so
+	// cached measurements and the shared model layer are byte-identical
+	// with or without it.
+	Replay bool
+	// Online, valid only with Phases, additionally runs the closed-loop
+	// mode: the platform classifies each live interval's block-signature
+	// vector against the trace's phase representatives and switches
+	// configuration without the precomputed schedule. The report gains
+	// the Online block, including how often the adaptive run diverged
+	// from the schedule. Decision-half only, like Replay.
+	Online bool
+
 	// Observer, when set, receives per-measurement progress.
 	Observer Observer
 }
@@ -89,6 +106,9 @@ func (r Request) resolve() (*progs.Benchmark, *config.Space, Weights, error) {
 	}
 	if space == nil {
 		space = config.FullSpace()
+	}
+	if (r.Replay || r.Online) && r.Phases == nil {
+		return nil, nil, Weights{}, fmt.Errorf("core: replay and online modes require phase-aware tuning (set Phases)")
 	}
 	w := r.Weights
 	if w == (Weights{}) {

@@ -230,7 +230,25 @@ func (s *Session) Tune(ctx context.Context, req Request) (*Report, error) {
 	}
 
 	if phased {
-		return phaseReport(set, b, w, popts, tuner)
+		rep, err := phaseReport(set, b, w, popts, tuner)
+		if err != nil {
+			return nil, err
+		}
+		// Replay and online adaptation run after the report is complete:
+		// they consume the decision (schedule + per-phase recommendations)
+		// and simulate directly, never through the measurement provider,
+		// so the model cache and measurement store above are untouched.
+		if req.Replay {
+			if err := attachReplay(ctx, rep, b, req, popts); err != nil {
+				return nil, err
+			}
+		}
+		if req.Online {
+			if err := attachOnline(ctx, rep, b, req, popts); err != nil {
+				return nil, err
+			}
+		}
+		return rep, nil
 	}
 
 	model := set.models[0]

@@ -1,0 +1,130 @@
+package cpu
+
+import (
+	"fmt"
+)
+
+// Mid-run reconfiguration support: AdoptArchState moves a running
+// program from one core to a differently-configured core over the same
+// memory, the primitive behind the platform's schedule replay
+// (DESIGN.md §19). Only architectural state transfers — registers,
+// window residency, PC chain, condition codes, hazard bookkeeping, the
+// cumulative profile and the halt latch. Cache and write-buffer state
+// deliberately does not: its shape is configuration-dependent (a
+// reconfigured cache comes up cold on real fabric too), and the
+// reconfiguration's cost is modeled separately by the schedule's
+// SwitchPenaltyCycles, not by charging individual transfers here.
+
+// AdoptArchState makes c take over execution from src: after the call,
+// c resumes at src's program counter with src's architectural register
+// state and cumulative profile, so the instruction stream c retires is
+// the exact continuation of src's. Both cores must share the same
+// attached memory and loaded text.
+//
+// When the two configurations have the same register-window count the
+// windowed file transfers verbatim. Across different window counts the
+// resident frames cannot map index-for-index, so src's non-current
+// resident windows are first flushed to their stack frames — the same
+// 16-word locals+ins spill a window-overflow trap performs, oldest
+// window first, and the same flush a real SPARC OS does on a context
+// switch — and c starts with exactly one resident window (the current
+// one, copied architecturally). Later RESTOREs refill the flushed
+// frames through the ordinary underflow path. The flush writes memory
+// directly without charging cycles: the whole reconfiguration is priced
+// by the schedule's switch penalty, and double-charging the spills here
+// would make replayed cycles depend on where in the call stack a switch
+// lands.
+func (c *Core) AdoptArchState(src *Core) error {
+	if c == src {
+		return nil
+	}
+	if c.memory != src.memory {
+		return fmt.Errorf("cpu: AdoptArchState requires both cores on the same memory")
+	}
+	if c.textBase != src.textBase || len(c.text) != len(src.text) {
+		return fmt.Errorf("cpu: AdoptArchState requires both cores on the same text")
+	}
+
+	if c.nwin == src.nwin {
+		copy(c.regfile[:8+c.nwin+1], src.regfile[:8+src.nwin+1])
+		c.cwp = src.cwp
+		c.resid = src.resid
+		c.loadHazardReg = src.loadHazardReg
+	} else {
+		if err := src.flushInactiveWindows(); err != nil {
+			return err
+		}
+		for i := 0; i <= 8+c.nwin; i++ {
+			c.regfile[i] = 0
+		}
+		c.cwp = 0
+		c.resid = 1
+		c.rebuildViews()
+		for r := 1; r < 8; r++ {
+			c.regfile[r] = src.regfile[r]
+		}
+		for r := uint8(8); r < 32; r++ {
+			c.setReg(r, src.getReg(r))
+		}
+		c.loadHazardReg = remapHazard(src, c)
+	}
+
+	c.y = src.y
+	c.icc = src.icc
+	c.pc, c.npc = src.pc, src.npc
+	c.iccJustSet = src.iccJustSet
+	c.stats = src.stats
+	c.halted = src.halted
+	c.exit = src.exit
+
+	c.rebuildViews()
+	if c.fastRI != nil && c.fastCwp != c.cwp {
+		c.patchFastRI()
+	}
+	clear(c.bbv)
+	return nil
+}
+
+// flushInactiveWindows spills every resident window except the current
+// one to its stack frame — window w's 16 locals+ins to the 64-byte save
+// area at w's own %sp — oldest window first, the order consecutive
+// overflow traps would have spilled them in. The stores go straight to
+// memory (no cache traffic, no cycles): the caller prices the whole
+// reconfiguration through the schedule's switch penalty.
+func (c *Core) flushInactiveWindows() error {
+	nwin := c.windowCount()
+	for k := c.resid - 1; k >= 1; k-- {
+		w := (c.cwp + k) % nwin
+		sp := c.regfile[8+(w*16+6)%c.nwin] // the window's %sp (%o6)
+		if sp&3 != 0 {
+			return fmt.Errorf("cpu: window flush with misaligned %%sp %#08x", sp)
+		}
+		for j, phys := range c.windowLocalsIns(w) {
+			if err := c.memory.Write32(sp+uint32(j)*4, c.regfile[8+phys]); err != nil {
+				return fmt.Errorf("cpu: window flush: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// remapHazard translates src's load-hazard scoreboard entry into dst's
+// register file. Negative values (no hazard, or a global register's
+// fixed code) carry over unchanged; a windowed physical index is mapped
+// through the architectural register it denotes in src's current
+// window. A hazard register not visible in the current window cannot
+// occur at an instruction boundary (loads target the current window),
+// but if it did the conservative answer is "no hazard": the interlock
+// is timing bookkeeping, never a value dependency.
+func remapHazard(src, dst *Core) int {
+	h := src.loadHazardReg
+	if h < 0 {
+		return h
+	}
+	for r := 8; r < 32; r++ {
+		if int(src.viewHz[r]) == h {
+			return int(dst.viewHz[r])
+		}
+	}
+	return noHazard
+}

@@ -1,0 +1,151 @@
+package cpu_test
+
+import (
+	"testing"
+
+	"liquidarch/internal/config"
+	"liquidarch/internal/cpu"
+	"liquidarch/internal/isa"
+	"liquidarch/internal/mem"
+)
+
+// windowChainProg builds a program exercising the register-window
+// machinery: descend depth SAVEs writing a fresh local in each window,
+// then climb back up accumulating every window's local into %g1 and
+// halt with the digest in %o1. Each window writes its local before
+// reading it, so the final digest is architecture-defined regardless of
+// where overflow traps (or a mid-run reconfiguration flush) landed.
+func windowChainProg(depth int) []isa.Instr {
+	var prog []isa.Instr
+	prog = append(prog, movImm(17, 1)) // %l1 of the base window
+	for d := 1; d <= depth; d++ {
+		prog = append(prog,
+			aluImm(isa.OpSave, isa.RegSP, isa.RegSP, -96),
+			movImm(17, int32(d+2)),
+		)
+	}
+	for d := 1; d <= depth; d++ {
+		prog = append(prog,
+			alu(isa.OpAdd, 1, 1, 17),
+			aluImm(isa.OpRestore, 0, 0, 0),
+		)
+	}
+	prog = append(prog,
+		alu(isa.OpAdd, 1, 1, 17), // base window's local, refilled on climb
+		alu(isa.OpOr, 9, 1, 0),   // digest in %o1
+		movImm(8, 0),             // exit code 0
+		halt(),
+	)
+	return prog
+}
+
+// buildShared builds a core for cfg over an existing loaded memory.
+func buildShared(t *testing.T, cfg config.Config, m *mem.Memory, words int) *cpu.Core {
+	t.Helper()
+	c, err := cpu.New(cfg, m)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := c.LoadText(textBase, words); err != nil {
+		t.Fatalf("LoadText: %v", err)
+	}
+	return c
+}
+
+// loadProg writes a program into a fresh memory.
+func loadProg(t *testing.T, prog []isa.Instr) *mem.Memory {
+	t.Helper()
+	m := mem.New(1 << 20)
+	for i, in := range prog {
+		w, err := isa.Encode(in)
+		if err != nil {
+			t.Fatalf("encode instr %d: %v", i, in)
+		}
+		if err := m.Write32(textBase+uint32(i)*4, w); err != nil {
+			t.Fatalf("write instr %d: %v", i, err)
+		}
+	}
+	return m
+}
+
+// TestAdoptArchState switches a deep save/restore chain between
+// configurations with different register-window counts at various
+// instruction boundaries: the architectural outcome (digest, exit code,
+// instruction count) must match the uninterrupted runs on either
+// configuration, because the instruction stream is
+// configuration-independent.
+func TestAdoptArchState(t *testing.T) {
+	const depth = 10 // overflows the 8-window file, not the 16-window one
+	prog := windowChainProg(depth)
+
+	cfgA := config.Default() // 8 windows
+	cfgB := config.Default()
+	cfgB.IU.RegWindows = 16
+	cfgB.DCache.LineWords = 8
+
+	ref := func(cfg config.Config) (digest uint32, instrs uint64) {
+		c := buildCore(t, cfg, prog)
+		run(t, c)
+		return c.Reg(9), c.Stats().Instructions
+	}
+	wantDigest, wantInstrs := ref(cfgA)
+	if d, n := ref(cfgB); d != wantDigest || n != wantInstrs {
+		t.Fatalf("pure runs disagree: cfgA (%#x, %d) vs cfgB (%#x, %d)", wantDigest, wantInstrs, d, n)
+	}
+
+	// Switch at every boundary inside the chain, both directions.
+	for _, dir := range []struct {
+		name     string
+		from, to config.Config
+	}{
+		{"8to16", cfgA, cfgB},
+		{"16to8", cfgB, cfgA},
+		{"8to8", cfgA, cfgA},
+	} {
+		for cut := uint64(1); cut < wantInstrs; cut += 3 {
+			m := loadProg(t, prog)
+			src := buildShared(t, dir.from, m, len(prog))
+			src.Reset(textBase)
+			halted, err := src.RunFor(cut)
+			if err != nil {
+				t.Fatalf("%s cut %d: RunFor: %v", dir.name, cut, err)
+			}
+			if halted {
+				break
+			}
+			dst := buildShared(t, dir.to, m, len(prog))
+			if err := dst.AdoptArchState(src); err != nil {
+				t.Fatalf("%s cut %d: AdoptArchState: %v", dir.name, cut, err)
+			}
+			if got := dst.Stats().Instructions; got != cut {
+				t.Fatalf("%s cut %d: adopted instruction count %d", dir.name, cut, got)
+			}
+			if err := dst.Run(1_000_000); err != nil {
+				t.Fatalf("%s cut %d: Run after adopt: %v", dir.name, cut, err)
+			}
+			if err := dst.Stats().ConsistencyError(); err != nil {
+				t.Fatalf("%s cut %d: profile imbalance: %v", dir.name, cut, err)
+			}
+			if got := dst.Reg(9); got != wantDigest {
+				t.Errorf("%s cut %d: digest %#x, want %#x", dir.name, cut, got, wantDigest)
+			}
+			if got := dst.Stats().Instructions; got != wantInstrs {
+				t.Errorf("%s cut %d: instructions %d, want %d", dir.name, cut, got, wantInstrs)
+			}
+			if got := dst.ExitCode(); got != 0 {
+				t.Errorf("%s cut %d: exit code %d", dir.name, cut, got)
+			}
+		}
+	}
+}
+
+// TestAdoptArchStateErrors locks the preconditions: distinct memories
+// and mismatched text are rejected.
+func TestAdoptArchStateErrors(t *testing.T) {
+	prog := windowChainProg(2)
+	a := buildCore(t, config.Default(), prog)
+	b := buildCore(t, config.Default(), prog) // its own memory
+	if err := b.AdoptArchState(a); err == nil {
+		t.Fatal("AdoptArchState across memories succeeded")
+	}
+}

@@ -1,0 +1,66 @@
+package phase
+
+import "fmt"
+
+// Online classification: the closed-loop counterpart of Detect. A
+// Classifier holds a trace's per-phase representative signatures in
+// normalized form and assigns live interval signatures to phases with
+// the same L1-distance rule detection used — so on a stable phase, an
+// online run classifies each interval to the phase the offline trace
+// assigned it, and the adaptive configuration sequence reproduces the
+// precomputed schedule (the differential property the core package's
+// tests lock in).
+
+// Classifier assigns live block-signature vectors to a trace's phases.
+// Build one with Trace.NewClassifier; a Classifier is immutable and
+// safe for concurrent use.
+type Classifier struct {
+	threshold float64
+	reps      [][]float64
+}
+
+// NewClassifier builds a classifier over the trace's representative
+// signatures. It fails on traces detected before representatives were
+// recorded (older stored artifacts) and on empty traces.
+func (t *Trace) NewClassifier() (*Classifier, error) {
+	if t.Phases == 0 {
+		return nil, fmt.Errorf("phase: trace has no phases to classify against")
+	}
+	if len(t.Representatives) != t.Phases {
+		return nil, fmt.Errorf("phase: trace carries %d representatives for %d phases",
+			len(t.Representatives), t.Phases)
+	}
+	c := &Classifier{threshold: t.Threshold, reps: make([][]float64, t.Phases)}
+	for p, rep := range t.Representatives {
+		c.reps[p] = normalize(rep)
+	}
+	return c, nil
+}
+
+// Classify returns the phase whose representative lies nearest to sig
+// in normalized L1 distance, or -1 when no representative lies within
+// twice the detection threshold — the same acceptance bound Detect's
+// boundary absorption uses, so the one mixed interval straddling a
+// phase transition still classifies to a neighbouring phase while a
+// genuinely novel signature (behaviour the trace never saw) reports
+// unclassified and lets the caller keep the current configuration.
+// Ties go to the lowest phase ID, mirroring detection's stable-ID rule.
+func (c *Classifier) Classify(sig []uint32) int {
+	s := normalize(sig)
+	best, bestDist := -1, 0.0
+	for p, rep := range c.reps {
+		if len(rep) != len(s) {
+			continue // foreign bucket count cannot be compared
+		}
+		if d := l1(s, rep); best < 0 || d < bestDist {
+			best, bestDist = p, d
+		}
+	}
+	if best >= 0 && bestDist < 2*c.threshold {
+		return best
+	}
+	return -1
+}
+
+// Threshold returns the detection threshold the classifier inherited.
+func (c *Classifier) Threshold() float64 { return c.threshold }

@@ -1,0 +1,98 @@
+package phase_test
+
+import (
+	"encoding/json"
+	"testing"
+
+	"liquidarch/internal/phase"
+	"liquidarch/internal/platform"
+)
+
+// TestClassifierMatchesDetection: every interval of the detected trace
+// must classify back to its own assigned phase — the stable-phase
+// property the online-vs-schedule differential rests on.
+func TestClassifierMatchesDetection(t *testing.T) {
+	ivs := []platform.Interval{
+		synthInterval(0, 100, 1), synthInterval(1, 100, 1), synthInterval(2, 100, 1),
+		synthInterval(3, 200, 40), synthInterval(4, 200, 40),
+		synthInterval(5, 100, 1), synthInterval(6, 100, 1),
+		synthInterval(7, 200, 40), synthInterval(8, 200, 40),
+	}
+	trace := phase.Detect(ivs, 1000, phase.Options{})
+	if trace.Phases < 2 {
+		t.Fatalf("expected at least 2 phases, got %d", trace.Phases)
+	}
+	if len(trace.Representatives) != trace.Phases {
+		t.Fatalf("trace carries %d representatives for %d phases", len(trace.Representatives), trace.Phases)
+	}
+	cls, err := trace.NewClassifier()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, iv := range ivs {
+		if got := cls.Classify(iv.Signature); got != trace.Assignments[i] {
+			t.Errorf("interval %d classified to %d, detection assigned %d", i, got, trace.Assignments[i])
+		}
+	}
+}
+
+// TestClassifierUnknown: a signature far from every representative
+// reports unclassified (-1) rather than forcing the nearest phase.
+func TestClassifierUnknown(t *testing.T) {
+	ivs := []platform.Interval{
+		synthInterval(0, 100, 1), synthInterval(1, 100, 1),
+	}
+	trace := phase.Detect(ivs, 1000, phase.Options{})
+	cls, err := trace.NewClassifier()
+	if err != nil {
+		t.Fatal(err)
+	}
+	novel := synthInterval(0, 100, 60).Signature
+	if got := cls.Classify(novel); got != -1 {
+		t.Errorf("novel signature classified to %d, want -1", got)
+	}
+}
+
+// TestClassifierRoundTrip: a trace serialized and reloaded (the stored
+// model artifact path) classifies identically — representatives are raw
+// counts, so the JSON round trip is exact.
+func TestClassifierRoundTrip(t *testing.T) {
+	ivs := []platform.Interval{
+		synthInterval(0, 100, 1), synthInterval(1, 100, 1),
+		synthInterval(2, 200, 40), synthInterval(3, 200, 40),
+	}
+	trace := phase.Detect(ivs, 1000, phase.Options{})
+	data, err := json.Marshal(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var loaded phase.Trace
+	if err := json.Unmarshal(data, &loaded); err != nil {
+		t.Fatal(err)
+	}
+	orig, err := trace.NewClassifier()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := loaded.NewClassifier()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, iv := range ivs {
+		if a, b := orig.Classify(iv.Signature), reloaded.Classify(iv.Signature); a != b {
+			t.Errorf("round-tripped classifier diverged: %d vs %d", a, b)
+		}
+	}
+}
+
+// TestClassifierRequiresRepresentatives: traces from before
+// representatives existed (older artifacts) fail construction cleanly.
+func TestClassifierRequiresRepresentatives(t *testing.T) {
+	trace := &phase.Trace{Phases: 2, Threshold: 0.5}
+	if _, err := trace.NewClassifier(); err == nil {
+		t.Fatal("NewClassifier accepted a trace without representatives")
+	}
+	if _, err := (&phase.Trace{}).NewClassifier(); err == nil {
+		t.Fatal("NewClassifier accepted an empty trace")
+	}
+}

@@ -73,6 +73,13 @@ type Trace struct {
 	Assignments []int `json:"assignments"`
 	// Segments is the run-length encoding of Assignments, in order.
 	Segments []Segment `json:"segments"`
+	// Representatives holds, per phase, the raw block-signature vector
+	// of the phase's medoid interval — the reference an online
+	// classifier (NewClassifier) compares live signatures against. Raw
+	// counts, not normalized: they serialize exactly, so a trace loaded
+	// from a stored model artifact classifies identically to the freshly
+	// detected one.
+	Representatives [][]uint32 `json:"representatives,omitempty"`
 }
 
 // Detect clusters an interval profile into phases. The intervals must
@@ -126,6 +133,22 @@ func Detect(intervals []platform.Interval, intervalLen uint64, opts Options) *Tr
 	for _, p := range t.Assignments {
 		if p+1 > t.Phases {
 			t.Phases = p + 1
+		}
+	}
+
+	// Final-phase medoids become the trace's representatives: the
+	// signature an online classifier matches live intervals against.
+	// Computed over the final assignment (post merge and absorption), so
+	// a stable phase's own intervals re-classify to it.
+	if t.Phases > 0 {
+		members := make([][]int, t.Phases)
+		for i, p := range t.Assignments {
+			members[p] = append(members[p], i)
+		}
+		t.Representatives = make([][]uint32, t.Phases)
+		for p, m := range members {
+			rep := intervals[medoid(m, sigs)].Signature
+			t.Representatives[p] = append([]uint32(nil), rep...)
 		}
 	}
 

@@ -20,6 +20,11 @@ var (
 	ctrSBHits     atomic.Uint64
 	ctrSBDeopts   atomic.Uint64
 	ctrParRuns    atomic.Uint64
+
+	ctrReplayRuns     atomic.Uint64
+	ctrReplaySwitches atomic.Uint64
+	ctrOnlineRuns     atomic.Uint64
+	ctrOnlineSwitches atomic.Uint64
 )
 
 func init() {
@@ -59,6 +64,15 @@ type TuningCounters struct {
 	// process-default worker bound.
 	ParallelRuns    uint64 `json:"parallel_runs"`
 	ParallelWorkers int    `json:"parallel_workers"`
+	// ReplayRuns and ReplaySwitches count schedule-replay simulations
+	// (ReplaySchedule) and the mid-run reconfigurations they performed;
+	// OnlineRuns and OnlineSwitches the same for closed-loop online runs
+	// (ReplayOnline). Like every tuning counter these never feed a
+	// report — replay results come from the simulated program alone.
+	ReplayRuns     uint64 `json:"replay_runs"`
+	ReplaySwitches uint64 `json:"replay_switches"`
+	OnlineRuns     uint64 `json:"online_runs"`
+	OnlineSwitches uint64 `json:"online_switches"`
 }
 
 // Counters returns the current tuning-counter snapshot.
@@ -69,6 +83,10 @@ func Counters() TuningCounters {
 		SuperblockDeopts:   ctrSBDeopts.Load(),
 		ParallelRuns:       ctrParRuns.Load(),
 		ParallelWorkers:    int(defaultWorkers.Load()),
+		ReplayRuns:         ctrReplayRuns.Load(),
+		ReplaySwitches:     ctrReplaySwitches.Load(),
+		OnlineRuns:         ctrOnlineRuns.Load(),
+		OnlineSwitches:     ctrOnlineSwitches.Load(),
 	}
 }
 

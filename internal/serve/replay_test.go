@@ -1,0 +1,132 @@
+package serve_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http"
+	"testing"
+
+	"liquidarch/internal/serve"
+)
+
+// TestReplayJobEndToEnd is the daemon's closed-loop acceptance test: a
+// replay+online phase job over HTTP returns the conformance blocks —
+// modeled-vs-replayed error within bound, divergences counted — and the
+// /v1/metrics tuning counters record the replay and online runs and the
+// phase switches they performed.
+func TestReplayJobEndToEnd(t *testing.T) {
+	t.Parallel()
+	_, ts := newTestServer(t)
+
+	st := postJob(t, ts, serve.JobRequest{
+		App: "mix", Scale: "tiny", Space: "dcache",
+		Phases: true, IntervalInstructions: 20_000,
+		Replay: true, Online: true,
+	})
+	st = waitDone(t, ts, st.ID)
+	if st.State != serve.StateDone {
+		t.Fatalf("job state = %s, error = %s", st.State, st.Error)
+	}
+	if st.PhaseResult == nil {
+		t.Fatal("done replay job has no phase result")
+	}
+	rep := st.PhaseResult
+	if rep.Replay == nil {
+		t.Fatal("replay job result has no replay block")
+	}
+	if rep.Online == nil {
+		t.Fatal("online job result has no online block")
+	}
+	if math.Abs(rep.Replay.ErrorPct) > 5 {
+		t.Errorf("modeled-vs-replayed error %.3f%% out of bounds", rep.Replay.ErrorPct)
+	}
+	if rep.Replay.Switches == 0 {
+		t.Error("mix replay performed no configuration switches")
+	}
+	if rep.Online.Checksum != rep.Replay.Checksum {
+		t.Error("online and replayed runs computed different checksums")
+	}
+
+	// The job's wire document reports divergences explicitly, even when
+	// zero — a silent online run would be an unverifiable one.
+	doc, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"divergences"`, `"unclassified"`, `"error_pct"`} {
+		if !bytes.Contains(doc, []byte(key)) {
+			t.Errorf("job document omits %s", key)
+		}
+	}
+
+	// The tuning counters (process-wide, monotonic) must have recorded
+	// the reshaping runs and their switches.
+	resp, err := http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m serve.Metrics
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Tuning.ReplayRuns == 0 {
+		t.Error("metrics report zero replay runs after a replay job")
+	}
+	if m.Tuning.OnlineRuns == 0 {
+		t.Error("metrics report zero online runs after an online job")
+	}
+	if m.Tuning.ReplaySwitches == 0 {
+		t.Error("metrics report zero replay switches after a switching replay")
+	}
+}
+
+// TestReplayJobDedupDistinct: a replay job answers a different question
+// than the plain phase job, so the two must not coalesce onto one
+// flight; two identical replay jobs must.
+func TestReplayJobDedupDistinct(t *testing.T) {
+	t.Parallel()
+	_, ts := newTestServer(t)
+
+	phases := postJob(t, ts, serve.JobRequest{
+		App: "mix", Scale: "tiny", Space: "dcache",
+		Phases: true, IntervalInstructions: 20_000,
+	})
+	replay := postJob(t, ts, serve.JobRequest{
+		App: "mix", Scale: "tiny", Space: "dcache",
+		Phases: true, IntervalInstructions: 20_000, Replay: true,
+	})
+	phasesSt := waitDone(t, ts, phases.ID)
+	replaySt := waitDone(t, ts, replay.ID)
+	if phasesSt.PhaseResult == nil || replaySt.PhaseResult == nil {
+		t.Fatal("phase results missing")
+	}
+	if phasesSt.PhaseResult.Replay != nil {
+		t.Error("plain phase job gained a replay block — coalesced with the replay job")
+	}
+	if replaySt.PhaseResult.Replay == nil {
+		t.Error("replay job lost its replay block — coalesced with the plain job")
+	}
+}
+
+// TestReplayJobRequiresPhases: replay/online without phases is a 4xx,
+// not a silently ignored flag.
+func TestReplayJobRequiresPhases(t *testing.T) {
+	t.Parallel()
+	_, ts := newTestServer(t)
+	for _, req := range []serve.JobRequest{
+		{App: "mix", Scale: "tiny", Replay: true},
+		{App: "mix", Scale: "tiny", Online: true},
+	} {
+		body, _ := json.Marshal(req)
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("replay without phases returned %d, want 400", resp.StatusCode)
+		}
+	}
+}

@@ -156,6 +156,15 @@ type JobRequest struct {
 	// PhaseThreshold overrides the phase-detection clustering threshold
 	// (0 = phase.DefaultThreshold); phase jobs only.
 	PhaseThreshold float64 `json:"phase_threshold,omitempty"`
+	// Replay additionally replays the per-phase schedule for real — the
+	// result gains the replay block with per-segment actual cycles and
+	// the modeled-vs-replayed error; phase jobs only.
+	Replay bool `json:"replay,omitempty"`
+	// Online additionally runs the closed-loop mode: live classification
+	// of each interval's signature picks the configuration with no
+	// precomputed schedule, and the result's online block reports how
+	// often the adaptive run diverged from it; phase jobs only.
+	Online bool `json:"online,omitempty"`
 }
 
 // Job states.
@@ -422,6 +431,9 @@ func resolve(req JobRequest) (*progs.Benchmark, workload.Scale, *config.Space, c
 	if req.W3 != nil {
 		w.W3 = *req.W3
 	}
+	if (req.Replay || req.Online) && !req.Phases {
+		return nil, 0, nil, core.Weights{}, fmt.Errorf("replay and online require phases")
+	}
 	return b, sc, space, w, nil
 }
 
@@ -454,8 +466,8 @@ func dedupKey(req JobRequest, app string, sc workload.Scale, w core.Weights) str
 		if threshold <= 0 {
 			threshold = phase.DefaultThreshold
 		}
-		key += fmt.Sprintf(" phases interval=%d penalty=%d threshold=%g",
-			interval, penalty, threshold)
+		key += fmt.Sprintf(" phases interval=%d penalty=%d threshold=%g replay=%t online=%t",
+			interval, penalty, threshold, req.Replay, req.Online)
 	}
 	return key
 }
@@ -577,6 +589,8 @@ func coreRequest(req JobRequest) (core.Request, error) {
 			SwitchPenaltyCycles:  req.SwitchPenaltyCycles,
 			Threshold:            req.PhaseThreshold,
 		}
+		creq.Replay = req.Replay
+		creq.Online = req.Online
 	}
 	return creq, nil
 }
