@@ -11,6 +11,7 @@
 //	autoarch -app mix -phases [-interval N] [-switch-penalty N] [-phase-threshold T] [-json]
 //	autoarch -app mix -replay [-online] ...
 //	autoarch -app blastn [-model-dir DIR] [-auto-workers] ...
+//	autoarch -app mix -trace ...
 //
 // With -model-dir the built model set is spilled to a durable artifact
 // and reused by later runs (and by an autoarchd sharing the directory);
@@ -20,6 +21,12 @@
 // With -json the result is the core.Report document — the same
 // serialization the autoarchd daemon returns for a finished job — on
 // stdout, with the human progress lines demoted to stderr.
+//
+// With -trace the run is traced through the obs layer and a
+// human-readable stage breakdown — model build vs. solve vs.
+// validation, with each stage's share of the total tune wall time and
+// the measurement cache outcomes — is printed after the report (to
+// stderr in -json mode).
 //
 // With -phases the tool runs phase-aware tuning instead: the base run is
 // profiled in -interval instruction slices, phases are detected from the
@@ -52,6 +59,7 @@ import (
 	"liquidarch/internal/config"
 	"liquidarch/internal/core"
 	"liquidarch/internal/cpu"
+	"liquidarch/internal/obs"
 	"liquidarch/internal/platform"
 	"liquidarch/internal/progs"
 	"liquidarch/internal/workload"
@@ -79,6 +87,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		saveModel = fs.String("save-model", "", "write the measured model to a JSON file")
 		loadModel = fs.String("load-model", "", "reuse a previously saved model instead of measuring")
 		jsonOut   = fs.Bool("json", false, "emit the result as a core.Report JSON document on stdout")
+		traceRun  = fs.Bool("trace", false, "trace the pipeline and print a per-stage breakdown of the tune wall time")
 
 		superblocks = fs.Int("superblocks", 0, "superblock compilation threshold: taken-branch heat before a hot block is specialized (0 = default, negative = off); never changes results, only speed")
 		intraRun    = fs.Int("intra-run-workers", 0, "workers for checkpointed parallel replay of repeated interval-profiled runs (0 or 1 = serial); never changes results, only speed")
@@ -101,6 +110,14 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	progress := stdout
 	if *jsonOut {
 		progress = stderr
+	}
+
+	if *traceRun {
+		tracer := obs.NewTracer(obs.TracerOptions{})
+		ctx = obs.WithTracer(ctx, tracer)
+		// Deferred so the breakdown prints after whichever path ran (and
+		// still shows the spans completed so far when the tune failed).
+		defer printTrace(tracer, progress)
 	}
 
 	if *superblocks != 0 || *intraRun != 0 {
@@ -229,6 +246,50 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "actual:    runtime %.6f s (%+.2f%%), %v\n",
 		float64(val.Cycles)/25e6, val.RuntimePct, val.Resources)
 	return 0
+}
+
+// printTrace finishes the -trace tracer and prints the stage breakdown:
+// the "tune" root's wall time, each direct-child stage's aggregate
+// duration and share (the "other" line is the root's own time, so the
+// shares sum to 100%), and the measurement cache outcomes.
+func printTrace(t *obs.Tracer, w io.Writer) {
+	t.Finish()
+	tr := t.Snapshot()
+	root, lines, ok := tr.Breakdown()
+	if !ok {
+		fmt.Fprintln(w, "\ntrace: no spans recorded")
+		return
+	}
+	fmt.Fprintf(w, "\ntrace: %s %v total, %d spans", root.Name,
+		root.Duration().Round(time.Microsecond), len(tr.Spans))
+	if tr.Dropped > 0 {
+		fmt.Fprintf(w, " (%d dropped)", tr.Dropped)
+	}
+	fmt.Fprintln(w)
+	for _, ln := range lines {
+		fmt.Fprintf(w, "  %-14s %12v  x%-4d %5.1f%%\n",
+			ln.Name, ln.Duration.Round(time.Microsecond), ln.Count, ln.Pct)
+	}
+	var hits, waits, misses int
+	for _, rec := range tr.Spans {
+		if rec.Name != "measure" {
+			continue
+		}
+		if a, found := rec.Attr("outcome"); found {
+			switch a.Str {
+			case "hit":
+				hits++
+			case "wait":
+				waits++
+			case "miss":
+				misses++
+			}
+		}
+	}
+	if n := hits + waits + misses; n > 0 {
+		fmt.Fprintf(w, "  measurements: %d total (%d simulated, %d cache hits, %d joined in-flight)\n",
+			n, misses, hits, waits)
+	}
 }
 
 // writeJSON emits the report document on stdout.

@@ -32,10 +32,18 @@
 //	          [-job-retain 1024] [-job-ttl 0] [-store-max-bytes 0]
 //	          [-store-max-age 0] [-store-gc-every 64] [-store-lease 0]
 //	          [-engine-pool N] [-mem-pool N] [-auto-workers]
+//	          [-pprof] [-slow-job 1m]
 //
 // Endpoints: POST/GET /v1/jobs, GET /v1/jobs/{id}, GET
-// /v1/jobs/{id}/stream (ndjson), DELETE /v1/jobs/{id}, GET /v1/metrics,
+// /v1/jobs/{id}/stream (ndjson), DELETE /v1/jobs/{id}, GET
+// /v1/trace/{id}, GET /v1/trace/{id}/stream (ndjson), GET /v1/metrics,
 // GET /v1/healthz.
+//
+// Every job is traced: GET /v1/trace/{id} returns its pipeline span
+// tree (model source, per-measurement cache outcomes, solver effort),
+// /v1/metrics carries per-stage latency histograms, jobs slower than
+// -slow-job log a warning naming their slowest stages, and -pprof
+// exposes net/http/pprof under /debug/pprof/ on the same listener.
 package main
 
 import (
@@ -45,6 +53,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"time"
@@ -75,6 +84,8 @@ func main() {
 		superblocks   = flag.Int("superblocks", 0, "superblock compilation threshold: taken-branch heat before a hot block is specialized (0 = default, negative = off); never changes results, only speed")
 		intraRun      = flag.Int("intra-run-workers", 0, "workers for checkpointed parallel replay of repeated interval-profiled runs (0 or 1 = serial); never changes results, only speed")
 		autoWorkers   = flag.Bool("auto-workers", false, "measure the host's effective parallelism once and split it between concurrent runs and intra-run replay for jobs that do not pin a worker count; never changes results, only speed")
+		pprofOn       = flag.Bool("pprof", false, "expose net/http/pprof profiling handlers under /debug/pprof/ on the service listener")
+		slowJob       = flag.Duration("slow-job", time.Minute, "log a warning for jobs slower than this, with their slowest pipeline stages (0 = off)")
 	)
 	flag.Parse()
 
@@ -129,10 +140,26 @@ func main() {
 		IntraRunWorkers:     *intraRun,
 		ModelStore:          modelStore,
 		AutoWorkers:         *autoWorkers,
+		SlowJobThreshold:    *slowJob,
 	})
 	defer server.Close()
 
-	httpServer := &http.Server{Addr: *addr, Handler: server.Handler()}
+	handler := server.Handler()
+	if *pprofOn {
+		// The admin mux wraps the API: pprof's handlers are registered
+		// explicitly (not via the package's DefaultServeMux side effect)
+		// so profiling is strictly opt-in.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", handler)
+		handler = mux
+		log.Printf("pprof enabled at /debug/pprof/")
+	}
+	httpServer := &http.Server{Addr: *addr, Handler: handler}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()

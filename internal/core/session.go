@@ -12,6 +12,7 @@ import (
 	"liquidarch/internal/config"
 	"liquidarch/internal/fpga"
 	"liquidarch/internal/measure"
+	"liquidarch/internal/obs"
 	"liquidarch/internal/phase"
 	"liquidarch/internal/platform"
 	"liquidarch/internal/progs"
@@ -130,6 +131,18 @@ func (s *Session) Tune(ctx context.Context, req Request) (*Report, error) {
 		return nil, err
 	}
 	phased := req.Phases != nil
+	// The "tune" root span. When no tracer rides the context (the
+	// default), every span below is a nil no-op and the pipeline runs
+	// allocation-free through the obs layer.
+	ctx, tuneSpan := obs.Start(ctx, "tune")
+	if tuneSpan != nil {
+		tuneSpan.Set(
+			obs.String("app", req.App),
+			obs.String("scale", req.Scale.String()),
+			obs.Int("space_vars", int64(space.Len())),
+			obs.Bool("phases", phased))
+	}
+	defer tuneSpan.End()
 	var popts PhaseOptions
 	if phased {
 		popts = req.Phases.normalized()
@@ -156,12 +169,19 @@ func (s *Session) Tune(ctx context.Context, req Request) (*Report, error) {
 		SampleInstructions: req.SampleInstructions,
 	}
 
+	// The "model" stage span covers obtaining the model set however it
+	// is answered; its "source" attribute says which tier did (pre-built
+	// | shared | disk | build).
+	mctx, modelSpan := obs.Start(ctx, "model")
 	var set *modelSet
 	if req.Model != nil {
 		set = &modelSet{models: []*Model{req.Model}, baseRes: req.Model.BaseResources}
+		modelSpan.Set(obs.String("source", "pre-built"))
+		modelSpan.End()
 	} else {
 		program, err := b.Assemble(req.Scale)
 		if err != nil {
+			modelSpan.End()
 			return nil, err
 		}
 		key := modelKey{
@@ -176,7 +196,7 @@ func (s *Session) Tune(ctx context.Context, req Request) (*Report, error) {
 		}
 		var shared bool
 		var fromDisk atomic.Bool
-		set, shared, err = s.models.get(ctx, key, func() (*modelSet, bool, error) {
+		set, shared, err = s.models.get(mctx, key, func() (*modelSet, bool, error) {
 			// Disk before rebuild: a completed build spilled by an earlier
 			// incarnation (or a sibling replica) answers the miss without
 			// a single measurement — and without counting as a build.
@@ -197,13 +217,13 @@ func (s *Session) Tune(ctx context.Context, req Request) (*Report, error) {
 			}
 			var built *modelSet
 			if phased {
-				ps, perr := buildPhaseSet(ctx, &bt, b, popts)
+				ps, perr := buildPhaseSet(mctx, &bt, b, popts)
 				if perr != nil {
 					return nil, false, perr
 				}
 				built = ps
 			} else {
-				m, merr := bt.BuildModel(ctx, b)
+				m, merr := bt.BuildModel(mctx, b)
 				if merr != nil {
 					return nil, false, merr
 				}
@@ -217,6 +237,22 @@ func (s *Session) Tune(ctx context.Context, req Request) (*Report, error) {
 			}
 			return built, true, nil
 		})
+		if modelSpan != nil {
+			switch {
+			case err != nil:
+				modelSpan.Set(obs.Bool("error", true))
+			case shared:
+				modelSpan.Set(obs.String("source", "shared"))
+			case fromDisk.Load():
+				modelSpan.Set(obs.String("source", "disk"))
+			default:
+				modelSpan.Set(obs.String("source", "build"))
+			}
+			if err == nil {
+				modelSpan.Set(obs.Int("models", int64(len(set.models))))
+			}
+		}
+		modelSpan.End()
 		if err != nil {
 			return nil, err
 		}
@@ -230,7 +266,10 @@ func (s *Session) Tune(ctx context.Context, req Request) (*Report, error) {
 	}
 
 	if phased {
+		_, solveSpan := obs.Start(ctx, "solve")
+		solveSpan.Set(obs.Int("solves", int64(len(set.models))))
 		rep, err := phaseReport(set, b, w, popts, tuner)
+		solveSpan.End()
 		if err != nil {
 			return nil, err
 		}
@@ -239,12 +278,18 @@ func (s *Session) Tune(ctx context.Context, req Request) (*Report, error) {
 		// and simulate directly, never through the measurement provider,
 		// so the model cache and measurement store above are untouched.
 		if req.Replay {
-			if err := attachReplay(ctx, rep, b, req, popts); err != nil {
+			rctx, replaySpan := obs.Start(ctx, "replay")
+			err := attachReplay(rctx, rep, b, req, popts)
+			replaySpan.End()
+			if err != nil {
 				return nil, err
 			}
 		}
 		if req.Online {
-			if err := attachOnline(ctx, rep, b, req, popts); err != nil {
+			octx, onlineSpan := obs.Start(ctx, "online")
+			err := attachOnline(octx, rep, b, req, popts)
+			onlineSpan.End()
+			if err != nil {
 				return nil, err
 			}
 		}
@@ -252,13 +297,22 @@ func (s *Session) Tune(ctx context.Context, req Request) (*Report, error) {
 	}
 
 	model := set.models[0]
+	_, solveSpan := obs.Start(ctx, "solve")
 	rec, err := tuner.RecommendFromModel(model, w)
+	if solveSpan != nil {
+		if err == nil {
+			solveSpan.Set(obs.Int("nodes", int64(rec.SolverNodes)), obs.Bool("proven", rec.Proven))
+		}
+		solveSpan.End()
+	}
 	if err != nil {
 		return nil, err
 	}
 	var val *Validation
 	if !req.SkipValidation {
-		val, err = tuner.Validate(ctx, b, model, rec)
+		vctx, valSpan := obs.Start(ctx, "validate")
+		val, err = tuner.Validate(vctx, b, model, rec)
+		valSpan.End()
 		if err != nil {
 			return nil, err
 		}
@@ -523,7 +577,14 @@ func buildPhaseSet(ctx context.Context, t *Tuner, b *progs.Benchmark, opts Phase
 	if !baseRep.Sampled && baseRep.ExitCode != 0 {
 		return nil, fmt.Errorf("core: %s exited with code %d", b.Name, baseRep.ExitCode)
 	}
+	_, detectSpan := obs.Start(ctx, "phase.detect")
 	trace := phase.Detect(baseRep.Intervals, opts.IntervalInstructions, phase.Options{Threshold: opts.Threshold})
+	if detectSpan != nil {
+		detectSpan.Set(
+			obs.Int("phases", int64(trace.Phases)),
+			obs.Int("segments", int64(len(trace.Segments))))
+		detectSpan.End()
+	}
 	base := resolveObservation(baseRep, baseRes, trace)
 
 	models, err := t.buildPhaseModels(ctx, b, opts.IntervalInstructions, trace, base)

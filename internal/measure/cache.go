@@ -8,6 +8,7 @@ import (
 
 	"liquidarch/internal/asm"
 	"liquidarch/internal/config"
+	"liquidarch/internal/obs"
 	"liquidarch/internal/platform"
 )
 
@@ -97,19 +98,40 @@ func (c *Cache) Measure(ctx context.Context, prog *asm.Program, cfg config.Confi
 	if opts.TraceWriter != nil {
 		return c.inner.Measure(ctx, prog, cfg, opts)
 	}
+	// One observability span per measurement, with the cache outcome
+	// attributed (hit / wait / miss) and the store layers below
+	// annotating theirs. When tracing is disabled span is nil and every
+	// call on it is a zero-cost no-op.
+	sctx, span := obs.Start(ctx, "measure")
+	if span != nil {
+		ctx = sctx
+		span.Set(obs.String("config", ConfigHash(cfg)))
+		defer span.End()
+	}
 	for {
-		rep, err, retry := c.measureOnce(ctx, prog, cfg, opts)
+		rep, err, retry := c.measureOnce(ctx, prog, cfg, opts, span)
 		if retry && ctx.Err() == nil {
 			continue
+		}
+		if span != nil {
+			if err == nil {
+				span.Set(
+					obs.Int("instructions", int64(rep.Stats.Instructions)),
+					obs.Int("cycles", int64(rep.Stats.Cycles)))
+			} else {
+				span.Set(obs.Bool("error", true))
+			}
 		}
 		return rep, err
 	}
 }
 
-// measureOnce performs one lookup-or-measure round. retry is true when
-// the caller waited on another caller's flight that failed with that
-// owner's context error.
-func (c *Cache) measureOnce(ctx context.Context, prog *asm.Program, cfg config.Config, opts platform.Options) (rep *platform.RunReport, err error, retry bool) {
+// measureOnce performs one lookup-or-measure round, attributing the
+// cache outcome onto span (hit: answered by a resident entry; wait:
+// joined another caller's in-flight measurement; miss: this caller
+// measured). retry is true when the caller waited on another caller's
+// flight that failed with that owner's context error.
+func (c *Cache) measureOnce(ctx context.Context, prog *asm.Program, cfg config.Config, opts platform.Options, span *obs.Span) (rep *platform.RunReport, err error, retry bool) {
 	key := KeyFor(prog, cfg, opts)
 
 	c.mu.Lock()
@@ -118,6 +140,14 @@ func (c *Cache) measureOnce(ctx context.Context, prog *asm.Program, cfg config.C
 		c.ll.MoveToFront(el)
 		ent := el.Value.(*cacheEntry)
 		c.mu.Unlock()
+		if span != nil {
+			select {
+			case <-ent.done:
+				span.Set(obs.String("outcome", "hit"))
+			default:
+				span.Set(obs.String("outcome", "wait"))
+			}
+		}
 		return c.wait(ctx, ent, cfg)
 	}
 	c.misses++
@@ -125,6 +155,7 @@ func (c *Cache) measureOnce(ctx context.Context, prog *asm.Program, cfg config.C
 	c.entries[key] = c.ll.PushFront(ent)
 	c.evictLocked()
 	c.mu.Unlock()
+	span.Set(obs.String("outcome", "miss"))
 
 	ent.rep, ent.err = c.inner.Measure(ctx, prog, cfg, opts)
 	if ent.err != nil {

@@ -141,6 +141,35 @@ func Fingerprint(p *asm.Program) string {
 	return fp
 }
 
+// Short config-hash attributes, memoized per timing key: the span of
+// every measurement of one configuration carries the same identity, and
+// a traced 52-config sweep hashes each timing key once.
+var (
+	chMu sync.Mutex
+	chs  = map[config.Config]string{}
+)
+
+// ConfigHash returns a short stable identity of the configuration's
+// timing key — the "config" attribute on measurement spans. Two
+// configurations that simulate identically (equal TimingKeys) share one
+// hash, mirroring the cache identity the span's outcome is attributed
+// against.
+func ConfigHash(cfg config.Config) string {
+	key := cfg.TimingKey()
+	chMu.Lock()
+	h, ok := chs[key]
+	chMu.Unlock()
+	if ok {
+		return h
+	}
+	sum := sha256.Sum256([]byte(key.String()))
+	h = hex.EncodeToString(sum[:6])
+	chMu.Lock()
+	chs[key] = h
+	chMu.Unlock()
+	return h
+}
+
 // DefaultCacheEntries bounds the shared Default() cache. The full-space
 // model builds, every figure and the Section 5 sweeps together touch a
 // few hundred distinct keys per workload scale, so the default keeps a

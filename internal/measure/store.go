@@ -18,6 +18,7 @@ import (
 	"liquidarch/internal/asm"
 	"liquidarch/internal/cache"
 	"liquidarch/internal/config"
+	"liquidarch/internal/obs"
 	"liquidarch/internal/platform"
 	"liquidarch/internal/profiler"
 )
@@ -862,7 +863,11 @@ func (p *Persistent) EnableLease(ttl time.Duration) *Persistent {
 	return p
 }
 
-// Measure implements Provider. Traced runs bypass the store.
+// Measure implements Provider. Traced runs bypass the store. The
+// enclosing measurement span (opened by the Cache above) is annotated
+// with the store outcome ("store": hit/miss) and, when the claim lease
+// is on, the lease outcome ("lease": win — this replica measured under
+// a claim; wait — another replica's spill answered).
 func (p *Persistent) Measure(ctx context.Context, prog *asm.Program, cfg config.Config, opts platform.Options) (*platform.RunReport, error) {
 	if opts.TraceWriter != nil {
 		return p.inner.Measure(ctx, prog, cfg, opts)
@@ -870,17 +875,22 @@ func (p *Persistent) Measure(ctx context.Context, prog *asm.Program, cfg config.
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	span := obs.Current(ctx)
 	key := KeyFor(prog, cfg, opts)
 	if rep, ok := p.store.Load(key); ok {
+		span.Set(obs.String("store", "hit"))
 		rep.Config = cfg
 		return rep, nil
 	}
+	span.Set(obs.String("store", "miss"))
 	if p.leaseTTL > 0 {
 		if p.store.TryClaim(key, p.leaseTTL) {
+			span.Set(obs.String("lease", "win"))
 			defer p.store.ReleaseClaim(key)
 		} else {
 			// Another replica is measuring this key: wait for its spill.
 			if rep, ok := p.store.WaitForEntry(ctx, key, p.leaseTTL); ok {
+				span.Set(obs.String("lease", "wait"))
 				rep.Config = cfg
 				return rep, nil
 			}
@@ -890,6 +900,7 @@ func (p *Persistent) Measure(ctx context.Context, prog *asm.Program, cfg config.
 			// Lease expired or the winner failed: measure locally,
 			// unclaimed (the broken claim is the winner's to clean; ours
 			// would race a slow winner's release).
+			span.Set(obs.String("lease", "expired"))
 		}
 	}
 	rep, err := p.inner.Measure(ctx, prog, cfg, opts)

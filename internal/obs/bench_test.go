@@ -1,0 +1,48 @@
+package obs
+
+import (
+	"context"
+	"testing"
+)
+
+// disabledSpanCycle is the exact pattern the pipeline's hot path runs
+// when tracing is off: start from an untraced context, annotate, end.
+func disabledSpanCycle(ctx context.Context) {
+	ctx2, span := Start(ctx, "measure")
+	if span != nil {
+		span.Set(String("outcome", "miss"))
+	}
+	span.End()
+	_ = ctx2
+}
+
+// BenchmarkTracerDisabled is the disabled-tracer overhead budget of
+// DESIGN.md §20: the no-op path must not allocate at all, so a session
+// that nobody is tracing pays two context lookups and nothing else. The
+// benchmark asserts 0 allocs/op — it fails, rather than merely
+// reporting, when the no-op path regresses.
+func BenchmarkTracerDisabled(b *testing.B) {
+	ctx := context.Background()
+	if allocs := testing.AllocsPerRun(1000, func() { disabledSpanCycle(ctx) }); allocs != 0 {
+		b.Fatalf("disabled tracer path allocates %.1f allocs/op, want 0", allocs)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		disabledSpanCycle(ctx)
+	}
+}
+
+// BenchmarkTracerEnabled prices the enabled path (span allocation,
+// context value, record under the tracer lock) for the §20 budget table.
+func BenchmarkTracerEnabled(b *testing.B) {
+	tr := NewTracer(TracerOptions{MaxSpans: 1})
+	ctx := WithTracer(context.Background(), tr)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, span := Start(ctx, "measure")
+		span.Set(String("outcome", "miss"))
+		span.End()
+	}
+}

@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sort"
+	"sync"
+	"time"
+)
+
+// histBuckets is the fixed bucket count of a latency histogram: bucket
+// i covers durations in [2^i, 2^(i+1)) nanoseconds, so 64 buckets span
+// everything from 1 ns to centuries with ~2× resolution at constant
+// memory — bounded by construction, no matter how many observations.
+const histBuckets = 64
+
+// Histogram is a bounded log2 latency histogram with exact count/sum
+// and min/max, from which percentiles are estimated to within the
+// bucket resolution. The zero value is ready to use; methods require
+// external synchronization (Stages provides it).
+type Histogram struct {
+	count   uint64
+	sumNs   uint64
+	minNs   int64
+	maxNs   int64
+	buckets [histBuckets]uint64
+}
+
+// bucketOf maps a duration to its bucket index.
+func bucketOf(ns int64) int {
+	if ns < 1 {
+		return 0
+	}
+	b := bits.Len64(uint64(ns)) - 1
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+// observe records one duration.
+func (h *Histogram) observe(d time.Duration) {
+	ns := d.Nanoseconds()
+	if ns < 0 {
+		ns = 0
+	}
+	if h.count == 0 || ns < h.minNs {
+		h.minNs = ns
+	}
+	if ns > h.maxNs {
+		h.maxNs = ns
+	}
+	h.count++
+	h.sumNs += uint64(ns)
+	h.buckets[bucketOf(ns)]++
+}
+
+// quantile estimates the q-quantile (0 < q <= 1) in nanoseconds: the
+// geometric midpoint of the bucket holding the q-th observation,
+// clamped to the observed min/max so single-observation histograms are
+// exact.
+func (h *Histogram) quantile(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(h.count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i, n := range h.buckets {
+		cum += n
+		if cum >= rank {
+			lo := math.Exp2(float64(i))
+			est := lo * math.Sqrt2 // geometric midpoint of [2^i, 2^(i+1))
+			if est < float64(h.minNs) {
+				est = float64(h.minNs)
+			}
+			if est > float64(h.maxNs) {
+				est = float64(h.maxNs)
+			}
+			return est
+		}
+	}
+	return float64(h.maxNs)
+}
+
+// StageStats is the serialized aggregate of one pipeline stage: how
+// many spans completed, the total and mean latency, and the estimated
+// p50/p95/p99 — the per-stage block of /v1/metrics.
+type StageStats struct {
+	Count   uint64  `json:"count"`
+	TotalMs float64 `json:"total_ms"`
+	MeanMs  float64 `json:"mean_ms"`
+	MinMs   float64 `json:"min_ms"`
+	MaxMs   float64 `json:"max_ms"`
+	P50Ms   float64 `json:"p50_ms"`
+	P95Ms   float64 `json:"p95_ms"`
+	P99Ms   float64 `json:"p99_ms"`
+}
+
+// Stages aggregates span latencies by stage name into bounded
+// histograms. One Stages instance outlives its tracers: the daemon
+// owns one, every job's tracer feeds it, and /v1/metrics snapshots it.
+// Safe for concurrent use.
+type Stages struct {
+	mu sync.Mutex
+	m  map[string]*Histogram
+}
+
+// NewStages builds an empty aggregator.
+func NewStages() *Stages {
+	return &Stages{m: make(map[string]*Histogram)}
+}
+
+// Observe records one completed stage latency.
+func (s *Stages) Observe(name string, d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	h := s.m[name]
+	if h == nil {
+		h = &Histogram{}
+		s.m[name] = h
+	}
+	h.observe(d)
+	s.mu.Unlock()
+}
+
+// Snapshot returns the per-stage aggregates, keyed by stage name.
+func (s *Stages) Snapshot() map[string]StageStats {
+	if s == nil {
+		return nil
+	}
+	ms := func(ns float64) float64 { return ns / 1e6 }
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]StageStats, len(s.m))
+	for name, h := range s.m {
+		st := StageStats{
+			Count:   h.count,
+			TotalMs: ms(float64(h.sumNs)),
+			MinMs:   ms(float64(h.minNs)),
+			MaxMs:   ms(float64(h.maxNs)),
+			P50Ms:   ms(h.quantile(0.50)),
+			P95Ms:   ms(h.quantile(0.95)),
+			P99Ms:   ms(h.quantile(0.99)),
+		}
+		if h.count > 0 {
+			st.MeanMs = ms(float64(h.sumNs) / float64(h.count))
+		}
+		out[name] = st
+	}
+	return out
+}
+
+// Names returns the known stage names, sorted — a deterministic
+// iteration order for rendering snapshots.
+func (s *Stages) Names() []string {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	names := make([]string, 0, len(s.m))
+	for name := range s.m {
+		names = append(names, name)
+	}
+	s.mu.Unlock()
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,285 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDisabledIsNoOp(t *testing.T) {
+	ctx := context.Background()
+	ctx2, span := Start(ctx, "tune")
+	if span != nil {
+		t.Fatalf("Start without a tracer returned a live span")
+	}
+	if ctx2 != ctx {
+		t.Fatalf("Start without a tracer changed the context")
+	}
+	// Every method must be nil-safe.
+	span.Set(String("k", "v"), Int("n", 1), Bool("b", true))
+	if span.Enabled() {
+		t.Fatalf("nil span reports Enabled")
+	}
+	span.End()
+	if Current(ctx2) != nil || TracerFrom(ctx2) != nil {
+		t.Fatalf("disabled context leaked a span or tracer")
+	}
+}
+
+func TestSpanTreeAndAttrs(t *testing.T) {
+	tr := NewTracer(TracerOptions{})
+	ctx := WithTracer(context.Background(), tr)
+
+	ctx, root := Start(ctx, "tune")
+	root.Set(String("app", "mix"))
+	mctx, model := Start(ctx, "model")
+	for i := 0; i < 3; i++ {
+		_, m := Start(mctx, "measure")
+		m.Set(String("outcome", "miss"), Int("instructions", int64(100+i)))
+		m.Set(String("outcome", "hit")) // replace, not duplicate
+		m.End()
+	}
+	model.End()
+	_, solve := Start(ctx, "solve")
+	solve.End()
+	root.End()
+	tr.Finish()
+
+	if _, s := Start(ctx, "late"); s != nil {
+		t.Fatalf("finished tracer issued a span")
+	}
+
+	trace := tr.Snapshot()
+	if !trace.Complete {
+		t.Fatalf("snapshot after Finish not complete")
+	}
+	if len(trace.Spans) != 6 {
+		t.Fatalf("got %d spans, want 6", len(trace.Spans))
+	}
+	roots := trace.Tree()
+	if len(roots) != 1 || roots[0].Name != "tune" {
+		t.Fatalf("tree roots = %+v, want one tune root", roots)
+	}
+	if len(roots[0].Children) != 2 {
+		t.Fatalf("tune has %d children, want 2 (model, solve)", len(roots[0].Children))
+	}
+	if roots[0].Children[0].Name != "model" || roots[0].Children[1].Name != "solve" {
+		t.Fatalf("children out of start order: %s, %s", roots[0].Children[0].Name, roots[0].Children[1].Name)
+	}
+	measures := roots[0].Children[0].Children
+	if len(measures) != 3 {
+		t.Fatalf("model has %d measure children, want 3", len(measures))
+	}
+	for _, m := range measures {
+		a, ok := m.Attr("outcome")
+		if !ok || a.Str != "hit" {
+			t.Fatalf("measure outcome attr = %+v (ok=%t), want replaced value hit", a, ok)
+		}
+		if n := len(m.Attrs); n != 2 {
+			t.Fatalf("measure has %d attrs, want 2 (outcome replaced in place)", n)
+		}
+		if in, ok := m.Attr("instructions"); !ok || in.Kind != KindInt {
+			t.Fatalf("instructions attr missing or untyped: %+v", in)
+		}
+	}
+
+	rootRec, ok := trace.Root()
+	if !ok || rootRec.Name != "tune" {
+		t.Fatalf("Root() = %+v, %t", rootRec, ok)
+	}
+}
+
+func TestBreakdownCoversRoot(t *testing.T) {
+	tr := NewTracer(TracerOptions{})
+	ctx := WithTracer(context.Background(), tr)
+	ctx, root := Start(ctx, "tune")
+	_, a := Start(ctx, "model")
+	time.Sleep(2 * time.Millisecond)
+	a.End()
+	_, b := Start(ctx, "solve")
+	time.Sleep(time.Millisecond)
+	b.End()
+	root.End()
+	tr.Finish()
+
+	rootRec, lines, ok := tr.Snapshot().Breakdown()
+	if !ok {
+		t.Fatalf("no root")
+	}
+	var sum float64
+	for _, l := range lines {
+		sum += l.Pct
+	}
+	if sum < 99.5 || sum > 100.5 {
+		t.Fatalf("breakdown percentages sum to %.2f, want ~100", sum)
+	}
+	if lines[0].Name != "model" {
+		t.Fatalf("first line %q, want model (start order)", lines[0].Name)
+	}
+	var covered time.Duration
+	for _, l := range lines {
+		covered += l.Duration
+	}
+	if covered < rootRec.Duration()*95/100 {
+		t.Fatalf("lines cover %v of %v root", covered, rootRec.Duration())
+	}
+}
+
+func TestStageTotalsOrder(t *testing.T) {
+	tr := NewTracer(TracerOptions{})
+	ctx := WithTracer(context.Background(), tr)
+	ctx, root := Start(ctx, "tune")
+	_, a := Start(ctx, "model")
+	time.Sleep(2 * time.Millisecond)
+	a.End()
+	_, b := Start(ctx, "solve")
+	b.End()
+	root.End()
+	tr.Finish()
+	totals := tr.Snapshot().StageTotals()
+	if len(totals) != 2 || totals[0].Name != "model" {
+		t.Fatalf("StageTotals = %+v, want model first", totals)
+	}
+}
+
+func TestTracerBoundDrops(t *testing.T) {
+	tr := NewTracer(TracerOptions{MaxSpans: 2})
+	ctx := WithTracer(context.Background(), tr)
+	for i := 0; i < 5; i++ {
+		_, s := Start(ctx, "measure")
+		s.End()
+	}
+	tr.Finish()
+	trace := tr.Snapshot()
+	if len(trace.Spans) != 2 || trace.Dropped != 3 {
+		t.Fatalf("bounded tracer kept %d spans, dropped %d; want 2/3", len(trace.Spans), trace.Dropped)
+	}
+}
+
+func TestSubscribeReplayLiveAndClose(t *testing.T) {
+	tr := NewTracer(TracerOptions{})
+	ctx := WithTracer(context.Background(), tr)
+	_, early := Start(ctx, "early")
+	early.End()
+
+	ch, cancel := tr.Subscribe(8)
+	defer cancel()
+
+	_, live := Start(ctx, "live")
+	live.End()
+	tr.Finish()
+
+	var names []string
+	for rec := range ch {
+		names = append(names, rec.Name)
+	}
+	if len(names) != 2 || names[0] != "early" || names[1] != "live" {
+		t.Fatalf("subscriber saw %v, want [early live]", names)
+	}
+
+	// Subscribing after Finish replays and closes immediately.
+	ch2, cancel2 := tr.Subscribe(8)
+	defer cancel2()
+	n := 0
+	for range ch2 {
+		n++
+	}
+	if n != 2 {
+		t.Fatalf("post-finish subscriber saw %d spans, want 2", n)
+	}
+}
+
+func TestConcurrentSpans(t *testing.T) {
+	stages := NewStages()
+	tr := NewTracer(TracerOptions{Stages: stages})
+	ctx := WithTracer(context.Background(), tr)
+	ctx, root := Start(ctx, "tune")
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, s := Start(ctx, "measure")
+			s.Set(String("outcome", "miss"))
+			s.End()
+		}()
+	}
+	wg.Wait()
+	root.End()
+	tr.Finish()
+	if got := len(tr.Snapshot().Spans); got != 33 {
+		t.Fatalf("got %d spans, want 33", got)
+	}
+	snap := stages.Snapshot()
+	if snap["measure"].Count != 32 {
+		t.Fatalf("stage measure count = %d, want 32", snap["measure"].Count)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 100; i++ {
+		h.observe(time.Duration(i) * time.Millisecond)
+	}
+	p50 := h.quantile(0.50)
+	p99 := h.quantile(0.99)
+	if p50 < 16e6 || p50 > 128e6 {
+		t.Fatalf("p50 = %.0fns, want within bucket resolution of 50ms", p50)
+	}
+	if p99 < p50 {
+		t.Fatalf("p99 (%.0f) < p50 (%.0f)", p99, p50)
+	}
+	if p99 > 100e6 {
+		t.Fatalf("p99 = %.0fns exceeds observed max", p99)
+	}
+
+	// A single observation is exact (clamped to min/max).
+	var one Histogram
+	one.observe(3 * time.Millisecond)
+	if got := one.quantile(0.5); got != 3e6 {
+		t.Fatalf("single-observation p50 = %.0f, want exactly 3e6", got)
+	}
+}
+
+func TestStagesSnapshot(t *testing.T) {
+	s := NewStages()
+	s.Observe("solve", 2*time.Millisecond)
+	s.Observe("solve", 4*time.Millisecond)
+	snap := s.Snapshot()
+	st := snap["solve"]
+	if st.Count != 2 || st.TotalMs != 6 || st.MeanMs != 3 {
+		t.Fatalf("solve stats = %+v", st)
+	}
+	if st.MinMs != 2 || st.MaxMs != 4 {
+		t.Fatalf("solve min/max = %v/%v", st.MinMs, st.MaxMs)
+	}
+	if names := s.Names(); len(names) != 1 || names[0] != "solve" {
+		t.Fatalf("Names = %v", names)
+	}
+	// nil aggregator is a no-op surface.
+	var nilStages *Stages
+	nilStages.Observe("x", time.Second)
+	if nilStages.Snapshot() != nil || nilStages.Names() != nil {
+		t.Fatalf("nil Stages not inert")
+	}
+}
+
+func TestAttrValueRendering(t *testing.T) {
+	cases := []struct {
+		a    Attr
+		want string
+	}{
+		{String("k", "v"), "v"},
+		{Int("k", 42), "42"},
+		{Int("k", -7), "-7"},
+		{Int("k", 0), "0"},
+		{Bool("k", true), "true"},
+		{Bool("k", false), "false"},
+	}
+	for _, c := range cases {
+		if got := c.a.Value(); got != c.want {
+			t.Fatalf("Value(%+v) = %q, want %q", c.a, got, c.want)
+		}
+	}
+}

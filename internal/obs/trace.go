@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"sort"
+	"time"
+)
+
+// Trace is a snapshot of one tracer: the completed spans (in end
+// order), whether the trace is finished, and how many spans the bound
+// dropped. It is the wire document behind GET /v1/trace/{jobID}.
+type Trace struct {
+	Started  time.Time    `json:"started"`
+	Complete bool         `json:"complete"`
+	Dropped  uint64       `json:"dropped,omitempty"`
+	Spans    []SpanRecord `json:"spans"`
+}
+
+// SpanNode is one span with its children — the tree form of a trace.
+type SpanNode struct {
+	SpanRecord
+	Children []*SpanNode `json:"children,omitempty"`
+}
+
+// Tree assembles the span forest: roots in start order, each node's
+// children in start order. Spans whose parent was dropped by the
+// buffer bound surface as roots rather than vanishing.
+func (t *Trace) Tree() []*SpanNode {
+	nodes := make(map[uint64]*SpanNode, len(t.Spans))
+	for _, rec := range t.Spans {
+		nodes[rec.ID] = &SpanNode{SpanRecord: rec}
+	}
+	var roots []*SpanNode
+	for _, rec := range t.Spans {
+		n := nodes[rec.ID]
+		if parent, ok := nodes[rec.Parent]; ok && rec.Parent != rec.ID {
+			parent.Children = append(parent.Children, n)
+			continue
+		}
+		roots = append(roots, n)
+	}
+	sortNodes(roots)
+	for _, n := range nodes {
+		sortNodes(n.Children)
+	}
+	return roots
+}
+
+func sortNodes(ns []*SpanNode) {
+	sort.Slice(ns, func(a, b int) bool {
+		if !ns[a].Start.Equal(ns[b].Start) {
+			return ns[a].Start.Before(ns[b].Start)
+		}
+		return ns[a].ID < ns[b].ID
+	})
+}
+
+// Root returns the longest root span of the trace (the "tune" span of
+// a tuning run), or false for an empty trace.
+func (t *Trace) Root() (SpanRecord, bool) {
+	var best SpanRecord
+	found := false
+	for _, rec := range t.Spans {
+		if rec.Parent != 0 {
+			continue
+		}
+		if !found || rec.DurationNs > best.DurationNs {
+			best, found = rec, true
+		}
+	}
+	return best, found
+}
+
+// StageLine is one row of a stage breakdown: every same-named span
+// aggregated, with its share of the root span's wall time.
+type StageLine struct {
+	Name     string        `json:"name"`
+	Count    int           `json:"count"`
+	Duration time.Duration `json:"duration_ns"`
+	Pct      float64       `json:"pct"`
+}
+
+// Breakdown aggregates the root span's direct children by name, in
+// first-start order, each with its percentage of the root's wall time
+// — the flamegraph-summary view `autoarch -trace` prints. The trailing
+// "other" line is the root's self time (wall not covered by any child),
+// so the lines always sum to 100% of the root. ok is false for a trace
+// with no root span.
+func (t *Trace) Breakdown() (root SpanRecord, lines []StageLine, ok bool) {
+	root, ok = t.Root()
+	if !ok {
+		return root, nil, false
+	}
+	type agg struct {
+		line  StageLine
+		first time.Time
+	}
+	byName := make(map[string]*agg)
+	var order []*agg
+	var covered time.Duration
+	for _, rec := range t.Spans {
+		if rec.Parent != root.ID {
+			continue
+		}
+		a := byName[rec.Name]
+		if a == nil {
+			a = &agg{line: StageLine{Name: rec.Name}, first: rec.Start}
+			byName[rec.Name] = a
+			order = append(order, a)
+		}
+		a.line.Count++
+		a.line.Duration += rec.Duration()
+		covered += rec.Duration()
+		if rec.Start.Before(a.first) {
+			a.first = rec.Start
+		}
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].first.Before(order[j].first) })
+	total := root.Duration()
+	for _, a := range order {
+		if total > 0 {
+			a.line.Pct = 100 * float64(a.line.Duration) / float64(total)
+		}
+		lines = append(lines, a.line)
+	}
+	if self := total - covered; self > 0 && total > 0 {
+		lines = append(lines, StageLine{
+			Name:     "other",
+			Count:    1,
+			Duration: self,
+			Pct:      100 * float64(self) / float64(total),
+		})
+	}
+	return root, lines, true
+}
+
+// StageTotal aggregates every span of one name across the whole trace.
+type StageTotal struct {
+	Name     string
+	Count    int
+	Duration time.Duration
+}
+
+// StageTotals aggregates all spans by name (root spans excluded) and
+// returns them longest-total first — the slow-job log's "where did the
+// time go" summary. Note that nested stages overlap their parents, so
+// the totals are per-stage attributions, not disjoint shares.
+func (t *Trace) StageTotals() []StageTotal {
+	byName := make(map[string]*StageTotal)
+	var order []*StageTotal
+	for _, rec := range t.Spans {
+		if rec.Parent == 0 {
+			continue
+		}
+		a := byName[rec.Name]
+		if a == nil {
+			a = &StageTotal{Name: rec.Name}
+			byName[rec.Name] = a
+			order = append(order, a)
+		}
+		a.Count++
+		a.Duration += rec.Duration()
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].Duration != order[j].Duration {
+			return order[i].Duration > order[j].Duration
+		}
+		return order[i].Name < order[j].Name
+	})
+	out := make([]StageTotal, len(order))
+	for i, a := range order {
+		out[i] = *a
+	}
+	return out
+}

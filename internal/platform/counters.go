@@ -21,6 +21,10 @@ var (
 	ctrSBDeopts   atomic.Uint64
 	ctrParRuns    atomic.Uint64
 
+	ctrParSegments atomic.Uint64
+	ctrParBusyNs   atomic.Uint64
+	ctrParWallNs   atomic.Uint64
+
 	ctrReplayRuns     atomic.Uint64
 	ctrReplaySwitches atomic.Uint64
 	ctrOnlineRuns     atomic.Uint64
@@ -64,6 +68,19 @@ type TuningCounters struct {
 	// process-default worker bound.
 	ParallelRuns    uint64 `json:"parallel_runs"`
 	ParallelWorkers int    `json:"parallel_workers"`
+	// ParallelSegments counts the interval segments those runs fanned
+	// out; ParallelBusyNs sums the segments' replay time and
+	// ParallelWallNs the runs' wall-clock time, so BusyNs/WallNs is the
+	// average worker concurrency the fan-out actually achieved.
+	ParallelSegments uint64 `json:"parallel_segments"`
+	ParallelBusyNs   uint64 `json:"parallel_busy_ns"`
+	ParallelWallNs   uint64 `json:"parallel_wall_ns"`
+	// ParallelConcurrency is ParallelBusyNs/ParallelWallNs — the
+	// effective worker count — and SuperblockHitRatePct is
+	// Hits/(Hits+Deopts) as a percentage: the share of specialized-plan
+	// entries that ran to completion. Both are derived on snapshot.
+	ParallelConcurrency  float64 `json:"parallel_concurrency"`
+	SuperblockHitRatePct float64 `json:"superblock_hit_rate_pct"`
 	// ReplayRuns and ReplaySwitches count schedule-replay simulations
 	// (ReplaySchedule) and the mid-run reconfigurations they performed;
 	// OnlineRuns and OnlineSwitches the same for closed-loop online runs
@@ -77,17 +94,27 @@ type TuningCounters struct {
 
 // Counters returns the current tuning-counter snapshot.
 func Counters() TuningCounters {
-	return TuningCounters{
+	c := TuningCounters{
 		SuperblockCompiled: ctrSBCompiled.Load(),
 		SuperblockHits:     ctrSBHits.Load(),
 		SuperblockDeopts:   ctrSBDeopts.Load(),
 		ParallelRuns:       ctrParRuns.Load(),
 		ParallelWorkers:    int(defaultWorkers.Load()),
+		ParallelSegments:   ctrParSegments.Load(),
+		ParallelBusyNs:     ctrParBusyNs.Load(),
+		ParallelWallNs:     ctrParWallNs.Load(),
 		ReplayRuns:         ctrReplayRuns.Load(),
 		ReplaySwitches:     ctrReplaySwitches.Load(),
 		OnlineRuns:         ctrOnlineRuns.Load(),
 		OnlineSwitches:     ctrOnlineSwitches.Load(),
 	}
+	if c.ParallelWallNs > 0 {
+		c.ParallelConcurrency = float64(c.ParallelBusyNs) / float64(c.ParallelWallNs)
+	}
+	if total := c.SuperblockHits + c.SuperblockDeopts; total > 0 {
+		c.SuperblockHitRatePct = 100 * float64(c.SuperblockHits) / float64(total)
+	}
+	return c
 }
 
 // foldSuperblockCounters folds the delta since the engine's last run into

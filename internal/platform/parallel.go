@@ -17,6 +17,8 @@ package platform
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"liquidarch/internal/cpu"
 	"liquidarch/internal/mem"
@@ -198,11 +200,17 @@ func (e *Engine) runIntervalsParallel() ([]Interval, bool, error) {
 		err       error
 	}
 	results := make([]segResult, n)
+	// Utilization accounting for the daemon's counters: per-segment replay
+	// time sums into busy, the whole fan-out into wall, so busy/wall is
+	// the concurrency the fan-out actually achieved.
+	wallStart := time.Now()
+	var busyNs atomic.Uint64
 	var wg sync.WaitGroup
 	for s := 0; s < n; s++ {
 		wg.Add(1)
 		go func(s int) {
 			defer wg.Done()
+			segStart := time.Now()
 			core := e.core
 			if s == 0 {
 				core.EnableBlockVector(SignatureBuckets, signatureShift)
@@ -214,9 +222,13 @@ func (e *Engine) runIntervalsParallel() ([]Interval, bool, error) {
 			}
 			iv, sampled, err := runIntervalSegment(core, e.opts, counts[s])
 			results[s] = segResult{iv, sampled, err}
+			busyNs.Add(uint64(time.Since(segStart)))
 		}(s)
 	}
 	wg.Wait()
+	ctrParSegments.Add(uint64(n))
+	ctrParBusyNs.Add(busyNs.Load())
+	ctrParWallNs.Add(uint64(time.Since(wallStart)))
 
 	var intervals []Interval
 	for s := range results {

@@ -29,14 +29,24 @@
 //	GET    /v1/jobs/{id}/stream  ndjson stream of JobStatus snapshots
 //	                             until the job reaches a terminal state
 //	DELETE /v1/jobs/{id}     cancel a queued or running job
-//	GET    /v1/metrics       cache, store, model-layer, pool and scheduler counters
+//	GET    /v1/trace/{id}    the job's completed (or so-far) span tree
+//	GET    /v1/trace/{id}/stream  ndjson stream of spans as they complete
+//	GET    /v1/metrics       cache, store, model-layer, pool, scheduler and
+//	                         per-stage latency counters
 //	GET    /v1/healthz       liveness
+//
+// Every flight runs under an obs.Tracer, so each job carries the full
+// span tree of its pipeline — model source, each measurement's cache
+// outcome, solver effort — and every completed span also feeds the
+// process-wide per-stage latency histograms reported under
+// /v1/metrics ("stages").
 package serve
 
 import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log"
 	"net/http"
 	"sort"
 	"sync"
@@ -46,6 +56,7 @@ import (
 	"liquidarch/internal/core"
 	"liquidarch/internal/cpu"
 	"liquidarch/internal/measure"
+	"liquidarch/internal/obs"
 	"liquidarch/internal/phase"
 	"liquidarch/internal/platform"
 	"liquidarch/internal/progs"
@@ -106,6 +117,15 @@ type Options struct {
 	// concurrency and intra-run interval replay (measure.AutoPlan)
 	// instead of using the static defaults.
 	AutoWorkers bool
+	// SlowJobThreshold, when positive, logs a warning for every flight
+	// whose wall-clock execution exceeds it, with the top stages of its
+	// trace — so a degraded deployment names the stage that degraded
+	// (cold measurement sweeps vs. a slow disk tier vs. solver blowup)
+	// without anyone fetching a trace.
+	SlowJobThreshold time.Duration
+	// Logf receives the server's diagnostics (currently the slow-job
+	// warnings); nil means the standard library logger.
+	Logf func(format string, args ...any)
 }
 
 // retain resolves the configured terminal-job cap (-1 = unlimited).
@@ -215,6 +235,12 @@ func (s *JobStatus) Terminal() bool {
 type job struct {
 	flight *flight // the execution this job rides; guarded by Server.mu
 
+	// trace is the tracer of the flight this job rode, kept past the
+	// flight itself so GET /v1/trace/{id} serves a finished job's span
+	// tree for as long as retention keeps the job. Set once at attach
+	// (under Server.mu), immutable after.
+	trace *obs.Tracer
+
 	mu      sync.Mutex
 	status  JobStatus
 	updated chan struct{} // closed and replaced on every status change
@@ -255,6 +281,7 @@ type flight struct {
 	req    JobRequest
 	ctx    context.Context
 	cancel context.CancelFunc
+	tracer *obs.Tracer
 
 	// Guarded by Server.mu.
 	jobs      []*job // attached (not individually cancelled) jobs
@@ -281,6 +308,8 @@ type Server struct {
 	provider measure.Provider
 	cache    *measure.Cache // non-nil when the provider stack exposes one
 	session  *core.Session  // the unified tuning pipeline every job runs through
+	stages   *obs.Stages    // per-stage latency histograms across every flight
+	logf     func(format string, args ...any)
 
 	baseCtx context.Context
 	stop    context.CancelFunc
@@ -321,11 +350,17 @@ func New(opts Options) *Server {
 	} else if c, ok := provider.(*measure.Cache); ok {
 		cache = c
 	}
+	logf := opts.Logf
+	if logf == nil {
+		logf = log.Printf
+	}
 	ctx, stop := context.WithCancel(context.Background())
 	s := &Server{
 		opts:     opts,
 		provider: provider,
 		cache:    cache,
+		stages:   obs.NewStages(),
+		logf:     logf,
 		session: core.NewSession(core.SessionOptions{
 			Provider:          provider,
 			ModelCacheEntries: opts.ModelCacheEntries,
@@ -524,7 +559,11 @@ func (s *Server) runFlight(f *flight) {
 		}
 	})
 
-	report, err := s.tune(f.ctx, f.req, observer)
+	report, err := s.tune(obs.WithTracer(f.ctx, f.tracer), f.req, observer)
+	f.tracer.Finish()
+	if elapsed := time.Since(now); s.opts.SlowJobThreshold > 0 && elapsed > s.opts.SlowJobThreshold {
+		s.logSlowFlight(f, elapsed)
+	}
 
 	// Delete-then-broadcast under the table lock: once the flight is out
 	// of the map no new submission can attach, so the snapshot below is
@@ -598,13 +637,29 @@ func coreRequest(req JobRequest) (core.Request, error) {
 // tune executes one job through the shared session: the same
 // Request→Report pipeline the autoarch CLI and the library consumers
 // run, with the flight's observer attached for progress streaming.
-func (s *Server) tune(ctx context.Context, req JobRequest, obs core.Observer) (*core.Report, error) {
+func (s *Server) tune(ctx context.Context, req JobRequest, observer core.Observer) (*core.Report, error) {
 	creq, err := coreRequest(req)
 	if err != nil {
 		return nil, err
 	}
-	creq.Observer = obs
+	creq.Observer = observer
 	return s.session.Tune(ctx, creq)
+}
+
+// logSlowFlight emits the slow-job warning: the flight's wall time and
+// the top stages of its trace by total duration, so the log line alone
+// says where the time went.
+func (s *Server) logSlowFlight(f *flight, elapsed time.Duration) {
+	line := fmt.Sprintf("slow job: app=%s phases=%t took %s (threshold %s)",
+		f.req.App, f.req.Phases, elapsed.Round(time.Millisecond), s.opts.SlowJobThreshold)
+	totals := f.tracer.Snapshot().StageTotals()
+	for i, t := range totals {
+		if i == 3 {
+			break
+		}
+		line += fmt.Sprintf("; %s %s ×%d", t.Name, t.Duration.Round(time.Millisecond), t.Count)
+	}
+	s.logf("%s", line)
 }
 
 // Submit enqueues a job (the programmatic form of POST /v1/jobs). An
@@ -643,6 +698,7 @@ func (s *Server) Submit(req JobRequest) (JobStatus, error) {
 		// Dedup: ride the existing execution.
 		s.deduped++
 		j.flight = f
+		j.trace = f.tracer
 		f.jobs = append(f.jobs, j)
 		if f.started {
 			started := f.startedAt
@@ -654,8 +710,15 @@ func (s *Server) Submit(req JobRequest) (JobStatus, error) {
 	}
 
 	ctx, cancel := context.WithCancel(s.baseCtx)
-	f := &flight{key: key, req: req, ctx: ctx, cancel: cancel, jobs: []*job{j}}
+	f := &flight{
+		key: key, req: req, ctx: ctx, cancel: cancel, jobs: []*job{j},
+		// Every flight is traced: the spans feed the process-wide stage
+		// histograms either way, and the per-flight cost (a few dozen
+		// spans per job) is noise next to a single simulated run.
+		tracer: obs.NewTracer(obs.TracerOptions{Stages: s.stages}),
+	}
 	j.flight = f
+	j.trace = f.tracer
 	s.flights[key] = f
 	// The enqueue happens under s.mu so it cannot race Close's
 	// close(s.queue): Close flips s.closed under the same lock first.
@@ -859,8 +922,13 @@ type Metrics struct {
 	Scheduler SchedulerStats        `json:"scheduler"`
 	// Tuning aggregates the execution-tuning activity: superblock
 	// compiles/hits/deopts across every simulated run, and how many
-	// interval-profiled runs replayed as parallel segments.
+	// interval-profiled runs replayed as parallel segments (with the
+	// concurrency the fan-outs actually achieved).
 	Tuning platform.TuningCounters `json:"tuning"`
+	// Stages is the per-stage latency aggregation over every traced
+	// flight: count, total and p50/p95/p99 per pipeline stage name
+	// ("tune", "model", "measure", "solve", ...).
+	Stages map[string]obs.StageStats `json:"stages,omitempty"`
 }
 
 // MetricsSnapshot assembles the current counters.
@@ -869,6 +937,7 @@ func (s *Server) MetricsSnapshot() Metrics {
 		Pool:   platform.PoolSnapshot(),
 		Jobs:   map[string]int{},
 		Tuning: platform.Counters(),
+		Stages: s.stages.Snapshot(),
 	}
 	models := s.session.ModelStats()
 	m.Models = &models
@@ -954,6 +1023,15 @@ func (s *Server) Handler() http.Handler {
 		writeJSON(w, http.StatusOK, st)
 	})
 	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.streamJob)
+	mux.HandleFunc("GET /v1/trace/{id}", func(w http.ResponseWriter, r *http.Request) {
+		doc, err := s.Trace(r.PathValue("id"))
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, doc)
+	})
+	mux.HandleFunc("GET /v1/trace/{id}/stream", s.streamTrace)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		st, err := s.Cancel(r.PathValue("id"))
 		if err != nil {
@@ -969,6 +1047,79 @@ func (s *Server) Handler() http.Handler {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	return mux
+}
+
+// TraceDoc is the GET /v1/trace/{id} document: the job's span forest
+// (normally a single "tune" root with the stage spans beneath it). A
+// trace with Complete false belongs to a still-running job and shows
+// the spans ended so far.
+type TraceDoc struct {
+	Job      string          `json:"job"`
+	State    string          `json:"state"`
+	Started  time.Time       `json:"started"`
+	Complete bool            `json:"complete"`
+	Dropped  uint64          `json:"dropped,omitempty"`
+	Spans    []*obs.SpanNode `json:"spans"`
+}
+
+// Trace returns one job's span tree (the programmatic form of
+// GET /v1/trace/{id}).
+func (s *Server) Trace(id string) (TraceDoc, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return TraceDoc{}, &apiError{http.StatusNotFound, "no such job"}
+	}
+	if j.trace == nil {
+		// The job never reached a flight with a tracer (failed submission).
+		return TraceDoc{}, &apiError{http.StatusNotFound, "no trace for job"}
+	}
+	tr := j.trace.Snapshot()
+	return TraceDoc{
+		Job:      id,
+		State:    j.snapshot().State,
+		Started:  tr.Started,
+		Complete: tr.Complete,
+		Dropped:  tr.Dropped,
+		Spans:    tr.Tree(),
+	}, nil
+}
+
+// streamTrace writes newline-delimited SpanRecords: every span already
+// completed, then each new one as it ends, until the trace finishes (or
+// the client goes away). A live pipeline shows its measurement spans
+// arriving in real time.
+func (s *Server) streamTrace(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	j, ok := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	if !ok || j.trace == nil {
+		writeErr(w, &apiError{http.StatusNotFound, "no such job"})
+		return
+	}
+	ch, cancel := j.trace.Subscribe(64)
+	defer cancel()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for {
+		select {
+		case rec, open := <-ch:
+			if !open {
+				return
+			}
+			if err := enc.Encode(rec); err != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
 }
 
 // streamJob writes newline-delimited JobStatus snapshots: one
