@@ -12,6 +12,8 @@
 //	autoarch -app mix -replay [-online] ...
 //	autoarch -app blastn [-model-dir DIR] [-auto-workers] ...
 //	autoarch -app mix -trace ...
+//	autoarch -app blastn -sweep-weights "100:1,1:100" [-json]
+//	autoarch -app blastn -remote http://head:8723 [-class bulk] ...
 //
 // With -model-dir the built model set is spilled to a durable artifact
 // and reused by later runs (and by an autoarchd sharing the directory);
@@ -21,6 +23,15 @@
 // With -json the result is the core.Report document — the same
 // serialization the autoarchd daemon returns for a finished job — on
 // stdout, with the human progress lines demoted to stderr.
+//
+// With -sweep-weights the listed weightings run as one batch through
+// one session: the first builds the cost model, the rest reuse it and
+// only solve, so an N-weighting sweep costs one model build. With
+// -remote the work is submitted to a running autoarchd instead —
+// POST /v1/jobs for a single tune, POST /v1/batch for a sweep — polled
+// to completion (progress on stderr), and the daemon's result document
+// is printed as JSON; -class bulk schedules the submission behind the
+// daemon's interactive jobs.
 //
 // With -trace the run is traced through the obs layer and a
 // human-readable stage breakdown — model build vs. solve vs.
@@ -88,6 +99,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		loadModel = fs.String("load-model", "", "reuse a previously saved model instead of measuring")
 		jsonOut   = fs.Bool("json", false, "emit the result as a core.Report JSON document on stdout")
 		traceRun  = fs.Bool("trace", false, "trace the pipeline and print a per-stage breakdown of the tune wall time")
+		sweep     = fs.String("sweep-weights", "", "comma-separated w1:w2[:w3] weightings swept as one batch — one model build, N solves (e.g. \"100:1,1:100\")")
+		remoteURL = fs.String("remote", "", "submit to a running autoarchd at this base URL (POST /v1/jobs, or /v1/batch with -sweep-weights) instead of tuning locally")
+		class     = fs.String("class", "", "scheduling class for -remote submissions: interactive (default) or bulk")
 
 		superblocks = fs.Int("superblocks", 0, "superblock compilation threshold: taken-branch heat before a hot block is specialized (0 = default, negative = off); never changes results, only speed")
 		intraRun    = fs.Int("intra-run-workers", 0, "workers for checkpointed parallel replay of repeated interval-profiled runs (0 or 1 = serial); never changes results, only speed")
@@ -143,6 +157,31 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	weightings, err := parseWeightSweep(*sweep)
+	if err != nil {
+		fmt.Fprintf(stderr, "autoarch: %v\n", err)
+		return 2
+	}
+	if len(weightings) > 0 && (*phases || *replay || *online || *loadModel != "" || *saveModel != "") {
+		fmt.Fprintln(stderr, "autoarch: -sweep-weights is incompatible with -phases, -replay, -online, -save-model and -load-model")
+		return 2
+	}
+	if *remoteURL != "" {
+		if *traceRun || *loadModel != "" || *saveModel != "" || *modelDir != "" {
+			fmt.Fprintln(stderr, "autoarch: -remote is incompatible with -trace, -save-model, -load-model and -model-dir (those are local-run features)")
+			return 2
+		}
+		if *replay || *online {
+			*phases = true
+		}
+		return runRemote(ctx, *remoteURL, remoteJob{
+			app: *app, scale: *scale, space: *spaceName, w1: *w1, w2: *w2,
+			workers: *workers, includeModel: *showModel, class: *class,
+			phases: *phases, interval: *interval, switchPen: *switchPen,
+			phaseThr: *phaseThr, replay: *replay, online: *online,
+		}, weightings, *jsonOut, stdout, stderr, progress)
+	}
+
 	// The flags map 1:1 onto the unified request; one Session.Tune call
 	// is the whole tool.
 	req := core.Request{
@@ -165,6 +204,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		ModelStore:  modelStore,
 		AutoWorkers: *autoWorkers,
 	})
+
+	if len(weightings) > 0 {
+		return runSweep(ctx, sess, req, weightings, *jsonOut, stdout, stderr, progress)
+	}
 
 	if *replay || *online {
 		*phases = true

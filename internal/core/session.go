@@ -320,6 +320,30 @@ func (s *Session) Tune(ctx context.Context, req Request) (*Report, error) {
 	return NewTuneReport(model, rec, val, req.IncludeModel), nil
 }
 
+// TuneBatch runs a batch of requests through the session sequentially
+// and returns their reports in order. The point of batching at the
+// session level is the shared model layer: requests differing only in
+// weights hit the model built by the first one, so an N-weighting batch
+// performs one model build (the ~52 measurements) and N solves. Any
+// item failing fails the batch — partial batches would silently
+// misalign the caller's request↔report pairing.
+func (s *Session) TuneBatch(ctx context.Context, reqs []Request) ([]*Report, error) {
+	ctx, span := obs.Start(ctx, "batch")
+	if span != nil {
+		span.Set(obs.Int("items", int64(len(reqs))))
+		defer span.End()
+	}
+	out := make([]*Report, len(reqs))
+	for i, req := range reqs {
+		rep, err := s.Tune(ctx, req)
+		if err != nil {
+			return nil, fmt.Errorf("core: batch item %d (%s): %w", i, req.App, err)
+		}
+		out[i] = rep
+	}
+	return out, nil
+}
+
 // workers resolves the request's measurement parallelism against the
 // session default.
 func (r Request) workers(sessionDefault int) int {

@@ -1,0 +1,193 @@
+// Package fabric is the distributed measurement subsystem: it promotes
+// the measure.Provider stack from a per-process service to a remote,
+// sharded fleet.
+//
+// Three pieces compose it:
+//
+//   - Registry — the coordinator's worker table. Workers announce
+//     themselves with heartbeat registrations (POST /v1/workers, served
+//     by internal/serve); a worker not heard from within its TTL is
+//     dropped, so a killed worker never blackholes its shard.
+//   - Worker — the worker-side measurement RPC handler
+//     (POST /v1/measure): it reconstructs the wire program image
+//     (memoized by fingerprint, so the worker's own cache and store
+//     layers keep their pointer-keyed identity), measures through the
+//     worker's local provider stack — the existing cache / persistent
+//     store / claim-lease protocol, untouched — under a bounded
+//     concurrency semaphore, and returns the serialized RunReport.
+//   - Remote — a measure.Provider for the coordinator: each
+//     measurement is dispatched to the live worker that
+//     rendezvous-hashing elects for its measure.ConfigHash (one
+//     configuration's measurements always land on the same worker, so
+//     that worker's cache and on-disk store stay warm for it), with a
+//     per-RPC timeout, bounded retry with backoff, and transparent
+//     local fallback through the wrapped provider when the fleet
+//     cannot answer. Remote results are also spilled to the
+//     coordinator's shared store when one is wired, so the fabric
+//     degrades to exactly the passive -cache-dir sharing it replaces.
+//
+// Every dispatch is traced (a "fabric.rpc" span nested under the
+// measurement's "measure" span) and counted: dispatched, remote hits,
+// retries, fallbacks and per-worker serve counts all surface under the
+// fabric section of /v1/metrics. See DESIGN.md §21.
+package fabric
+
+import (
+	"fmt"
+
+	"liquidarch/internal/asm"
+	"liquidarch/internal/cache"
+	"liquidarch/internal/config"
+	"liquidarch/internal/measure"
+	"liquidarch/internal/platform"
+	"liquidarch/internal/profiler"
+)
+
+// ProgramImage is the wire form of an assembled program: the load
+// images and entry point — exactly the bytes measure.Fingerprint
+// hashes, so the receiver can verify the sender's fingerprint.
+// Symbols are deliberately omitted; measurement needs none.
+type ProgramImage struct {
+	TextBase uint32   `json:"text_base"`
+	Text     []uint32 `json:"text"`
+	DataBase uint32   `json:"data_base"`
+	Data     []byte   `json:"data,omitempty"`
+	Entry    uint32   `json:"entry"`
+}
+
+// ImageOf captures a program's wire image.
+func ImageOf(p *asm.Program) ProgramImage {
+	return ProgramImage{
+		TextBase: p.TextBase,
+		Text:     p.Text,
+		DataBase: p.DataBase,
+		Data:     p.Data,
+		Entry:    p.Entry,
+	}
+}
+
+// Program reconstructs the assembled program. The result is a fresh
+// allocation — callers that care about pointer-keyed cache identity
+// (the Worker) must memoize it by fingerprint.
+func (im ProgramImage) Program() *asm.Program {
+	return &asm.Program{
+		TextBase: im.TextBase,
+		Text:     im.Text,
+		DataBase: im.DataBase,
+		Data:     im.Data,
+		Entry:    im.Entry,
+	}
+}
+
+// MeasureRequest is the POST /v1/measure payload: one measurement of
+// one program image on one timing configuration. The fingerprint names
+// the image (and lets the worker verify and memoize it); the options
+// subset is exactly the result-determining half of platform.Options —
+// the execution-tuning knobs stay each host's own business.
+type MeasureRequest struct {
+	Fingerprint          string        `json:"fingerprint"`
+	Prog                 ProgramImage  `json:"prog"`
+	Config               config.Config `json:"config"`
+	RAMBytes             int           `json:"ram_bytes,omitempty"`
+	MaxInstructions      uint64        `json:"max_instructions,omitempty"`
+	SampleInstructions   uint64        `json:"sample_instructions,omitempty"`
+	IntervalInstructions uint64        `json:"interval_instructions,omitempty"`
+}
+
+// Options reassembles the run options the request carries.
+func (r MeasureRequest) Options() platform.Options {
+	return platform.Options{
+		RAMBytes:             r.RAMBytes,
+		MaxInstructions:      r.MaxInstructions,
+		SampleInstructions:   r.SampleInstructions,
+		IntervalInstructions: r.IntervalInstructions,
+	}
+}
+
+// WireReport is the serialized RunReport of a measurement RPC — the
+// same fields the persistent store spills, minus the configuration
+// (the caller stamps its own back in, as every cache layer does).
+type WireReport struct {
+	Stats     profiler.Stats      `json:"stats"`
+	ICache    cache.Stats         `json:"icache"`
+	DCache    cache.Stats         `json:"dcache"`
+	ExitCode  uint32              `json:"exit_code"`
+	Checksum  uint32              `json:"checksum"`
+	Console   string              `json:"console,omitempty"`
+	Sampled   bool                `json:"sampled,omitempty"`
+	Intervals []platform.Interval `json:"intervals,omitempty"`
+}
+
+// WireReportOf captures a run report for the wire.
+func WireReportOf(rep *platform.RunReport) WireReport {
+	return WireReport{
+		Stats:     rep.Stats,
+		ICache:    rep.ICache,
+		DCache:    rep.DCache,
+		ExitCode:  rep.ExitCode,
+		Checksum:  rep.Checksum,
+		Console:   rep.Console,
+		Sampled:   rep.Sampled,
+		Intervals: rep.Intervals,
+	}
+}
+
+// Report reconstructs the run report with the caller's configuration
+// stamped in.
+func (w WireReport) Report(cfg config.Config) *platform.RunReport {
+	return &platform.RunReport{
+		Config:    cfg,
+		Stats:     w.Stats,
+		ICache:    w.ICache,
+		DCache:    w.DCache,
+		ExitCode:  w.ExitCode,
+		Checksum:  w.Checksum,
+		Console:   w.Console,
+		Sampled:   w.Sampled,
+		Intervals: w.Intervals,
+	}
+}
+
+// MeasureResponse is the POST /v1/measure success document.
+type MeasureResponse struct {
+	Report WireReport `json:"report"`
+}
+
+// Registration is the POST /v1/workers payload: one heartbeat. A
+// worker re-announces itself every heartbeat period; the coordinator
+// treats a worker silent past its TTL as gone.
+type Registration struct {
+	// ID is the worker's stable identity (its shard assignment hashes
+	// against it, so a restarted worker reclaiming its ID reclaims its
+	// shard — and its warm store with it).
+	ID string `json:"id"`
+	// URL is the base address the coordinator dials for /v1/measure.
+	URL string `json:"url"`
+	// TTLSeconds is how long this registration stays live without a
+	// fresh heartbeat (0 = DefaultWorkerTTL).
+	TTLSeconds float64 `json:"ttl_seconds,omitempty"`
+}
+
+// Validate rejects an unusable registration before it enters the table.
+func (r Registration) Validate() error {
+	if r.ID == "" {
+		return fmt.Errorf("fabric: registration without id")
+	}
+	if r.URL == "" {
+		return fmt.Errorf("fabric: registration without url")
+	}
+	if r.TTLSeconds < 0 {
+		return fmt.Errorf("fabric: negative ttl")
+	}
+	return nil
+}
+
+// verifyFingerprint checks a wire image against its claimed identity
+// via the same hash measure.Fingerprint computes.
+func verifyFingerprint(req MeasureRequest) (*asm.Program, error) {
+	prog := req.Prog.Program()
+	if fp := measure.Fingerprint(prog); fp != req.Fingerprint {
+		return nil, fmt.Errorf("fabric: program image hashes to %.12s, request claims %.12s", fp, req.Fingerprint)
+	}
+	return prog, nil
+}

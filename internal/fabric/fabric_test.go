@@ -1,0 +1,376 @@
+package fabric
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"liquidarch/internal/asm"
+	"liquidarch/internal/config"
+	"liquidarch/internal/measure"
+	"liquidarch/internal/platform"
+)
+
+// stubProvider answers measurements with a canned report, optionally
+// gating so tests can observe in-flight concurrency.
+type stubProvider struct {
+	gate    chan struct{} // when non-nil, Measure blocks on it
+	calls   atomic.Int64
+	active  atomic.Int64
+	maxSeen atomic.Int64
+
+	mu    sync.Mutex
+	progs map[*asm.Program]int // distinct pointers seen, with call counts
+}
+
+func (p *stubProvider) Measure(ctx context.Context, prog *asm.Program, cfg config.Config, opts platform.Options) (*platform.RunReport, error) {
+	p.calls.Add(1)
+	n := p.active.Add(1)
+	for {
+		max := p.maxSeen.Load()
+		if n <= max || p.maxSeen.CompareAndSwap(max, n) {
+			break
+		}
+	}
+	defer p.active.Add(-1)
+	p.mu.Lock()
+	if p.progs == nil {
+		p.progs = make(map[*asm.Program]int)
+	}
+	p.progs[prog]++
+	p.mu.Unlock()
+	if p.gate != nil {
+		select {
+		case <-p.gate:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	return &platform.RunReport{Config: cfg, Checksum: 0xfab, Console: "ok"}, nil
+}
+
+func (p *stubProvider) distinctProgs() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.progs)
+}
+
+// testProgram builds a small distinct program image per seed.
+func testProgram(seed uint32) *asm.Program {
+	return &asm.Program{
+		TextBase: 0x1000,
+		Text:     []uint32{0x2402000a + seed, 0x03e00008, 0x00000000},
+		DataBase: 0x4000,
+		Data:     []byte{1, 2, 3, byte(seed)},
+		Entry:    0x1000,
+	}
+}
+
+// request builds a valid wire request for a program.
+func request(prog *asm.Program) MeasureRequest {
+	return MeasureRequest{
+		Fingerprint: measure.Fingerprint(prog),
+		Prog:        ImageOf(prog),
+		Config:      config.Default(),
+	}
+}
+
+// TestWireRoundTrip: program images and reports survive the wire, and a
+// tampered fingerprint is rejected.
+func TestWireRoundTrip(t *testing.T) {
+	t.Parallel()
+	prog := testProgram(1)
+	req := request(prog)
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back MeasureRequest
+	if err := json.Unmarshal(body, &back); err != nil {
+		t.Fatal(err)
+	}
+	got, err := verifyFingerprint(back)
+	if err != nil {
+		t.Fatalf("round-tripped image failed verification: %v", err)
+	}
+	if measure.Fingerprint(got) != req.Fingerprint {
+		t.Fatal("reconstructed program has a different fingerprint")
+	}
+
+	back.Prog.Entry++ // tamper
+	if _, err := verifyFingerprint(back); err == nil {
+		t.Fatal("tampered image passed fingerprint verification")
+	}
+
+	rep := &platform.RunReport{Config: config.Default(), Checksum: 7, Console: "hi", Sampled: true}
+	wire := WireReportOf(rep)
+	wb, err := json.Marshal(MeasureResponse{Report: wire})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wresp MeasureResponse
+	if err := json.Unmarshal(wb, &wresp); err != nil {
+		t.Fatal(err)
+	}
+	out := wresp.Report.Report(rep.Config)
+	if out.Checksum != 7 || out.Console != "hi" || !out.Sampled {
+		t.Fatalf("report did not survive the wire: %+v", out)
+	}
+}
+
+// TestRegistryLifecycle: TTL expiry drops silent workers, MarkDown
+// sidelines until the next heartbeat re-admits.
+func TestRegistryLifecycle(t *testing.T) {
+	t.Parallel()
+	r := NewRegistry()
+	if err := r.Register(Registration{ID: "w1", URL: "http://a", TTLSeconds: 0.05}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(Registration{}); err == nil {
+		t.Fatal("empty registration accepted")
+	}
+	if got := r.LiveCount(); got != 1 {
+		t.Fatalf("live = %d, want 1", got)
+	}
+
+	r.MarkDown("w1")
+	if got := r.LiveCount(); got != 0 {
+		t.Fatalf("live after MarkDown = %d, want 0", got)
+	}
+	if err := r.Register(Registration{ID: "w1", URL: "http://a", TTLSeconds: 0.05}); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.LiveCount(); got != 1 {
+		t.Fatalf("heartbeat did not clear the down mark: live = %d", got)
+	}
+
+	time.Sleep(80 * time.Millisecond)
+	if got := r.LiveCount(); got != 0 {
+		t.Fatalf("live after TTL = %d, want 0", got)
+	}
+	regs, expired, down := r.counters()
+	if regs != 2 || expired != 1 || down != 1 {
+		t.Fatalf("counters = (%d, %d, %d), want (2, 1, 1)", regs, expired, down)
+	}
+}
+
+// TestRendezvousStability: removing one worker remaps only the keys it
+// owned; every other key keeps its worker.
+func TestRendezvousStability(t *testing.T) {
+	t.Parallel()
+	workers := []*workerRecord{{id: "w1"}, {id: "w2"}, {id: "w3"}}
+	keys := make([]string, 100)
+	owner := make(map[string]string)
+	for i := range keys {
+		keys[i] = strings.Repeat("k", 1+i%7) + string(rune('a'+i%26))
+		owner[keys[i]] = pick(keys[i], workers).id
+	}
+	counts := map[string]int{}
+	for _, k := range keys {
+		counts[owner[k]]++
+	}
+	for _, w := range workers {
+		if counts[w.id] == 0 {
+			t.Fatalf("worker %s owns no keys: %v", w.id, counts)
+		}
+	}
+	remaining := workers[:2] // drop w3
+	for _, k := range keys {
+		got := pick(k, remaining).id
+		if owner[k] != "w3" && got != owner[k] {
+			t.Fatalf("key %q moved from %s to %s though its worker stayed", k, owner[k], got)
+		}
+	}
+	if pick("anything", nil) != nil {
+		t.Fatal("pick over empty set should return nil")
+	}
+}
+
+// TestWorkerBoundsConcurrencyAndMemoizesPrograms: the semaphore caps
+// in-flight measurements, and every RPC for one image resolves to one
+// *asm.Program.
+func TestWorkerBoundsConcurrencyAndMemoizesPrograms(t *testing.T) {
+	t.Parallel()
+	inner := &stubProvider{gate: make(chan struct{})}
+	w := NewWorker(inner, 2)
+	prog := testProgram(2)
+	req := request(prog)
+
+	const rpcs = 5
+	var wg sync.WaitGroup
+	errs := make(chan error, rpcs)
+	for i := 0; i < rpcs; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := w.Measure(context.Background(), req)
+			errs <- err
+		}()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for inner.active.Load() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("worker never reached its concurrency bound")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(inner.gate)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if max := inner.maxSeen.Load(); max > 2 {
+		t.Fatalf("observed %d concurrent measurements, bound is 2", max)
+	}
+	if got := inner.distinctProgs(); got != 1 {
+		t.Fatalf("provider saw %d program pointers for one image, want 1", got)
+	}
+	st := w.Stats()
+	if st.Served != rpcs || st.Programs != 1 {
+		t.Fatalf("stats = %+v, want served %d / programs 1", st, rpcs)
+	}
+
+	bad := req
+	bad.Fingerprint = strings.Repeat("0", 64)
+	if _, err := w.Measure(context.Background(), bad); err == nil {
+		t.Fatal("bad fingerprint accepted")
+	}
+}
+
+// TestRemoteDispatchSpillAndFallback: a live worker answers, the result
+// spills to the shared store, and a dead worker degrades — counted — to
+// the local provider.
+func TestRemoteDispatchSpillAndFallback(t *testing.T) {
+	t.Parallel()
+	workerProv := &stubProvider{}
+	worker := NewWorker(workerProv, 1)
+	mux := http.NewServeMux()
+	mux.Handle("POST /v1/measure", worker)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	dir := t.TempDir()
+	store, err := measure.NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local := &stubProvider{}
+	reg := NewRegistry()
+	remote := NewRemote(reg, local, RemoteOptions{
+		Timeout: 5 * time.Second,
+		Retries: 1,
+		Backoff: time.Millisecond,
+		Store:   store,
+	})
+
+	prog := testProgram(3)
+	cfg := config.Default()
+
+	// No worker has ever registered: plain local behaviour, no fallback
+	// counted.
+	if _, err := remote.Measure(context.Background(), prog, cfg, platform.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if st := remote.Stats(); st.Fallbacks != 0 || st.Dispatched != 0 {
+		t.Fatalf("unregistered fleet counted activity: %+v", st)
+	}
+	if local.calls.Load() != 1 {
+		t.Fatalf("local provider calls = %d, want 1", local.calls.Load())
+	}
+
+	if err := reg.Register(Registration{ID: "w1", URL: srv.URL}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := remote.Measure(context.Background(), prog, cfg, platform.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Checksum != 0xfab {
+		t.Fatalf("remote report checksum = %#x, want 0xfab", rep.Checksum)
+	}
+	st := remote.Stats()
+	if st.Dispatched != 1 || st.RemoteHits != 1 || st.Spills != 1 {
+		t.Fatalf("after remote hit: %+v", st)
+	}
+	if workerProv.calls.Load() != 1 || local.calls.Load() != 1 {
+		t.Fatalf("provider calls = worker %d local %d, want 1/1", workerProv.calls.Load(), local.calls.Load())
+	}
+	if _, ok := store.Load(measure.KeyFor(prog, cfg, platform.Options{})); !ok {
+		t.Fatal("remote result did not spill to the shared store")
+	}
+
+	// Kill the worker: retries burn, the worker is sidelined, the job
+	// completes locally with the fallback counted.
+	srv.Close()
+	if _, err := remote.Measure(context.Background(), prog, cfg, platform.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	st = remote.Stats()
+	if st.Fallbacks != 1 || st.Retries != 1 || st.MarkedDown != 1 {
+		t.Fatalf("after dead worker: %+v", st)
+	}
+	if local.calls.Load() != 2 {
+		t.Fatalf("fallback did not use local provider: calls = %d", local.calls.Load())
+	}
+	if reg.LiveCount() != 0 {
+		t.Fatal("dead worker still live after MarkDown")
+	}
+}
+
+// TestHeartbeatRegistersAndRefreshes: the heartbeat loop announces
+// immediately and keeps the registration alive past its TTL.
+func TestHeartbeatRegistersAndRefreshes(t *testing.T) {
+	t.Parallel()
+	reg := NewRegistry()
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/workers", func(w http.ResponseWriter, r *http.Request) {
+		var body Registration
+		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := reg.Register(body); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		Heartbeat(ctx, srv.Client(), srv.URL,
+			Registration{ID: "w1", URL: "http://worker"}, 20*time.Millisecond)
+	}()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for reg.LiveCount() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("heartbeat never registered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Live across several TTL windows (TTL defaults to 3× period).
+	time.Sleep(150 * time.Millisecond)
+	if reg.LiveCount() != 1 {
+		t.Fatal("heartbeat failed to keep the registration alive")
+	}
+	cancel()
+	<-done
+	time.Sleep(100 * time.Millisecond)
+	if reg.LiveCount() != 0 {
+		t.Fatal("stopped worker still registered past its TTL")
+	}
+}

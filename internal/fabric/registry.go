@@ -1,0 +1,167 @@
+package fabric
+
+import (
+	"hash/fnv"
+	"sort"
+	"sync"
+	"time"
+)
+
+// DefaultWorkerTTL is how long a registration stays live without a
+// fresh heartbeat when the worker does not name its own TTL. Workers
+// heartbeat every DefaultHeartbeat, so a worker must miss several
+// beats before its shard is re-homed.
+const DefaultWorkerTTL = 15 * time.Second
+
+// DefaultHeartbeat is the worker-side re-registration period.
+const DefaultHeartbeat = 5 * time.Second
+
+// workerRecord is one registered worker.
+type workerRecord struct {
+	id       string
+	url      string
+	ttl      time.Duration
+	lastSeen time.Time
+	// down marks a worker the Remote declared unreachable after its
+	// retry budget. A down worker is excluded from sharding until its
+	// next heartbeat proves it back — faster than waiting out the TTL,
+	// and self-healing either way.
+	down bool
+}
+
+// WorkerInfo is the externally visible state of one registered worker
+// (the GET /v1/workers and /v1/metrics document).
+type WorkerInfo struct {
+	ID   string `json:"id"`
+	URL  string `json:"url"`
+	Live bool   `json:"live"`
+	// AgeSeconds is how long ago the last heartbeat arrived.
+	AgeSeconds float64 `json:"age_seconds"`
+}
+
+// Registry is the coordinator's worker table: heartbeat-refreshed
+// registrations with TTL-based expiry. Safe for concurrent use.
+type Registry struct {
+	mu      sync.Mutex
+	workers map[string]*workerRecord
+
+	registrations uint64 // heartbeats accepted (first-time and refresh)
+	expired       uint64 // workers dropped by TTL expiry
+	markedDown    uint64 // workers sidelined by dispatch failure
+}
+
+// NewRegistry builds an empty worker table.
+func NewRegistry() *Registry {
+	return &Registry{workers: make(map[string]*workerRecord)}
+}
+
+// Register records a heartbeat: a new worker joins the table, a known
+// one refreshes its lease (and clears any down mark — the heartbeat is
+// the proof of life that re-admits it to sharding).
+func (r *Registry) Register(reg Registration) error {
+	if err := reg.Validate(); err != nil {
+		return err
+	}
+	ttl := time.Duration(reg.TTLSeconds * float64(time.Second))
+	if ttl <= 0 {
+		ttl = DefaultWorkerTTL
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.registrations++
+	r.workers[reg.ID] = &workerRecord{
+		id:       reg.ID,
+		url:      reg.URL,
+		ttl:      ttl,
+		lastSeen: time.Now(),
+	}
+	return nil
+}
+
+// MarkDown sidelines a worker the caller found unreachable. The mark
+// holds until the worker's next heartbeat; an id no longer registered
+// is ignored.
+func (r *Registry) MarkDown(id string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if w, ok := r.workers[id]; ok && !w.down {
+		w.down = true
+		r.markedDown++
+	}
+}
+
+// sweepLocked drops TTL-expired workers. Caller holds r.mu.
+func (r *Registry) sweepLocked(now time.Time) {
+	for id, w := range r.workers {
+		if now.Sub(w.lastSeen) > w.ttl {
+			delete(r.workers, id)
+			r.expired++
+		}
+	}
+}
+
+// live returns the dispatchable workers (registered, unexpired, not
+// marked down), expiring stale registrations on the way.
+func (r *Registry) live(now time.Time) []*workerRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sweepLocked(now)
+	out := make([]*workerRecord, 0, len(r.workers))
+	for _, w := range r.workers {
+		if !w.down {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// LiveCount reports how many workers are currently dispatchable.
+func (r *Registry) LiveCount() int { return len(r.live(time.Now())) }
+
+// Snapshot lists every registered worker, stable by ID.
+func (r *Registry) Snapshot() []WorkerInfo {
+	now := time.Now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sweepLocked(now)
+	out := make([]WorkerInfo, 0, len(r.workers))
+	for _, w := range r.workers {
+		out = append(out, WorkerInfo{
+			ID:         w.id,
+			URL:        w.url,
+			Live:       !w.down,
+			AgeSeconds: now.Sub(w.lastSeen).Seconds(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// counters returns the registry's lifetime counters.
+func (r *Registry) counters() (registrations, expired, markedDown uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.registrations, r.expired, r.markedDown
+}
+
+// pick elects the worker for a shard key by rendezvous (highest random
+// weight) hashing over the live set: every coordinator ranks (key,
+// worker) pairs identically, a worker joining or leaving only remaps
+// the keys it wins or held, and no ring state needs maintaining. The
+// shard key is measure.ConfigHash, so one configuration's measurements
+// always land on the worker whose cache and store are warm for it.
+func pick(key string, workers []*workerRecord) *workerRecord {
+	var best *workerRecord
+	var bestScore uint64
+	for _, w := range workers {
+		h := fnv.New64a()
+		h.Write([]byte(key))
+		h.Write([]byte{0})
+		h.Write([]byte(w.id))
+		if score := h.Sum64(); best == nil || score > bestScore ||
+			(score == bestScore && w.id < best.id) {
+			best, bestScore = w, score
+		}
+	}
+	return best
+}

@@ -1,0 +1,265 @@
+package fabric
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"liquidarch/internal/asm"
+	"liquidarch/internal/config"
+	"liquidarch/internal/measure"
+	"liquidarch/internal/obs"
+	"liquidarch/internal/platform"
+)
+
+// RemoteStats is the coordinator-side half of the fabric metrics.
+type RemoteStats struct {
+	// Dispatched counts measurements sent to a worker (first attempts;
+	// Retries counts the extra attempts on top).
+	Dispatched uint64 `json:"dispatched"`
+	// RemoteHits counts measurements a worker answered.
+	RemoteHits uint64 `json:"remote_hits"`
+	// Retries counts re-sent RPCs after a failed attempt.
+	Retries uint64 `json:"retries"`
+	// Fallbacks counts measurements executed through the local
+	// fallback provider — because no worker was live, or because the
+	// elected worker exhausted its retry budget. A healthy fleet keeps
+	// this at zero; it growing is the fabric degrading (loudly) to the
+	// single-host behaviour.
+	Fallbacks uint64 `json:"fallbacks"`
+	// Spills counts remote reports also written to the shared store.
+	Spills uint64 `json:"spills"`
+	// Workers counts currently registered workers, LiveWorkers the
+	// dispatchable subset.
+	Workers     int `json:"workers"`
+	LiveWorkers int `json:"live_workers"`
+	// Registrations/Expired/MarkedDown are the registry's lifetime
+	// heartbeats accepted, TTL expiries, and dispatch-failure
+	// sidelinings.
+	Registrations uint64 `json:"registrations"`
+	Expired       uint64 `json:"expired"`
+	MarkedDown    uint64 `json:"marked_down"`
+}
+
+// RemoteOptions configures a Remote.
+type RemoteOptions struct {
+	// Timeout bounds each RPC attempt (default 5m — a full-scale
+	// simulation is minutes, not seconds).
+	Timeout time.Duration
+	// Retries is how many extra attempts follow a failed RPC before
+	// the measurement falls back locally (default 2).
+	Retries int
+	// Backoff is the wait before each retry, growing linearly with the
+	// attempt number (default 250ms).
+	Backoff time.Duration
+	// Store, when set, receives every remote report (best effort), so
+	// the fleet's results also land in the coordinator's shared store
+	// and the fabric degrades to plain -cache-dir sharing.
+	Store *measure.Store
+	// Client is the HTTP client for worker RPCs (nil = a dedicated
+	// client with sane connection reuse).
+	Client *http.Client
+}
+
+// DefaultRPCTimeout bounds one measurement RPC attempt.
+const DefaultRPCTimeout = 5 * time.Minute
+
+// Remote is the coordinator's measure.Provider: it shards measurements
+// across the registry's live workers by rendezvous-hashing their
+// measure.ConfigHash, retries transient failures with backoff, and
+// falls back to the wrapped local provider — transparently but
+// counted, never silently — when the fleet cannot answer.
+//
+// Remote sits below the coordinator's bounded cache (the cache answers
+// warm keys without an RPC) and above its local simulation stack (the
+// fallback), so with zero workers registered the provider chain
+// behaves exactly as before the fabric existed.
+type Remote struct {
+	registry *Registry
+	fallback measure.Provider
+	opts     RemoteOptions
+	client   *http.Client
+
+	dispatched atomic.Uint64
+	remoteHits atomic.Uint64
+	retries    atomic.Uint64
+	fallbacks  atomic.Uint64
+	spills     atomic.Uint64
+}
+
+// NewRemote builds a remote provider over a registry and a local
+// fallback provider.
+func NewRemote(registry *Registry, fallback measure.Provider, opts RemoteOptions) *Remote {
+	if opts.Timeout <= 0 {
+		opts.Timeout = DefaultRPCTimeout
+	}
+	if opts.Retries < 0 {
+		opts.Retries = 0
+	} else if opts.Retries == 0 {
+		opts.Retries = 2
+	}
+	if opts.Backoff <= 0 {
+		opts.Backoff = 250 * time.Millisecond
+	}
+	client := opts.Client
+	if client == nil {
+		client = &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 16}}
+	}
+	return &Remote{registry: registry, fallback: fallback, opts: opts, client: client}
+}
+
+// Registry returns the worker table, for the coordinator's
+// registration endpoints.
+func (r *Remote) Registry() *Registry { return r.registry }
+
+// Stats snapshots the dispatch counters and the registry state.
+func (r *Remote) Stats() RemoteStats {
+	// Snapshot first: it sweeps TTL-expired workers, so the lifetime
+	// counters read afterwards agree with the table this snapshot shows.
+	all := r.registry.Snapshot()
+	regs, expired, down := r.registry.counters()
+	live := 0
+	for _, w := range all {
+		if w.Live {
+			live++
+		}
+	}
+	return RemoteStats{
+		Dispatched:    r.dispatched.Load(),
+		RemoteHits:    r.remoteHits.Load(),
+		Retries:       r.retries.Load(),
+		Fallbacks:     r.fallbacks.Load(),
+		Spills:        r.spills.Load(),
+		Workers:       len(all),
+		LiveWorkers:   live,
+		Registrations: regs,
+		Expired:       expired,
+		MarkedDown:    down,
+	}
+}
+
+// Measure implements measure.Provider. Traced runs exist for their
+// local side effects and never leave the host.
+func (r *Remote) Measure(ctx context.Context, prog *asm.Program, cfg config.Config, opts platform.Options) (*platform.RunReport, error) {
+	if opts.TraceWriter != nil {
+		return r.fallback.Measure(ctx, prog, cfg, opts)
+	}
+	shard := measure.ConfigHash(cfg)
+	worker := pick(shard, r.registry.live(time.Now()))
+	if worker == nil {
+		// No live workers: local execution, counted as a fallback only
+		// when a fleet was ever configured — a coordinator nobody has
+		// registered with is just a plain single-host daemon.
+		if regs, _, _ := r.registry.counters(); regs > 0 {
+			r.fallbacks.Add(1)
+		}
+		return r.fallback.Measure(ctx, prog, cfg, opts)
+	}
+
+	rctx, span := obs.Start(ctx, "fabric.rpc")
+	if span != nil {
+		ctx = rctx
+		span.Set(obs.String("worker", worker.id), obs.String("config", shard))
+		defer span.End()
+	}
+	r.dispatched.Add(1)
+	rep, err := r.dispatch(ctx, worker, prog, cfg, opts, span)
+	if err == nil {
+		r.remoteHits.Add(1)
+		if r.opts.Store != nil {
+			// Best effort, like every spill: the shared store is a cache
+			// tier, not the source of truth.
+			if serr := r.opts.Store.Save(measure.KeyFor(prog, cfg, opts), rep); serr == nil {
+				r.spills.Add(1)
+			}
+		}
+		return rep, nil
+	}
+	if ctx.Err() != nil {
+		// The caller is gone — don't burn a local simulation on it.
+		return nil, ctx.Err()
+	}
+	// The elected worker exhausted its retry budget: sideline it until
+	// its next heartbeat and answer locally. The result still lands in
+	// the shared store through the fallback's own persistent layer (or
+	// the spill above on the next remote success).
+	r.registry.MarkDown(worker.id)
+	r.fallbacks.Add(1)
+	if span != nil {
+		span.Set(obs.String("outcome", "fallback"))
+	}
+	return r.fallback.Measure(ctx, prog, cfg, opts)
+}
+
+// dispatch performs the bounded retry loop against one worker.
+func (r *Remote) dispatch(ctx context.Context, worker *workerRecord, prog *asm.Program, cfg config.Config, opts platform.Options, span *obs.Span) (*platform.RunReport, error) {
+	opts = opts.Normalized()
+	req := MeasureRequest{
+		Fingerprint:          measure.Fingerprint(prog),
+		Prog:                 ImageOf(prog),
+		Config:               cfg,
+		RAMBytes:             opts.RAMBytes,
+		MaxInstructions:      opts.MaxInstructions,
+		SampleInstructions:   opts.SampleInstructions,
+		IntervalInstructions: opts.IntervalInstructions,
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("fabric: encoding measure request: %w", err)
+	}
+
+	var lastErr error
+	for attempt := 0; attempt <= r.opts.Retries; attempt++ {
+		if attempt > 0 {
+			r.retries.Add(1)
+			select {
+			case <-time.After(time.Duration(attempt) * r.opts.Backoff):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		rep, err := r.rpc(ctx, worker.url, body, cfg)
+		if err == nil {
+			if span != nil {
+				span.Set(obs.String("outcome", "remote"), obs.Int("attempts", int64(attempt+1)))
+			}
+			return rep, nil
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("fabric: worker %s: %w", worker.id, lastErr)
+}
+
+// rpc performs one POST /v1/measure attempt under the per-RPC timeout.
+func (r *Remote) rpc(ctx context.Context, baseURL string, body []byte, cfg config.Config) (*platform.RunReport, error) {
+	attemptCtx, cancel := context.WithTimeout(ctx, r.opts.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(attemptCtx, http.MethodPost,
+		baseURL+"/v1/measure", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("fabric: building measure request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("fabric: measure rpc: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("fabric: measure rpc: status %d: %s", resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	var out MeasureResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("fabric: decoding measure response: %w", err)
+	}
+	return out.Report.Report(cfg), nil
+}

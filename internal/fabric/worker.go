@@ -1,0 +1,221 @@
+package fabric
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"liquidarch/internal/asm"
+	"liquidarch/internal/measure"
+	"liquidarch/internal/obs"
+)
+
+// WorkerStats is the worker-side half of the fabric metrics.
+type WorkerStats struct {
+	// Served counts measurement RPCs answered successfully (the
+	// worker's local cache and store layers may still have answered
+	// without simulating — their own counters say which).
+	Served uint64 `json:"served"`
+	// Errors counts RPCs that failed (bad request or measurement error).
+	Errors uint64 `json:"errors"`
+	// Active is the in-flight RPC count, MaxConcurrent its bound.
+	Active        int64 `json:"active"`
+	MaxConcurrent int   `json:"max_concurrent"`
+	// Programs is how many distinct program images the worker holds.
+	Programs int `json:"programs"`
+}
+
+// Worker serves measurement RPCs over a local provider stack: the
+// existing cache / persistent-store / lease layers, untouched — the
+// fabric only moves the request to them. Concurrency is bounded by a
+// semaphore so a fleet-wide fan-out cannot oversubscribe one host;
+// excess requests queue on the semaphore and honour the client's
+// context while they wait.
+type Worker struct {
+	provider measure.Provider
+	sem      chan struct{}
+	max      int
+
+	served atomic.Uint64
+	errors atomic.Uint64
+	active atomic.Int64
+
+	// progs memoizes reconstructed program images by fingerprint:
+	// measure.Key (and with it the worker's whole cache stack) is
+	// pointer-keyed, so every RPC for one image must resolve to one
+	// *asm.Program for the worker's cache to be worth anything.
+	mu    sync.Mutex
+	progs map[string]*asm.Program
+}
+
+// NewWorker builds a worker over the given provider. maxConcurrent
+// bounds simultaneously executing RPCs (<= 0 means NumCPU).
+func NewWorker(provider measure.Provider, maxConcurrent int) *Worker {
+	if maxConcurrent <= 0 {
+		maxConcurrent = runtime.NumCPU()
+	}
+	return &Worker{
+		provider: provider,
+		sem:      make(chan struct{}, maxConcurrent),
+		max:      maxConcurrent,
+		progs:    make(map[string]*asm.Program),
+	}
+}
+
+// Stats snapshots the worker counters.
+func (w *Worker) Stats() WorkerStats {
+	w.mu.Lock()
+	programs := len(w.progs)
+	w.mu.Unlock()
+	return WorkerStats{
+		Served:        w.served.Load(),
+		Errors:        w.errors.Load(),
+		Active:        w.active.Load(),
+		MaxConcurrent: w.max,
+		Programs:      programs,
+	}
+}
+
+// program resolves a request's image to the worker's one *asm.Program
+// for that fingerprint, verifying the image hash on first sight. The
+// verification runs only on the memo miss, so the per-process
+// fingerprint memo in package measure sees exactly one pointer per
+// distinct image.
+func (w *Worker) program(req MeasureRequest) (*asm.Program, error) {
+	if req.Fingerprint == "" {
+		return nil, fmt.Errorf("fabric: measure request without fingerprint")
+	}
+	w.mu.Lock()
+	prog, ok := w.progs[req.Fingerprint]
+	w.mu.Unlock()
+	if ok {
+		return prog, nil
+	}
+	prog, err := verifyFingerprint(req)
+	if err != nil {
+		return nil, err
+	}
+	w.mu.Lock()
+	if existing, ok := w.progs[req.Fingerprint]; ok {
+		prog = existing // racing first requests: one pointer wins
+	} else {
+		w.progs[req.Fingerprint] = prog
+	}
+	w.mu.Unlock()
+	return prog, nil
+}
+
+// Measure executes one RPC's measurement under the concurrency bound.
+func (w *Worker) Measure(ctx context.Context, req MeasureRequest) (MeasureResponse, error) {
+	prog, err := w.program(req)
+	if err != nil {
+		return MeasureResponse{}, err
+	}
+	if err := req.Config.Validate(); err != nil {
+		return MeasureResponse{}, fmt.Errorf("fabric: invalid config: %w", err)
+	}
+	select {
+	case w.sem <- struct{}{}:
+	case <-ctx.Done():
+		return MeasureResponse{}, ctx.Err()
+	}
+	w.active.Add(1)
+	defer func() {
+		w.active.Add(-1)
+		<-w.sem
+	}()
+	rep, err := w.provider.Measure(ctx, prog, req.Config, req.Options())
+	if err != nil {
+		return MeasureResponse{}, err
+	}
+	w.served.Add(1)
+	return MeasureResponse{Report: WireReportOf(rep)}, nil
+}
+
+// ServeHTTP handles POST /v1/measure.
+func (w *Worker) ServeHTTP(rw http.ResponseWriter, r *http.Request) {
+	var req MeasureRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		w.errors.Add(1)
+		writeWireError(rw, http.StatusBadRequest, fmt.Errorf("fabric: invalid measure request: %w", err))
+		return
+	}
+	ctx, span := obs.Start(r.Context(), "fabric.measure")
+	if span != nil {
+		span.Set(obs.String("fingerprint", req.Fingerprint[:min(12, len(req.Fingerprint))]))
+		defer span.End()
+	}
+	resp, err := w.Measure(ctx, req)
+	if err != nil {
+		w.errors.Add(1)
+		code := http.StatusInternalServerError
+		if ctx.Err() != nil {
+			// The client went away (or the server is draining); the
+			// measurement was cancelled, not broken.
+			code = http.StatusServiceUnavailable
+		}
+		writeWireError(rw, code, err)
+		return
+	}
+	rw.Header().Set("Content-Type", "application/json")
+	rw.WriteHeader(http.StatusOK)
+	_ = json.NewEncoder(rw).Encode(resp)
+}
+
+// writeWireError emits the fabric's JSON error document.
+func writeWireError(rw http.ResponseWriter, code int, err error) {
+	rw.Header().Set("Content-Type", "application/json")
+	rw.WriteHeader(code)
+	_ = json.NewEncoder(rw).Encode(map[string]string{"error": err.Error()})
+}
+
+// Heartbeat announces a worker to its coordinator every period until
+// ctx is cancelled: one registration immediately, then one per tick.
+// Registration failures are retried on the next tick — a coordinator
+// restart costs at most one period of invisibility, and the TTL (3×
+// the period by default) tolerates transiently dropped beats without
+// re-homing the worker's shard.
+func Heartbeat(ctx context.Context, client *http.Client, coordinatorURL string, reg Registration, period time.Duration) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	if period <= 0 {
+		period = DefaultHeartbeat
+	}
+	if reg.TTLSeconds == 0 {
+		reg.TTLSeconds = (3 * period).Seconds()
+	}
+	beat := func() {
+		body, err := json.Marshal(reg)
+		if err != nil {
+			return
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			coordinatorURL+"/v1/workers", bytes.NewReader(body))
+		if err != nil {
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+	}
+	beat()
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			beat()
+		}
+	}
+}

@@ -24,6 +24,10 @@
 // API (all JSON):
 //
 //	POST   /v1/jobs          submit a JobRequest, returns the queued JobStatus
+//	POST   /v1/batch         submit a BatchRequest (app × space × weighting
+//	                         matrix); the expanded items run as ONE flight
+//	                         through one session batch, so a weight sweep
+//	                         performs one model build and N solves
 //	GET    /v1/jobs          list every job's JobStatus
 //	GET    /v1/jobs/{id}     one job's JobStatus (with result when done)
 //	GET    /v1/jobs/{id}/stream  ndjson stream of JobStatus snapshots
@@ -31,9 +35,20 @@
 //	DELETE /v1/jobs/{id}     cancel a queued or running job
 //	GET    /v1/trace/{id}    the job's completed (or so-far) span tree
 //	GET    /v1/trace/{id}/stream  ndjson stream of spans as they complete
-//	GET    /v1/metrics       cache, store, model-layer, pool, scheduler and
-//	                         per-stage latency counters
+//	GET    /v1/metrics       cache, store, model-layer, pool, scheduler,
+//	                         fabric and per-stage latency counters
 //	GET    /v1/healthz       liveness
+//
+// With a fabric role configured (Options.Fabric / Options.Worker) the
+// distributed-measurement endpoints join the surface:
+//
+//	POST   /v1/workers       worker heartbeat registration (coordinator)
+//	GET    /v1/workers       the registered worker table (coordinator)
+//	POST   /v1/measure       one measurement RPC (worker)
+//
+// Scheduling is a two-level priority queue: interactive jobs (the
+// default class) always run before bulk ones, and each class is
+// admitted under its own queue-depth limit. See DESIGN.md §21.
 //
 // Every flight runs under an obs.Tracer, so each job carries the full
 // span tree of its pipeline — model source, each measurement's cache
@@ -55,6 +70,7 @@ import (
 	"liquidarch/internal/config"
 	"liquidarch/internal/core"
 	"liquidarch/internal/cpu"
+	"liquidarch/internal/fabric"
 	"liquidarch/internal/measure"
 	"liquidarch/internal/obs"
 	"liquidarch/internal/phase"
@@ -75,9 +91,13 @@ type Options struct {
 	// Each job additionally parallelizes its own measurements on the
 	// shared pool, so a small number of job workers saturates the CPU.
 	Workers int
-	// QueueDepth bounds the submitted-but-not-started backlog (default
-	// 256); past it, POST /v1/jobs returns 503.
+	// QueueDepth bounds the submitted-but-not-started interactive
+	// backlog (default 256); past it, POST /v1/jobs returns 503.
 	QueueDepth int
+	// BulkQueueDepth bounds the bulk-class backlog the same way
+	// (default: QueueDepth). The two admission budgets are independent:
+	// a bulk flood cannot starve interactive admissions.
+	BulkQueueDepth int
 	// Provider is the shared measurement provider; nil builds a bounded
 	// cache over the simulator with CacheEntries entries.
 	Provider measure.Provider
@@ -126,6 +146,16 @@ type Options struct {
 	// Logf receives the server's diagnostics (currently the slow-job
 	// warnings); nil means the standard library logger.
 	Logf func(format string, args ...any)
+	// Fabric, when set, makes this server a measurement-fabric
+	// coordinator: POST/GET /v1/workers serve worker registration, and
+	// the fabric's dispatch counters and worker table appear under
+	// /v1/metrics. The Remote itself must also be wired into Provider
+	// (below the cache) for jobs to actually dispatch remotely.
+	Fabric *fabric.Remote
+	// Worker, when set, makes this server a measurement-fabric worker:
+	// POST /v1/measure serves measurement RPCs through it, and its
+	// serve counters appear under /v1/metrics.
+	Worker *fabric.Worker
 }
 
 // retain resolves the configured terminal-job cap (-1 = unlimited).
@@ -160,6 +190,10 @@ type JobRequest struct {
 	Workers int `json:"workers,omitempty"`
 	// IncludeModel embeds the full perturbation model in the result.
 	IncludeModel bool `json:"include_model,omitempty"`
+	// Class is the scheduling class: "interactive" (default) or "bulk".
+	// Interactive flights are always run before bulk ones, and each
+	// class is admitted under its own queue-depth limit.
+	Class string `json:"class,omitempty"`
 
 	// Phases switches the job to phase-aware tuning: the result
 	// (JobStatus.PhaseResult) is the core.Report with the phases block —
@@ -212,9 +246,12 @@ type JobStatus struct {
 	State   string     `json:"state"`
 	Request JobRequest `json:"request"`
 	Error   string     `json:"error,omitempty"`
-	// Result is a plain job's outcome; PhaseResult a phase job's.
-	Result      *core.TuneReport  `json:"result,omitempty"`
-	PhaseResult *core.PhaseReport `json:"phase_result,omitempty"`
+	// Result is a plain job's outcome; PhaseResult a phase job's;
+	// Results a batch job's — one report per expanded item, in item
+	// order.
+	Result      *core.TuneReport   `json:"result,omitempty"`
+	PhaseResult *core.PhaseReport  `json:"phase_result,omitempty"`
+	Results     []*core.TuneReport `json:"results,omitempty"`
 	// Progress tracks the running flight's completed measurements.
 	Progress *MeasureProgress `json:"progress,omitempty"`
 	Created  time.Time        `json:"created"`
@@ -282,6 +319,11 @@ type flight struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 	tracer *obs.Tracer
+	// batch, when non-nil, makes this a batch flight: the expanded
+	// items, executed sequentially through one session TuneBatch so
+	// items differing only in weights share one model build. req is
+	// then the batch template (its class schedules the flight).
+	batch []JobRequest
 
 	// Guarded by Server.mu.
 	jobs      []*job // attached (not individually cancelled) jobs
@@ -313,7 +355,7 @@ type Server struct {
 
 	baseCtx context.Context
 	stop    context.CancelFunc
-	queue   chan *flight
+	queue   *flightQueue
 	wg      sync.WaitGroup
 
 	mu        sync.Mutex
@@ -324,6 +366,7 @@ type Server struct {
 	submitted uint64
 	deduped   uint64
 	dropped   uint64
+	batches   uint64
 	closed    bool
 }
 
@@ -334,6 +377,9 @@ func New(opts Options) *Server {
 	}
 	if opts.QueueDepth <= 0 {
 		opts.QueueDepth = 256
+	}
+	if opts.BulkQueueDepth <= 0 {
+		opts.BulkQueueDepth = opts.QueueDepth
 	}
 	if opts.SuperblockThreshold != 0 || opts.IntraRunWorkers != 0 {
 		sb := opts.SuperblockThreshold
@@ -370,7 +416,7 @@ func New(opts Options) *Server {
 		}),
 		baseCtx: ctx,
 		stop:    stop,
-		queue:   make(chan *flight, opts.QueueDepth),
+		queue:   newFlightQueue(opts.QueueDepth, opts.BulkQueueDepth),
 		jobs:    make(map[string]*job),
 		flights: make(map[string]*flight),
 	}
@@ -423,7 +469,7 @@ func (s *Server) Close() {
 	s.closed = true
 	s.mu.Unlock()
 	s.stop()
-	close(s.queue)
+	s.queue.close()
 	s.wg.Wait()
 }
 
@@ -433,7 +479,11 @@ func (s *Server) Cache() *measure.Cache { return s.cache }
 
 func (s *Server) worker() {
 	defer s.wg.Done()
-	for f := range s.queue {
+	for {
+		f, ok := s.queue.pop()
+		if !ok {
+			return
+		}
 		s.runFlight(f)
 	}
 }
@@ -469,7 +519,22 @@ func resolve(req JobRequest) (*progs.Benchmark, workload.Scale, *config.Space, c
 	if (req.Replay || req.Online) && !req.Phases {
 		return nil, 0, nil, core.Weights{}, fmt.Errorf("replay and online require phases")
 	}
+	if _, err := normalizeClass(req.Class); err != nil {
+		return nil, 0, nil, core.Weights{}, err
+	}
 	return b, sc, space, w, nil
+}
+
+// normalizeClass resolves a request's scheduling class ("" means
+// interactive).
+func normalizeClass(c string) (string, error) {
+	switch c {
+	case "", ClassInteractive:
+		return ClassInteractive, nil
+	case ClassBulk:
+		return ClassBulk, nil
+	}
+	return "", fmt.Errorf("unknown class %q", c)
 }
 
 // dedupKey canonicalizes the result-determining fields of a resolved
@@ -503,6 +568,12 @@ func dedupKey(req JobRequest, app string, sc workload.Scale, w core.Weights) str
 		}
 		key += fmt.Sprintf(" phases interval=%d penalty=%d threshold=%g replay=%t online=%t",
 			interval, penalty, threshold, req.Replay, req.Online)
+	}
+	if req.Class == ClassBulk {
+		// Same result either way, but a bulk and an interactive job must
+		// not share a flight: the dedup winner's class would schedule the
+		// loser's work at the wrong priority.
+		key += " class=bulk"
 	}
 	return key
 }
@@ -559,7 +630,14 @@ func (s *Server) runFlight(f *flight) {
 		}
 	})
 
-	report, err := s.tune(obs.WithTracer(f.ctx, f.tracer), f.req, observer)
+	var report *core.Report
+	var results []*core.Report
+	var err error
+	if f.batch != nil {
+		results, err = s.tuneBatch(obs.WithTracer(f.ctx, f.tracer), f.batch, observer)
+	} else {
+		report, err = s.tune(obs.WithTracer(f.ctx, f.tracer), f.req, observer)
+	}
 	f.tracer.Finish()
 	if elapsed := time.Since(now); s.opts.SlowJobThreshold > 0 && elapsed > s.opts.SlowJobThreshold {
 		s.logSlowFlight(f, elapsed)
@@ -590,9 +668,12 @@ func (s *Server) runFlight(f *flight) {
 			switch {
 			case err == nil:
 				st.State = StateDone
-				if f.req.Phases {
+				switch {
+				case f.batch != nil:
+					st.Results = results
+				case f.req.Phases:
 					st.PhaseResult = report
-				} else {
+				default:
 					st.Result = report
 				}
 			case f.ctx.Err() != nil && s.baseCtx.Err() == nil:
@@ -646,6 +727,43 @@ func (s *Server) tune(ctx context.Context, req JobRequest, observer core.Observe
 	return s.session.Tune(ctx, creq)
 }
 
+// tuneBatch executes a batch flight's expanded items through one
+// session TuneBatch call: items differing only in weights share one
+// model build through the session's model layer, so the flight's
+// metrics show one build and N solves. Progress aggregates every item's
+// completed measurements (model-layer hits jump an item's share at
+// once); the total grows as items start, since an item's measurement
+// count is known only when it runs.
+func (s *Server) tuneBatch(ctx context.Context, items []JobRequest, observer core.Observer) ([]*core.Report, error) {
+	creqs := make([]core.Request, len(items))
+	for i, item := range items {
+		creq, err := coreRequest(item)
+		if err != nil {
+			return nil, fmt.Errorf("batch item %d: %w", i, err)
+		}
+		creqs[i] = creq
+	}
+	var mu sync.Mutex
+	done := make([]int, len(items))
+	total := make([]int, len(items))
+	for i := range creqs {
+		creqs[i].Observer = core.ObserverFunc(func(d, t int) {
+			mu.Lock()
+			done[i], total[i] = d, t
+			var sd, st int
+			for j := range done {
+				sd += done[j]
+				st += total[j]
+			}
+			mu.Unlock()
+			if observer != nil {
+				observer.TuneProgress(sd, st)
+			}
+		})
+	}
+	return s.session.TuneBatch(ctx, creqs)
+}
+
 // logSlowFlight emits the slow-job warning: the flight's wall time and
 // the top stages of its trace by total duration, so the log line alone
 // says where the time went.
@@ -671,8 +789,13 @@ func (s *Server) Submit(req JobRequest) (JobStatus, error) {
 	if err != nil {
 		return JobStatus{}, &apiError{http.StatusBadRequest, err.Error()}
 	}
-	key := dedupKey(req, b.Name, sc, w)
+	return s.submit(req, dedupKey(req, b.Name, sc, w), nil)
+}
 
+// submit creates the job record and either attaches it to the key's
+// in-flight execution or admits a new flight (carrying batch items when
+// batch is non-nil) to the priority queue.
+func (s *Server) submit(req JobRequest, key string, batch []JobRequest) (JobStatus, error) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -680,6 +803,9 @@ func (s *Server) Submit(req JobRequest) (JobStatus, error) {
 	}
 	s.seq++
 	s.submitted++
+	if batch != nil {
+		s.batches++
+	}
 	id := fmt.Sprintf("job-%d", s.seq)
 	j := &job{
 		status: JobStatus{
@@ -711,7 +837,7 @@ func (s *Server) Submit(req JobRequest) (JobStatus, error) {
 
 	ctx, cancel := context.WithCancel(s.baseCtx)
 	f := &flight{
-		key: key, req: req, ctx: ctx, cancel: cancel, jobs: []*job{j},
+		key: key, req: req, ctx: ctx, cancel: cancel, jobs: []*job{j}, batch: batch,
 		// Every flight is traced: the spans feed the process-wide stage
 		// histograms either way, and the per-flight cost (a few dozen
 		// spans per job) is noise next to a single simulated run.
@@ -720,13 +846,11 @@ func (s *Server) Submit(req JobRequest) (JobStatus, error) {
 	j.flight = f
 	j.trace = f.tracer
 	s.flights[key] = f
-	// The enqueue happens under s.mu so it cannot race Close's
-	// close(s.queue): Close flips s.closed under the same lock first.
-	var full bool
-	select {
-	case s.queue <- f:
-	default:
-		full = true
+	// The admission happens under s.mu so it cannot race Close's
+	// queue.close(): Close flips s.closed under the same lock first.
+	class, _ := normalizeClass(req.Class)
+	full := !s.queue.push(f, class)
+	if full {
 		delete(s.flights, key)
 	}
 	s.mu.Unlock()
@@ -895,11 +1019,31 @@ type SchedulerStats struct {
 	Deduped uint64 `json:"deduped"`
 	// Dropped counts terminal jobs forgotten by retention.
 	Dropped uint64 `json:"dropped"`
+	// Batches counts accepted POST /v1/batch submissions.
+	Batches uint64 `json:"batches"`
 	// Flights is the current number of distinct in-flight executions.
 	Flights int `json:"flights"`
+	// InteractiveQueued and BulkQueued are the current per-class
+	// backlogs of the two-level priority queue; InteractiveDepth and
+	// BulkDepth their admission limits (past them, submission answers
+	// 503).
+	InteractiveQueued int `json:"interactive_queued"`
+	BulkQueued        int `json:"bulk_queued"`
+	InteractiveDepth  int `json:"interactive_depth"`
+	BulkDepth         int `json:"bulk_depth"`
 	// Retain and TTLSeconds echo the active retention policy.
 	Retain     int     `json:"retain"`
 	TTLSeconds float64 `json:"ttl_seconds,omitempty"`
+}
+
+// FabricMetrics is the fabric section of /v1/metrics: the remote
+// dispatch counters and worker table on a coordinator, the RPC serve
+// counters on a worker. Absent entirely on a daemon with no fabric
+// role.
+type FabricMetrics struct {
+	Remote  *fabric.RemoteStats `json:"remote,omitempty"`
+	Worker  *fabric.WorkerStats `json:"worker,omitempty"`
+	Workers []fabric.WorkerInfo `json:"workers,omitempty"`
 }
 
 // Metrics is the GET /v1/metrics document. Models reports the session's
@@ -929,6 +1073,10 @@ type Metrics struct {
 	// flight: count, total and p50/p95/p99 per pipeline stage name
 	// ("tune", "model", "measure", "solve", ...).
 	Stages map[string]obs.StageStats `json:"stages,omitempty"`
+	// Fabric reports the distributed measurement fabric (coordinator
+	// dispatch counters, worker table, worker RPC counters) when this
+	// daemon plays either fabric role.
+	Fabric *FabricMetrics `json:"fabric,omitempty"`
 }
 
 // MetricsSnapshot assembles the current counters.
@@ -953,16 +1101,35 @@ func (s *Server) MetricsSnapshot() Metrics {
 		st := measure.PlannerSnapshot()
 		m.Planner = &st
 	}
+	if s.opts.Fabric != nil || s.opts.Worker != nil {
+		fm := &FabricMetrics{}
+		if s.opts.Fabric != nil {
+			st := s.opts.Fabric.Stats()
+			fm.Remote = &st
+			fm.Workers = s.opts.Fabric.Registry().Snapshot()
+		}
+		if s.opts.Worker != nil {
+			st := s.opts.Worker.Stats()
+			fm.Worker = &st
+		}
+		m.Fabric = fm
+	}
 	for _, js := range s.Jobs() {
 		m.Jobs[js.State]++
 	}
+	qi, qb := s.queue.lens()
 	s.mu.Lock()
 	m.Scheduler = SchedulerStats{
-		Submitted: s.submitted,
-		Deduped:   s.deduped,
-		Dropped:   s.dropped,
-		Flights:   len(s.flights),
-		Retain:    s.opts.retain(),
+		Submitted:         s.submitted,
+		Deduped:           s.deduped,
+		Dropped:           s.dropped,
+		Batches:           s.batches,
+		Flights:           len(s.flights),
+		InteractiveQueued: qi,
+		BulkQueued:        qb,
+		InteractiveDepth:  s.opts.QueueDepth,
+		BulkDepth:         s.opts.BulkQueueDepth,
+		Retain:            s.opts.retain(),
 	}
 	if s.opts.JobTTL > 0 {
 		m.Scheduler.TTLSeconds = s.opts.JobTTL.Seconds()
@@ -1040,6 +1207,39 @@ func (s *Server) Handler() http.Handler {
 		}
 		writeJSON(w, http.StatusOK, st)
 	})
+	mux.HandleFunc("POST /v1/batch", func(w http.ResponseWriter, r *http.Request) {
+		var req BatchRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeErr(w, &apiError{http.StatusBadRequest, "invalid request: " + err.Error()})
+			return
+		}
+		st, err := s.SubmitBatch(req)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, st)
+	})
+	if s.opts.Fabric != nil {
+		mux.HandleFunc("POST /v1/workers", func(w http.ResponseWriter, r *http.Request) {
+			var reg fabric.Registration
+			if err := json.NewDecoder(r.Body).Decode(&reg); err != nil {
+				writeErr(w, &apiError{http.StatusBadRequest, "invalid registration: " + err.Error()})
+				return
+			}
+			if err := s.opts.Fabric.Registry().Register(reg); err != nil {
+				writeErr(w, &apiError{http.StatusBadRequest, err.Error()})
+				return
+			}
+			w.WriteHeader(http.StatusNoContent)
+		})
+		mux.HandleFunc("GET /v1/workers", func(w http.ResponseWriter, r *http.Request) {
+			writeJSON(w, http.StatusOK, s.opts.Fabric.Registry().Snapshot())
+		})
+	}
+	if s.opts.Worker != nil {
+		mux.Handle("POST /v1/measure", s.opts.Worker)
+	}
 	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.MetricsSnapshot())
 	})

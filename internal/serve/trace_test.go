@@ -285,4 +285,16 @@ func TestMetricsFieldsSerialized(t *testing.T) {
 	if len(seen) < 5 {
 		t.Fatalf("walked only %d struct types — the reflection walk is broken", len(seen))
 	}
+	// The fabric section hangs off Metrics through pointers the walk must
+	// chase: require its stats structs were actually visited.
+	fabricSeen := false
+	for typ := range seen {
+		if strings.Contains(typ.PkgPath(), "internal/fabric") {
+			fabricSeen = true
+			break
+		}
+	}
+	if !fabricSeen {
+		t.Fatal("reflection walk never reached the fabric metrics structs")
+	}
 }
